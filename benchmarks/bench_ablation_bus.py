@@ -1,0 +1,56 @@
+"""Ablation — bus generation and the transfer/compute balance.
+
+One of the two headline differences between the paper's boards is the
+bus (AGP 8x vs PCI Express, Table 1).  The paper stresses "the overheads
+involved in data transfer between main memory and the GPU"; this bench
+quantifies them: for each board, the projected full-scene time is split
+into kernel vs bus components, and a counterfactual board (a 7800 GTX
+forced onto AGP 8x) isolates the bus's own contribution.
+"""
+
+import pytest
+
+from repro.bench import format_table, project_gpu_time
+from repro.bench.scaling import PAPER_FULL_SCENE
+from repro.gpu import AGP8X_BANDWIDTH, GEFORCE_7800GTX, GEFORCE_FX5950U
+
+
+def _sweep():
+    lines, samples, bands = PAPER_FULL_SCENE
+    boards = (
+        ("FX5950 (AGP 8x)", GEFORCE_FX5950U),
+        ("7800 GTX (PCIe)", GEFORCE_7800GTX),
+        ("7800 GTX on AGP 8x", GEFORCE_7800GTX.with_(
+            bus_bandwidth=AGP8X_BANDWIDTH)),
+    )
+    return [(label, project_gpu_time(spec, lines, samples, bands))
+            for label, spec in boards]
+
+
+def test_ablation_bus(benchmark, report):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1,
+                                 warmup_rounds=0)
+    rows = []
+    for label, b in results:
+        rows.append([label, b.kernel_s * 1e3, b.transfer_s * 1e3,
+                     b.total_s * 1e3,
+                     100.0 * b.transfer_s / b.total_s])
+    report("ablation_bus", format_table(
+        "Ablation — bus generation, full 547 MB scene (modeled)",
+        ["board", "kernel ms", "bus ms", "total ms", "bus share %"],
+        rows))
+
+    by_label = {label: b for label, b in results}
+    pcie = by_label["7800 GTX (PCIe)"]
+    agp = by_label["7800 GTX on AGP 8x"]
+    fx = by_label["FX5950 (AGP 8x)"]
+    # Same silicon, slower bus: kernels identical, transfers slower.
+    assert agp.kernel_s == pytest.approx(pcie.kernel_s, rel=1e-12)
+    assert agp.transfer_s > 1.5 * pcie.transfer_s
+    # On the fast board the bus is a first-order cost (tens of percent)...
+    assert 0.15 < pcie.transfer_s / pcie.total_s < 0.60
+    # ...on the slow board the kernels dominate and the bus share shrinks.
+    assert fx.transfer_s / fx.total_s < pcie.transfer_s / pcie.total_s
+    # The counterfactual shows PCIe alone buys a measurable slice of the
+    # generation-over-generation win.
+    assert agp.total_s > 1.1 * pcie.total_s

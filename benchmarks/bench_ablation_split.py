@@ -1,0 +1,62 @@
+"""Extension — CPU/GPU workload balancing (the paper's future work).
+
+Paper §5: "In future research, we plan to study additional partitioning
+strategies to balance the CPU and GPU workloads."  The chunked pipeline
+makes that straightforward: give a line fraction f of the scene to the
+CPU and 1-f to the GPU and run them concurrently; completion time is
+max(t_cpu(f), t_gpu(1-f)).
+
+This bench sweeps f with the calibrated platform models (P4/gcc +
+7800 GTX, paper-size full scene) and reports the optimum — which lands
+near the theoretical t_gpu/(t_cpu + t_gpu), i.e. only a few percent of
+the work is worth giving to the CPU, quantifying why the paper left it
+as future work.
+"""
+
+import pytest
+
+from repro.bench import format_table, project_cpu_time, project_gpu_time
+from repro.bench.scaling import PAPER_FULL_SCENE
+from repro.cpu import GCC40, PENTIUM4_NORTHWOOD
+from repro.gpu import GEFORCE_7800GTX
+
+FRACTIONS = (0.0, 0.02, 0.05, 0.10, 0.20, 0.50)
+
+
+def _sweep():
+    lines, samples, bands = PAPER_FULL_SCENE
+    results = []
+    for f in FRACTIONS:
+        cpu_lines = max(int(lines * f), 1) if f > 0 else 0
+        gpu_lines = lines - cpu_lines
+        t_cpu = 0.0 if cpu_lines == 0 else project_cpu_time(
+            PENTIUM4_NORTHWOOD, GCC40, cpu_lines, samples, bands)["total_s"]
+        t_gpu = 0.0 if gpu_lines == 0 else project_gpu_time(
+            GEFORCE_7800GTX, gpu_lines, samples, bands).total_s
+        results.append((f, t_cpu, t_gpu, max(t_cpu, t_gpu)))
+    return results
+
+
+def test_ablation_cpu_gpu_split(benchmark, report):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1,
+                                 warmup_rounds=0)
+    rows = [[f"{f:.0%}", t_cpu * 1e3, t_gpu * 1e3, total * 1e3]
+            for f, t_cpu, t_gpu, total in results]
+    best = min(results, key=lambda r: r[3])
+    table = format_table(
+        "Extension — CPU/GPU workload split (full scene, P4/gcc + "
+        "7800 GTX)",
+        ["CPU share", "CPU ms", "GPU ms", "completion ms"], rows)
+    table += (f"\n\nbest split: {best[0]:.0%} of lines to the CPU "
+              f"({best[3] * 1e3:.0f} ms vs "
+              f"{results[0][3] * 1e3:.0f} ms GPU-only)")
+    report("ablation_split", table)
+
+    gpu_only = results[0][3]
+    # A small CPU share helps a little...
+    assert best[3] <= gpu_only
+    assert best[0] <= 0.10
+    # ...but a naive 50/50 split is catastrophic (the CPU is the
+    # bottleneck by an order of magnitude).
+    half = dict((f, total) for f, _, _, total in results)[0.50]
+    assert half > 5.0 * gpu_only

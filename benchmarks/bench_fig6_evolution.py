@@ -1,0 +1,69 @@
+"""Figure 6 — performance of the CPU and GPU implementations across
+hardware generations (gcc builds).
+
+Paper: the figure plots the four platforms' performance over the image
+sizes and is read out in §4.3 as two generation-over-generation facts:
+2003->2005 bought the CPU "below 10%" while the GPUs improved by "a
+remarkable 400%" (6x the fragment processors, more bandwidth).
+
+Here: the figure's series are regenerated as performance (processed
+MB per second, higher = better) per platform per size, plus the two
+generation factors, all from the same audited projection as Tables 4-5.
+"""
+
+import pytest
+
+from repro.bench import format_series, paper_size_points, platform_matrix
+from repro.cpu import GCC40
+
+
+def test_fig6_performance_evolution(benchmark, report):
+    points = paper_size_points()
+    columns = benchmark.pedantic(platform_matrix, args=(points,),
+                                 kwargs={"cpu_build": GCC40}, rounds=1,
+                                 iterations=1, warmup_rounds=0)
+    sizes = [p.size_mb for p in points]
+
+    series = {
+        label: [size / (ms / 1e3) for size, ms in zip(sizes, columns[label])]
+        for label in ("P4 C", "Prescott", "FX5950 U", "7800 GTX")
+    }
+    text = format_series(
+        "Figure 6 — performance (MB/s processed, gcc builds; higher is "
+        "better)", "Size (MB)", [f"{s:.0f}" for s in sizes], series)
+
+    cpu_gain = series["Prescott"][-1] / series["P4 C"][-1]
+    gpu_gain = series["7800 GTX"][-1] / series["FX5950 U"][-1]
+    text += ("\n\ngeneration-over-generation (2003 -> 2005, full scene):"
+             f"\n  CPU (P4 -> Prescott):   {100 * (cpu_gain - 1):+.1f}%"
+             f"   (paper: below +10%)"
+             f"\n  GPU (FX5950 -> 7800):   {100 * (gpu_gain - 1):+.1f}%"
+             f"   (paper: ~+400%)")
+    report("fig6_evolution", text)
+
+    # CPU generation gain is marginal...
+    assert 1.0 < cpu_gain < 1.10
+    # ...while the GPU generation gain is several hundred percent.
+    assert gpu_gain > 3.0
+    # Performance per platform is roughly size-independent (flat series =
+    # the linear scaling of the tables).
+    for label, values in series.items():
+        assert max(values) / min(values) < 1.6, label
+    # And the 2005 GPU is the fastest platform at every size.
+    for i in range(len(sizes)):
+        best = max(series, key=lambda lab: series[lab][i])
+        assert best == "7800 GTX"
+
+
+def test_fig6_headline_speedup_band(benchmark):
+    """The figure's visual headline: an order-of-magnitude-plus gap
+    between the GPU and CPU curves (benchmarked as the projection's
+    evaluation cost, which is itself sub-millisecond)."""
+    def ratios():
+        columns = platform_matrix(paper_size_points(), cpu_build=GCC40)
+        return [p4 / gtx for p4, gtx in zip(columns["P4 C"],
+                                            columns["7800 GTX"])]
+
+    values = benchmark.pedantic(ratios, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    assert all(20.0 < v < 80.0 for v in values)

@@ -1,0 +1,84 @@
+"""Table 5 — execution time (ms), icc (vectorized) builds.
+
+Paper (icc 9.0 -O3 -tpp7 -restrict -xP): the CPU columns drop by ~1.65x
+relative to gcc (vectorized band loops, memory-bound ceiling); the GPU
+columns are unchanged.  The paper summarizes the resulting GPU speedup
+as "20" — still decisive.
+
+Here: the same projection as Table 4 with the ICC90 build model, plus a
+measured wall-clock comparison of the scalar-structured and the
+SIMD-structured CPU implementations showing the vectorization gain on
+real executions.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table, paper_size_points, platform_matrix
+from repro.bench.paper_data import PAPER_TABLE5_ICC_MS, paper_speedups
+from repro.bench.scaling import speedup_summary
+from repro.cpu import GCC40, ICC90, cpu_morphological_stage
+
+
+def test_table5_modeled(benchmark, report):
+    points = paper_size_points()
+    icc = benchmark.pedantic(platform_matrix, args=(points,),
+                             kwargs={"cpu_build": ICC90}, rounds=1,
+                             iterations=1, warmup_rounds=0)
+    gcc = platform_matrix(points, cpu_build=GCC40)
+    rows = []
+    for i, point in enumerate(points):
+        rows.append([f"{point.size_mb:.0f}",
+                     icc["P4 C"][i], icc["Prescott"][i],
+                     icc["FX5950 U"][i], icc["7800 GTX"][i]])
+    ratios = speedup_summary(icc)
+    table = format_table(
+        "Table 5 — execution time (ms), icc builds (modeled, paper sizes)",
+        ["Size (MB)", "P4 C", "Prescott", "FX5950 U", "7800 GTX"], rows)
+    gains = [gcc["P4 C"][i] / icc["P4 C"][i] for i in range(len(points))]
+    paper = paper_speedups(PAPER_TABLE5_ICC_MS)
+    table += ("\n\nheadline ratios, modeled vs the paper's own table:"
+              f"\n  P4(icc)/7800 GTX       = {ratios['p4_over_7800']:.1f}x"
+              f"   (paper: {paper['p4_over_7800']:.1f}x, text: ~20x)"
+              f"\n  Prescott(icc)/7800 GTX = "
+              f"{ratios['prescott_over_7800']:.1f}x"
+              f"   (paper: {paper['prescott_over_7800']:.1f}x)"
+              f"\n  gcc->icc gain on P4    = {np.mean(gains):.2f}x"
+              f"   (paper: ~1.65x)")
+    report("table5_icc", table)
+
+    # GPU columns identical to Table 4 (the compiler only affects CPUs).
+    assert icc["7800 GTX"] == gcc["7800 GTX"]
+    assert icc["FX5950 U"] == gcc["FX5950 U"]
+    # The icc build is faster than gcc but far less than the 4x SIMD
+    # width — the memory-bound effect behind the paper's 1.65x.
+    for gain in gains:
+        assert 1.2 < gain < 3.0
+    # The decisive GPU advantage survives vectorization.
+    assert ratios["p4_over_7800"] > 10.0
+
+
+def _measure(implementation: str) -> float:
+    cube = np.random.default_rng(6).uniform(0.05, 1.0, size=(64, 64, 64))
+    start = time.perf_counter()
+    cpu_morphological_stage(cube, implementation=implementation)
+    return time.perf_counter() - start
+
+
+def test_table5_measured_vectorization_gain(benchmark, report):
+    scalar = _measure("scalar")
+    simd = benchmark.pedantic(_measure, args=("simd",), rounds=1,
+                              iterations=1, warmup_rounds=0)
+    gain = scalar / simd
+    report("table5_measured_vectorization",
+           format_table("Table 5 (measured) — scalar- vs SIMD-structured "
+                        "CPU build, 64x64x64 cube",
+                        ["build", "wall ms"],
+                        [["scalar (gcc-like)", scalar * 1e3],
+                         ["simd (icc-like)", simd * 1e3],
+                         ["gain", gain]]))
+    # The band-at-a-time structure must be slower than whole-axis
+    # reductions (how much depends on the host's BLAS/NumPy).
+    assert gain > 1.0

@@ -1,0 +1,67 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every ``bench_*.py`` regenerates one table or figure of the paper: it
+computes the full-size result through the analytic projection (audited
+against the simulator by the test suite), *measures* wall-clock behaviour
+of the real implementations at a scale this host can run, prints the
+regenerated artefact, and appends it to ``benchmarks/results/`` so the
+outputs survive the pytest run.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results")
+
+
+def pytest_collection_modifyitems(items):
+    """Keep table/figure order stable regardless of file collection."""
+    items.sort(key=lambda item: item.nodeid)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    """Directory the regenerated artefacts are written into."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Print a regenerated artefact and persist it to results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _report(name: str, text: str) -> None:
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _report
+
+
+@pytest.fixture(scope="session")
+def bench_scene():
+    """The measured-workload scene: reduced spatial scale, full spectral
+    behaviour (56 band groups after bad-band removal would be too slow on
+    one core; 128 channels keeps the group loop realistic)."""
+    from repro.hsi import generate_indian_pines_like
+
+    return generate_indian_pines_like(64, 64, band_count=128, seed=2006)
+
+
+@pytest.fixture(scope="session")
+def table3_scene():
+    """The accuracy scene: larger spatially so (almost) all 32 classes
+    are realized, full 224-channel sensor."""
+    from repro.hsi import generate_indian_pines_like
+
+    return generate_indian_pines_like(160, 160, band_count=224, seed=2006)

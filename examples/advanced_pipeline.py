@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Advanced pipeline: the extensions working together.
+
+Chains the library's extension features into the workflow a practitioner
+would actually run on a new scene:
+
+1. estimate the number of spectral sources with the HFC **virtual
+   dimensionality** (the principled way to choose AMC's ``c`` input);
+2. inspect the noise structure with an **MNF** transform;
+3. extract endmember candidates with iterative **AMEE** (3 passes of a
+   3x3 SE probe a ~7x7 reach at a fraction of the cost);
+4. unmix and classify **on the GPU** with the device-side extension
+   stages (the part the paper left on the CPU);
+5. export the pipeline's fragment programs as **Cg source**, the
+   language the paper hand-wrote its kernels in.
+
+Run:  python examples/advanced_pipeline.py
+"""
+
+import os
+
+import numpy as np
+
+from repro.core import select_endmembers
+from repro.core.endmembers import dilation_candidates
+from repro.core.mei import mei_reference
+from repro.core.morphology import amee
+from repro.core.unmix_gpu import gpu_unmix_classify
+from repro.gpu.cg import emit_pipeline_kernels
+from repro.hsi import generate_indian_pines_like
+from repro.spectral import mnf, virtual_dimensionality
+
+
+def main() -> None:
+    scene = generate_indian_pines_like(96, 96, band_count=128, seed=5)
+    cube = scene.cube.as_bip().astype(np.float64)
+    print(f"Scene: {scene.cube}")
+
+    # 1. how many sources does the scene contain?
+    vd = virtual_dimensionality(cube)
+    print(f"\n[1] HFC virtual dimensionality: {vd} sources "
+          f"(scene was built from {len(scene.library)} materials over "
+          f"{scene.n_classes} classes)")
+
+    # 2. MNF: where does the signal stop and the noise begin?
+    proj = mnf(cube, n_components=10)
+    snrs = ", ".join(f"{s:.0f}" for s in proj.scores[:6])
+    print(f"[2] MNF leading SNR-like scores: {snrs}, ...")
+
+    # 3. iterative AMEE for endmember candidates.
+    result = amee(cube, radius=1, iterations=3)
+    morph1 = mei_reference(cube)
+    gain = result.mei.mean() / morph1.mei.mean()
+    print(f"[3] AMEE x3: mean MEI response {gain:.2f}x a single pass "
+          f"(wider effective probe)")
+    candidates = dilation_candidates(result.mei,
+                                     mei_reference(cube).dilation_index, 1)
+    count = max(vd, 8)
+    endmembers = select_endmembers(cube, result.mei, count,
+                                   candidates=candidates)
+    print(f"    selected {len(endmembers)} endmembers at "
+          f"{[(int(y), int(x)) for y, x in endmembers.positions[:4]]}...")
+
+    # 4. unmix + classify on the device.
+    out = gpu_unmix_classify(cube, endmembers.spectra)
+    share = np.bincount(out.winner_index.ravel(),
+                        minlength=count) / out.winner_index.size
+    print(f"[4] GPU unmixing: {out.counters['kernel_launches']:.0f} "
+          f"launches, {out.modeled_time_s * 1e3:.2f} ms modeled; "
+          f"largest class covers {share.max():.1%} of pixels")
+
+    # 5. export the stream pipeline as Cg.
+    sources = emit_pipeline_kernels(radius=1, fuse_groups=6, bands=128)
+    out_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "output", "cg")
+    os.makedirs(out_dir, exist_ok=True)
+    for name, src in sources.items():
+        with open(os.path.join(out_dir, f"{name}.cg"), "w") as fh:
+            fh.write(src)
+    print(f"[5] exported {len(sources)} Cg fragment programs to "
+          f"{out_dir}/ (e.g. mei_final.cg)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Custom scenes and custom kernels: using the library beyond the paper.
+
+Two things a downstream user does on day one:
+
+1. **Bring their own scene.**  The generator is table-driven; the
+   ``repro.hsi.scenes`` presets show two regimes — an *urban* scene of
+   pure, well-separated classes (easy for AMC) and a *coastal* scene
+   dominated by dark, low-SNR water (hard numerics).  The same AMC
+   configuration runs on both; the accuracy gap is the point.
+2. **Bring their own kernels.**  The MEI map is post-processed with the
+   stream framework's stock kernels (Gaussian blur, then Sobel edges),
+   executed chunk-by-chunk through the generic chunked executor with the
+   halo derived automatically from the shaders.
+
+Run:  python examples/custom_scenes.py
+"""
+
+import numpy as np
+
+from repro.core import AMCConfig, run_amc
+from repro.hsi import generate_coastal_scene, generate_urban_scene
+from repro.stream import CpuExecutor, StageGraph, Step, Stream
+from repro.stream.chunked import graph_halo, run_chunked
+from repro.stream.kernel import gaussian_blur, sobel_magnitude
+
+
+def main() -> None:
+    print("=== 1. Two scenes, one algorithm ===")
+    results = {}
+    for name, scene in (("urban", generate_urban_scene(80, 80, seed=21)),
+                        ("coastal", generate_coastal_scene(80, 80,
+                                                           seed=22))):
+        result = run_amc(scene.cube, AMCConfig(n_classes=12),
+                         ground_truth=scene.ground_truth,
+                         class_names=scene.class_names)
+        results[name] = result
+        print(f"  {name:8s} {scene.n_classes} classes, "
+              f"overall accuracy {result.report.overall_accuracy:6.2f}%, "
+              f"kappa {result.report.kappa:.3f}")
+    print("  Both scenes use spectrally distinct materials, so AMC is "
+          "near-perfect on either —\n  compare the ~77% of the 32-class "
+          "Indian-Pines-like scene (bench_table3), whose\n  difficulty "
+          "comes from near-duplicate crop variants, not from scene type.")
+
+    print("\n=== 2. Custom post-processing with the stream framework ===")
+    mei = results["urban"].mei
+    graph = StageGraph(
+        "mei-edges", inputs=("mei",),
+        steps=(Step(gaussian_blur("smooth", radius=2), {"a": "mei"},
+                    "smoothed"),
+               Step(sobel_magnitude("edges"), {"a": "smoothed"},
+                    "edges")),
+        outputs=("smoothed", "edges"))
+    print(f"  graph halo derived from the shaders: {graph_halo(graph)} "
+          f"lines")
+    inputs = {"mei": Stream.from_scalar("mei", mei)}
+    whole = CpuExecutor().run(graph, inputs)
+    chunked = run_chunked(graph, inputs, CpuExecutor(), max_ext_lines=24)
+    identical = np.array_equal(whole["edges"].data, chunked["edges"].data)
+    print(f"  chunked (24-line budget) == whole-image: {identical}")
+
+    edges = whole["edges"].scalar()
+    boundary_frac = (edges > np.percentile(edges, 90)).mean()
+    print(f"  strongest 10% of MEI-edge response covers "
+          f"{boundary_frac:.1%} of the scene (field boundaries)")
+
+
+if __name__ == "__main__":
+    main()

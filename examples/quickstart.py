@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Quickstart: classify a synthetic hyperspectral scene with AMC.
+
+Generates a small Indian-Pines-like scene, runs the full Automated
+Morphological Classification pipeline on the vectorized CPU reference
+backend, and prints the paper-style accuracy report plus an ASCII view
+of the morphological eccentricity index.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import AMCConfig, run_amc
+from repro.hsi import generate_indian_pines_like
+from repro.viz import render_ascii
+
+
+def main() -> None:
+    print("Generating a 96x96 synthetic AVIRIS-like scene "
+          "(224 channels, 30+ land-cover classes)...")
+    scene = generate_indian_pines_like(96, 96, seed=2006)
+    cube = scene.cube
+    print(f"  {cube}")
+
+    print("\nRunning AMC (3x3 structuring element, 45 endmembers, "
+          "reference backend)...")
+    config = AMCConfig(n_classes=45, se_radius=1, backend="reference")
+    result = run_amc(cube, config, ground_truth=scene.ground_truth,
+                     class_names=scene.class_names)
+
+    print("\nMorphological eccentricity index (bright = spectrally "
+          "eccentric neighbourhood):")
+    print(render_ascii(result.mei, max_width=64, max_height=24))
+
+    print("\nClassification accuracy against the generator's ground truth:")
+    print(result.report.format_table())
+    print(f"\nkappa = {result.report.kappa:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Building a custom pipeline with the stream programming framework.
+
+The paper's Section 2 describes GPUs through the stream model: data as
+streams, computation as order-independent kernels, applications as
+kernel chains.  This example builds a *vegetation-index + threshold*
+pipeline from scratch with :mod:`repro.stream` — no AMC involved — and
+runs the identical stage graph on both executors (CPU interpreter and
+virtual GPU), demonstrating that the framework, not the backend, defines
+the semantics.
+
+Pipeline (per pixel):
+  ndvi   = (nir - red) / (nir + red + eps)
+  mask   = ndvi > threshold            (vegetation map)
+  masked = ndvi * mask
+
+Run:  python examples/stream_pipeline.py
+"""
+
+import numpy as np
+
+from repro.gpu import shaderir as ir
+from repro.hsi import generate_indian_pines_like
+from repro.stream import CpuExecutor, GpuExecutor, StageGraph, Step, Stream
+from repro.stream.kernel import StreamKernel
+
+
+def build_graph(threshold: float) -> StageGraph:
+    """The NDVI stage graph; all kernels are order-independent."""
+    eps = ir.vec4(1e-6)
+    ndvi = StreamKernel.from_expression(
+        "ndvi",
+        ir.div(ir.sub(ir.TexFetch("nir"), ir.TexFetch("red")),
+               ir.add(ir.add(ir.TexFetch("nir"), ir.TexFetch("red")), eps)),
+        inputs=("nir", "red"))
+    veg_mask = StreamKernel.from_expression(
+        "veg_mask",
+        ir.cmp_gt(ir.TexFetch("ndvi"), ir.Uniform("threshold")),
+        inputs=("ndvi",), uniforms=("threshold",))
+    apply_mask = StreamKernel.from_expression(
+        "apply_mask",
+        ir.mul(ir.TexFetch("ndvi"), ir.TexFetch("mask")),
+        inputs=("ndvi", "mask"))
+    return StageGraph(
+        "ndvi-threshold",
+        inputs=("nir", "red"),
+        steps=(
+            Step(ndvi, {"nir": "nir", "red": "red"}, "ndvi"),
+            Step(veg_mask, {"ndvi": "ndvi"}, "mask",
+                 uniforms={"threshold": np.float32(threshold)}),
+            Step(apply_mask, {"ndvi": "ndvi", "mask": "mask"}, "masked"),
+        ),
+        outputs=("ndvi", "mask", "masked"))
+
+
+def main() -> None:
+    scene = generate_indian_pines_like(64, 64, seed=3)
+    cube = scene.cube
+    _, red = cube.band_at_wavelength(670.0)
+    _, nir = cube.band_at_wavelength(800.0)
+    inputs = {
+        "red": Stream.from_scalar("red", red),
+        "nir": Stream.from_scalar("nir", nir),
+    }
+    graph = build_graph(threshold=0.45)
+    print(f"Stage graph {graph.name!r}: {graph.step_count()} kernels, "
+          f"streams {graph.stream_names}")
+
+    cpu_out = CpuExecutor().run(graph, inputs)
+    gpu_exec = GpuExecutor()
+    gpu_out = gpu_exec.run(graph, {k: s.copy() for k, s in inputs.items()})
+
+    agree = all(np.array_equal(cpu_out[k].data, gpu_out[k].data)
+                for k in ("ndvi", "mask", "masked"))
+    print(f"CPU and GPU executors agree bit-for-bit: {agree}")
+
+    veg_fraction = float(gpu_out["mask"].scalar().mean())
+    print(f"Vegetation fraction at NDVI > 0.45: {veg_fraction:.1%}")
+    counters = gpu_exec.device.counters
+    print(f"GPU accounting: {counters.kernel_launch_count} launches, "
+          f"{counters.total_time_s * 1e6:.1f} us modeled device time")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Anomaly / target detection: the paper's MEI versus the RX benchmark.
+
+The paper's introduction motivates hyperspectral processing with
+time-critical detection tasks (military targets, biological threats,
+chemical spills).  The MEI image AMC computes is directly an *anomaly
+score*: a man-made pixel makes its neighbourhood spectrally eccentric.
+
+This example plants sub-pixel targets into a natural scene with the
+library's implantation utility, scores the scene with both the
+(GPU-executed) MEI and the classical Reed-Xiaoli detector, and compares
+their detection curves.
+
+Run:  python examples/target_detection.py
+"""
+
+import numpy as np
+
+from repro.core.amc_gpu import gpu_morphological_stage
+from repro.core.detection import detection_curve, rx_detector
+from repro.hsi import generate_indian_pines_like
+from repro.hsi.targets import implant_targets
+
+
+def main() -> None:
+    rng = np.random.default_rng(99)
+    scene = generate_indian_pines_like(128, 128, seed=31)
+    planted = implant_targets(
+        scene.cube.as_bip().astype(np.float64),
+        scene.library.get("roof_metal"),
+        count=12, abundance=0.5, rng=rng)
+    print(f"Planted {planted.count} sub-pixel targets "
+          f"({planted.abundance:.0%} abundance) in a 128x128 scene.")
+
+    out = gpu_morphological_stage(planted.cube)
+    print(f"GPU morphological stage: "
+          f"{out.counters['kernel_launches']:.0f} launches, "
+          f"{out.modeled_time_s * 1e3:.1f} ms modeled device time")
+
+    mask = planted.mask(tolerance=1)  # the 3x3 SE smears the response
+    mei_curve = detection_curve(out.mei.astype(np.float64), mask,
+                                max_alarms=1500)
+    rx_curve = detection_curve(rx_detector(planted.cube), mask,
+                               max_alarms=1500)
+
+    print(f"\n{'alarms':>8} {'MEI recall':>12} {'RX recall':>12}")
+    for budget in (100, 250, 500, 1000, 1500):
+        print(f"{budget:>8} {mei_curve.recall_at(budget):>12.1%} "
+              f"{rx_curve.recall_at(budget):>12.1%}")
+    print(f"\narea under curve: MEI {mei_curve.auc:.3f}, "
+          f"RX {rx_curve.auc:.3f}")
+    print("The local MEI beats the global RX here: the target material "
+          "also occurs legitimately elsewhere in the scene (building "
+          "roofs), so it is not a *global* outlier — but a roof pixel in "
+          "the middle of a cornfield is locally eccentric, which is "
+          "exactly what the MEI measures.  And AMC computes the MEI "
+          "anyway: detection comes free with classification.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""repro — Parallel Hyperspectral Image Processing on Commodity Graphics
+Hardware (ICPPW 2006), reproduced in Python.
+
+The library implements the paper's Automated Morphological Classification
+(AMC) algorithm and everything underneath it: a hyperspectral data
+substrate with a synthetic AVIRIS-like scene generator, a stream
+programming framework, a simulated 2003/2005-era GPU (textures, a
+Cg-like shader IR, a cost model parameterized by the real boards' specs),
+CPU baselines for the paper's Pentium 4 platforms, and the benchmark
+harness that regenerates every table and figure of the evaluation.
+
+Quick start::
+
+    from repro.hsi import generate_indian_pines_like
+    from repro.core import run_amc, AMCConfig
+
+    scene = generate_indian_pines_like(128, 128)
+    result = run_amc(scene.cube, AMCConfig(n_classes=45, backend="gpu"),
+                     ground_truth=scene.ground_truth,
+                     class_names=scene.class_names)
+    print(result.report.format_table())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.core import AMCConfig, AMCResult, run_amc
+from repro.errors import ReproError
+from repro.hsi import HyperCube, SyntheticScene, generate_indian_pines_like
+from repro.gpu import VirtualGPU
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AMCConfig",
+    "AMCResult",
+    "HyperCube",
+    "ReproError",
+    "SyntheticScene",
+    "VirtualGPU",
+    "__version__",
+    "generate_indian_pines_like",
+    "run_amc",
+]

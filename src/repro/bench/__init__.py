@@ -1,0 +1,44 @@
+"""Benchmark harness support.
+
+* :mod:`~repro.bench.model` — analytic projection of the GPU stream
+  pipeline and the CPU builds to arbitrary image sizes and any
+  device spec.  The GPU projection reproduces the virtual device's
+  counters *exactly* (a test asserts it), so projecting to the paper's
+  68-547 MB scenes is extrapolation of audited counts, not curve
+  fitting.
+* :mod:`~repro.bench.scaling` — the image-size sweep of Tables 4-5: the
+  paper's six crop sizes, measured wall-clock runs at reduced scale and
+  modeled milliseconds at paper scale.
+* :mod:`~repro.bench.tables` — fixed-width table/series formatting used
+  by every ``benchmarks/bench_*.py`` so the printed output lines up with
+  the paper's layout.
+"""
+
+from repro.bench.model import (
+    GpuTimeBreakdown,
+    launch_catalogue,
+    project_cpu_time,
+    project_gpu_time,
+)
+from repro.bench.scaling import (
+    PAPER_FULL_SCENE,
+    PAPER_SIZE_FRACTIONS,
+    SizePoint,
+    paper_size_points,
+    platform_matrix,
+)
+from repro.bench.tables import format_series, format_table
+
+__all__ = [
+    "GpuTimeBreakdown",
+    "PAPER_FULL_SCENE",
+    "PAPER_SIZE_FRACTIONS",
+    "SizePoint",
+    "format_series",
+    "format_table",
+    "launch_catalogue",
+    "paper_size_points",
+    "platform_matrix",
+    "project_cpu_time",
+    "project_gpu_time",
+]

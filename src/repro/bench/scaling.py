@@ -1,0 +1,110 @@
+"""The image-size sweep of paper Tables 4-5.
+
+The paper tests the full AVIRIS Indian Pines scene (2166 samples x 614
+lines x 216 bands, reported as 547 MB at int16) and five cropped
+portions whose reported sizes are the {1/8, 1/4, 3/8, 1/2, 3/4} line
+fractions of the full scene: 68, 136, 205, 273 and 410 MB.  This module
+reconstructs those geometries, prices all six platforms on each, and
+provides the reduced-scale geometry used for *measured* wall-clock runs
+on this host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.bench.model import project_cpu_time, project_gpu_time
+from repro.cpu.spec import CompilerModel, PENTIUM4_NORTHWOOD, PRESCOTT_660
+from repro.gpu.spec import GEFORCE_7800GTX, GEFORCE_FX5950U
+
+#: The full Indian Pines geometry as the paper states it (§4.2):
+#: 2166 samples by 614 lines and 216 spectral bands, int16 storage.
+PAPER_FULL_SCENE: tuple[int, int, int] = (614, 2166, 216)  # lines, samples, bands
+
+#: Line fractions whose int16 sizes reproduce the tables' MB column.
+PAPER_SIZE_FRACTIONS: tuple[Fraction, ...] = (
+    Fraction(1, 8), Fraction(1, 4), Fraction(3, 8),
+    Fraction(1, 2), Fraction(3, 4), Fraction(1, 1),
+)
+
+#: Bytes per stored value in the paper's size accounting (int16 radiance).
+PAPER_BYTES_PER_VALUE: int = 2
+
+
+@dataclass(frozen=True)
+class SizePoint:
+    """One row of the scaling tables."""
+
+    fraction: Fraction
+    lines: int
+    samples: int
+    bands: int
+
+    @property
+    def size_mb(self) -> float:
+        """Scene size in binary MiB at int16 — the tables' 'Size (MB)'
+        column.  (The full 614 x 2166 x 216 scene at int16 is 547.9 MiB,
+        exactly the paper's "547"; the paper labels mebibytes as MB, as
+        2006 papers did.)"""
+        return self.lines * self.samples * self.bands \
+            * PAPER_BYTES_PER_VALUE / 2 ** 20
+
+    @property
+    def pixels(self) -> int:
+        return self.lines * self.samples
+
+
+def paper_size_points(full: tuple[int, int, int] = PAPER_FULL_SCENE,
+                      fractions: tuple[Fraction, ...] = PAPER_SIZE_FRACTIONS,
+                      ) -> list[SizePoint]:
+    """The six rows of Tables 4-5 (or a rescaled variant of them)."""
+    lines, samples, bands = full
+    points = []
+    for frac in fractions:
+        cropped = max(int(lines * frac), 1)
+        points.append(SizePoint(fraction=frac, lines=cropped,
+                                samples=samples, bands=bands))
+    return points
+
+
+def platform_matrix(points: list[SizePoint], *, cpu_build: CompilerModel,
+                    radius: int = 1) -> dict[str, list[float]]:
+    """Modeled execution time (ms) for every platform at every size.
+
+    Returns a column-label -> list-of-ms mapping matching the paper's
+    table layout (rows in ``points`` order).  GPUs are priced by the
+    launch-catalogue projection; CPUs by the roofline model with the
+    given build.
+    """
+    columns: dict[str, list[float]] = {}
+    for label, device in (("P4 C", PENTIUM4_NORTHWOOD),
+                          ("Prescott", PRESCOTT_660)):
+        columns[label] = [
+            project_cpu_time(device, cpu_build, p.lines, p.samples,
+                             p.bands, radius)["total_s"] * 1e3
+            for p in points]
+    for label, device in (("FX5950 U", GEFORCE_FX5950U),
+                          ("7800 GTX", GEFORCE_7800GTX)):
+        columns[label] = [
+            project_gpu_time(device, p.lines, p.samples, p.bands,
+                             radius).total_s * 1e3
+            for p in points]
+    return columns
+
+
+def speedup_summary(columns: dict[str, list[float]]) -> dict[str, float]:
+    """Headline ratios of a platform matrix (averaged over sizes)."""
+    import numpy as np
+
+    p4 = np.asarray(columns["P4 C"])
+    prescott = np.asarray(columns["Prescott"])
+    fx = np.asarray(columns["FX5950 U"])
+    gtx = np.asarray(columns["7800 GTX"])
+    return {
+        "p4_over_7800": float(np.mean(p4 / gtx)),
+        "prescott_over_7800": float(np.mean(prescott / gtx)),
+        "p4_over_fx5950": float(np.mean(p4 / fx)),
+        "fx5950_over_7800": float(np.mean(fx / gtx)),
+        "p4_over_prescott": float(np.mean(p4 / prescott)),
+    }

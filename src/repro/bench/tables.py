@@ -1,0 +1,68 @@
+"""Fixed-width formatting for benchmark tables and figure series.
+
+Every ``benchmarks/bench_*.py`` prints through these helpers so its
+output is visually comparable to the paper's tables and easy to diff
+across runs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]], *,
+                 col_width: int = 14) -> str:
+    """Render a titled fixed-width table.
+
+    ``rows`` cells may be strings or numbers; floats are printed with 4
+    significant decimals the way the paper's tables are.  ``col_width``
+    is a minimum — columns widen to fit their longest cell.
+    """
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers")
+    rendered = [[cell(v) for v in row] for row in rows]
+    widths = [max(col_width, len(h) + 2,
+                  *(len(r[i]) + 2 for r in rendered)) if rendered
+              else max(col_width, len(h) + 2)
+              for i, h in enumerate(headers)]
+    lines = [title, "=" * max(len(title), 8)]
+    lines.append("".join(f"{h:<{w}}" for h, w in zip(headers, widths)))
+    lines.append("-" * sum(widths))
+    for row in rendered:
+        lines.append("".join(f"{v:<{w}}" for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(title: str, x_label: str, x_values: Sequence[object],
+                  series: dict[str, Sequence[float]]) -> str:
+    """Render figure data as one labelled series per line.
+
+    The layout ("x: y1 y2 ...") regenerates a figure's plotted points as
+    text, which is how this reproduction reports figures without a
+    plotting stack.
+    """
+    lengths = {name: len(vals) for name, vals in series.items()}
+    if any(n != len(x_values) for n in lengths.values()):
+        raise ValueError(
+            f"series lengths {lengths} do not match {len(x_values)} x values")
+    width = max(len(x_label), *(len(str(x)) for x in x_values)) + 2
+    name_width = max(len(n) for n in series) + 2
+    lines = [title, "=" * max(len(title), 8)]
+    header = f"{x_label:<{width}}" + "".join(
+        f"{name:<{max(name_width, 14)}}" for name in series)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i, x in enumerate(x_values):
+        row = f"{str(x):<{width}}"
+        for name in series:
+            row += f"{series[name][i]:<{max(name_width, 14)}.4g}"
+        lines.append(row)
+    return "\n".join(lines)

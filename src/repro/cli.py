@@ -1,0 +1,180 @@
+"""Command-line interface.
+
+Four subcommands cover the library's day-to-day uses::
+
+    repro generate  out.raw --lines 128 --samples 128    # synthesize a scene
+    repro classify  out.raw --classes 45 --backend gpu   # run AMC
+    repro bench     --table 4                            # modeled tables
+    repro info                                           # platform specs
+
+``generate`` writes an ENVI-style cube plus ``<path>.gt.pgm`` ground
+truth; ``classify`` accepts any ENVI cube (not only generated ones) and
+writes the MEI image and classification map next to it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.hsi import generate_indian_pines_like
+    from repro.hsi.envi import write_cube
+    from repro.viz import write_class_map_ppm
+
+    scene = generate_indian_pines_like(args.lines, args.samples,
+                                       band_count=args.bands,
+                                       seed=args.seed)
+    data_path, hdr_path = write_cube(scene.cube, args.path)
+    gt_path = write_class_map_ppm(scene.ground_truth,
+                                  args.path + ".gt.ppm",
+                                  n_classes=scene.n_classes)
+    np.save(args.path + ".gt.npy", scene.ground_truth)
+    print(f"scene:        {scene.cube}")
+    print(f"cube:         {data_path} (+ {hdr_path})")
+    print(f"ground truth: {gt_path} (labels in {args.path}.gt.npy)")
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from repro.core import AMCConfig, run_amc
+    from repro.hsi.envi import read_cube
+    from repro.viz import write_class_map_ppm, write_pgm
+
+    cube = read_cube(args.path)
+    print(f"loaded {cube}")
+    ground_truth = None
+    try:
+        ground_truth = np.load(args.path + ".gt.npy")
+        print("found ground truth; accuracy will be reported")
+    except FileNotFoundError:
+        pass
+
+    config = AMCConfig(n_classes=args.classes, se_radius=args.radius,
+                       backend=args.backend)
+    device = None
+    if args.trace:
+        if args.backend != "gpu":
+            print("--trace requires --backend gpu", file=sys.stderr)
+            return 2
+        from repro.gpu import VirtualGPU
+
+        device = VirtualGPU(config.gpu_spec)
+        from repro.core.amc_gpu import gpu_morphological_stage
+    result = run_amc(cube, config, ground_truth=ground_truth)
+    if args.trace:
+        # re-run the device stage on a fresh device to capture a clean
+        # timeline (run_amc manages its own device internally)
+        from repro.gpu.trace import export_chrome_trace
+
+        gpu_morphological_stage(cube.as_bip(), config.se_radius,
+                                device=device)
+        trace_path = export_chrome_trace(device.counters, args.trace)
+        print(f"device timeline:    {trace_path} "
+              f"(open in chrome://tracing or Perfetto)")
+
+    mei_path = write_pgm(result.mei, args.path + ".mei.pgm")
+    cls_path = write_class_map_ppm(
+        result.labels, args.path + ".classes.ppm",
+        n_classes=int(result.labels.max()))
+    print(f"MEI image:          {mei_path}")
+    print(f"classification map: {cls_path}")
+    if result.report is not None:
+        print(f"overall accuracy:   "
+              f"{result.report.overall_accuracy:.2f}%  "
+              f"(kappa {result.report.kappa:.3f})")
+    if result.gpu_output is not None:
+        out = result.gpu_output
+        print(f"modeled GPU time:   {out.modeled_time_s * 1e3:.2f} ms "
+              f"({out.chunk_count} chunk(s), "
+              f"{out.counters['kernel_launches']:.0f} launches)")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import format_table, paper_size_points, platform_matrix
+    from repro.bench.scaling import speedup_summary
+    from repro.cpu import GCC40, ICC90
+
+    build = GCC40 if args.table == 4 else ICC90
+    points = paper_size_points()
+    columns = platform_matrix(points, cpu_build=build)
+    rows = [[f"{p.size_mb:.0f}", columns["P4 C"][i],
+             columns["Prescott"][i], columns["FX5950 U"][i],
+             columns["7800 GTX"][i]]
+            for i, p in enumerate(points)]
+    print(format_table(
+        f"Table {args.table} — modeled execution time (ms), "
+        f"{build.name} builds",
+        ["Size (MB)", "P4 C", "Prescott", "FX5950 U", "7800 GTX"], rows))
+    ratios = speedup_summary(columns)
+    print(f"\nP4 / 7800 GTX speedup: {ratios['p4_over_7800']:.1f}x")
+    return 0
+
+
+def _cmd_info(_: argparse.Namespace) -> int:
+    from repro.cpu import PENTIUM4_NORTHWOOD, PRESCOTT_660
+    from repro.gpu import GEFORCE_7800GTX, GEFORCE_FX5950U
+
+    print("GPU platforms (paper Table 1):")
+    for spec in (GEFORCE_FX5950U, GEFORCE_7800GTX):
+        print(f"  {spec.name} ({spec.year}, {spec.architecture}): "
+              f"{spec.n_fragment_pipes} pipes @ "
+              f"{spec.core_clock_hz / 1e6:.0f} MHz, "
+              f"{spec.mem_bandwidth / 1e9:.1f} GB/s, "
+              f"{spec.vram_bytes >> 20} MiB VRAM")
+    print("CPU platforms (paper Table 2):")
+    for spec in (PENTIUM4_NORTHWOOD, PRESCOTT_660):
+        print(f"  {spec.name} ({spec.year}): "
+              f"{spec.clock_hz / 1e9:.1f} GHz, "
+              f"FSB {spec.fsb_bandwidth / 1e9:.1f} GB/s, "
+              f"L2 {spec.l2_bytes >> 10} KiB")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AMC hyperspectral classification on a simulated "
+                    "commodity GPU (ICPPW 2006 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesize an ENVI scene")
+    gen.add_argument("path", help="output path for the raw cube")
+    gen.add_argument("--lines", type=int, default=128)
+    gen.add_argument("--samples", type=int, default=128)
+    gen.add_argument("--bands", type=int, default=224)
+    gen.add_argument("--seed", type=int, default=2006)
+    gen.set_defaults(func=_cmd_generate)
+
+    cls = sub.add_parser("classify", help="run AMC on an ENVI cube")
+    cls.add_argument("path", help="path to the raw cube (with .hdr)")
+    cls.add_argument("--classes", type=int, default=45)
+    cls.add_argument("--radius", type=int, default=1)
+    cls.add_argument("--backend", choices=("reference", "gpu"),
+                     default="reference")
+    cls.add_argument("--trace", metavar="PATH", default=None,
+                     help="with --backend gpu: write a Chrome-trace "
+                          "timeline of the device work to PATH")
+    cls.set_defaults(func=_cmd_classify)
+
+    bench = sub.add_parser("bench", help="print a modeled paper table")
+    bench.add_argument("--table", type=int, choices=(4, 5), default=4)
+    bench.set_defaults(func=_cmd_bench)
+
+    info = sub.add_parser("info", help="list the simulated platforms")
+    info.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point (console script ``repro``)."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

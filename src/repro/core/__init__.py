@@ -1,0 +1,80 @@
+"""The paper's primary contribution: Automated Morphological Classification.
+
+The package provides three interchangeable implementations of the
+morphological stage (cumulative SID distances, extended erosion/dilation,
+MEI) plus the shared host-side tail (endmember selection, linear spectral
+unmixing, classification):
+
+* :mod:`~repro.core.mei` — the vectorized NumPy reference,
+* :mod:`~repro.core.naive` — a transparent per-pixel loop oracle used by
+  the test suite,
+* :mod:`~repro.core.amc_gpu` — the stream-programming implementation of
+  paper Fig. 4 running on :class:`~repro.gpu.device.VirtualGPU`,
+
+all orchestrated by :func:`~repro.core.amc.run_amc`.
+"""
+
+from repro.core.amc import AMCConfig, AMCResult, run_amc
+from repro.core.amc_gpu import GpuAmcOutput, gpu_morphological_stage
+from repro.core.endmembers import EndmemberSet, select_endmembers
+from repro.core.mei import (
+    MorphologicalOutput,
+    cumulative_distances,
+    mei_reference,
+    se_offsets,
+)
+from repro.core.metrics import (
+    ClassificationReport,
+    confusion_matrix,
+    evaluate_classification,
+    kappa_score,
+)
+from repro.core.morphology import (
+    AmeeOutput,
+    amee,
+    extended_close,
+    extended_dilate,
+    extended_erode,
+    extended_open,
+)
+from repro.core.naive import mei_naive
+from repro.core.unmix_gpu import GpuUnmixOutput, gpu_unmix_classify
+from repro.core.unmixing import (
+    classify_abundances,
+    unmix_fcls,
+    unmix_lsu,
+    unmix_nnls,
+    unmix_sclsu,
+)
+
+__all__ = [
+    "AMCConfig",
+    "AMCResult",
+    "AmeeOutput",
+    "ClassificationReport",
+    "EndmemberSet",
+    "GpuAmcOutput",
+    "GpuUnmixOutput",
+    "MorphologicalOutput",
+    "amee",
+    "classify_abundances",
+    "confusion_matrix",
+    "cumulative_distances",
+    "evaluate_classification",
+    "extended_close",
+    "extended_dilate",
+    "extended_erode",
+    "extended_open",
+    "gpu_morphological_stage",
+    "gpu_unmix_classify",
+    "kappa_score",
+    "mei_naive",
+    "mei_reference",
+    "run_amc",
+    "se_offsets",
+    "select_endmembers",
+    "unmix_fcls",
+    "unmix_lsu",
+    "unmix_nnls",
+    "unmix_sclsu",
+]

@@ -1,0 +1,271 @@
+"""The full Automated Morphological Classification algorithm (paper §3.1).
+
+:func:`run_amc` chains the four AMC steps over any of the three
+morphological backends:
+
+1. morphological stage → MEI image (backend: ``"reference"`` vectorized
+   CPU, ``"gpu"`` stream implementation on a virtual board, or
+   ``"naive"`` loop oracle);
+2. endmember selection — the c highest-MEI pixels (with the diversity
+   guards of :mod:`repro.core.endmembers`);
+3. linear spectral unmixing → per-pixel abundances;
+4. classification — argmax abundance, mapped to ground-truth labels when
+   a ground truth is supplied (each endmember inherits the label of the
+   pixel it came from).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.amc_gpu import GpuAmcOutput, gpu_morphological_stage
+from repro.core.endmembers import (
+    EndmemberSet,
+    dilation_candidates,
+    select_endmembers,
+    smooth_cube,
+)
+from repro.core.mei import MorphologicalOutput, mei_reference
+from repro.core.metrics import (
+    ClassificationReport,
+    evaluate_classification,
+    map_endmembers_to_classes,
+)
+from repro.core.naive import mei_naive
+from repro.core.unmix_gpu import gpu_unmix_classify
+from repro.core.unmixing import (
+    classify_abundances,
+    unmix_fcls,
+    unmix_lsu,
+    unmix_nnls,
+    unmix_sclsu,
+)
+from repro.errors import ShapeError
+from repro.gpu.device import VirtualGPU
+from repro.gpu.spec import GEFORCE_7800GTX, GpuSpec
+from repro.hsi.cube import HyperCube
+
+_UNMIXERS = {
+    "lsu": unmix_lsu,
+    "sclsu": unmix_sclsu,
+    "nnls": unmix_nnls,
+    "fcls": unmix_fcls,
+}
+
+_BACKENDS = ("reference", "gpu", "naive")
+
+
+@dataclass(frozen=True)
+class AMCConfig:
+    """Inputs of the AMC algorithm (paper: f, B, c) plus implementation
+    knobs.
+
+    Attributes
+    ----------
+    n_classes:
+        c — how many endmembers / classes to extract.
+    se_radius:
+        Structuring-element radius (1 = the paper's 3x3 window).
+    backend:
+        "reference" | "gpu" | "naive".
+    unmixing:
+        "lsu" | "sclsu" | "nnls" | "fcls".
+    gpu_spec:
+        Board to simulate for the "gpu" backend.
+    endmember_min_sid / endmember_min_spatial:
+        Diversity guards for endmember selection.
+    """
+
+    n_classes: int = 30
+    se_radius: int = 1
+    backend: str = "reference"
+    unmixing: str = "sclsu"
+    gpu_spec: GpuSpec = field(default=GEFORCE_7800GTX)
+    endmember_min_sid: float = 0.05
+    endmember_min_spatial: int = 2
+    #: "dilation" nominates the spectrally-purest pixel of each window
+    #: (the AMEE rationale); "center" takes the literal top-MEI pixels.
+    endmember_source: str = "dilation"
+    #: Diversity strategy among the high-MEI candidates: "atgp" or "sid"
+    #: (see :func:`repro.core.endmembers.select_endmembers`).
+    endmember_strategy: str = "atgp"
+    #: Spatial box radius for denoising candidate spectra.
+    endmember_smooth_radius: int = 1
+    #: Spatial box radius applied to pixels before unmixing (0 = none).
+    #: AMC is a joint spatial/spectral technique; the window average is
+    #: the simplest spatial regularization of the abundance estimate and
+    #: roughly halves the classification noise on this generator.
+    classify_smooth_radius: int = 1
+    #: How endmembers are mapped to ground-truth classes when a ground
+    #: truth is supplied: "position" labels each endmember with the class
+    #: of the pixel it was extracted from; "majority" labels each
+    #: endmember cluster with the majority ground-truth class among the
+    #: pixels assigned to it (the standard unsupervised-classification
+    #: evaluation protocol, robust when c exceeds the class count).
+    label_mapping: str = "majority"
+    #: With the "gpu" backend, also run unmixing + argmax classification
+    #: on the device (the extension stages of repro.core.unmix_gpu) —
+    #: both stages then share one VirtualGPU, so the result's counters
+    #: cover the whole algorithm.  Implies unconstrained LSU and no
+    #: classify-time smoothing (the device path has neither).
+    gpu_unmixing: bool = False
+
+    def __post_init__(self) -> None:
+        if self.endmember_source not in ("dilation", "center"):
+            raise ValueError(
+                f"endmember_source must be 'dilation' or 'center', got "
+                f"{self.endmember_source!r}")
+        if self.label_mapping not in ("majority", "position"):
+            raise ValueError(
+                f"label_mapping must be 'majority' or 'position', got "
+                f"{self.label_mapping!r}")
+        if self.backend not in _BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; pick from {_BACKENDS}")
+        if self.unmixing not in _UNMIXERS:
+            raise ValueError(
+                f"unknown unmixing {self.unmixing!r}; pick from "
+                f"{sorted(_UNMIXERS)}")
+        if self.n_classes < 1:
+            raise ValueError("n_classes must be >= 1")
+        if self.se_radius < 1:
+            raise ValueError("se_radius must be >= 1")
+
+
+@dataclass(frozen=True)
+class AMCResult:
+    """Everything AMC produces for one scene."""
+
+    config: AMCConfig
+    mei: np.ndarray
+    erosion_index: np.ndarray
+    dilation_index: np.ndarray
+    endmembers: EndmemberSet
+    abundances: np.ndarray          # (H, W, c)
+    endmember_labels: np.ndarray | None   # (c,) 1-based, if ground truth
+    labels: np.ndarray              # (H, W): 1-based class labels if
+                                    # ground truth was given, else 1-based
+                                    # endmember indices
+    report: ClassificationReport | None
+    gpu_output: GpuAmcOutput | None
+
+    @property
+    def overall_accuracy(self) -> float | None:
+        """Overall accuracy (%) when a ground truth was supplied."""
+        return None if self.report is None else self.report.overall_accuracy
+
+
+def _as_bip(cube) -> np.ndarray:
+    if isinstance(cube, HyperCube):
+        return cube.as_bip()
+    cube = np.asarray(cube)
+    if cube.ndim != 3:
+        raise ShapeError(f"cube must be 3-D (H, W, N), got {cube.shape}")
+    return cube
+
+
+def run_amc(cube, config: AMCConfig = AMCConfig(), *,
+            ground_truth: np.ndarray | None = None,
+            class_names: tuple[str, ...] | None = None) -> AMCResult:
+    """Run the complete AMC algorithm.
+
+    Parameters
+    ----------
+    cube:
+        A :class:`~repro.hsi.cube.HyperCube` or an (H, W, N) array of raw
+        radiance.
+    config:
+        Algorithm inputs and backend selection.
+    ground_truth:
+        Optional (H, W) 1-based label map.  When given, endmembers are
+        mapped to ground-truth classes and a
+        :class:`~repro.core.metrics.ClassificationReport` is produced.
+    class_names:
+        Names for the report (defaults to "class-1"... when omitted).
+
+    Returns
+    -------
+    AMCResult
+    """
+    bip = _as_bip(cube)
+
+    # ---- steps 1-2: morphological stage -> MEI -------------------------
+    gpu_output: GpuAmcOutput | None = None
+    if config.backend == "reference":
+        morph: MorphologicalOutput = mei_reference(bip, config.se_radius)
+        mei, ero, dil = morph.mei, morph.erosion_index, morph.dilation_index
+    elif config.backend == "naive":
+        morph = mei_naive(bip, config.se_radius)
+        mei, ero, dil = morph.mei, morph.erosion_index, morph.dilation_index
+    else:
+        device = VirtualGPU(config.gpu_spec)
+        gpu_output = gpu_morphological_stage(bip, config.se_radius,
+                                             device=device)
+        mei = gpu_output.mei.astype(np.float64)
+        ero, dil = gpu_output.erosion_index, gpu_output.dilation_index
+
+    # ---- step 3: endmembers + unmixing ----------------------------------
+    candidates = None
+    if config.endmember_source == "dilation":
+        candidates = dilation_candidates(mei, dil, config.se_radius)
+    endmembers = select_endmembers(
+        bip, mei, config.n_classes,
+        strategy=config.endmember_strategy,
+        min_sid=config.endmember_min_sid,
+        min_spatial=config.endmember_min_spatial,
+        candidates=candidates,
+        smooth_radius=config.endmember_smooth_radius)
+    if config.backend == "gpu" and config.gpu_unmixing:
+        unmix_out = gpu_unmix_classify(bip, endmembers.spectra,
+                                       device=device,
+                                       return_abundances=True)
+        abundances = unmix_out.abundances.astype(np.float64)
+        winner = unmix_out.winner_index
+        # refresh the aggregate accounting to cover both device stages
+        gpu_output = GpuAmcOutput(
+            mei=gpu_output.mei, erosion_index=gpu_output.erosion_index,
+            dilation_index=gpu_output.dilation_index,
+            radius=gpu_output.radius,
+            chunk_count=gpu_output.chunk_count,
+            modeled_time_s=device.counters.total_time_s,
+            counters=device.counters.summary(),
+            time_by_kernel=device.counters.time_by_kernel())
+    else:
+        pixels = smooth_cube(bip, config.classify_smooth_radius) \
+            if config.classify_smooth_radius > 0 else bip
+        abundances = _UNMIXERS[config.unmixing](pixels, endmembers.spectra)
+        # ---- step 4: classification ---------------------------------------
+        winner = classify_abundances(abundances)    # 0-based endmember idx
+
+    endmember_labels = None
+    report = None
+    if ground_truth is not None:
+        ground_truth = np.asarray(ground_truth)
+        if ground_truth.shape != bip.shape[:2]:
+            raise ShapeError(
+                f"ground truth {ground_truth.shape} does not match image "
+                f"{bip.shape[:2]}")
+        endmember_labels = map_endmembers_to_classes(
+            endmembers.positions, ground_truth)
+        if config.label_mapping == "majority":
+            for k in range(config.n_classes):
+                assigned = ground_truth[winner == k]
+                assigned = assigned[assigned >= 1]
+                if assigned.size:
+                    values, counts = np.unique(assigned, return_counts=True)
+                    endmember_labels[k] = values[np.argmax(counts)]
+        labels = endmember_labels[winner]
+        n_classes = int(ground_truth.max())
+        if class_names is None:
+            class_names = tuple(f"class-{i + 1}" for i in range(n_classes))
+        report = evaluate_classification(ground_truth, labels, class_names)
+    else:
+        labels = winner + 1
+
+    return AMCResult(config=config, mei=mei, erosion_index=ero,
+                     dilation_index=dil, endmembers=endmembers,
+                     abundances=abundances,
+                     endmember_labels=endmember_labels,
+                     labels=labels, report=report, gpu_output=gpu_output)

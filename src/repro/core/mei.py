@@ -1,0 +1,201 @@
+"""Vectorized reference implementation of the morphological stage.
+
+This module computes, for every pixel of a hyperspectral image:
+
+1. the **cumulative SID distance** of every structuring-element neighbour
+   (paper eq. 1),
+2. the **extended erosion** (eq. 5, argmin of the cumulative distance)
+   and **extended dilation** (eq. 6, argmax),
+3. the **Morphological Eccentricity Index** — the SID between the
+   dilation and erosion pixels (AMC step 2).
+
+Semantics shared by all implementations in this library (reference, naive
+oracle, GPU):
+
+* the structuring element is the square of radius ``r`` —
+  ``B = {-r..r} x {-r..r}``, ``(2r+1)^2`` elements (the paper uses 3x3,
+  i.e. r = 1);
+* out-of-image coordinates are **clamped to the edge**
+  (replicate padding), matching the ``GL_CLAMP_TO_EDGE`` addressing the
+  GPU kernels use;
+* argmin/argmax break ties by the lowest neighbour index (row-major
+  order of the SE).
+
+The implementation evaluates one (H, W) SID map per *unordered pair* of
+SE offsets via the cross-entropy decomposition with cached shifted
+views — ``B^2 (B^2 - 1) / 2`` maps instead of the naive per-pixel
+``O(B^4)`` loop — and reuses the pair maps again for the final MEI gather
+so nothing is computed twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.spectral.distances import sid_self_entropy
+from repro.spectral.normalize import normalize_image, safe_log
+
+
+@lru_cache(maxsize=64)
+def se_offsets(radius: int) -> tuple[tuple[int, int], ...]:
+    """Row-major offsets ``(dy, dx)`` of the square SE of a given radius.
+
+    Index ``k`` of the returned tuple is the neighbour index used by the
+    erosion/dilation maps of every implementation.
+    """
+    if radius < 0:
+        raise ValueError(f"SE radius must be >= 0, got {radius}")
+    return tuple((dy, dx)
+                 for dy in range(-radius, radius + 1)
+                 for dx in range(-radius, radius + 1))
+
+
+def _clamped(arr: np.ndarray, dy: int, dx: int) -> np.ndarray:
+    """``out[y, x] = arr[clamp(y + dy), clamp(x + dx)]`` (replicate)."""
+    if dy == 0 and dx == 0:
+        return arr
+    h, w = arr.shape[:2]
+    rows = np.clip(np.arange(h) + dy, 0, h - 1)
+    cols = np.clip(np.arange(w) + dx, 0, w - 1)
+    return arr[np.ix_(rows, cols)]
+
+
+@dataclass(frozen=True)
+class MorphologicalOutput:
+    """Everything the morphological stage produces for one image.
+
+    Attributes
+    ----------
+    mei:
+        (H, W) morphological eccentricity index — SID between the
+        dilation and erosion pixels of each neighbourhood.
+    erosion_index / dilation_index:
+        (H, W) SE-neighbour indices selected by eq. 5 / eq. 6 (row-major
+        index into :func:`se_offsets`).
+    cumulative:
+        (H, W, K) cumulative distances, ``K = (2r+1)^2`` — kept because
+        the ablation benches and the tests inspect them.
+    radius:
+        The SE radius used.
+    """
+
+    mei: np.ndarray
+    erosion_index: np.ndarray
+    dilation_index: np.ndarray
+    cumulative: np.ndarray
+    radius: int
+
+    def erosion_offsets(self) -> np.ndarray:
+        """(H, W, 2) array of (dy, dx) selected by the erosion."""
+        offs = np.array(se_offsets(self.radius))
+        return offs[self.erosion_index]
+
+    def dilation_offsets(self) -> np.ndarray:
+        """(H, W, 2) array of (dy, dx) selected by the dilation."""
+        offs = np.array(se_offsets(self.radius))
+        return offs[self.dilation_index]
+
+
+def cumulative_distances(normalized: np.ndarray, radius: int = 1,
+                         *, return_pair_maps: bool = False):
+    """Cumulative SID distance of every SE neighbour at every pixel.
+
+    Parameters
+    ----------
+    normalized:
+        (H, W, N) image, pixel vectors already normalized to unit sum
+        (eq. 3-4).  Use :func:`repro.spectral.normalize.normalize_image`.
+    radius:
+        SE radius (paper: 1, i.e. a 3x3 window).
+    return_pair_maps:
+        Also return the dict of per-pair SID maps keyed by ``(ka, kb)``
+        with ``ka < kb`` — consumed by :func:`mei_reference` to avoid
+        recomputation.
+
+    Returns
+    -------
+    numpy.ndarray [, dict]
+        (H, W, K) array where slot ``k`` holds
+        ``D_B[f(x + a_k)] = sum_b SID(f(x + a_k), f(x + b))`` with all
+        coordinates clamped to the image.
+    """
+    normalized = np.asarray(normalized, dtype=np.float64)
+    if normalized.ndim != 3:
+        raise ShapeError(f"expected (H, W, N), got ndim={normalized.ndim}")
+    offsets = se_offsets(radius)
+    k_count = len(offsets)
+    h, w, _ = normalized.shape
+
+    log_img = safe_log(normalized)
+    entropy = sid_self_entropy(normalized)
+
+    # Cache shifted views of p, log p and h per SE offset.
+    shifted_p = [_clamped(normalized, dy, dx) for dy, dx in offsets]
+    shifted_l = [_clamped(log_img, dy, dx) for dy, dx in offsets]
+    shifted_h = [_clamped(entropy, dy, dx) for dy, dx in offsets]
+
+    cumulative = np.zeros((h, w, k_count), dtype=np.float64)
+    pair_maps: dict[tuple[int, int], np.ndarray] = {}
+    for ka in range(k_count):
+        pa, la, ha = shifted_p[ka], shifted_l[ka], shifted_h[ka]
+        for kb in range(ka + 1, k_count):
+            pb, lb, hb = shifted_p[kb], shifted_l[kb], shifted_h[kb]
+            cross = np.einsum("ijk,ijk->ij", pa, lb) \
+                + np.einsum("ijk,ijk->ij", pb, la)
+            sid_map = np.maximum(ha + hb - cross, 0.0)
+            cumulative[:, :, ka] += sid_map
+            cumulative[:, :, kb] += sid_map
+            if return_pair_maps:
+                pair_maps[(ka, kb)] = sid_map
+    if return_pair_maps:
+        return cumulative, pair_maps
+    return cumulative
+
+
+def mei_reference(cube_bip: np.ndarray, radius: int = 1, *,
+                  prenormalized: bool = False) -> MorphologicalOutput:
+    """Full morphological stage on the CPU (vectorized reference).
+
+    Parameters
+    ----------
+    cube_bip:
+        (H, W, N) image cube; raw radiance unless ``prenormalized``.
+    radius:
+        SE radius.
+    prenormalized:
+        Skip eq. 3-4 normalization when the caller already applied it.
+
+    Returns
+    -------
+    MorphologicalOutput
+    """
+    cube_bip = np.asarray(cube_bip)
+    if cube_bip.ndim != 3:
+        raise ShapeError(f"expected (H, W, N), got ndim={cube_bip.ndim}")
+    normalized = cube_bip.astype(np.float64) if prenormalized \
+        else normalize_image(cube_bip)
+
+    cumulative, pair_maps = cumulative_distances(
+        normalized, radius, return_pair_maps=True)
+    erosion_index = np.argmin(cumulative, axis=2)
+    dilation_index = np.argmax(cumulative, axis=2)
+
+    # MEI(x) = SID(f(x + a_dil), f(x + a_ero)) — exactly the pair map of
+    # the (erosion, dilation) index pair, gathered per pixel.
+    h, w, k_count = cumulative.shape
+    mei = np.zeros((h, w), dtype=np.float64)
+    lo = np.minimum(erosion_index, dilation_index)
+    hi = np.maximum(erosion_index, dilation_index)
+    for ka in range(k_count):
+        for kb in range(ka + 1, k_count):
+            mask = (lo == ka) & (hi == kb)
+            if mask.any():
+                mei[mask] = pair_maps[(ka, kb)][mask]
+    # Where erosion == dilation (flat neighbourhood), MEI is 0 already.
+    return MorphologicalOutput(mei=mei, erosion_index=erosion_index,
+                               dilation_index=dilation_index,
+                               cumulative=cumulative, radius=radius)

@@ -1,0 +1,123 @@
+"""Classification accuracy metrics (paper Table 3).
+
+The paper reports per-class and overall accuracy against the Indian Pines
+ground truth.  This module provides those plus the confusion matrix and
+Cohen's kappa (the standard remote-sensing companion statistic), and the
+endmember-to-class mapping needed to compare an unsupervised AMC labeling
+with a supervised ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def confusion_matrix(truth: np.ndarray, predicted: np.ndarray,
+                     n_classes: int) -> np.ndarray:
+    """(n_classes, n_classes + 1) matrix, rows = truth, cols = prediction.
+
+    Labels are 1-based; a truth label of 0 means "unlabeled" and the
+    pixel is ignored.  Predictions outside [1, n_classes] (an
+    unclassified / rejected pixel) land in the extra last column, so row
+    sums always equal the number of ground-truth pixels of the class.
+    """
+    truth = np.asarray(truth).ravel()
+    predicted = np.asarray(predicted).ravel()
+    if truth.shape != predicted.shape:
+        raise ShapeError(
+            f"truth {truth.shape} and prediction {predicted.shape} differ")
+    labeled = (truth >= 1) & (truth <= n_classes)
+    t = truth[labeled] - 1
+    p = predicted[labeled]
+    p = np.where((p >= 1) & (p <= n_classes), p, n_classes + 1) - 1
+    matrix = np.zeros((n_classes, n_classes + 1), dtype=np.int64)
+    np.add.at(matrix, (t, p), 1)
+    return matrix
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Per-class and overall accuracy of one classification run."""
+
+    class_names: tuple[str, ...]
+    matrix: np.ndarray
+    per_class_accuracy: np.ndarray   # %, NaN for absent classes
+    overall_accuracy: float          # %
+    kappa: float
+
+    def rows(self) -> list[tuple[str, float]]:
+        """(name, accuracy%) rows in class order — Table 3's layout."""
+        return list(zip(self.class_names,
+                        (float(a) for a in self.per_class_accuracy)))
+
+    def format_table(self) -> str:
+        """Render the report in the layout of paper Table 3."""
+        width = max(len(n) for n in self.class_names) + 2
+        lines = [f"{'Class':<{width}}Accuracy (%)"]
+        for name, acc in self.rows():
+            val = "   --" if np.isnan(acc) else f"{acc:8.2f}"
+            lines.append(f"{name:<{width}}{val}")
+        lines.append(f"{'Overall:':<{width}}{self.overall_accuracy:8.2f}")
+        return "\n".join(lines)
+
+
+def kappa_score(matrix: np.ndarray) -> float:
+    """Cohen's kappa from a confusion matrix.
+
+    Accepts the (n, n+1) matrices of :func:`confusion_matrix` (the last
+    column is the "rejected" bucket, which has no truth row and therefore
+    contributes nothing to chance agreement).
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    n = matrix.shape[0]
+    total = matrix.sum()
+    if total == 0:
+        return 0.0
+    diag = matrix[np.arange(n), np.arange(n)].sum()
+    po = diag / total
+    row = matrix.sum(axis=1)
+    col = matrix[:, :n].sum(axis=0)
+    pe = float((row * col).sum()) / total ** 2
+    if pe >= 1.0:
+        return 0.0
+    return (po - pe) / (1.0 - pe)
+
+
+def evaluate_classification(truth: np.ndarray, predicted: np.ndarray,
+                            class_names: tuple[str, ...]) -> ClassificationReport:
+    """Build a :class:`ClassificationReport` for 1-based label maps."""
+    n = len(class_names)
+    matrix = confusion_matrix(truth, predicted, n)
+    row_sums = matrix.sum(axis=1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        per_class = np.where(row_sums > 0,
+                             100.0 * np.diag(matrix) / row_sums, np.nan)
+    total = row_sums.sum()
+    overall = 100.0 * np.trace(matrix) / total if total else 0.0
+    return ClassificationReport(class_names=tuple(class_names),
+                                matrix=matrix,
+                                per_class_accuracy=per_class,
+                                overall_accuracy=float(overall),
+                                kappa=kappa_score(matrix))
+
+
+def map_endmembers_to_classes(endmember_positions: np.ndarray,
+                              ground_truth: np.ndarray) -> np.ndarray:
+    """Label each endmember with the ground-truth class at its location.
+
+    AMC is unsupervised: its classes are endmember indices.  To score
+    against a labeled ground truth, each endmember inherits the label of
+    the pixel it was extracted from — the weakest supervision that allows
+    an accuracy number, and the convention the cluster-based AMC
+    evaluations use.
+
+    Returns a (c,) array of 1-based class labels.
+    """
+    positions = np.asarray(endmember_positions)
+    if positions.ndim != 2 or positions.shape[1] != 2:
+        raise ShapeError(f"positions must be (c, 2), got {positions.shape}")
+    return np.asarray(ground_truth)[positions[:, 0], positions[:, 1]].copy()

@@ -1,0 +1,69 @@
+"""Per-pixel loop oracle for the morphological stage.
+
+A deliberately unoptimized, transcription-of-the-equations implementation
+used only by the test suite to validate the vectorized reference and the
+GPU stream implementation on small images.  Every design shortcut is
+avoided: for each pixel the full ``B^2 x B^2`` table of SIDs is evaluated
+from the definition (eq. 2), summed into the cumulative distances
+(eq. 1), reduced by argmin/argmax (eqs. 5-6), and the MEI is the SID
+between the two selected pixels.
+
+Runtime is O(H * W * B^4 * N); keep images tiny.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mei import MorphologicalOutput, se_offsets
+from repro.errors import ShapeError
+from repro.spectral.normalize import SpectralEpsilon, normalize_image
+
+
+def _sid_scalar(p: np.ndarray, q: np.ndarray) -> float:
+    """Eq. 2, straight from the definition."""
+    eps = SpectralEpsilon.get()
+    p = np.maximum(p, eps)
+    q = np.maximum(q, eps)
+    return float(np.sum(p * np.log(p / q)) + np.sum(q * np.log(q / p)))
+
+
+def mei_naive(cube_bip: np.ndarray, radius: int = 1, *,
+              prenormalized: bool = False) -> MorphologicalOutput:
+    """Morphological stage computed by explicit loops (oracle)."""
+    cube_bip = np.asarray(cube_bip)
+    if cube_bip.ndim != 3:
+        raise ShapeError(f"expected (H, W, N), got ndim={cube_bip.ndim}")
+    normalized = cube_bip.astype(np.float64) if prenormalized \
+        else normalize_image(cube_bip)
+    h, w, _ = normalized.shape
+    offsets = se_offsets(radius)
+    k_count = len(offsets)
+
+    cumulative = np.zeros((h, w, k_count), dtype=np.float64)
+    erosion_index = np.zeros((h, w), dtype=np.int64)
+    dilation_index = np.zeros((h, w), dtype=np.int64)
+    mei = np.zeros((h, w), dtype=np.float64)
+
+    def clamp(y: int, x: int) -> tuple[int, int]:
+        return min(max(y, 0), h - 1), min(max(x, 0), w - 1)
+
+    for y in range(h):
+        for x in range(w):
+            neighbours = [normalized[clamp(y + dy, x + dx)]
+                          for dy, dx in offsets]
+            for ka in range(k_count):
+                total = 0.0
+                for kb in range(k_count):
+                    if ka != kb:
+                        total += _sid_scalar(neighbours[ka], neighbours[kb])
+                cumulative[y, x, ka] = total
+            ero = int(np.argmin(cumulative[y, x]))
+            dil = int(np.argmax(cumulative[y, x]))
+            erosion_index[y, x] = ero
+            dilation_index[y, x] = dil
+            mei[y, x] = _sid_scalar(neighbours[dil], neighbours[ero])
+
+    return MorphologicalOutput(mei=mei, erosion_index=erosion_index,
+                               dilation_index=dilation_index,
+                               cumulative=cumulative, radius=radius)

@@ -1,0 +1,140 @@
+"""Linear spectral unmixing (AMC step 3, second half) and classification
+(AMC step 4).
+
+The linear mixture model writes every pixel as a non-negative combination
+of endmember spectra: ``x = E^T a + n`` with ``E`` the (c, N) endmember
+matrix.  Four estimators are provided, in increasing order of constraint
+(and cost):
+
+* :func:`unmix_lsu` — unconstrained least squares (one pseudo-inverse for
+  the whole image; what a 2006 GPU implementation would realistically
+  run, since it reduces to c dot products per pixel);
+* :func:`unmix_sclsu` — sum-to-one constrained least squares (closed
+  form via a Lagrange multiplier);
+* :func:`unmix_nnls` — non-negativity constrained (active-set NNLS per
+  pixel, CPU only);
+* :func:`unmix_fcls` — fully constrained (non-negative + sum-to-one),
+  implemented as NNLS on the augmented system, the standard FCLS trick.
+
+Classification assigns each pixel the index of its largest abundance
+(paper step 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import nnls as _scipy_nnls
+
+from repro.errors import ShapeError
+
+
+def _check(pixels: np.ndarray, endmembers: np.ndarray) -> tuple[np.ndarray, np.ndarray, tuple[int, ...]]:
+    """Validate shapes; returns (flat_pixels, endmembers, leading_shape)."""
+    pixels = np.asarray(pixels, dtype=np.float64)
+    endmembers = np.asarray(endmembers, dtype=np.float64)
+    if endmembers.ndim != 2:
+        raise ShapeError(f"endmembers must be (c, N), got {endmembers.shape}")
+    if pixels.shape[-1] != endmembers.shape[1]:
+        raise ShapeError(
+            f"pixel bands {pixels.shape[-1]} != endmember bands "
+            f"{endmembers.shape[1]}")
+    c, n = endmembers.shape
+    if c > n:
+        raise ShapeError(
+            f"more endmembers ({c}) than bands ({n}): the mixture model "
+            f"is underdetermined")
+    leading = pixels.shape[:-1]
+    return pixels.reshape(-1, n), endmembers, leading
+
+
+def unmix_lsu(pixels: np.ndarray, endmembers: np.ndarray) -> np.ndarray:
+    """Unconstrained least-squares abundances.
+
+    ``a = (E E^T)^{-1} E x`` for every pixel; the Gram inverse is
+    factored once, so the per-pixel cost is a (c x N) mat-vec — the form
+    the GPU extension stage evaluates with dot-product kernels.
+
+    Parameters
+    ----------
+    pixels:
+        (..., N) raw spectra (any leading shape).
+    endmembers:
+        (c, N) endmember matrix.
+
+    Returns
+    -------
+    numpy.ndarray
+        (..., c) abundance estimates (may be negative or exceed 1).
+    """
+    flat, endmembers, leading = _check(pixels, endmembers)
+    gram = endmembers @ endmembers.T
+    rhs = endmembers @ flat.T                       # (c, P)
+    abundances = np.linalg.solve(gram, rhs).T       # (P, c)
+    return abundances.reshape(*leading, -1)
+
+
+def unmix_sclsu(pixels: np.ndarray, endmembers: np.ndarray) -> np.ndarray:
+    """Sum-to-one constrained least squares (SCLSU).
+
+    Closed form: project the unconstrained solution back onto the
+    ``sum(a) = 1`` hyperplane along the Gram metric,
+    ``a_s = a + G^{-1} 1 (1 - 1^T a) / (1^T G^{-1} 1)``.
+    """
+    flat, endmembers, leading = _check(pixels, endmembers)
+    gram = endmembers @ endmembers.T
+    gram_inv_ones = np.linalg.solve(gram, np.ones(len(endmembers)))
+    denom = float(gram_inv_ones.sum())
+    a = np.linalg.solve(gram, endmembers @ flat.T).T   # (P, c)
+    deficit = 1.0 - a.sum(axis=1)
+    a = a + np.outer(deficit / denom, gram_inv_ones)
+    return a.reshape(*leading, -1)
+
+
+def unmix_nnls(pixels: np.ndarray, endmembers: np.ndarray) -> np.ndarray:
+    """Non-negativity constrained abundances (per-pixel active set).
+
+    Orders of magnitude slower than the closed forms; intended for small
+    images and for validating the cheaper estimators.
+    """
+    flat, endmembers, leading = _check(pixels, endmembers)
+    design = endmembers.T                            # (N, c)
+    out = np.empty((flat.shape[0], endmembers.shape[0]))
+    for i, x in enumerate(flat):
+        out[i], _ = _scipy_nnls(design, x)
+    return out.reshape(*leading, -1)
+
+
+def unmix_fcls(pixels: np.ndarray, endmembers: np.ndarray, *,
+               delta: float = 1e3) -> np.ndarray:
+    """Fully constrained (ANC + ASC) abundances.
+
+    The sum-to-one constraint is folded into the NNLS system by appending
+    a heavily weighted all-ones row (weight ``delta``) — the classic FCLS
+    construction of Heinz & Chang.
+    """
+    flat, endmembers, leading = _check(pixels, endmembers)
+    design = np.vstack([endmembers.T, delta * np.ones(len(endmembers))])
+    out = np.empty((flat.shape[0], endmembers.shape[0]))
+    for i, x in enumerate(flat):
+        target = np.concatenate([x, [delta]])
+        out[i], _ = _scipy_nnls(design, target)
+    return out.reshape(*leading, -1)
+
+
+def classify_abundances(abundances: np.ndarray) -> np.ndarray:
+    """AMC step 4: label = argmax over the abundance vector.
+
+    Parameters
+    ----------
+    abundances:
+        (..., c) abundance estimates.
+
+    Returns
+    -------
+    numpy.ndarray
+        (...) int array of 0-based endmember indices.
+    """
+    abundances = np.asarray(abundances)
+    if abundances.ndim < 1 or abundances.shape[-1] < 1:
+        raise ShapeError("abundances must have a non-empty last axis")
+    return np.argmax(abundances, axis=-1)

@@ -1,0 +1,40 @@
+"""Virtual CPU baselines (paper Table 2 platforms).
+
+The paper compares its GPU implementation against hand-tuned CPU codes on
+a Pentium 4 Northwood (2003) and a Prescott (2005), each built with two
+compilers: gcc 4.0 (``-O3 -msse``, scalar in practice) and icc 9.0
+(``-O3 -tpp7 -restrict -xP``, auto-vectorized).  This package provides:
+
+* :mod:`~repro.cpu.spec` — CPU descriptions (clock, FSB bandwidth, SIMD
+  width) with presets for both processors, and *build* models for the
+  two compilers;
+* :mod:`~repro.cpu.amc_cpu` — two actual implementations of the AMC
+  morphological stage: a scalar per-band loop structured the way the gcc
+  build executes, and a SIMD/vectorized one structured the way the icc
+  build executes (NumPy's vector ops standing in for SSE);
+* a roofline timing model that converts the op/byte counts of the
+  morphological stage into modeled milliseconds per platform x build,
+  the quantity Tables 4-5 report.
+"""
+
+from repro.cpu.amc_cpu import cpu_morphological_stage
+from repro.cpu.spec import (
+    CompilerModel,
+    CpuSpec,
+    GCC40,
+    ICC90,
+    PENTIUM4_NORTHWOOD,
+    PRESCOTT_660,
+    cpu_time_model,
+)
+
+__all__ = [
+    "CompilerModel",
+    "CpuSpec",
+    "GCC40",
+    "ICC90",
+    "PENTIUM4_NORTHWOOD",
+    "PRESCOTT_660",
+    "cpu_morphological_stage",
+    "cpu_time_model",
+]

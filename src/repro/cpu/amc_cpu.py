@@ -1,0 +1,168 @@
+"""CPU implementations of the AMC morphological stage with timing models.
+
+Two implementations mirror the paper's two compiler builds:
+
+* ``"scalar"`` — the band reductions run one band at a time (an explicit
+  Python loop over the spectral axis with 2-D array arithmetic inside),
+  the execution order gcc 4.0's scalar code has;
+* ``"simd"`` — the band reductions run as whole-axis vector operations
+  (``einsum`` over the spectral axis), the order icc 9.0's SSE code has.
+
+Both produce bit-identical results to :func:`repro.core.mei.mei_reference`
+(the tests enforce it); they differ in wall-clock behaviour and in which
+*build model* prices them.  The modeled milliseconds come from
+:func:`repro.core.workload.morphological_workload` priced by
+:func:`repro.cpu.spec.cpu_time_model`, independent of this host's Python
+overheads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.mei import MorphologicalOutput, se_offsets
+from repro.core.workload import MorphologicalWorkload, morphological_workload
+from repro.cpu.spec import (
+    CompilerModel,
+    CpuSpec,
+    GCC40,
+    PENTIUM4_NORTHWOOD,
+    cpu_time_model,
+)
+from repro.errors import ShapeError
+from repro.spectral.normalize import normalize_image, safe_log
+
+
+@dataclass(frozen=True)
+class CpuAmcOutput:
+    """Morphological result plus the platform/build pricing."""
+
+    morph: MorphologicalOutput
+    workload: MorphologicalWorkload
+    spec: CpuSpec
+    compiler: CompilerModel
+    modeled_time_s: float
+    compute_time_s: float
+    memory_time_s: float
+
+
+def _clamped(arr: np.ndarray, dy: int, dx: int) -> np.ndarray:
+    if dy == 0 and dx == 0:
+        return arr
+    h, w = arr.shape[:2]
+    rows = np.clip(np.arange(h) + dy, 0, h - 1)
+    cols = np.clip(np.arange(w) + dx, 0, w - 1)
+    return arr[np.ix_(rows, cols)]
+
+
+def _pairs_scalar(norm: np.ndarray, log_img: np.ndarray,
+                  entropy: np.ndarray, offsets) -> tuple[np.ndarray, dict]:
+    """Pair maps with per-band inner loops (the gcc build's structure)."""
+    h, w, n = norm.shape
+    k_count = len(offsets)
+    cumulative = np.zeros((h, w, k_count), dtype=np.float64)
+    pair_maps: dict[tuple[int, int], np.ndarray] = {}
+    shifted_p = [_clamped(norm, dy, dx) for dy, dx in offsets]
+    shifted_l = [_clamped(log_img, dy, dx) for dy, dx in offsets]
+    shifted_h = [_clamped(entropy, dy, dx) for dy, dx in offsets]
+    for ka in range(k_count):
+        for kb in range(ka + 1, k_count):
+            cross = np.zeros((h, w), dtype=np.float64)
+            for band in range(n):                      # scalar band loop
+                cross += shifted_p[ka][:, :, band] * shifted_l[kb][:, :, band]
+                cross += shifted_p[kb][:, :, band] * shifted_l[ka][:, :, band]
+            sid_map = np.maximum(shifted_h[ka] + shifted_h[kb] - cross, 0.0)
+            cumulative[:, :, ka] += sid_map
+            cumulative[:, :, kb] += sid_map
+            pair_maps[(ka, kb)] = sid_map
+    return cumulative, pair_maps
+
+
+def _pairs_simd(norm: np.ndarray, log_img: np.ndarray,
+                entropy: np.ndarray, offsets) -> tuple[np.ndarray, dict]:
+    """Pair maps with whole-axis reductions (the icc build's structure)."""
+    h, w, _ = norm.shape
+    k_count = len(offsets)
+    cumulative = np.zeros((h, w, k_count), dtype=np.float64)
+    pair_maps: dict[tuple[int, int], np.ndarray] = {}
+    shifted_p = [_clamped(norm, dy, dx) for dy, dx in offsets]
+    shifted_l = [_clamped(log_img, dy, dx) for dy, dx in offsets]
+    shifted_h = [_clamped(entropy, dy, dx) for dy, dx in offsets]
+    for ka in range(k_count):
+        for kb in range(ka + 1, k_count):
+            cross = np.einsum("ijk,ijk->ij", shifted_p[ka], shifted_l[kb]) \
+                + np.einsum("ijk,ijk->ij", shifted_p[kb], shifted_l[ka])
+            sid_map = np.maximum(shifted_h[ka] + shifted_h[kb] - cross, 0.0)
+            cumulative[:, :, ka] += sid_map
+            cumulative[:, :, kb] += sid_map
+            pair_maps[(ka, kb)] = sid_map
+    return cumulative, pair_maps
+
+
+def cpu_morphological_stage(cube_bip: np.ndarray, radius: int = 1, *,
+                            spec: CpuSpec = PENTIUM4_NORTHWOOD,
+                            compiler: CompilerModel = GCC40,
+                            implementation: str | None = None,
+                            ) -> CpuAmcOutput:
+    """Run the morphological stage and price it for a platform x build.
+
+    Parameters
+    ----------
+    cube_bip:
+        (H, W, N) raw radiance cube.
+    radius:
+        SE radius.
+    spec / compiler:
+        The platform and build model that price the counted work.
+    implementation:
+        "scalar" or "simd" execution structure; defaults to the structure
+        matching the build model (scalar for non-vectorizing compilers).
+
+    Returns
+    -------
+    CpuAmcOutput
+    """
+    cube_bip = np.asarray(cube_bip)
+    if cube_bip.ndim != 3:
+        raise ShapeError(f"expected (H, W, N), got ndim={cube_bip.ndim}")
+    if implementation is None:
+        implementation = "simd" if compiler.vectorized else "scalar"
+    if implementation not in ("scalar", "simd"):
+        raise ValueError(
+            f"implementation must be 'scalar' or 'simd', got "
+            f"{implementation!r}")
+
+    normalized = normalize_image(cube_bip)
+    log_img = safe_log(normalized)
+    entropy = (normalized * log_img).sum(axis=-1)
+    offsets = se_offsets(radius)
+
+    build = _pairs_scalar if implementation == "scalar" else _pairs_simd
+    cumulative, pair_maps = build(normalized, log_img, entropy, offsets)
+
+    erosion_index = np.argmin(cumulative, axis=2)
+    dilation_index = np.argmax(cumulative, axis=2)
+    h, w, k_count = cumulative.shape
+    mei = np.zeros((h, w), dtype=np.float64)
+    lo = np.minimum(erosion_index, dilation_index)
+    hi = np.maximum(erosion_index, dilation_index)
+    for ka in range(k_count):
+        for kb in range(ka + 1, k_count):
+            mask = (lo == ka) & (hi == kb)
+            if mask.any():
+                mei[mask] = pair_maps[(ka, kb)][mask]
+
+    morph = MorphologicalOutput(mei=mei, erosion_index=erosion_index,
+                                dilation_index=dilation_index,
+                                cumulative=cumulative, radius=radius)
+    lines, samples, bands = cube_bip.shape
+    workload = morphological_workload(lines, samples, bands, radius)
+    timing = cpu_time_model(workload.flops, workload.traffic_bytes,
+                            spec, compiler)
+    return CpuAmcOutput(morph=morph, workload=workload, spec=spec,
+                        compiler=compiler,
+                        modeled_time_s=timing["total_s"],
+                        compute_time_s=timing["compute_s"],
+                        memory_time_s=timing["memory_s"])

@@ -1,0 +1,142 @@
+"""CPU device and compiler-build models (paper Table 2).
+
+The timing model is a roofline: a build is either bounded by its
+instruction throughput (``clock * flops_per_cycle``) or by memory traffic
+over the front-side bus.  The constants encode the well-documented
+characteristics of the platforms:
+
+* the gcc 4.0 build is scalar x87/SSE-scalar code; on the NetBurst
+  pipeline sustained scalar throughput on pointer-chasing stencil code is
+  a fraction of a flop per cycle;
+* the icc 9.0 build vectorizes the band loops (4-wide single-precision
+  SSE) — but the morphological stage streams ~36 pair-map passes over the
+  image, so the vectorized build runs into the FSB long before it runs
+  out of ALU, which is why the paper measures only a ~1.6x gcc -> icc
+  gain rather than the 4x SIMD width;
+* Prescott clocks higher than Northwood but retires fewer instructions
+  per cycle (the 31-stage pipeline) and prefetches more aggressively —
+  the combination the paper observes as "below 10%" generation-over-
+  generation improvement.
+
+=====================  =================  =============
+Feature                P4 Northwood M0    Prescott 6x2
+=====================  =================  =============
+Year                   2003               2005
+FSB                    800 MHz, 6.4 GB/s  800 MHz, 6.4 GB/s
+L2                     512 KB             2 MB
+Clock                  2.8 GHz            3.4 GHz
+=====================  =================  =============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import DeviceError
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A simulated CPU platform (paper Table 2 columns)."""
+
+    name: str
+    year: int
+    clock_hz: float
+    fsb_bandwidth: float          # bytes/s
+    l2_bytes: int
+    memory_bytes: int
+    simd_width: int = 4           # single-precision SSE lanes
+    #: Fraction of peak FSB bandwidth sustained on streaming reads.
+    bandwidth_efficiency: float = 0.70
+    #: Scalar (non-vectorized) sustained flops per cycle on stencil code.
+    scalar_flops_per_cycle: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0 or self.fsb_bandwidth <= 0:
+            raise DeviceError("clock and FSB bandwidth must be positive")
+        if not 0 < self.bandwidth_efficiency <= 1:
+            raise DeviceError("bandwidth_efficiency must be in (0, 1]")
+        if self.simd_width < 1:
+            raise DeviceError("simd_width must be >= 1")
+
+    def with_(self, **overrides) -> "CpuSpec":
+        """A copy with some fields replaced (for ablations)."""
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class CompilerModel:
+    """How a compiler build uses the hardware.
+
+    Attributes
+    ----------
+    name:
+        "gcc-4.0" / "icc-9.0" (display only).
+    vectorized:
+        Whether band loops run SIMD-wide.
+    simd_efficiency:
+        Fraction of the SIMD peak the vectorized inner loops sustain
+        (alignment, shuffles, horizontal adds).
+    prefetch_gain:
+        Multiplier on sustained bandwidth (icc emits software prefetches
+        and non-temporal stores).
+    """
+
+    name: str
+    vectorized: bool
+    simd_efficiency: float = 0.75
+    prefetch_gain: float = 1.0
+
+    def flops_per_cycle(self, spec: CpuSpec) -> float:
+        """Sustained single-precision flops per cycle for this build."""
+        if self.vectorized:
+            return spec.simd_width * self.simd_efficiency
+        return spec.scalar_flops_per_cycle
+
+
+#: gcc 4.0 -O3 -msse: scalar code (no autovectorization of the SID loops).
+GCC40 = CompilerModel(name="gcc-4.0", vectorized=False)
+
+#: icc 9.0 -O3 -tpp7 -restrict -xP: vectorizes the band reductions.
+ICC90 = CompilerModel(name="icc-9.0", vectorized=True,
+                      simd_efficiency=0.75, prefetch_gain=1.15)
+
+
+PENTIUM4_NORTHWOOD = CpuSpec(
+    name="Pentium 4 (Northwood M0)",
+    year=2003,
+    clock_hz=2.8e9,
+    fsb_bandwidth=6.4e9,
+    l2_bytes=512 * 1024,
+    memory_bytes=1 * 1024 ** 3,
+)
+
+PRESCOTT_660 = CpuSpec(
+    name="Prescott (6x2)",
+    year=2005,
+    clock_hz=3.4e9,
+    fsb_bandwidth=6.4e9,
+    l2_bytes=2 * 1024 ** 2,
+    memory_bytes=2 * 1024 ** 3,
+    # Longer pipeline, lower IPC on branchy scalar code; better hardware
+    # prefetch makes up some of it on streaming loops.
+    scalar_flops_per_cycle=0.22,
+    bandwidth_efficiency=0.80,
+)
+
+
+def cpu_time_model(flops: float, traffic_bytes: float, spec: CpuSpec,
+                   compiler: CompilerModel) -> dict[str, float]:
+    """Roofline time for a workload of ``flops`` and ``traffic_bytes``.
+
+    Returns a dict with ``compute_s``, ``memory_s`` and ``total_s``
+    (= max of the two; the NetBurst prefetchers overlap the streams).
+    """
+    if flops < 0 or traffic_bytes < 0:
+        raise ValueError("flops and traffic_bytes must be >= 0")
+    compute_s = flops / (spec.clock_hz * compiler.flops_per_cycle(spec))
+    bandwidth = spec.fsb_bandwidth * spec.bandwidth_efficiency \
+        * compiler.prefetch_gain
+    memory_s = traffic_bytes / bandwidth
+    return {"compute_s": compute_s, "memory_s": memory_s,
+            "total_s": max(compute_s, memory_s)}

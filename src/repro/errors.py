@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish configuration problems from resource
+exhaustion in the simulated devices.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array argument has the wrong number of dimensions or extents."""
+
+
+class LayoutError(ReproError, ValueError):
+    """An unknown or incompatible hyperspectral memory layout was requested."""
+
+
+class ShaderError(ReproError):
+    """A fragment shader program failed validation or execution."""
+
+
+class ShaderValidationError(ShaderError, ValueError):
+    """A shader IR tree is structurally invalid (bad arity, unbound register,
+    unknown sampler, type mismatch)."""
+
+
+class GpuOutOfMemoryError(ReproError, MemoryError):
+    """The virtual GPU's VRAM allocator could not satisfy an allocation."""
+
+
+class StreamError(ReproError):
+    """Misuse of the stream programming abstractions (unbound stream,
+    mismatched shapes between kernel inputs, cyclic stage graphs...)."""
+
+
+class DeviceError(ReproError):
+    """A virtual device (GPU or CPU model) was configured inconsistently."""
+
+
+class EnviFormatError(ReproError, ValueError):
+    """An ENVI-style header could not be parsed or describes an unsupported
+    interleave/dtype combination."""

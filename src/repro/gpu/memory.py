@@ -1,0 +1,80 @@
+"""VRAM accounting for the virtual GPU.
+
+The paper's chunking strategy exists because a 500 MB scene does not fit
+a 256 MB board.  To make that pressure real in the simulation, every
+texture allocation goes through this allocator; exceeding the configured
+capacity raises :class:`~repro.errors.GpuOutOfMemoryError`, which is what
+forces the stream executor to chunk.
+
+The allocator is deliberately simple — a byte counter plus a handle
+table — because fragmentation effects are not part of any claim the paper
+makes.  High-water-mark tracking is included since the chunk planner's
+budget logic is tested against it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import GpuOutOfMemoryError
+
+
+@dataclass
+class VramAllocator:
+    """Byte-level accounting of device memory."""
+
+    capacity: int
+    _allocations: dict[int, int] = field(default_factory=dict)
+    _ids: "itertools.count" = field(default_factory=itertools.count)
+    high_water_mark: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {self.capacity}")
+
+    @property
+    def used(self) -> int:
+        """Bytes currently allocated."""
+        return sum(self._allocations.values())
+
+    @property
+    def free(self) -> int:
+        """Bytes still available."""
+        return self.capacity - self.used
+
+    @property
+    def allocation_count(self) -> int:
+        """Number of live allocations."""
+        return len(self._allocations)
+
+    def allocate(self, nbytes: int, *, label: str = "") -> int:
+        """Reserve ``nbytes``; returns an opaque handle.
+
+        Raises
+        ------
+        GpuOutOfMemoryError
+            If the request exceeds the remaining capacity.
+        """
+        if nbytes <= 0:
+            raise ValueError(f"allocation must be positive, got {nbytes}")
+        if nbytes > self.free:
+            raise GpuOutOfMemoryError(
+                f"cannot allocate {nbytes} bytes{f' for {label}' if label else ''}: "
+                f"{self.used}/{self.capacity} bytes in use "
+                f"({self.free} free)")
+        handle = next(self._ids)
+        self._allocations[handle] = nbytes
+        self.high_water_mark = max(self.high_water_mark, self.used)
+        return handle
+
+    def release(self, handle: int) -> None:
+        """Free an allocation.  Double-free raises ``KeyError``."""
+        try:
+            del self._allocations[handle]
+        except KeyError:
+            raise KeyError(f"handle {handle} is not a live allocation") from None
+
+    def release_all(self) -> None:
+        """Free everything (end of a chunk's lifetime)."""
+        self._allocations.clear()

@@ -1,0 +1,165 @@
+"""The programmable graphics pipeline of paper Fig. 2.
+
+GPGPU code of the era never calls the fragment stage directly: it draws
+a screen-sized quad, the (programmable) vertex stage transforms the four
+vertices, the rasterizer turns the quad into one fragment per output
+pixel with interpolated texture coordinates, the fragment processors run
+the kernel, and raster operations write the framebuffer.  The
+:class:`VirtualGPU` device hides all of that behind ``launch``; this
+module makes the hidden stages explicit so the full Fig. 2 path is
+implemented and testable:
+
+* :class:`Vertex` / :func:`make_quad` — the geometry GPGPU actually
+  submits (two triangles covering the viewport);
+* :class:`VertexShader` — the (trivial for GPGPU) vertex program: an
+  affine transform of positions plus pass-through texture coordinates;
+* :func:`rasterize` — scan conversion of the transformed triangles into
+  a fragment coverage mask with barycentric-interpolated texture
+  coordinates;
+* :class:`QuadRenderer` — the whole chain: submit quad → vertex stage →
+  rasterize → fragment stage (the shader interpreter) → framebuffer,
+  asserting on the way that a standard GPGPU quad covers every pixel
+  exactly once (the property ``launch`` relies on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShaderError, ShapeError
+from repro.gpu.interpreter import execute
+from repro.gpu.shader import FragmentShader
+
+
+@dataclass(frozen=True)
+class Vertex:
+    """A vertex with a 2-D position (pixel space) and texture coordinate."""
+
+    x: float
+    y: float
+    u: float
+    v: float
+
+
+def make_quad(width: int, height: int) -> tuple[Vertex, ...]:
+    """The standard GPGPU full-viewport quad (two CCW triangles).
+
+    Positions are in pixel space ``[0, width] x [0, height]``; texture
+    coordinates span ``[0, 1]``.
+    """
+    if width <= 0 or height <= 0:
+        raise ShapeError(f"viewport must be positive, got {width}x{height}")
+    w, h = float(width), float(height)
+    v00 = Vertex(0.0, 0.0, 0.0, 0.0)
+    v10 = Vertex(w, 0.0, 1.0, 0.0)
+    v01 = Vertex(0.0, h, 0.0, 1.0)
+    v11 = Vertex(w, h, 1.0, 1.0)
+    # triangles (v00, v10, v11) and (v00, v11, v01)
+    return (v00, v10, v11, v00, v11, v01)
+
+
+@dataclass(frozen=True)
+class VertexShader:
+    """An affine vertex program: ``p' = scale * p + offset``.
+
+    GPGPU uses the identity; the transform is kept programmable so the
+    vertex stage is genuinely exercised (e.g. rendering into a sub-rect,
+    which the pipeline tests use).
+    """
+
+    scale: tuple[float, float] = (1.0, 1.0)
+    offset: tuple[float, float] = (0.0, 0.0)
+
+    def run(self, vertices: tuple[Vertex, ...]) -> tuple[Vertex, ...]:
+        sx, sy = self.scale
+        ox, oy = self.offset
+        return tuple(Vertex(v.x * sx + ox, v.y * sy + oy, v.u, v.v)
+                     for v in vertices)
+
+
+def _edge(ax, ay, bx, by, px, py):
+    """Signed area edge function (vectorized over p)."""
+    return (bx - ax) * (py - ay) - (by - ay) * (px - ax)
+
+
+def rasterize(vertices: tuple[Vertex, ...], width: int, height: int
+              ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Scan-convert triangles into per-pixel coverage and texcoords.
+
+    Fragments are generated at pixel centres (x + 0.5, y + 0.5) using the
+    standard edge-function test with a top-left-ish tie rule (boundary
+    pixels belong to the triangle whose interior they touch first, and a
+    shared diagonal never double-covers).
+
+    Returns
+    -------
+    (coverage, u, v):
+        ``coverage`` is an (H, W) int array counting how many triangles
+        cover each pixel; ``u``/``v`` hold the interpolated texture
+        coordinates where covered (0 elsewhere).
+    """
+    if len(vertices) % 3 != 0:
+        raise ShapeError(f"vertex count {len(vertices)} is not triangles")
+    coverage = np.zeros((height, width), dtype=np.int32)
+    u = np.zeros((height, width), dtype=np.float64)
+    v = np.zeros((height, width), dtype=np.float64)
+    px = np.arange(width)[None, :] + 0.5
+    py = np.arange(height)[:, None] + 0.5
+
+    for t in range(0, len(vertices), 3):
+        a, b, c = vertices[t:t + 3]
+        area = _edge(a.x, a.y, b.x, b.y, c.x, c.y)
+        if area == 0.0:
+            continue  # degenerate triangle contributes nothing
+        w0 = _edge(b.x, b.y, c.x, c.y, px, py) / area
+        w1 = _edge(c.x, c.y, a.x, a.y, px, py) / area
+        w2 = _edge(a.x, a.y, b.x, b.y, px, py) / area
+        # strict-interior on the shared diagonal, inclusive elsewhere:
+        # include edges w>=0 but break ties on exactly-zero barycentrics
+        # by requiring the first triangle's zero edge to be a "leading"
+        # edge (w0 zero excluded for the second triangle of the quad).
+        inside = (w0 >= 0) & (w1 >= 0) & (w2 >= 0)
+        if t > 0:
+            inside &= ~((w2 == 0) | (w0 == 0))  # shared-edge rule
+        mask = inside & (coverage == 0)
+        coverage += inside.astype(np.int32)
+        u[mask] = (w0 * a.u + w1 * b.u + w2 * c.u)[mask]
+        v[mask] = (w0 * a.v + w1 * b.v + w2 * c.v)[mask]
+    return coverage, u, v
+
+
+class QuadRenderer:
+    """The full Fig. 2 chain for a GPGPU draw call."""
+
+    def __init__(self, vertex_shader: VertexShader | None = None):
+        self.vertex_shader = vertex_shader or VertexShader()
+        self.vertices_processed = 0
+        self.fragments_rasterized = 0
+
+    def render(self, shader: FragmentShader, width: int, height: int,
+               textures: dict[str, np.ndarray],
+               uniforms: dict[str, np.ndarray] | None = None) -> np.ndarray:
+        """Draw the full-viewport quad through every pipeline stage.
+
+        Raises
+        ------
+        ShaderError
+            If the transformed geometry fails to cover every pixel
+            exactly once — the precondition of stream-kernel semantics.
+        """
+        quad = make_quad(width, height)
+        transformed = self.vertex_shader.run(quad)
+        self.vertices_processed += len(transformed)
+
+        coverage, _, _ = rasterize(transformed, width, height)
+        self.fragments_rasterized += int((coverage > 0).sum())
+        if not np.all(coverage == 1):
+            over = int((coverage > 1).sum())
+            under = int((coverage == 0).sum())
+            raise ShaderError(
+                f"quad does not cover the viewport exactly once "
+                f"({under} uncovered, {over} double-covered pixels); "
+                f"stream-kernel semantics require one fragment per pixel")
+        return execute(shader, height, width, textures, uniforms)

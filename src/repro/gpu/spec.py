@@ -1,0 +1,124 @@
+"""GPU device specifications (paper Table 1).
+
+A :class:`GpuSpec` carries exactly the parameters that differentiated the
+two boards in the paper's evaluation, plus the microarchitectural
+constants the timing model needs (texture-cache behaviour, launch
+overhead).  The two presets transcribe Table 1:
+
+=====================  ===============  ==============
+Feature                FX5950 Ultra     7800 GTX
+=====================  ===============  ==============
+Year                   2003             2005
+Architecture           NV38             G70
+Bus                    AGP x8           PCI Express
+Video memory           256 MB           256 MB
+Core clock             475 MHz          430 MHz
+Memory bandwidth       30.4 GB/s        38.4 GB/s
+Pixel shader procs.    4                24
+=====================  ===============  ==============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import DeviceError
+
+#: Practical host->device bandwidth of an AGP 8x bus (bytes/s).  The
+#: signalling rate is 2.1 GB/s; sustained texture uploads reached roughly
+#: three quarters of that.
+AGP8X_BANDWIDTH: float = 1.6e9
+
+#: Practical host->device bandwidth of PCI Express x16 (bytes/s).  4 GB/s
+#: per direction nominal; ~3 GB/s sustained on 2005 chipsets.
+PCIE_X16_BANDWIDTH: float = 3.0e9
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Parameters of a simulated GPU.
+
+    The first block mirrors paper Table 1; the second block holds model
+    constants that are properties of the *era's* designs rather than of a
+    particular board (see :mod:`repro.gpu.cost` for how each is used).
+    """
+
+    name: str
+    year: int
+    architecture: str
+    core_clock_hz: float
+    n_fragment_pipes: int
+    mem_bandwidth: float          # bytes/s, on-board
+    bus_bandwidth: float          # bytes/s, host <-> device
+    vram_bytes: int
+
+    # --- model constants -------------------------------------------------
+    #: Fraction of *static* (fixed-offset) texture fetches served by the
+    #: texture cache.  Fixed-offset access is perfectly 2-D-local, which
+    #: the dedicated texture caches of the era were designed for [7].
+    texture_cache_hit_rate: float = 0.92
+    #: Hit rate for *dependent* (computed-coordinate) fetches, which defeat
+    #: prefetching.
+    dependent_fetch_hit_rate: float = 0.55
+    #: Fixed driver + state-change cost per kernel launch (seconds).  A
+    #: glDrawArrays round trip through the 2005 driver stack.
+    launch_overhead_s: float = 2.0e-5
+    #: Fixed per-transfer latency (seconds): pinning, DMA setup.
+    transfer_latency_s: float = 1.0e-4
+    #: Instructions issued per pipe per clock (fp30/G70 issue one float4
+    #: MAD-class op per cycle per pipe).
+    issue_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.core_clock_hz <= 0 or self.n_fragment_pipes <= 0:
+            raise DeviceError("clock and pipe count must be positive")
+        if self.mem_bandwidth <= 0 or self.bus_bandwidth <= 0:
+            raise DeviceError("bandwidths must be positive")
+        if self.vram_bytes <= 0:
+            raise DeviceError("vram_bytes must be positive")
+        for rate in (self.texture_cache_hit_rate,
+                     self.dependent_fetch_hit_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise DeviceError(f"cache hit rate {rate} outside [0, 1]")
+
+    @property
+    def shader_throughput(self) -> float:
+        """Peak float4 shader instructions per second."""
+        return self.core_clock_hz * self.n_fragment_pipes * self.issue_rate
+
+    def with_(self, **overrides) -> "GpuSpec":
+        """A copy with some fields replaced (for ablation studies)."""
+        return replace(self, **overrides)
+
+
+#: NVIDIA GeForce FX 5950 Ultra (NV38, 2003) — paper Table 1, column 1.
+GEFORCE_FX5950U = GpuSpec(
+    name="GeForce FX5950 Ultra",
+    year=2003,
+    architecture="NV38",
+    core_clock_hz=475e6,
+    n_fragment_pipes=4,
+    mem_bandwidth=30.4e9,
+    bus_bandwidth=AGP8X_BANDWIDTH,
+    vram_bytes=256 * 1024 * 1024,
+    # The NV38's "4x2" design pairs each fragment pipe with two texture
+    # units; on the short arithmetic kernels of this workload it sustains
+    # roughly one float4 instruction per pipe per clock.
+    issue_rate=1.0,
+)
+
+#: NVIDIA GeForce 7800 GTX (G70, 2005) — paper Table 1, column 2.
+GEFORCE_7800GTX = GpuSpec(
+    name="GeForce 7800 GTX",
+    year=2005,
+    architecture="G70",
+    core_clock_hz=430e6,
+    n_fragment_pipes=24,
+    mem_bandwidth=38.4e9,
+    bus_bandwidth=PCIE_X16_BANDWIDTH,
+    vram_bytes=256 * 1024 * 1024,
+    # Each G70 fragment pipe carries two vec4 ALUs (the famous "shader
+    # unit 0/1" dual-issue design), so it can retire two float4
+    # MAD-class instructions per clock.
+    issue_rate=2.0,
+)

@@ -1,0 +1,110 @@
+"""AVIRIS-like spectral band metadata.
+
+NASA/JPL's AVIRIS sensor covers 0.4-2.5 um with 224 channels at a nominal
+10 nm spectral resolution (paper §1, ref. [4]).  In practice a handful of
+channels fall inside strong atmospheric water-vapour absorption windows
+(around 1.4 um and 1.9 um) and carry essentially no surface signal; most
+published Indian Pines work drops them, which is why the paper's scene has
+216-220 usable bands out of 224.
+
+This module provides that metadata so the synthetic scene generator and
+the examples can behave like code written against the real sensor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Full AVIRIS channel count.
+AVIRIS_BAND_COUNT: int = 224
+
+#: Sensor coverage in nanometres.
+AVIRIS_RANGE_NM: tuple[float, float] = (400.0, 2500.0)
+
+#: Water-vapour absorption windows (nm) whose channels are conventionally
+#: discarded: around 1.4 um and 1.9 um, plus the noisy long-wave tail.
+WATER_ABSORPTION_WINDOWS_NM: tuple[tuple[float, float], ...] = (
+    (1350.0, 1420.0),
+    (1800.0, 1950.0),
+    (2480.0, 2500.0),
+)
+
+
+@dataclass(frozen=True)
+class BandSet:
+    """Wavelength table for a sensor configuration.
+
+    Attributes
+    ----------
+    centers_nm:
+        Band-centre wavelengths, ascending, in nanometres.
+    fwhm_nm:
+        Full width at half maximum of each channel's response.
+    good:
+        Boolean mask, ``False`` for channels inside water-absorption
+        windows.
+    """
+
+    centers_nm: np.ndarray
+    fwhm_nm: np.ndarray
+    good: np.ndarray
+
+    def __post_init__(self) -> None:
+        centers = np.asarray(self.centers_nm, dtype=np.float64)
+        fwhm = np.asarray(self.fwhm_nm, dtype=np.float64)
+        good = np.asarray(self.good, dtype=bool)
+        if not (centers.shape == fwhm.shape == good.shape) or centers.ndim != 1:
+            raise ValueError("centers_nm, fwhm_nm and good must be 1-D and aligned")
+        if centers.size >= 2 and not np.all(np.diff(centers) > 0):
+            raise ValueError("band centres must be strictly ascending")
+        object.__setattr__(self, "centers_nm", centers)
+        object.__setattr__(self, "fwhm_nm", fwhm)
+        object.__setattr__(self, "good", good)
+
+    @property
+    def count(self) -> int:
+        """Total number of channels."""
+        return int(self.centers_nm.size)
+
+    @property
+    def good_count(self) -> int:
+        """Number of channels outside absorption windows."""
+        return int(self.good.sum())
+
+    def good_indices(self) -> np.ndarray:
+        """Indices of usable channels, ascending."""
+        return np.flatnonzero(self.good)
+
+    def subset(self, indices: np.ndarray) -> "BandSet":
+        """Band set restricted to the given channel indices."""
+        idx = np.asarray(indices, dtype=np.intp)
+        return BandSet(self.centers_nm[idx], self.fwhm_nm[idx], self.good[idx])
+
+    def nearest(self, wavelength_nm: float) -> int:
+        """Index of the channel closest to a wavelength."""
+        return int(np.argmin(np.abs(self.centers_nm - wavelength_nm)))
+
+
+def aviris_bands(count: int = AVIRIS_BAND_COUNT) -> BandSet:
+    """Build an AVIRIS-like :class:`BandSet`.
+
+    Parameters
+    ----------
+    count:
+        Number of channels spread uniformly over 0.4-2.5 um.  224 gives the
+        genuine AVIRIS grid (~9.4 nm spacing); smaller counts produce a
+        coarser sensor useful for fast tests while preserving the
+        absorption-window structure.
+    """
+    if count < 2:
+        raise ValueError(f"a sensor needs at least 2 bands, got {count}")
+    lo, hi = AVIRIS_RANGE_NM
+    centers = np.linspace(lo, hi, count)
+    spacing = (hi - lo) / (count - 1)
+    fwhm = np.full(count, spacing * 1.05)
+    good = np.ones(count, dtype=bool)
+    for wlo, whi in WATER_ABSORPTION_WINDOWS_NM:
+        good &= ~((centers >= wlo) & (centers <= whi))
+    return BandSet(centers, fwhm, good)

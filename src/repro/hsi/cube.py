@@ -1,0 +1,228 @@
+"""The hyperspectral image cube container.
+
+An AVIRIS scene is a 3-D volume: *lines* (along-track), *samples*
+(across-track) and *bands* (wavelength channels).  Remote-sensing formats
+store it in one of three interleaves:
+
+* **BIP** (band-interleaved-by-pixel): ``(lines, samples, bands)`` — the
+  pixel vector is contiguous.  This is what the morphological algorithm
+  wants, so it is the canonical in-memory layout here.
+* **BIL** (band-interleaved-by-line): ``(lines, bands, samples)``.
+* **BSQ** (band-sequential): ``(bands, lines, samples)`` — one full image
+  per band, the natural layout for the GPU texture stack of paper Fig. 3.
+
+:class:`HyperCube` wraps a NumPy array plus its interleave tag and converts
+between layouts with transposes (views where NumPy allows it, explicit
+copies only when the caller asks for contiguity — per the HPC guidance of
+"use views, not copies").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import LayoutError, ShapeError
+
+
+class Interleave(enum.Enum):
+    """Storage order of a hyperspectral cube."""
+
+    BIP = "bip"  #: (lines, samples, bands)
+    BIL = "bil"  #: (lines, bands, samples)
+    BSQ = "bsq"  #: (bands, lines, samples)
+
+    @classmethod
+    def parse(cls, value: "Interleave | str") -> "Interleave":
+        if isinstance(value, Interleave):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            raise LayoutError(f"unknown interleave {value!r}; "
+                              f"expected one of bip/bil/bsq") from None
+
+
+# Axis permutation that converts FROM the canonical BIP order
+# (lines, samples, bands) TO each interleave.
+_FROM_BIP_AXES = {
+    Interleave.BIP: (0, 1, 2),
+    Interleave.BIL: (0, 2, 1),
+    Interleave.BSQ: (2, 0, 1),
+}
+# And the inverse: permutation converting an interleaved array back to BIP.
+_TO_BIP_AXES = {
+    Interleave.BIP: (0, 1, 2),
+    Interleave.BIL: (0, 2, 1),
+    Interleave.BSQ: (1, 2, 0),
+}
+
+
+@dataclass(frozen=True)
+class HyperCube:
+    """A hyperspectral image cube.
+
+    Attributes
+    ----------
+    data:
+        The raw 3-D array in the order declared by ``interleave``.
+    interleave:
+        How ``data``'s axes map to (lines, samples, bands).
+    wavelengths_nm:
+        Optional per-band centre wavelengths in nanometres (length =
+        ``bands``).
+    name:
+        Human-readable scene identifier carried through I/O.
+    """
+
+    data: np.ndarray
+    interleave: Interleave = Interleave.BIP
+    wavelengths_nm: np.ndarray | None = None
+    name: str = "unnamed"
+    _bip_cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        data = np.asarray(self.data)
+        if data.ndim != 3:
+            raise ShapeError(f"a HyperCube is 3-D, got ndim={data.ndim}")
+        object.__setattr__(self, "data", data)
+        object.__setattr__(self, "interleave", Interleave.parse(self.interleave))
+        if self.wavelengths_nm is not None:
+            wl = np.asarray(self.wavelengths_nm, dtype=np.float64)
+            if wl.ndim != 1 or wl.shape[0] != self.bands:
+                raise ShapeError(
+                    f"wavelengths_nm must be 1-D of length bands={self.bands}, "
+                    f"got shape {wl.shape}")
+            object.__setattr__(self, "wavelengths_nm", wl)
+
+    # ----------------------------------------------------------- geometry
+    @property
+    def lines(self) -> int:
+        """Along-track spatial extent (image height)."""
+        return self.data.shape[_FROM_BIP_AXES[self.interleave].index(0)]
+
+    @property
+    def samples(self) -> int:
+        """Across-track spatial extent (image width)."""
+        return self.data.shape[_FROM_BIP_AXES[self.interleave].index(1)]
+
+    @property
+    def bands(self) -> int:
+        """Number of spectral channels."""
+        return self.data.shape[_FROM_BIP_AXES[self.interleave].index(2)]
+
+    @property
+    def pixel_count(self) -> int:
+        """Number of spatial pixels (lines * samples)."""
+        return self.lines * self.samples
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the raw cube in bytes."""
+        return int(self.data.nbytes)
+
+    @property
+    def size_mb(self) -> float:
+        """Size of the raw cube in (decimal) megabytes, as the paper
+        reports its image sizes."""
+        return self.nbytes / 1e6
+
+    # ------------------------------------------------------------- layout
+    def as_bip(self) -> np.ndarray:
+        """Return a (lines, samples, bands) view of the cube.
+
+        The result is a view (no copy) whenever the interleave permits;
+        conversions from BIL/BSQ return transposed views.  Cached so that
+        repeated calls on a frozen cube are free.
+        """
+        cached = self._bip_cache.get("bip")
+        if cached is None:
+            cached = np.transpose(self.data, _TO_BIP_AXES[self.interleave])
+            self._bip_cache["bip"] = cached
+        return cached
+
+    def as_layout(self, interleave: Interleave | str, *,
+                  contiguous: bool = False) -> np.ndarray:
+        """Return the cube in the requested interleave.
+
+        Parameters
+        ----------
+        interleave:
+            Target layout.
+        contiguous:
+            When true, force a C-contiguous result (copying if needed) —
+            required before handing a chunk to the raw-binary writer or
+            the texture uploader.
+        """
+        target = Interleave.parse(interleave)
+        out = np.transpose(self.as_bip(), _FROM_BIP_AXES[target])
+        if contiguous:
+            out = np.ascontiguousarray(out)
+        return out
+
+    def to(self, interleave: Interleave | str) -> "HyperCube":
+        """Return a cube whose *storage* uses the given interleave."""
+        target = Interleave.parse(interleave)
+        return HyperCube(self.as_layout(target, contiguous=True),
+                         interleave=target,
+                         wavelengths_nm=self.wavelengths_nm,
+                         name=self.name)
+
+    # ------------------------------------------------------------- access
+    def pixel(self, line: int, sample: int) -> np.ndarray:
+        """Return the full spectrum of one pixel as a 1-D view."""
+        return self.as_bip()[line, sample, :]
+
+    def band(self, index: int) -> np.ndarray:
+        """Return one spectral band as a (lines, samples) view."""
+        if not 0 <= index < self.bands:
+            raise IndexError(f"band {index} out of range [0, {self.bands})")
+        return self.as_bip()[:, :, index]
+
+    def band_at_wavelength(self, wavelength_nm: float) -> tuple[int, np.ndarray]:
+        """Return (index, image) of the band nearest a wavelength.
+
+        Used by the Figure-5 example to extract the 587 nm band.
+        """
+        if self.wavelengths_nm is None:
+            raise LayoutError("cube carries no wavelength metadata")
+        index = int(np.argmin(np.abs(self.wavelengths_nm - wavelength_nm)))
+        return index, self.band(index)
+
+    def crop(self, lines: slice | tuple[int, int],
+             samples: slice | tuple[int, int]) -> "HyperCube":
+        """Spatially crop the cube (view, no copy).
+
+        Accepts slices or (start, stop) tuples.  Used by the scaling
+        benchmarks, which — like the paper — test "cropped portions" of
+        the full scene.
+        """
+        lsl = lines if isinstance(lines, slice) else slice(*lines)
+        ssl = samples if isinstance(samples, slice) else slice(*samples)
+        view = self.as_bip()[lsl, ssl, :]
+        if view.size == 0:
+            raise ShapeError("crop produced an empty cube")
+        return HyperCube(view, interleave=Interleave.BIP,
+                         wavelengths_nm=self.wavelengths_nm,
+                         name=f"{self.name}[crop]")
+
+    def with_data(self, data: np.ndarray) -> "HyperCube":
+        """Return a new cube sharing this cube's metadata with new data
+        (same interleave semantics, caller-supplied array)."""
+        return HyperCube(data, interleave=Interleave.BIP,
+                         wavelengths_nm=self.wavelengths_nm, name=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"HyperCube({self.name!r}, lines={self.lines}, "
+                f"samples={self.samples}, bands={self.bands}, "
+                f"interleave={self.interleave.value}, "
+                f"dtype={self.data.dtype}, {self.size_mb:.1f} MB)")
+
+
+def cube_from_bip(array: np.ndarray, *, wavelengths_nm: np.ndarray | None = None,
+                  name: str = "unnamed") -> HyperCube:
+    """Convenience constructor for the common (lines, samples, bands) case."""
+    return HyperCube(array, interleave=Interleave.BIP,
+                     wavelengths_nm=wavelengths_nm, name=name)

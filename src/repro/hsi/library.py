@@ -1,0 +1,204 @@
+"""Synthetic spectral library.
+
+The real experiments use field/lab reference spectra implicit in the
+AVIRIS Indian Pines scene.  Offline we synthesize a spectral library whose
+members have the gross features of the corresponding materials:
+
+* **Vegetation** — chlorophyll absorption wells in the visible (~450 nm
+  and ~670 nm), a sharp red edge near 700 nm, a high NIR plateau and leaf
+  water absorption dips at ~970/1200/1450/1940 nm.  Crop variants differ
+  in chlorophyll depth, red-edge position and water content, which is what
+  distinguishes corn/grass/hay/oats spectra in practice.
+* **Soil** — a smooth continuum rising with wavelength plus clay-mineral
+  absorption near 2200 nm.
+* **Man-made** (concrete, asphalt, roofs) — flat continua at different
+  albedos with weak features.
+* **Water** — low reflectance decaying rapidly through the NIR.
+
+Every spectrum is built as ``continuum * prod(1 - depth_i *
+gauss(center_i, width_i))`` evaluated on an arbitrary
+:class:`~repro.hsi.bands.BandSet`, so the same library definition works
+for the full 224-channel sensor and for the reduced sensors used in fast
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hsi.bands import BandSet
+
+
+@dataclass(frozen=True)
+class AbsorptionFeature:
+    """A Gaussian absorption well multiplied into a continuum."""
+
+    center_nm: float
+    width_nm: float
+    depth: float  # in [0, 1); fraction of the continuum removed at centre
+
+    def transmission(self, wavelengths_nm: np.ndarray) -> np.ndarray:
+        """1 - depth * gaussian, evaluated per wavelength."""
+        if not 0.0 <= self.depth < 1.0:
+            raise ValueError(f"depth must be in [0, 1), got {self.depth}")
+        g = np.exp(-0.5 * ((wavelengths_nm - self.center_nm) / self.width_nm) ** 2)
+        return 1.0 - self.depth * g
+
+
+@dataclass(frozen=True)
+class MaterialSpec:
+    """Recipe for one library spectrum.
+
+    ``continuum_nodes`` is a sparse list of (wavelength_nm, reflectance)
+    control points; the continuum is a monotone-friendly piecewise-linear
+    interpolation through them, which keeps synthetic spectra strictly
+    positive and smooth at the 10 nm sampling of the sensor.
+    """
+
+    name: str
+    continuum_nodes: tuple[tuple[float, float], ...]
+    features: tuple[AbsorptionFeature, ...] = ()
+    red_edge_nm: float | None = None      # sigmoid step for vegetation
+    red_edge_rise: float = 0.0            # plateau added above the edge
+
+    def evaluate(self, bands: BandSet) -> np.ndarray:
+        """Reflectance spectrum (unit: reflectance in [0, ~1]) on a grid."""
+        wl = bands.centers_nm
+        nodes = np.asarray(self.continuum_nodes, dtype=np.float64)
+        continuum = np.interp(wl, nodes[:, 0], nodes[:, 1])
+        if self.red_edge_nm is not None:
+            sigm = 1.0 / (1.0 + np.exp(-(wl - self.red_edge_nm) / 15.0))
+            continuum = continuum + self.red_edge_rise * sigm
+        spectrum = continuum
+        for feat in self.features:
+            spectrum = spectrum * feat.transmission(wl)
+        return np.clip(spectrum, 1e-4, None)
+
+
+# Leaf/canopy water absorption features shared by all green vegetation.
+_VEG_WATER = (
+    AbsorptionFeature(970.0, 35.0, 0.12),
+    AbsorptionFeature(1200.0, 45.0, 0.18),
+    AbsorptionFeature(1450.0, 60.0, 0.55),
+    AbsorptionFeature(1940.0, 70.0, 0.65),
+)
+
+
+def _vegetation(name: str, *, chlorophyll: float, water_scale: float,
+                nir: float, red_edge_nm: float = 705.0) -> MaterialSpec:
+    """Parametric green-vegetation recipe.
+
+    ``chlorophyll`` in [0,1] deepens the visible absorption wells,
+    ``water_scale`` scales the SWIR water features, ``nir`` sets the NIR
+    plateau height.
+    """
+    feats = [
+        AbsorptionFeature(450.0, 40.0, 0.45 * chlorophyll + 0.2),
+        AbsorptionFeature(670.0, 30.0, 0.60 * chlorophyll + 0.2),
+    ]
+    feats += [AbsorptionFeature(f.center_nm, f.width_nm,
+                                min(f.depth * water_scale, 0.95))
+              for f in _VEG_WATER]
+    nodes = ((400.0, 0.06), (550.0, 0.12), (680.0, 0.06),
+             (750.0, 0.08), (1300.0, 0.10), (2500.0, 0.05))
+    return MaterialSpec(name, nodes, tuple(feats),
+                        red_edge_nm=red_edge_nm, red_edge_rise=nir)
+
+
+def _soil(name: str, *, albedo: float, clay: float) -> MaterialSpec:
+    nodes = ((400.0, 0.08 * albedo), (900.0, 0.30 * albedo),
+             (1600.0, 0.42 * albedo), (2500.0, 0.38 * albedo))
+    feats = (AbsorptionFeature(2200.0, 60.0, clay),
+             AbsorptionFeature(1900.0, 80.0, 0.10))
+    return MaterialSpec(name, nodes, feats)
+
+
+def _flat(name: str, *, albedo: float, tilt: float = 0.0) -> MaterialSpec:
+    nodes = ((400.0, albedo * (1 - tilt)), (2500.0, albedo * (1 + tilt)))
+    return MaterialSpec(name, nodes)
+
+
+def _water(name: str) -> MaterialSpec:
+    nodes = ((400.0, 0.08), (600.0, 0.06), (750.0, 0.02),
+             (900.0, 0.008), (2500.0, 0.003))
+    return MaterialSpec(name, nodes)
+
+
+@dataclass(frozen=True)
+class SpectralLibrary:
+    """A named collection of reference spectra on a common band grid."""
+
+    bands: BandSet
+    names: tuple[str, ...]
+    spectra: np.ndarray  # (len(names), bands.count) reflectance
+    _index: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        spectra = np.asarray(self.spectra, dtype=np.float64)
+        if spectra.shape != (len(self.names), self.bands.count):
+            raise ValueError(
+                f"spectra shape {spectra.shape} inconsistent with "
+                f"{len(self.names)} names x {self.bands.count} bands")
+        if np.any(spectra <= 0):
+            raise ValueError("library spectra must be strictly positive")
+        object.__setattr__(self, "spectra", spectra)
+        self._index.update({n: i for i, n in enumerate(self.names)})
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def get(self, name: str) -> np.ndarray:
+        """Spectrum of a named material (1-D view)."""
+        try:
+            return self.spectra[self._index[name]]
+        except KeyError:
+            raise KeyError(f"no material {name!r} in library "
+                           f"(have {sorted(self._index)})") from None
+
+    def subset_bands(self, indices: np.ndarray) -> "SpectralLibrary":
+        """Library restricted to a subset of channels (e.g. good bands)."""
+        idx = np.asarray(indices, dtype=np.intp)
+        return SpectralLibrary(self.bands.subset(idx), self.names,
+                               self.spectra[:, idx])
+
+
+#: Recipes for every distinct material used by the Indian-Pines-like scene.
+DEFAULT_MATERIALS: tuple[MaterialSpec, ...] = (
+    _soil("bare_soil", albedo=1.0, clay=0.25),
+    _soil("soil_dark", albedo=0.6, clay=0.15),
+    _vegetation("corn_mature", chlorophyll=0.9, water_scale=1.0, nir=0.42),
+    _vegetation("corn_young", chlorophyll=0.55, water_scale=0.7, nir=0.30,
+                red_edge_nm=700.0),
+    _vegetation("corn_stressed", chlorophyll=0.40, water_scale=0.55,
+                nir=0.24, red_edge_nm=695.0),
+    _vegetation("grass", chlorophyll=0.75, water_scale=0.85, nir=0.36,
+                red_edge_nm=708.0),
+    _vegetation("pasture", chlorophyll=0.65, water_scale=0.8, nir=0.33),
+    _vegetation("trees", chlorophyll=0.95, water_scale=1.1, nir=0.47,
+                red_edge_nm=712.0),
+    _vegetation("oats", chlorophyll=0.6, water_scale=0.75, nir=0.31,
+                red_edge_nm=702.0),
+    _vegetation("alfalfa", chlorophyll=0.8, water_scale=0.9, nir=0.38),
+    MaterialSpec("hay", ((400.0, 0.12), (700.0, 0.28), (1300.0, 0.45),
+                         (2500.0, 0.30)),
+                 (AbsorptionFeature(1450.0, 60.0, 0.20),
+                  AbsorptionFeature(1940.0, 70.0, 0.25),
+                  AbsorptionFeature(2100.0, 70.0, 0.18))),  # dry residue/cellulose
+    _flat("concrete", albedo=0.45, tilt=0.1),
+    _flat("asphalt", albedo=0.09, tilt=0.25),
+    _flat("roof_metal", albedo=0.30, tilt=-0.2),
+    _water("lake"),
+    _soil("gravel_runway", albedo=0.85, clay=0.08),
+)
+
+
+def build_default_library(bands: BandSet) -> SpectralLibrary:
+    """Evaluate :data:`DEFAULT_MATERIALS` on a band grid."""
+    names = tuple(m.name for m in DEFAULT_MATERIALS)
+    spectra = np.stack([m.evaluate(bands) for m in DEFAULT_MATERIALS])
+    return SpectralLibrary(bands, names, spectra)

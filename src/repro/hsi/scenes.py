@@ -1,0 +1,99 @@
+"""Additional scene presets beyond the Indian-Pines-like default.
+
+The generator in :mod:`repro.hsi.synthetic` is fully table-driven; this
+module provides two more class tables exercising different regimes of
+the AMC algorithm, plus a tiny preset for documentation and tests:
+
+* **urban** — few, spectrally distinct, macroscopically pure classes;
+* **coastal** — a water-dominated scene with dark, low-SNR classes and
+  heavily mixed shore classes (stresses the SID epsilon handling and
+  the endmember denoising; accuracy stays high because the class
+  *materials* remain distinct — the Indian Pines difficulty comes from
+  near-duplicate materials, not from darkness or mixing alone);
+* **minimal** — four classes, useful for doctests and quick examples.
+
+Each preset is just ``generate_scene`` with a different
+:class:`~repro.hsi.synthetic.ClassSpec` table — user code can build its
+own tables the same way.
+"""
+
+from __future__ import annotations
+
+from repro.hsi.synthetic import (
+    ClassSpec,
+    SceneParams,
+    SyntheticScene,
+    generate_scene,
+)
+
+
+def _spec(name: str, material: str, purity: float, *, weight: float = 1.0,
+          mixers: tuple[str, ...] = ("bare_soil",),
+          structure: str | None = None) -> ClassSpec:
+    return ClassSpec(name=name, material=material, mixers=mixers,
+                     purity=purity, weight=weight, paper_accuracy=0.0,
+                     structure=structure)
+
+
+#: Pure, well-separated classes: the regime where AMC shines.
+URBAN_CLASSES: tuple[ClassSpec, ...] = (
+    _spec("Concrete", "concrete", 0.92, weight=2.0, mixers=("asphalt",)),
+    _spec("Asphalt", "asphalt", 0.90, weight=2.0, mixers=("concrete",)),
+    _spec("MetalRoof", "roof_metal", 0.88, mixers=("concrete",),
+          structure="lots"),
+    _spec("Park", "grass", 0.85, weight=1.5, mixers=("trees",)),
+    _spec("Trees", "trees", 0.90, mixers=("grass",), structure="woods"),
+    _spec("BareLot", "bare_soil", 0.92, mixers=("gravel_runway",)),
+    _spec("River", "lake", 0.90, structure="lake", mixers=("soil_dark",)),
+    _spec("Road", "asphalt", 0.85, structure="road",
+          mixers=("gravel_runway",)),
+)
+
+#: Dark, low-SNR water classes mixed with a bright shore.
+COASTAL_CLASSES: tuple[ClassSpec, ...] = (
+    _spec("DeepWater", "lake", 0.95, weight=4.0, mixers=("soil_dark",)),
+    _spec("ShallowWater", "lake", 0.52, weight=2.0,
+          mixers=("bare_soil",)),
+    _spec("Sand", "gravel_runway", 0.90, weight=1.5,
+          mixers=("bare_soil",)),
+    _spec("Marsh", "pasture", 0.48, mixers=("lake", "soil_dark")),
+    _spec("DuneGrass", "grass", 0.55, mixers=("gravel_runway",)),
+    _spec("Jetty", "concrete", 0.85, structure="road",
+          mixers=("lake",)),
+)
+
+#: Four classes for docs and quick tests.
+MINIMAL_CLASSES: tuple[ClassSpec, ...] = (
+    _spec("Soil", "bare_soil", 0.92, weight=2.0, mixers=("soil_dark",)),
+    _spec("Crop", "corn_mature", 0.75, weight=2.0),
+    _spec("Forest", "trees", 0.90, structure="woods"),
+    _spec("Water", "lake", 0.90, structure="lake", mixers=("soil_dark",)),
+)
+
+
+def generate_urban_scene(lines: int = 96, samples: int = 96, *,
+                         band_count: int = 128, seed: int = 11,
+                         **kwargs) -> SyntheticScene:
+    """An 8-class urban scene with high-purity classes."""
+    return generate_scene(SceneParams(lines=lines, samples=samples,
+                                      band_count=band_count, seed=seed,
+                                      classes=URBAN_CLASSES, **kwargs))
+
+
+def generate_coastal_scene(lines: int = 96, samples: int = 96, *,
+                           band_count: int = 128, seed: int = 12,
+                           **kwargs) -> SyntheticScene:
+    """A water-dominated 6-class scene (dark-pixel stress test)."""
+    return generate_scene(SceneParams(lines=lines, samples=samples,
+                                      band_count=band_count, seed=seed,
+                                      classes=COASTAL_CLASSES, **kwargs))
+
+
+def generate_minimal_scene(lines: int = 48, samples: int = 48, *,
+                           band_count: int = 32, seed: int = 13,
+                           **kwargs) -> SyntheticScene:
+    """A 4-class scene small enough for doctests and tutorials."""
+    return generate_scene(SceneParams(lines=lines, samples=samples,
+                                      band_count=band_count, seed=seed,
+                                      classes=MINIMAL_CLASSES,
+                                      min_field=8, **kwargs))

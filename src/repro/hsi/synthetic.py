@@ -1,0 +1,435 @@
+"""Synthetic Indian-Pines-like scene generation.
+
+The paper evaluates on the AVIRIS Indian Pines scene: a mixed
+agricultural/forest area imaged *early in the growing season*, so most
+crop pixels are heavy soil/vegetation mixtures — that mixing is exactly
+why Table 3's corn classes classify poorly while macroscopically pure
+classes (BareSoil, Woods, Concrete/Asphalt) classify well.
+
+The generator reproduces those mechanics, not the literal field map:
+
+1. a procedural **class map** built by recursive binary-space
+   partitioning of the image into agricultural fields, with overlaid
+   structures (a road, a runway, a lake, a woods region, building lots);
+2. a **linear mixture model** per pixel: each class owns a library
+   material and a *purity*; the pixel spectrum is
+   ``purity * endmember + (1 - purity) * background`` with per-pixel
+   purity jitter and a smooth illumination gain field;
+3. the **sensor model** of :mod:`repro.hsi.noise` (band-dependent SNR,
+   water-absorption bad bands).
+
+Purities are assigned from the accuracy the paper reports for each class
+(low reported accuracy <=> heavily mixed class), so the *shape* of Table 3
+is a consequence of the generator's physics rather than hard-coded
+outputs.  The paper's accuracy values are carried on each class spec for
+the EXPERIMENTS.md comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.hsi.bands import BandSet, aviris_bands
+from repro.hsi.cube import HyperCube, Interleave
+from repro.hsi.library import SpectralLibrary, build_default_library
+from repro.hsi.noise import NoiseModel
+
+
+@dataclass(frozen=True)
+class ClassSpec:
+    """One ground-truth land-cover class.
+
+    Attributes
+    ----------
+    name:
+        Class label as printed in paper Table 3.
+    material:
+        Name of the owning endmember in the spectral library.
+    mixers:
+        Materials the class mixes with (background of the linear model).
+    purity:
+        Mean abundance of the owning endmember in this class's pixels.
+    weight:
+        Relative share of the scene area given to the class by the BSP
+        field allocator (special structures override this).
+    paper_accuracy:
+        Classification accuracy (%) the paper reports for the class —
+        reference data for EXPERIMENTS.md, never used by any algorithm.
+    structure:
+        ``None`` for ordinary BSP fields, or one of ``"road"``,
+        ``"runway"``, ``"lake"``, ``"woods"``, ``"lots"`` for classes with
+        dedicated geometry.
+    """
+
+    name: str
+    material: str
+    mixers: tuple[str, ...]
+    purity: float
+    weight: float
+    paper_accuracy: float
+    structure: str | None = None
+
+
+#: Standard deviation of the per-pixel dominant-abundance distribution.
+#: Must match :attr:`SceneParams.purity_jitter` for the calibration below
+#: to hold.
+_PURITY_SIGMA: float = 0.083
+
+
+def _purity_from_accuracy(acc: float) -> float:
+    """Map a paper-reported accuracy (%) to a mean endmember abundance.
+
+    Under the single-competitor mixing model each pixel is
+    ``a * endmember + (1 - a) * competitor`` with
+    ``a ~ N(purity, sigma)``; an ideal abundance-argmax classifier is
+    correct exactly when ``a > 0.5``, i.e. with probability
+    ``Phi((purity - 0.5) / sigma)``.  Inverting that relation,
+    ``purity = 0.5 + sigma * Phi^{-1}(acc)``, calibrates the *mixing
+    physics* so that the paper's per-class accuracy is what an ideal
+    pipeline would measure — the real pipeline then deviates through
+    endmember-extraction quality, label collisions and sensor noise,
+    which is precisely what EXPERIMENTS.md quantifies.
+    """
+    from scipy.special import ndtri
+
+    quantile = min(max(acc / 100.0, 1e-4), 1 - 1e-4)
+    return float(np.clip(0.5 + _PURITY_SIGMA * ndtri(quantile), 0.20, 0.97))
+
+
+def _spec(name: str, material: str, acc: float, *, weight: float = 1.0,
+          mixers: tuple[str, ...] = ("bare_soil",),
+          structure: str | None = None) -> ClassSpec:
+    return ClassSpec(name=name, material=material, mixers=mixers,
+                     purity=_purity_from_accuracy(acc), weight=weight,
+                     paper_accuracy=acc, structure=structure)
+
+
+#: The ground-truth classes of paper Table 3 (32 rows), with the owning
+#: material, mixing partners and paper accuracies.
+INDIAN_PINES_CLASSES: tuple[ClassSpec, ...] = (
+    _spec("BareSoil", "bare_soil", 98.05, weight=2.0, mixers=("soil_dark",)),
+    _spec("Buildings", "roof_metal", 30.43, structure="lots",
+          mixers=("concrete", "asphalt", "grass")),
+    _spec("Concrete/Asphalt", "concrete", 96.24, structure="lots",
+          mixers=("asphalt",)),
+    _spec("Corn", "corn_mature", 99.37, weight=1.5),
+    _spec("Corn?", "corn_mature", 86.77),
+    _spec("Corn-EW", "corn_young", 37.01),
+    _spec("Corn-NS", "corn_mature", 91.50),
+    _spec("Corn-CleanTill", "corn_young", 65.39, weight=1.5),
+    _spec("Corn-CleanTill-EW", "corn_young", 69.88, weight=1.5),
+    _spec("Corn-CleanTill-NS", "corn_young", 71.64, weight=1.5),
+    _spec("Corn-CleanTill-NS-Irrigated", "corn_mature", 60.91),
+    _spec("Corn-CleanTilled-NS?", "corn_young", 70.27),
+    _spec("Corn-MinTill", "corn_stressed", 79.71),
+    _spec("Corn-MinTill-EW", "corn_stressed", 65.51),
+    _spec("Corn-MinTill-NS", "corn_stressed", 69.57),
+    _spec("Corn-NoTill", "corn_mature", 87.20, weight=1.5),
+    _spec("Corn-NoTill-EW", "corn_young", 91.25),
+    _spec("Corn-NoTill-NS", "corn_young", 44.64),
+    _spec("Fescue", "grass", 42.37, mixers=("pasture", "bare_soil")),
+    _spec("Grass", "grass", 70.15, weight=1.5),
+    _spec("Grass/Trees", "grass", 51.30, mixers=("trees", "bare_soil")),
+    _spec("Grass/Pasture-mowed", "pasture", 79.87),
+    _spec("Grass/Pasture", "pasture", 66.40, mixers=("grass", "bare_soil")),
+    _spec("Grass-runway", "gravel_runway", 60.53, structure="runway",
+          mixers=("grass",)),
+    _spec("Hay", "hay", 62.13, weight=1.5),
+    _spec("Hay?", "hay", 61.98),
+    _spec("Hay-Alfalfa", "alfalfa", 83.35, mixers=("hay",)),
+    _spec("Lake", "lake", 83.41, structure="lake", mixers=("soil_dark",)),
+    _spec("NotCropped", "bare_soil", 99.20, mixers=("grass",)),
+    _spec("Oats", "oats", 78.04),
+    _spec("Road", "asphalt", 86.60, structure="road",
+          mixers=("gravel_runway",)),
+    _spec("Woods", "trees", 88.89, structure="woods", weight=3.0),
+)
+
+
+@dataclass(frozen=True)
+class SceneParams:
+    """Knobs of the synthetic scene generator."""
+
+    lines: int = 128
+    samples: int = 128
+    band_count: int = 224
+    seed: int = 2006
+    noise: NoiseModel = field(default_factory=NoiseModel)
+    purity_jitter: float = 0.12      # per-pixel abundance sigma
+    illumination_variation: float = 0.12
+    min_field: int = 8               # BSP stops below this field size
+    drop_bad_bands: bool = True      # discard water-absorption channels
+    classes: tuple[ClassSpec, ...] = INDIAN_PINES_CLASSES
+
+    def __post_init__(self) -> None:
+        if self.lines < 4 or self.samples < 4:
+            raise ShapeError("scene must be at least 4x4 pixels")
+        if self.band_count < 8:
+            raise ShapeError("scene needs at least 8 spectral bands")
+        if not self.classes:
+            raise ValueError("at least one class is required")
+
+
+@dataclass(frozen=True)
+class SyntheticScene:
+    """A generated scene: the cube plus everything tests need to verify it.
+
+    Attributes
+    ----------
+    cube:
+        The noisy radiance cube (BIP, float32 like the GPU path expects).
+    ground_truth:
+        (lines, samples) int array of 1-based class labels (every pixel is
+        labeled; the paper's Fig. 5 ground truth is also dense).
+    class_names:
+        Names indexed by ``label - 1``.
+    abundance:
+        (lines, samples) float array — the true per-pixel abundance of the
+        owning endmember (useful for analyses and tests of the mixing
+        model).
+    library / bands / params:
+        The generating configuration.
+    """
+
+    cube: HyperCube
+    ground_truth: np.ndarray
+    class_names: tuple[str, ...]
+    abundance: np.ndarray
+    library: SpectralLibrary
+    bands: BandSet
+    params: SceneParams
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.class_names)
+
+    def class_spec(self, label: int) -> ClassSpec:
+        """The :class:`ClassSpec` for a 1-based label."""
+        return self.params.classes[label - 1]
+
+
+# --------------------------------------------------------------------------
+# Class-map construction
+# --------------------------------------------------------------------------
+
+def _bsp_fields(lines: int, samples: int, min_field: int,
+                rng: np.random.Generator) -> list[tuple[int, int, int, int]]:
+    """Recursively split the image into agricultural-field rectangles.
+
+    Returns a list of (row0, row1, col0, col1) half-open boxes covering
+    the image exactly.
+    """
+    fields: list[tuple[int, int, int, int]] = []
+    stack = [(0, lines, 0, samples)]
+    while stack:
+        r0, r1, c0, c1 = stack.pop()
+        h, w = r1 - r0, c1 - c0
+        splittable_h = h >= 2 * min_field
+        splittable_w = w >= 2 * min_field
+        if not splittable_h and not splittable_w:
+            fields.append((r0, r1, c0, c1))
+            continue
+        # Keep splitting with high probability while fields are large;
+        # fields near the minimum survive intact more often.
+        area_ratio = (h * w) / float(max(min_field, 1) ** 2)
+        if rng.random() > min(0.95, 0.30 + 0.10 * np.log2(max(area_ratio, 1.0))):
+            fields.append((r0, r1, c0, c1))
+            continue
+        if splittable_h and (not splittable_w or
+                             (h >= w or rng.random() < 0.5)):
+            cut = int(rng.integers(r0 + min_field, r1 - min_field + 1))
+            stack.append((r0, cut, c0, c1))
+            stack.append((cut, r1, c0, c1))
+        else:
+            cut = int(rng.integers(c0 + min_field, c1 - min_field + 1))
+            stack.append((r0, r1, c0, cut))
+            stack.append((r0, r1, cut, c1))
+    return fields
+
+
+def _build_class_map(params: SceneParams,
+                     rng: np.random.Generator) -> np.ndarray:
+    """Assign a 1-based class label to every pixel."""
+    lines, samples = params.lines, params.samples
+    classes = params.classes
+    labels = np.zeros((lines, samples), dtype=np.int32)
+
+    field_classes = [i for i, c in enumerate(classes) if c.structure is None]
+    weights = np.array([classes[i].weight for i in field_classes], float)
+    weights /= weights.sum()
+
+    # 1. ordinary fields.  The first pass deals one field to each class in
+    # shuffled order so every class appears whenever there are enough
+    # fields (the paper's ground truth covers all 30+ classes); remaining
+    # fields are drawn by area weight.
+    fields = _bsp_fields(lines, samples, params.min_field, rng)
+    rng.shuffle(fields)
+    coverage = list(field_classes)
+    rng.shuffle(coverage)
+    for k, (r0, r1, c0, c1) in enumerate(fields):
+        if k < len(coverage):
+            pick = coverage[k]
+        else:
+            pick = int(rng.choice(field_classes, p=weights))
+        labels[r0:r1, c0:c1] = pick + 1
+
+    # 2. structured overlays (later overlays win, as built things do)
+    rr, cc = np.mgrid[0:lines, 0:samples]
+    for i, spec in enumerate(classes):
+        if spec.structure is None:
+            continue
+        if spec.structure == "woods":
+            # A forested corner: everything beyond a wavy diagonal frontier.
+            frontier = 0.72 + 0.06 * np.sin(cc / max(samples / 6.0, 1.0))
+            mask = (rr / max(lines - 1, 1) + cc / max(samples - 1, 1) * 0.4) \
+                > frontier * 1.15
+        elif spec.structure == "lake":
+            cy, cx = lines * 0.22, samples * 0.78
+            ry, rx = max(lines * 0.08, 2.0), max(samples * 0.10, 2.0)
+            mask = ((rr - cy) / ry) ** 2 + ((cc - cx) / rx) ** 2 <= 1.0
+        elif spec.structure == "road":
+            # A straight road crossing the scene diagonally, ~2 px wide.
+            d = np.abs((cc - 0.15 * samples) - 0.9 * rr) / np.hypot(1.0, 0.9)
+            mask = d <= max(1.0, min(lines, samples) / 96.0)
+        elif spec.structure == "runway":
+            r_mid = int(lines * 0.55)
+            half = max(1, lines // 80)
+            mask = (np.abs(rr - r_mid) <= half) & (cc > samples * 0.3) \
+                & (cc < samples * 0.85)
+        elif spec.structure == "lots":
+            # A few small rectangular lots near the road corridor.
+            mask = np.zeros_like(labels, dtype=bool)
+            n_lots = max(2, (lines * samples) // 4096)
+            for _ in range(n_lots):
+                lr = int(rng.integers(0, max(lines - 6, 1)))
+                lc = int(rng.integers(0, max(samples - 6, 1)))
+                hh = int(rng.integers(3, max(min(10, lines - lr), 4)))
+                ww = int(rng.integers(3, max(min(10, samples - lc), 4)))
+                mask[lr:lr + hh, lc:lc + ww] = True
+        else:  # pragma: no cover - guarded by ClassSpec construction
+            raise ValueError(f"unknown structure {spec.structure!r}")
+        labels[mask] = i + 1
+
+    assert labels.min() >= 1, "class map must label every pixel"
+    return labels
+
+
+# --------------------------------------------------------------------------
+# Spectral synthesis
+# --------------------------------------------------------------------------
+
+def _smooth_field(shape: tuple[int, int], rng: np.random.Generator,
+                  scale: float) -> np.ndarray:
+    """A smooth multiplicative gain field in [1-scale, 1+scale].
+
+    Built from a coarse random grid upsampled bilinearly — cheap, and
+    smooth enough to mimic illumination/topography trends.
+    """
+    h, w = shape
+    gh, gw = max(2, h // 32 + 2), max(2, w // 32 + 2)
+    coarse = rng.uniform(-1.0, 1.0, size=(gh, gw))
+    ry = np.linspace(0, gh - 1, h)
+    rx = np.linspace(0, gw - 1, w)
+    y0 = np.clip(ry.astype(int), 0, gh - 2)
+    x0 = np.clip(rx.astype(int), 0, gw - 2)
+    fy = (ry - y0)[:, None]
+    fx = (rx - x0)[None, :]
+    c00 = coarse[y0][:, x0]
+    c01 = coarse[y0][:, x0 + 1]
+    c10 = coarse[y0 + 1][:, x0]
+    c11 = coarse[y0 + 1][:, x0 + 1]
+    smooth = (c00 * (1 - fy) * (1 - fx) + c01 * (1 - fy) * fx
+              + c10 * fy * (1 - fx) + c11 * fy * fx)
+    return 1.0 + scale * smooth
+
+
+def generate_scene(params: SceneParams) -> SyntheticScene:
+    """Generate a full synthetic scene from the given parameters.
+
+    Deterministic for a given ``params.seed``.
+    """
+    rng = np.random.default_rng(params.seed)
+    bands = aviris_bands(params.band_count)
+    library = build_default_library(bands)
+
+    labels = _build_class_map(params, rng)
+    lines, samples = labels.shape
+    n = bands.count
+
+    cube = np.empty((lines, samples, n), dtype=np.float64)
+    abundance = np.empty((lines, samples), dtype=np.float64)
+
+    # Each class perturbs its owning material with a small smooth,
+    # class-unique spectral signature (amplitude ~3%).  Physically this
+    # stands for the subtle canopy/tillage/moisture differences that
+    # separate e.g. the Corn-CleanTill variants in the real scene: real
+    # classes sharing a dominant material are *almost* but not exactly
+    # identical spectrally, which is what makes them hard-but-not-
+    # impossible for abundance-based classification.
+    wl01 = (bands.centers_nm - bands.centers_nm[0]) \
+        / max(bands.centers_nm[-1] - bands.centers_nm[0], 1.0)
+
+    def class_signature(index: int) -> np.ndarray:
+        phase = 2.399963 * index          # golden-angle spacing
+        return 1.0 + 0.10 * (np.sin(2 * np.pi * (2.0 * wl01 + phase))
+                             + 0.5 * np.sin(2 * np.pi * (5.0 * wl01
+                                                         - 1.7 * phase)))
+
+    for i, spec in enumerate(params.classes):
+        mask = labels == i + 1
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        own = library.get(spec.material) * class_signature(i)  # (N,)
+        mixer_spectra = np.stack([library.get(m) for m in spec.mixers])
+        # Per-pixel abundance of the owning endmember (see
+        # _purity_from_accuracy for the calibration argument).
+        a = rng.normal(spec.purity, params.purity_jitter, size=count)
+        a = np.clip(a, 0.02, 0.98)
+        # Every class mixes with ONE fixed background — the average of
+        # its mixer materials — so each class spans a 2-D (endmember,
+        # background) subspace.  Keeping the background fixed per class
+        # (rather than drawn per pixel) is what lets a c-member endmember
+        # extraction cover all classes: per-pixel competitor choice would
+        # multiply the subspace count by the number of mixers.
+        background = mixer_spectra.mean(axis=0)                 # (N,)
+        cube[mask] = a[:, None] * own[None, :] \
+            + (1.0 - a)[:, None] * background[None, :]
+        abundance[mask] = a
+
+    gain = _smooth_field((lines, samples), rng,
+                         params.illumination_variation)
+    cube *= gain[:, :, None]
+    cube = params.noise.apply(cube, bands, rng)
+
+    if params.drop_bad_bands:
+        good = bands.good_indices()
+        cube = cube[:, :, good]
+        library = library.subset_bands(good)
+        bands = library.bands
+
+    hyper = HyperCube(cube.astype(np.float32), interleave=Interleave.BIP,
+                      wavelengths_nm=bands.centers_nm,
+                      name=f"synthetic-indian-pines-{params.seed}")
+    names = tuple(c.name for c in params.classes)
+    return SyntheticScene(cube=hyper, ground_truth=labels,
+                          class_names=names, abundance=abundance,
+                          library=library, bands=bands, params=params)
+
+
+def generate_indian_pines_like(lines: int = 128, samples: int = 128, *,
+                               band_count: int = 224, seed: int = 2006,
+                               **kwargs) -> SyntheticScene:
+    """Convenience wrapper: the default Indian-Pines-like configuration.
+
+    The real scene is 614 x 2166 x 220 (~500 MB); the default here is a
+    spatial reduction with the full spectral dimension, suitable for a
+    single-core machine.  Pass larger ``lines``/``samples`` to approach
+    the paper's sizes.
+    """
+    return generate_scene(SceneParams(lines=lines, samples=samples,
+                                      band_count=band_count, seed=seed,
+                                      **kwargs))

@@ -1,0 +1,58 @@
+"""Spectral mathematics: distances between pixel vectors and normalization.
+
+This package implements the spectral measures used by the paper:
+
+* :func:`~repro.spectral.distances.sid` — the Spectral Information
+  Divergence (paper eq. 2), the distance at the heart of the AMC
+  morphological operations, together with image-form and pairwise-form
+  variants used by the vectorized implementations.
+* :func:`~repro.spectral.normalize.normalize_spectra` — the probability
+  normalization of paper eqs. 3-4.
+* Additional classic measures (SAM, spectral correlation, Euclidean) that
+  the surrounding literature ([2] Chang 2003, [10] Plaza et al. 2002) uses
+  and which the library exposes for the example applications.
+"""
+
+from repro.spectral.distances import (
+    euclidean,
+    sam,
+    sid,
+    sid_cross_terms,
+    sid_image,
+    sid_pairwise,
+    sid_self_entropy,
+    spectral_correlation,
+)
+from repro.spectral.normalize import (
+    SpectralEpsilon,
+    normalize_image,
+    normalize_spectra,
+    safe_log,
+)
+from repro.spectral.reduction import (
+    Projection,
+    estimate_noise_covariance,
+    mnf,
+    pca,
+    virtual_dimensionality,
+)
+
+__all__ = [
+    "Projection",
+    "SpectralEpsilon",
+    "estimate_noise_covariance",
+    "euclidean",
+    "mnf",
+    "normalize_image",
+    "normalize_spectra",
+    "pca",
+    "safe_log",
+    "sam",
+    "sid",
+    "sid_cross_terms",
+    "sid_image",
+    "sid_pairwise",
+    "sid_self_entropy",
+    "spectral_correlation",
+    "virtual_dimensionality",
+]

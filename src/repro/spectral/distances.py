@@ -1,0 +1,198 @@
+"""Spectral distance measures between pixel vectors.
+
+The central measure is the **Spectral Information Divergence** (SID) of
+paper eq. 2, the symmetrized Kullback-Leibler divergence between two
+spectra viewed as probability distributions:
+
+.. math::
+
+    \\mathrm{SID}(p, q) = \\sum_l p_l \\log\\frac{p_l}{q_l}
+                        + \\sum_l q_l \\log\\frac{q_l}{p_l}
+
+For the morphological operations we need SID not between two isolated
+vectors but between *every pixel of an image and every pixel of a shifted
+copy of the same image* (the cumulative distance of eq. 1).  Expanding the
+definition gives the **cross-entropy decomposition** used throughout the
+library:
+
+.. math::
+
+    \\mathrm{SID}(p, q) = h(p) + h(q) - x(p, q) - x(q, p)
+
+with the (negated-sign) self entropy :math:`h(p) = \\sum_l p_l \\log p_l`
+and cross term :math:`x(p, q) = \\sum_l p_l \\log q_l`.  The self entropies
+depend on a single pixel and are computed once per image; only the two
+cross terms depend on the *pair*, halving the per-pair band reductions.
+This is exactly the "maximize computation reuse" hand-tuning the paper
+applies to its CPU reference codes, and the same split maps naturally onto
+the GPU accumulation kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.spectral.normalize import safe_log
+
+
+def _check_pair(p: np.ndarray, q: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    if p.shape[-1] != q.shape[-1]:
+        raise ShapeError(
+            f"spectral axes differ: {p.shape[-1]} vs {q.shape[-1]}")
+    return p, q
+
+
+def sid(p: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Spectral Information Divergence between normalized spectra.
+
+    Parameters
+    ----------
+    p, q:
+        Arrays whose last axis is spectral, already normalized to unit sum
+        (see :func:`repro.spectral.normalize.normalize_spectra`).  Leading
+        axes broadcast, so ``sid(image, vector)`` scores a whole image
+        against one reference spectrum.
+
+    Returns
+    -------
+    numpy.ndarray or float
+        SID values with the broadcast leading shape.  Always >= 0, and 0
+        iff the spectra are identical (up to the epsilon clamp).
+    """
+    p, q = _check_pair(p, q)
+    lp = safe_log(p)
+    lq = safe_log(q)
+    d = (p - q) * (lp - lq)
+    out = d.sum(axis=-1)
+    # Guard against tiny negative values from cancellation; SID is a
+    # sum of non-negative terms analytically.
+    return np.maximum(out, 0.0)
+
+
+def sid_self_entropy(p: np.ndarray) -> np.ndarray:
+    """Self term :math:`h(p) = \\sum_l p_l \\log p_l` of the decomposition.
+
+    ``p`` has the spectral axis last; the result drops that axis.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    return (p * safe_log(p)).sum(axis=-1)
+
+
+def sid_cross_terms(p: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Sum of the two cross terms :math:`x(p,q) + x(q,p)`.
+
+    Combined with :func:`sid_self_entropy`,
+    ``sid(p, q) == sid_self_entropy(p) + sid_self_entropy(q)
+    - sid_cross_terms(p, q)``.
+    """
+    p, q = _check_pair(p, q)
+    lp = safe_log(p)
+    lq = safe_log(q)
+    return (p * lq + q * lp).sum(axis=-1)
+
+
+def sid_image(image_p: np.ndarray, image_q: np.ndarray,
+              hp: np.ndarray | None = None,
+              hq: np.ndarray | None = None) -> np.ndarray:
+    """SID between two aligned (H, W, N) images, pixel by pixel.
+
+    This is the workhorse of the cumulative-distance stage: the caller
+    passes the normalized image and a spatially shifted copy of it, plus
+    (optionally) precomputed self entropies so they are not recomputed for
+    every shift.
+
+    Parameters
+    ----------
+    image_p, image_q:
+        Normalized (H, W, N) cubes.
+    hp, hq:
+        Optional precomputed ``sid_self_entropy`` maps of shape (H, W).
+
+    Returns
+    -------
+    numpy.ndarray
+        (H, W) map of SID values.
+    """
+    image_p = np.asarray(image_p, dtype=np.float64)
+    image_q = np.asarray(image_q, dtype=np.float64)
+    if image_p.shape != image_q.shape:
+        raise ShapeError(
+            f"images must be aligned, got {image_p.shape} vs {image_q.shape}")
+    if image_p.ndim != 3:
+        raise ShapeError(f"expected (H, W, N) images, got ndim={image_p.ndim}")
+    if hp is None:
+        hp = sid_self_entropy(image_p)
+    if hq is None:
+        hq = sid_self_entropy(image_q)
+    cross = sid_cross_terms(image_p, image_q)
+    return np.maximum(hp + hq - cross, 0.0)
+
+
+def sid_pairwise(spectra_a: np.ndarray, spectra_b: np.ndarray | None = None) -> np.ndarray:
+    """Dense SID matrix between two sets of spectra.
+
+    Parameters
+    ----------
+    spectra_a:
+        (M, N) normalized spectra.
+    spectra_b:
+        (K, N) normalized spectra; defaults to ``spectra_a`` (in which
+        case the result is symmetric with a zero diagonal).
+
+    Returns
+    -------
+    numpy.ndarray
+        (M, K) matrix of SID values, computed with two matrix products via
+        the cross-entropy decomposition rather than an M*K loop.
+    """
+    a = np.asarray(spectra_a, dtype=np.float64)
+    b = a if spectra_b is None else np.asarray(spectra_b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ShapeError("sid_pairwise expects 2-D (count, bands) arrays")
+    if a.shape[1] != b.shape[1]:
+        raise ShapeError(
+            f"band counts differ: {a.shape[1]} vs {b.shape[1]}")
+    la = safe_log(a)
+    lb = safe_log(b)
+    ha = (a * la).sum(axis=1)          # (M,)
+    hb = (b * lb).sum(axis=1)          # (K,)
+    cross = a @ lb.T + (b @ la.T).T    # (M, K) = x(a,b) + x(b,a)
+    out = ha[:, None] + hb[None, :] - cross
+    return np.maximum(out, 0.0)
+
+
+def sam(p: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Spectral Angle Mapper: the angle (radians) between spectra.
+
+    Scale-invariant, so it accepts *unnormalized* spectra.  Used by the
+    example applications as an alternative similarity measure; the paper's
+    algorithm itself uses SID.
+    """
+    p, q = _check_pair(p, q)
+    num = (p * q).sum(axis=-1)
+    den = np.sqrt((p * p).sum(axis=-1) * (q * q).sum(axis=-1))
+    with np.errstate(invalid="ignore", divide="ignore"):
+        cosang = np.where(den > 0, num / np.maximum(den, 1e-300), 1.0)
+    return np.arccos(np.clip(cosang, -1.0, 1.0))
+
+
+def spectral_correlation(p: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Pearson correlation between spectra along the last axis."""
+    p, q = _check_pair(p, q)
+    pc = p - p.mean(axis=-1, keepdims=True)
+    qc = q - q.mean(axis=-1, keepdims=True)
+    num = (pc * qc).sum(axis=-1)
+    den = np.sqrt((pc * pc).sum(axis=-1) * (qc * qc).sum(axis=-1))
+    with np.errstate(invalid="ignore", divide="ignore"):
+        out = np.where(den > 0, num / np.maximum(den, 1e-300), 0.0)
+    return np.clip(out, -1.0, 1.0)
+
+
+def euclidean(p: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Euclidean distance between spectra along the last axis."""
+    p, q = _check_pair(p, q)
+    d = p - q
+    return np.sqrt((d * d).sum(axis=-1))

@@ -1,0 +1,47 @@
+"""The stream programming model (paper §2).
+
+The paper abstracts the GPU as a *stream processor*: data lives in
+ordered collections (**streams**), computation happens in **kernels**
+whose semantics "must not depend on the order in which output elements
+are produced", and applications are **chains** of kernels (Brook [1] is
+the canonical formulation).  This package provides that model as a
+first-class, backend-independent API:
+
+* :class:`~repro.stream.stream.Stream` — a named, typed 2-D collection
+  of float4 records;
+* :class:`~repro.stream.kernel.StreamKernel` — a fragment program plus
+  its binding signature;
+* :class:`~repro.stream.graph.StageGraph` — a DAG of kernel applications
+  with named intermediate streams, validated for acyclicity and
+  dangling references;
+* :mod:`~repro.stream.executor` — executors that run a graph either on
+  the CPU directly (:class:`~repro.stream.executor.CpuExecutor`) or on a
+  :class:`~repro.gpu.device.VirtualGPU`
+  (:class:`~repro.stream.executor.GpuExecutor`), where streams become
+  textures and kernel applications become render-to-texture passes.
+
+The hand-tuned AMC implementation of :mod:`repro.core.amc_gpu`
+specializes this model (managing its own ping-pongs and fusion); the
+framework here is the general-purpose surface a user of the library
+builds *other* hyperspectral pipelines with — see
+``examples/stream_pipeline.py``.
+"""
+
+from repro.stream.chunked import graph_halo, run_chunked
+from repro.stream.executor import CpuExecutor, GpuExecutor
+from repro.stream.graph import StageGraph, Step
+from repro.stream.kernel import StreamKernel
+from repro.stream.optimize import optimize
+from repro.stream.stream import Stream
+
+__all__ = [
+    "CpuExecutor",
+    "GpuExecutor",
+    "StageGraph",
+    "Step",
+    "Stream",
+    "StreamKernel",
+    "graph_halo",
+    "optimize",
+    "run_chunked",
+]

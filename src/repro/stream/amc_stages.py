@@ -1,0 +1,187 @@
+"""AMC pipeline stages as declarative stage graphs.
+
+:mod:`repro.core.amc_gpu` is the hand-tuned implementation (its own
+ping-pong management, fusion batching, VRAM lifecycle).  This module
+expresses the same Fig. 4 stages as :class:`~repro.stream.graph.StageGraph`
+values, so a user of the *framework* can compose AMC building blocks
+with their own kernels, run them on either executor, chunk them with
+:mod:`repro.stream.chunked`, and inspect/extend the dataflow as data.
+
+Two builders are provided:
+
+* :func:`build_normalization_graph` — stage 2 of Fig. 4: band-sum
+  reduction over the texture stack, per-group normalization (eqs. 3-4),
+  log streams and the self-entropy reduction;
+* :func:`build_cumulative_graph` — stage 3 for a caller-chosen set of
+  SE-offset pairs: per-pair cross-term reductions, SID maps, and the
+  per-neighbour cumulative-distance accumulations.
+
+The test suite checks both against :func:`repro.core.mei` computations,
+so the declarative graphs and the hand-tuned pipeline cannot drift
+apart silently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mei import se_offsets
+from repro.errors import StreamError
+from repro.gpu import shaderir as ir
+from repro.gpu.texture import band_group_count, group_masks
+from repro.spectral.normalize import SpectralEpsilon
+from repro.stream.graph import StageGraph, Step
+from repro.stream.kernel import StreamKernel
+from repro.stream.stream import Stream
+
+
+def _x(e: ir.Expr) -> ir.Expr:
+    return ir.Swizzle(e, "xxxx")
+
+
+def group_streams(cube_bip: np.ndarray, prefix: str = "src") -> dict[str, Stream]:
+    """Pack an (H, W, N) cube into the named input streams the graphs
+    below expect (``src0``, ``src1``, ...)."""
+    from repro.gpu.texture import pack_bands
+
+    return {f"{prefix}{g}": Stream(f"{prefix}{g}", tex)
+            for g, tex in enumerate(pack_bands(cube_bip))}
+
+
+def build_normalization_graph(bands: int, *,
+                              eps: float | None = None) -> StageGraph:
+    """Stage 2 of Fig. 4 as a stage graph.
+
+    Inputs: ``src0..src{G-1}`` (the packed band groups) and ``zero`` (an
+    all-zero stream seeding the reductions).  Outputs: ``total`` (band
+    sum), ``norm0..`` and ``log0..`` per group, and ``entropy``.
+    """
+    if bands < 1:
+        raise StreamError(f"bands must be >= 1, got {bands}")
+    groups = band_group_count(bands)
+    masks = group_masks(bands)
+    eps_value = SpectralEpsilon.get() if eps is None else float(eps)
+
+    bandsum = StreamKernel.from_expression(
+        "g_bandsum",
+        ir.add(ir.TexFetch("acc"),
+               ir.dot4(ir.TexFetch("src"), ir.Uniform("mask"))),
+        inputs=("acc", "src"), uniforms=("mask",))
+    normalize = StreamKernel.from_expression(
+        "g_normalize",
+        ir.mul(ir.div(ir.TexFetch("src"), _x(ir.TexFetch("total"))),
+               ir.Uniform("mask")),
+        inputs=("src", "total"), uniforms=("mask",))
+    logstream = StreamKernel.from_expression(
+        "g_log", ir.log(ir.max_(ir.TexFetch("norm"), ir.vec4(eps_value))),
+        inputs=("norm",))
+    entropy = StreamKernel.from_expression(
+        "g_entropy",
+        ir.add(ir.TexFetch("acc"),
+               ir.dot4(ir.TexFetch("norm"), ir.TexFetch("logt"))),
+        inputs=("acc", "norm", "logt"))
+
+    steps: list[Step] = []
+    acc = "zero"
+    for g in range(groups):
+        out = "total" if g == groups - 1 else f"sum{g}"
+        steps.append(Step(bandsum, {"acc": acc, "src": f"src{g}"}, out,
+                          uniforms={"mask": masks[g]}))
+        acc = out
+    for g in range(groups):
+        steps.append(Step(normalize,
+                          {"src": f"src{g}", "total": "total"},
+                          f"norm{g}", uniforms={"mask": masks[g]}))
+        steps.append(Step(logstream, {"norm": f"norm{g}"}, f"log{g}"))
+    acc = "zero"
+    for g in range(groups):
+        out = "entropy" if g == groups - 1 else f"ent{g}"
+        steps.append(Step(entropy, {"acc": acc, "norm": f"norm{g}",
+                                    "logt": f"log{g}"}, out))
+        acc = out
+
+    outputs = ("total", "entropy") \
+        + tuple(f"norm{g}" for g in range(groups)) \
+        + tuple(f"log{g}" for g in range(groups))
+    return StageGraph("amc-normalization",
+                      inputs=("zero",) + tuple(f"src{g}"
+                                               for g in range(groups)),
+                      steps=tuple(steps), outputs=outputs)
+
+
+def build_cumulative_graph(bands: int, radius: int = 1, *,
+                           pairs: tuple[tuple[int, int], ...] | None = None,
+                           ) -> StageGraph:
+    """Stage 3 of Fig. 4 (cumulative SID distances) as a stage graph.
+
+    Inputs: ``zero``, ``entropy`` and the ``norm*``/``log*`` streams of
+    :func:`build_normalization_graph`.  Outputs: one ``sid_{a}_{b}`` map
+    per requested pair and one ``accum{k}`` cumulative stream per SE
+    neighbour that appears in the pairs.
+
+    ``pairs`` defaults to every unordered pair of the SE — note that is
+    K(K-1)/2 * G steps; for demonstrations pass a subset.
+    """
+    offsets = se_offsets(radius)
+    k_count = len(offsets)
+    groups = band_group_count(bands)
+    if pairs is None:
+        pairs = tuple((a, b) for a in range(k_count)
+                      for b in range(a + 1, k_count))
+    for a, b in pairs:
+        if not 0 <= a < b < k_count:
+            raise StreamError(f"invalid SE pair ({a}, {b}) for radius "
+                              f"{radius}")
+
+    add2 = StreamKernel.from_expression(
+        "g_add", ir.add(ir.TexFetch("a"), ir.TexFetch("b")),
+        inputs=("a", "b"))
+
+    steps: list[Step] = []
+    touched: dict[int, str] = {}
+    for a, b in pairs:
+        ady, adx = offsets[a]
+        bdy, bdx = offsets[b]
+        cross = StreamKernel.from_expression(
+            f"g_cross_{a}_{b}",
+            ir.add(ir.TexFetch("acc"),
+                   ir.add(ir.dot4(ir.TexFetch("norm", adx, ady),
+                                  ir.TexFetch("logt", bdx, bdy)),
+                          ir.dot4(ir.TexFetch("norm", bdx, bdy),
+                                  ir.TexFetch("logt", adx, ady)))),
+            inputs=("acc", "norm", "logt"))
+        sid = StreamKernel.from_expression(
+            f"g_sid_{a}_{b}",
+            ir.max_(ir.sub(ir.add(ir.TexFetch("h", adx, ady),
+                                  ir.TexFetch("h", bdx, bdy)),
+                           ir.TexFetch("cross")),
+                    ir.vec4(0.0)),
+            inputs=("h", "cross"))
+        acc = "zero"
+        for g in range(groups):
+            out = f"cross_{a}_{b}" if g == groups - 1 \
+                else f"cross_{a}_{b}_g{g}"
+            steps.append(Step(cross, {"acc": acc, "norm": f"norm{g}",
+                                      "logt": f"log{g}"}, out))
+            acc = out
+        steps.append(Step(sid, {"h": "entropy", "cross": f"cross_{a}_{b}"},
+                          f"sid_{a}_{b}"))
+        for k in (a, b):
+            prev = touched.get(k, "zero")
+            out = f"accum{k}_v{len(steps)}"
+            steps.append(Step(add2, {"a": prev, "b": f"sid_{a}_{b}"}, out))
+            touched[k] = out
+
+    # final aliases: copy each neighbour's last accumulator to accum{k}
+    identity = StreamKernel.from_expression(
+        "g_copy", ir.add(ir.TexFetch("a"), ir.vec4(0.0)), inputs=("a",))
+    for k, name in touched.items():
+        steps.append(Step(identity, {"a": name}, f"accum{k}"))
+
+    outputs = tuple(f"sid_{a}_{b}" for a, b in pairs) \
+        + tuple(f"accum{k}" for k in sorted(touched))
+    inputs = ("zero", "entropy") \
+        + tuple(f"norm{g}" for g in range(groups)) \
+        + tuple(f"log{g}" for g in range(groups))
+    return StageGraph("amc-cumulative", inputs=inputs,
+                      steps=tuple(steps), outputs=outputs)

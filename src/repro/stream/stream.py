@@ -1,0 +1,83 @@
+"""Streams: ordered 2-D collections of float4 records.
+
+A stream is the data half of the stream programming model: shape-tagged,
+immutable-by-convention, and convertible to/from the texture
+representation the GPU backend uses.  Scalar (single-channel) data rides
+in lane x with the remaining lanes zero, matching
+:meth:`repro.gpu.texture.Texture2D.from_scalar_image`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError, StreamError
+
+#: Records are float4, the native width of the fragment processors.
+RECORD_WIDTH: int = 4
+
+
+@dataclass
+class Stream:
+    """A named 2-D stream of float4 records.
+
+    Attributes
+    ----------
+    name:
+        Identifier used by stage graphs and error messages.
+    data:
+        (height, width, 4) float32 array.
+    """
+
+    name: str
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise StreamError("streams need a non-empty name")
+        data = np.asarray(self.data, dtype=np.float32)
+        if data.ndim != 3 or data.shape[2] != RECORD_WIDTH:
+            raise ShapeError(
+                f"stream {self.name!r} must be (H, W, 4), got {data.shape}")
+        self.data = data
+
+    @property
+    def height(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def width(self) -> int:
+        return self.data.shape[1]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.height, self.width)
+
+    @classmethod
+    def from_scalar(cls, name: str, image: np.ndarray) -> "Stream":
+        """Wrap an (H, W) scalar map (lane x carries the values)."""
+        image = np.asarray(image, dtype=np.float32)
+        if image.ndim != 2:
+            raise ShapeError(f"expected 2-D scalar data, got {image.shape}")
+        data = np.zeros(image.shape + (RECORD_WIDTH,), dtype=np.float32)
+        data[:, :, 0] = image
+        return cls(name, data)
+
+    @classmethod
+    def zeros(cls, name: str, height: int, width: int) -> "Stream":
+        """An all-zero stream (accumulator initialisation)."""
+        if height <= 0 or width <= 0:
+            raise ShapeError(f"stream extents must be positive, got "
+                             f"{height}x{width}")
+        return cls(name, np.zeros((height, width, RECORD_WIDTH),
+                                  dtype=np.float32))
+
+    def scalar(self) -> np.ndarray:
+        """Lane x as an (H, W) view."""
+        return self.data[:, :, 0]
+
+    def copy(self, name: str | None = None) -> "Stream":
+        """An independent copy (optionally renamed)."""
+        return Stream(name or self.name, self.data.copy())

@@ -1,0 +1,59 @@
+"""ASCII rendering of images for terminal inspection.
+
+Good enough to eyeball a MEI map or a class map from a test log: the
+image is block-averaged down to a character grid and mapped onto a
+density ramp (scalar data) or base-36 class digits (label maps).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+#: Dark-to-bright character ramp.
+_RAMP = " .:-=+*#%@"
+
+
+def _downsample(image: np.ndarray, max_width: int,
+                max_height: int) -> np.ndarray:
+    h, w = image.shape
+    step_y = max(1, -(-h // max_height))
+    step_x = max(1, -(-w // max_width))
+    trimmed = image[:h - h % step_y or None, :w - w % step_x or None]
+    th, tw = trimmed.shape
+    blocks = trimmed.reshape(th // step_y, step_y, tw // step_x, step_x)
+    return blocks.mean(axis=(1, 3))
+
+
+def render_ascii(image: np.ndarray, *, max_width: int = 78,
+                 max_height: int = 40, labels: bool = False) -> str:
+    """Render a 2-D array as ASCII art.
+
+    Parameters
+    ----------
+    image:
+        (H, W) scalar data, or a 1-based label map when ``labels``.
+    max_width / max_height:
+        Character budget; the image is block-averaged to fit.
+    labels:
+        Use one base-36 digit per (majority) class instead of a ramp.
+    """
+    image = np.asarray(image)
+    if image.ndim != 2:
+        raise ShapeError(f"expected a 2-D image, got shape {image.shape}")
+    if labels:
+        h, w = image.shape
+        step_y = max(1, -(-h // max_height))
+        step_x = max(1, -(-w // max_width))
+        picked = image[::step_y, ::step_x].astype(int)
+        digits = "0123456789abcdefghijklmnopqrstuvwxyz"
+        return "\n".join("".join(digits[v % len(digits)] for v in row)
+                         for row in picked)
+    small = _downsample(image.astype(np.float64), max_width, max_height)
+    lo, hi = float(small.min()), float(small.max())
+    if hi <= lo:
+        scaled = np.zeros_like(small, dtype=int)
+    else:
+        scaled = ((small - lo) / (hi - lo) * (len(_RAMP) - 1) + 0.5).astype(int)
+    return "\n".join("".join(_RAMP[v] for v in row) for row in scaled)

@@ -1,0 +1,76 @@
+"""Tests for the transcribed paper data and its derived ratios."""
+
+import numpy as np
+import pytest
+
+from repro.bench.paper_data import (
+    PAPER_PLATFORM_ORDER,
+    PAPER_TABLE3_ACCURACY,
+    PAPER_TABLE3_OVERALL,
+    PAPER_TABLE4_GCC_MS,
+    PAPER_TABLE5_ICC_MS,
+    paper_scaling_slopes,
+    paper_speedups,
+)
+from repro.hsi import INDIAN_PINES_CLASSES
+
+
+class TestTable3Data:
+    def test_32_classes(self):
+        assert len(PAPER_TABLE3_ACCURACY) == 32
+
+    def test_matches_class_specs(self):
+        """The scene generator's metadata and the bench data must agree —
+        they are transcriptions of the same table."""
+        for spec in INDIAN_PINES_CLASSES:
+            assert PAPER_TABLE3_ACCURACY[spec.name] == spec.paper_accuracy
+
+    def test_overall_value(self):
+        assert PAPER_TABLE3_OVERALL == 72.35
+
+    def test_accuracies_in_percent_range(self):
+        for value in PAPER_TABLE3_ACCURACY.values():
+            assert 0.0 < value <= 100.0
+
+
+class TestTables45Data:
+    @pytest.mark.parametrize("table", [PAPER_TABLE4_GCC_MS,
+                                       PAPER_TABLE5_ICC_MS])
+    def test_six_sizes_four_platforms(self, table):
+        assert sorted(table) == [68, 136, 205, 273, 410, 547]
+        assert all(len(row) == len(PAPER_PLATFORM_ORDER)
+                   for row in table.values())
+
+    def test_gpu_columns_identical_between_tables(self):
+        """The compiler only affects CPU columns; the paper's GPU columns
+        repeat verbatim between Tables 4 and 5."""
+        for size in PAPER_TABLE4_GCC_MS:
+            assert PAPER_TABLE4_GCC_MS[size][2:] \
+                == PAPER_TABLE5_ICC_MS[size][2:]
+
+    def test_icc_faster_than_gcc_on_cpus(self):
+        for size in PAPER_TABLE4_GCC_MS:
+            assert PAPER_TABLE5_ICC_MS[size][0] < PAPER_TABLE4_GCC_MS[size][0]
+            assert PAPER_TABLE5_ICC_MS[size][1] < PAPER_TABLE4_GCC_MS[size][1]
+
+    def test_paper_speedup_summary(self):
+        ratios = paper_speedups(PAPER_TABLE4_GCC_MS)
+        # the paper's own table implies ~58x mean P4/7800 (text: "close
+        # to 55")
+        assert ratios["p4_over_7800"] == pytest.approx(58.6, abs=2.0)
+        assert ratios["p4_over_prescott"] == pytest.approx(1.09, abs=0.02)
+
+    def test_paper_scaling_slopes_mostly_linear(self):
+        slopes = paper_scaling_slopes(PAPER_TABLE4_GCC_MS)
+        # CPUs scale linearly (8.0x for 8x the data)...
+        assert slopes["P4 C"] == pytest.approx(8.0, rel=0.02)
+        assert slopes["Prescott"] == pytest.approx(8.0, rel=0.02)
+        # ...and the GPUs almost (the FX5950 row has the paper's own
+        # anomaly at 410 MB where time barely grows from 273 MB).
+        assert 7.0 < slopes["7800 GTX"] < 8.5
+        assert 7.0 < slopes["FX5950 U"] < 8.5
+
+    def test_icc_gain_about_1_65(self):
+        gains = [PAPER_TABLE4_GCC_MS[s][0] / PAPER_TABLE5_ICC_MS[s][0]
+                 for s in PAPER_TABLE4_GCC_MS]
+        assert np.mean(gains) == pytest.approx(1.65, abs=0.05)

@@ -1,0 +1,78 @@
+"""Tests for the size sweep and the table formatters."""
+
+import pytest
+
+from repro.bench import (
+    format_series,
+    format_table,
+    paper_size_points,
+    platform_matrix,
+)
+from repro.bench.scaling import PAPER_FULL_SCENE, SizePoint
+from repro.cpu import GCC40
+
+
+class TestSizePoints:
+    def test_six_rows(self):
+        points = paper_size_points()
+        assert len(points) == 6
+
+    def test_mb_column_matches_paper(self):
+        """Sizes must land on the tables' 68/136/205/273/410/547 MB."""
+        paper_mb = [68, 136, 205, 273, 410, 547]
+        for point, expected in zip(paper_size_points(), paper_mb):
+            assert point.size_mb == pytest.approx(expected, rel=0.02)
+
+    def test_full_scene_geometry(self):
+        last = paper_size_points()[-1]
+        assert (last.lines, last.samples, last.bands) == PAPER_FULL_SCENE
+
+    def test_monotone_sizes(self):
+        points = paper_size_points()
+        sizes = [p.size_mb for p in points]
+        assert sizes == sorted(sizes)
+
+    def test_size_point_pixels(self):
+        point = SizePoint(1, lines=10, samples=20, bands=5)
+        assert point.pixels == 200
+        assert point.size_mb == pytest.approx(10 * 20 * 5 * 2 / 2 ** 20)
+
+
+class TestPlatformMatrix:
+    def test_columns_and_rows(self):
+        points = paper_size_points()[:2]
+        columns = platform_matrix(points, cpu_build=GCC40)
+        assert set(columns) == {"P4 C", "Prescott", "FX5950 U", "7800 GTX"}
+        assert all(len(v) == 2 for v in columns.values())
+
+    def test_every_entry_positive(self):
+        columns = platform_matrix(paper_size_points()[:2], cpu_build=GCC40)
+        assert all(v > 0 for col in columns.values() for v in col)
+
+    def test_rows_increase_with_size(self):
+        columns = platform_matrix(paper_size_points(), cpu_build=GCC40)
+        for col in columns.values():
+            assert col == sorted(col)
+
+
+class TestFormatters:
+    def test_format_table(self):
+        text = format_table("Table X", ["Size", "A", "B"],
+                            [[68, 1.5, 2.0], [136, 3.0, 4.0]])
+        assert "Table X" in text
+        assert "68" in text and "136" in text
+        lines = text.splitlines()
+        assert len(lines) == 6  # title, rule, header, rule, 2 rows
+
+    def test_format_table_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table("T", ["A", "B"], [[1]])
+
+    def test_format_series(self):
+        text = format_series("Fig Y", "MB", [68, 136],
+                             {"cpu": [1.0, 2.0], "gpu": [0.1, 0.2]})
+        assert "Fig Y" in text and "cpu" in text and "gpu" in text
+
+    def test_format_series_length_checked(self):
+        with pytest.raises(ValueError):
+            format_series("F", "x", [1, 2], {"s": [1.0]})

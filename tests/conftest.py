@@ -1,0 +1,38 @@
+"""Shared fixtures: small deterministic cubes and scenes.
+
+GPU-involved tests run the full interpreter over every fragment, so the
+shared cubes are deliberately tiny; the scene fixture is session-scoped
+because generation dominates several test modules otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hsi import SceneParams, generate_scene
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def small_cube(rng: np.random.Generator) -> np.ndarray:
+    """A (10, 9, 13) strictly positive radiance cube (odd sizes on
+    purpose: pad/border paths get exercised)."""
+    return rng.uniform(0.05, 1.0, size=(10, 9, 13))
+
+
+@pytest.fixture()
+def tiny_cube(rng: np.random.Generator) -> np.ndarray:
+    """A (6, 5, 6) cube small enough for the naive O(B^4) oracle."""
+    return rng.uniform(0.05, 1.0, size=(6, 5, 6))
+
+
+@pytest.fixture(scope="session")
+def session_scene():
+    """A 48x48, 64-band scene shared by read-only tests."""
+    return generate_scene(SceneParams(lines=48, samples=48, band_count=64,
+                                      seed=777, min_field=6))

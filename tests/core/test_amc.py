@@ -1,0 +1,135 @@
+"""End-to-end tests for the full AMC algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.core import AMCConfig, run_amc
+from repro.errors import ShapeError
+
+
+@pytest.fixture(scope="module")
+def scene():
+    from repro.hsi import SceneParams, generate_scene
+    return generate_scene(SceneParams(lines=40, samples=40, band_count=48,
+                                      seed=321, min_field=6))
+
+
+@pytest.fixture(scope="module")
+def result(scene):
+    return run_amc(scene.cube, AMCConfig(n_classes=12),
+                   ground_truth=scene.ground_truth,
+                   class_names=scene.class_names)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        AMCConfig()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"backend": "cuda"},
+        {"unmixing": "magic"},
+        {"n_classes": 0},
+        {"se_radius": 0},
+        {"endmember_source": "erosion"},
+        {"label_mapping": "hungarian"},
+    ])
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(ValueError):
+            AMCConfig(**kwargs)
+
+
+class TestEndToEnd:
+    def test_outputs_shaped(self, scene, result):
+        shape = (scene.cube.lines, scene.cube.samples)
+        assert result.mei.shape == shape
+        assert result.labels.shape == shape
+        assert result.abundances.shape == shape + (12,)
+        assert len(result.endmembers) == 12
+
+    def test_labels_are_valid_classes(self, scene, result):
+        assert result.labels.min() >= 1
+        assert result.labels.max() <= scene.n_classes
+
+    def test_report_present_with_ground_truth(self, result):
+        assert result.report is not None
+        assert 0.0 <= result.report.overall_accuracy <= 100.0
+        assert result.overall_accuracy == result.report.overall_accuracy
+
+    def test_accuracy_beats_chance(self, scene, result):
+        # ~25 classes present; chance is ~4%.  AMC must do far better.
+        assert result.report.overall_accuracy > 30.0
+
+    def test_no_ground_truth_mode(self, scene):
+        res = run_amc(scene.cube, AMCConfig(n_classes=5))
+        assert res.report is None
+        assert res.endmember_labels is None
+        assert res.labels.min() >= 1 and res.labels.max() <= 5
+
+    def test_accepts_raw_array(self, scene):
+        res = run_amc(scene.cube.as_bip(), AMCConfig(n_classes=4))
+        assert res.mei.shape == (40, 40)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ShapeError):
+            run_amc(np.ones((4, 4)), AMCConfig(n_classes=2))
+
+    def test_ground_truth_shape_checked(self, scene):
+        with pytest.raises(ShapeError):
+            run_amc(scene.cube, AMCConfig(n_classes=4),
+                    ground_truth=np.ones((3, 3), dtype=int))
+
+    def test_default_class_names(self, scene):
+        res = run_amc(scene.cube, AMCConfig(n_classes=4),
+                      ground_truth=scene.ground_truth)
+        assert res.report.class_names[0] == "class-1"
+
+
+class TestBackendConsistency:
+    def test_gpu_backend_matches_reference(self, scene):
+        cfg_ref = AMCConfig(n_classes=8, backend="reference")
+        cfg_gpu = AMCConfig(n_classes=8, backend="gpu")
+        ref = run_amc(scene.cube, cfg_ref, ground_truth=scene.ground_truth)
+        gpu = run_amc(scene.cube, cfg_gpu, ground_truth=scene.ground_truth)
+        np.testing.assert_allclose(gpu.mei, ref.mei, rtol=5e-3, atol=1e-5)
+        assert gpu.gpu_output is not None
+        assert ref.gpu_output is None
+        # endmember selection sees float32-vs-float64 MEI; demand close
+        # but not identical accuracy
+        assert gpu.report.overall_accuracy == pytest.approx(
+            ref.report.overall_accuracy, abs=15.0)
+
+    def test_naive_backend_small(self, rng):
+        cube = rng.uniform(0.1, 1.0, size=(6, 6, 5))
+        ref = run_amc(cube, AMCConfig(n_classes=3, backend="reference"))
+        naive = run_amc(cube, AMCConfig(n_classes=3, backend="naive"))
+        np.testing.assert_allclose(naive.mei, ref.mei, rtol=1e-9)
+
+    def test_position_mapping_variant(self, scene):
+        res = run_amc(scene.cube,
+                      AMCConfig(n_classes=8, label_mapping="position"),
+                      ground_truth=scene.ground_truth)
+        assert res.report is not None
+
+    @pytest.mark.parametrize("unmixing", ["lsu", "sclsu"])
+    def test_unmixing_variants_run(self, scene, unmixing):
+        res = run_amc(scene.cube, AMCConfig(n_classes=6, unmixing=unmixing),
+                      ground_truth=scene.ground_truth)
+        assert res.report.overall_accuracy > 0.0
+
+    def test_full_gpu_pipeline_matches_host_lsu(self, scene):
+        """backend='gpu' + gpu_unmixing runs every stage on the device
+        and must agree with the host LSU path (no smoothing)."""
+        full = run_amc(scene.cube,
+                       AMCConfig(n_classes=6, backend="gpu",
+                                 gpu_unmixing=True),
+                       ground_truth=scene.ground_truth)
+        host = run_amc(scene.cube,
+                       AMCConfig(n_classes=6, backend="gpu",
+                                 unmixing="lsu",
+                                 classify_smooth_radius=0),
+                       ground_truth=scene.ground_truth)
+        assert (full.labels == host.labels).mean() > 0.99
+        # the aggregate device accounting covers the extra stages
+        assert full.gpu_output.counters["kernel_launches"] \
+            > host.gpu_output.counters["kernel_launches"]
+        assert full.abundances.shape == host.abundances.shape

@@ -1,0 +1,125 @@
+"""Tests for the GPU stream implementation of the morphological stage.
+
+The central contracts: float32 agreement with the float64 reference,
+chunking invariance, fusion invariance, and honest device accounting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import gpu_morphological_stage, mei_reference
+from repro.errors import ShapeError, StreamError
+from repro.gpu import GEFORCE_7800GTX, GEFORCE_FX5950U, VirtualGPU
+
+
+@pytest.fixture(scope="module")
+def cube():
+    return np.random.default_rng(42).uniform(0.05, 1.0, size=(12, 11, 14))
+
+
+@pytest.fixture(scope="module")
+def reference(cube):
+    return mei_reference(cube)
+
+
+@pytest.fixture(scope="module")
+def gpu_out(cube):
+    return gpu_morphological_stage(cube)
+
+
+class TestAgreementWithReference:
+    def test_mei_close(self, gpu_out, reference):
+        np.testing.assert_allclose(gpu_out.mei, reference.mei,
+                                   rtol=2e-3, atol=1e-6)
+
+    def test_indices_match(self, gpu_out, reference):
+        assert (gpu_out.erosion_index
+                == reference.erosion_index).mean() > 0.99
+        assert (gpu_out.dilation_index
+                == reference.dilation_index).mean() > 0.99
+
+    def test_float32_output(self, gpu_out):
+        assert gpu_out.mei.dtype == np.float32
+
+    def test_radius_two(self, rng):
+        cube = rng.uniform(0.1, 1.0, size=(9, 8, 6))
+        ref = mei_reference(cube, radius=2)
+        out = gpu_morphological_stage(cube, radius=2)
+        np.testing.assert_allclose(out.mei, ref.mei, rtol=2e-3, atol=1e-6)
+
+    def test_requires_3d(self):
+        with pytest.raises(ShapeError):
+            gpu_morphological_stage(np.ones((4, 4)))
+
+
+class TestChunking:
+    def test_chunked_equals_unchunked(self, cube, gpu_out):
+        tight = GEFORCE_7800GTX.with_(vram_bytes=32 * 1024)
+        chunked = gpu_morphological_stage(cube, spec=tight)
+        assert chunked.chunk_count > 1
+        np.testing.assert_allclose(chunked.mei, gpu_out.mei,
+                                   rtol=1e-6, atol=1e-8)
+        np.testing.assert_array_equal(chunked.erosion_index,
+                                      gpu_out.erosion_index)
+
+    def test_impossible_budget_raises(self, cube):
+        tiny = GEFORCE_7800GTX.with_(vram_bytes=4096)
+        with pytest.raises(StreamError, match="VRAM"):
+            gpu_morphological_stage(cube, spec=tiny)
+
+    def test_vram_released_after_run(self, cube):
+        device = VirtualGPU(GEFORCE_7800GTX)
+        gpu_morphological_stage(cube, device=device)
+        assert device.vram.used == 0
+
+
+class TestFusion:
+    @pytest.mark.parametrize("fuse", [1, 2, 4, 6])
+    def test_fusion_invariance(self, cube, gpu_out, fuse):
+        out = gpu_morphological_stage(cube, fuse_groups=fuse)
+        np.testing.assert_allclose(out.mei, gpu_out.mei,
+                                   rtol=1e-5, atol=1e-7)
+
+    def test_fusion_reduces_launches(self, cube):
+        unfused = gpu_morphological_stage(cube, fuse_groups=1)
+        fused = gpu_morphological_stage(cube, fuse_groups=6)
+        assert fused.counters["kernel_launches"] \
+            < unfused.counters["kernel_launches"]
+        assert fused.modeled_time_s < unfused.modeled_time_s
+
+    def test_fusion_width_over_budget(self, rng):
+        wide = rng.uniform(0.1, 1.0, size=(5, 5, 30))  # 8 band groups
+        with pytest.raises(StreamError, match="texture units"):
+            gpu_morphological_stage(wide, fuse_groups=7)
+
+
+class TestAccounting:
+    def test_counters_populated(self, gpu_out, cube):
+        c = gpu_out.counters
+        assert c["kernel_launches"] > 0
+        assert c["fragments_shaded"] >= cube.shape[0] * cube.shape[1]
+        assert c["bytes_uploaded"] > 0
+        assert c["bytes_downloaded"] > 0
+        assert gpu_out.modeled_time_s > 0
+
+    def test_profile_covers_every_stage(self, gpu_out):
+        names = set(gpu_out.time_by_kernel)
+        for prefix in ("bandsum", "normalize", "logstream", "entropy",
+                       "cross_", "sid_", "accum", "mm_init", "mm_step",
+                       "mei_cross", "mei_final"):
+            assert any(n.startswith(prefix) for n in names), prefix
+
+    def test_slower_board_longer_modeled_time(self, cube, gpu_out):
+        fx = gpu_morphological_stage(cube, spec=GEFORCE_FX5950U)
+        assert fx.modeled_time_s > gpu_out.modeled_time_s
+        np.testing.assert_allclose(fx.mei, gpu_out.mei, rtol=1e-6)
+
+    def test_device_reuse_accumulates(self, cube):
+        device = VirtualGPU(GEFORCE_7800GTX)
+        first = gpu_morphological_stage(cube, device=device)
+        second = gpu_morphological_stage(cube, device=device)
+        # per-call modeled time is still the increment, not the total
+        assert second.modeled_time_s == pytest.approx(first.modeled_time_s,
+                                                      rel=1e-9)
+        assert device.counters.total_time_s == pytest.approx(
+            first.modeled_time_s + second.modeled_time_s, rel=1e-9)

@@ -1,0 +1,150 @@
+"""Tests for target implantation and anomaly detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.detection import (
+    DetectionCurve,
+    detection_curve,
+    mei_detector,
+    rx_detector,
+)
+from repro.errors import ShapeError
+from repro.hsi.targets import implant_targets
+
+
+@pytest.fixture()
+def background(rng):
+    """A two-material natural background with mild noise."""
+    a = np.linspace(0.2, 0.6, 12)
+    b = np.linspace(0.6, 0.2, 12)
+    weights = rng.uniform(0.3, 0.7, size=(40, 40, 1))
+    cube = weights * a + (1 - weights) * b
+    cube += rng.normal(0, 0.004, cube.shape)
+    return np.clip(cube, 1e-3, None)
+
+
+@pytest.fixture()
+def target_spectrum():
+    spectrum = np.full(12, 0.15)
+    spectrum[3:6] = 0.9  # a sharp man-made feature
+    return spectrum
+
+
+class TestImplantTargets:
+    def test_positions_and_abundance(self, background, target_spectrum, rng):
+        planted = implant_targets(background, target_spectrum, count=5,
+                                  abundance=0.6, rng=rng)
+        assert planted.count == 5
+        for y, x in planted.positions:
+            expected = 0.4 * background[y, x] + 0.6 * target_spectrum
+            np.testing.assert_allclose(planted.cube[y, x], expected)
+
+    def test_background_not_mutated(self, background, target_spectrum, rng):
+        original = background.copy()
+        implant_targets(background, target_spectrum, count=3,
+                        abundance=0.5, rng=rng)
+        np.testing.assert_array_equal(background, original)
+
+    def test_separation_respected(self, background, target_spectrum, rng):
+        planted = implant_targets(background, target_spectrum, count=6,
+                                  abundance=0.5, rng=rng,
+                                  min_separation=10)
+        pos = planted.positions
+        for i in range(len(pos)):
+            for j in range(i + 1, len(pos)):
+                l1 = abs(pos[i, 0] - pos[j, 0]) + abs(pos[i, 1] - pos[j, 1])
+                assert l1 >= 10
+
+    def test_border_respected(self, background, target_spectrum, rng):
+        planted = implant_targets(background, target_spectrum, count=4,
+                                  abundance=0.5, rng=rng, border=6)
+        assert planted.positions.min() >= 6
+        assert planted.positions.max() < 34
+
+    def test_mask_tolerance(self, background, target_spectrum, rng):
+        planted = implant_targets(background, target_spectrum, count=2,
+                                  abundance=0.5, rng=rng)
+        assert planted.mask(0).sum() == 2
+        assert planted.mask(1).sum() == 18  # two 3x3 boxes
+
+    def test_impossible_placement(self, background, target_spectrum, rng):
+        with pytest.raises(ValueError, match="could not place"):
+            implant_targets(background, target_spectrum, count=100,
+                            abundance=0.5, rng=rng, min_separation=20)
+
+    def test_validation(self, background, target_spectrum, rng):
+        with pytest.raises(ValueError):
+            implant_targets(background, target_spectrum, count=1,
+                            abundance=0.0, rng=rng)
+        with pytest.raises(ShapeError):
+            implant_targets(background, target_spectrum[:-1], count=1,
+                            abundance=0.5, rng=rng)
+
+
+class TestDetectors:
+    @pytest.fixture()
+    def planted(self, background, target_spectrum, rng):
+        return implant_targets(background, target_spectrum, count=8,
+                               abundance=0.6, rng=rng)
+
+    def test_rx_scores_targets_high(self, planted):
+        scores = rx_detector(planted.cube)
+        target_scores = scores[planted.mask(0)]
+        assert np.median(target_scores) > np.percentile(scores, 99)
+
+    def test_mei_scores_targets_high(self, planted):
+        scores = mei_detector(planted.cube)
+        target_mean = scores[planted.mask(1)].mean()
+        assert target_mean > 5 * scores.mean()
+
+    def test_rx_nonnegative(self, background):
+        assert np.all(rx_detector(background) >= 0)
+
+    def test_rx_requires_cube(self):
+        with pytest.raises(ShapeError):
+            rx_detector(np.ones((4, 4)))
+
+
+class TestDetectionCurve:
+    def test_perfect_detector(self):
+        scores = np.zeros((10, 10))
+        mask = np.zeros((10, 10), dtype=bool)
+        scores[2, 3] = scores[7, 7] = 1.0
+        mask[2, 3] = mask[7, 7] = True
+        curve = detection_curve(scores, mask, max_alarms=10)
+        assert curve.recall[1] == 1.0  # both found within 2 alarms
+        assert curve.recall_at(2) == 1.0
+
+    def test_useless_detector_low_auc(self, rng):
+        scores = rng.uniform(size=(50, 50))
+        mask = np.zeros((50, 50), dtype=bool)
+        mask[10, 10] = True
+        curve = detection_curve(scores, mask, max_alarms=250)
+        assert curve.auc < 0.5
+
+    def test_rx_beats_chance_on_planted_scene(self, background,
+                                              target_spectrum, rng):
+        planted = implant_targets(background, target_spectrum, count=8,
+                                  abundance=0.6, rng=rng)
+        curve = detection_curve(rx_detector(planted.cube),
+                                planted.mask(0), max_alarms=100)
+        assert curve.recall_at(50) >= 0.9
+        assert curve.auc > 0.8
+
+    def test_empty_mask_rejected(self):
+        with pytest.raises(ValueError):
+            detection_curve(np.ones((4, 4)),
+                            np.zeros((4, 4), dtype=bool))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            detection_curve(np.ones((4, 4)),
+                            np.zeros((4, 5), dtype=bool))
+
+    def test_monotone_recall(self, rng):
+        scores = rng.uniform(size=(20, 20))
+        mask = rng.uniform(size=(20, 20)) > 0.9
+        curve = detection_curve(scores, mask, max_alarms=100)
+        assert np.all(np.diff(curve.recall) >= 0)
+        assert isinstance(curve, DetectionCurve)

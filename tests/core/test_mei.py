@@ -1,0 +1,153 @@
+"""Tests for the morphological stage: reference vs naive oracle, plus
+structural invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import cumulative_distances, mei_naive, mei_reference, se_offsets
+from repro.errors import ShapeError
+from repro.spectral import normalize_image
+
+
+class TestSeOffsets:
+    def test_radius_one_row_major(self):
+        offsets = se_offsets(1)
+        assert len(offsets) == 9
+        assert offsets[0] == (-1, -1)
+        assert offsets[4] == (0, 0)
+        assert offsets[8] == (1, 1)
+
+    def test_radius_two_count(self):
+        assert len(se_offsets(2)) == 25
+
+    def test_radius_zero(self):
+        assert se_offsets(0) == ((0, 0),)
+
+    def test_negative_radius(self):
+        with pytest.raises(ValueError):
+            se_offsets(-1)
+
+
+class TestReferenceVsOracle:
+    """The vectorized reference must agree with the per-pixel loop
+    transcription of the equations, everywhere including borders."""
+
+    def test_cumulative_match(self, tiny_cube):
+        ref = mei_reference(tiny_cube)
+        oracle = mei_naive(tiny_cube)
+        np.testing.assert_allclose(ref.cumulative, oracle.cumulative,
+                                   rtol=1e-10, atol=1e-12)
+
+    def test_indices_match(self, tiny_cube):
+        ref = mei_reference(tiny_cube)
+        oracle = mei_naive(tiny_cube)
+        np.testing.assert_array_equal(ref.erosion_index,
+                                      oracle.erosion_index)
+        np.testing.assert_array_equal(ref.dilation_index,
+                                      oracle.dilation_index)
+
+    def test_mei_match(self, tiny_cube):
+        ref = mei_reference(tiny_cube)
+        oracle = mei_naive(tiny_cube)
+        np.testing.assert_allclose(ref.mei, oracle.mei,
+                                   rtol=1e-10, atol=1e-12)
+
+    def test_match_radius_two(self, rng):
+        cube = rng.uniform(0.1, 1.0, size=(7, 6, 5))
+        ref = mei_reference(cube, radius=2)
+        oracle = mei_naive(cube, radius=2)
+        np.testing.assert_allclose(ref.mei, oracle.mei,
+                                   rtol=1e-10, atol=1e-12)
+
+    @given(seed=st.integers(0, 10 ** 6))
+    @settings(max_examples=10, deadline=None)
+    def test_property_agreement(self, seed):
+        rng = np.random.default_rng(seed)
+        cube = rng.uniform(0.05, 1.0, size=(5, 4, 4))
+        ref = mei_reference(cube)
+        oracle = mei_naive(cube)
+        np.testing.assert_allclose(ref.cumulative, oracle.cumulative,
+                                   rtol=1e-9, atol=1e-11)
+        np.testing.assert_allclose(ref.mei, oracle.mei,
+                                   rtol=1e-9, atol=1e-11)
+
+
+class TestInvariants:
+    def test_mei_nonnegative(self, small_cube):
+        assert np.all(mei_reference(small_cube).mei >= 0.0)
+
+    def test_cumulative_nonnegative(self, small_cube):
+        assert np.all(mei_reference(small_cube).cumulative >= 0.0)
+
+    def test_dilation_cumulative_geq_erosion(self, small_cube):
+        out = mei_reference(small_cube)
+        h, w, _ = out.cumulative.shape
+        yy, xx = np.mgrid[0:h, 0:w]
+        d_max = out.cumulative[yy, xx, out.dilation_index]
+        d_min = out.cumulative[yy, xx, out.erosion_index]
+        assert np.all(d_max >= d_min)
+
+    def test_argmin_argmax_are_extremes(self, small_cube):
+        out = mei_reference(small_cube)
+        np.testing.assert_array_equal(out.erosion_index,
+                                      np.argmin(out.cumulative, axis=2))
+        np.testing.assert_array_equal(out.dilation_index,
+                                      np.argmax(out.cumulative, axis=2))
+
+    def test_constant_image_zero_mei(self):
+        cube = np.full((6, 6, 5), 0.2)
+        out = mei_reference(cube)
+        np.testing.assert_allclose(out.mei, 0.0, atol=1e-12)
+
+    def test_single_anomaly_raises_neighbourhood_mei(self, rng):
+        cube = np.full((9, 9, 8), 0.3)
+        cube[4, 4] = np.linspace(0.05, 1.0, 8)  # one spectrally odd pixel
+        out = mei_reference(cube)
+        assert out.mei[4, 4] > 0
+        assert out.mei[4, 4] >= out.mei[0, 0]
+
+    def test_normalization_scale_invariance(self, small_cube):
+        """SID operates on normalized spectra, so a global per-pixel gain
+        must not change the result."""
+        gain = np.random.default_rng(3).uniform(0.5, 2.0,
+                                                small_cube.shape[:2])
+        scaled = small_cube * gain[:, :, None]
+        a = mei_reference(small_cube)
+        b = mei_reference(scaled)
+        np.testing.assert_allclose(a.mei, b.mei, rtol=1e-8, atol=1e-12)
+
+    def test_prenormalized_path(self, small_cube):
+        normalized = normalize_image(small_cube)
+        a = mei_reference(small_cube)
+        b = mei_reference(normalized, prenormalized=True)
+        np.testing.assert_allclose(a.mei, b.mei, rtol=1e-10)
+
+    def test_offsets_helpers(self, small_cube):
+        out = mei_reference(small_cube)
+        ero = out.erosion_offsets()
+        dil = out.dilation_offsets()
+        assert ero.shape == small_cube.shape[:2] + (2,)
+        assert np.all(np.abs(ero) <= 1) and np.all(np.abs(dil) <= 1)
+
+
+class TestCumulativeDistances:
+    def test_pair_map_return(self, tiny_cube):
+        normalized = normalize_image(tiny_cube)
+        cumulative, pairs = cumulative_distances(normalized, 1,
+                                                 return_pair_maps=True)
+        assert len(pairs) == 36
+        total = np.zeros_like(cumulative)
+        for (ka, kb), sid_map in pairs.items():
+            total[:, :, ka] += sid_map
+            total[:, :, kb] += sid_map
+        np.testing.assert_allclose(total, cumulative, rtol=1e-12)
+
+    def test_requires_3d(self):
+        with pytest.raises(ShapeError):
+            cumulative_distances(np.ones((4, 4)))
+
+    def test_reference_requires_3d(self):
+        with pytest.raises(ShapeError):
+            mei_reference(np.ones((4, 4)))

@@ -1,0 +1,104 @@
+"""Tests for classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import confusion_matrix, evaluate_classification, kappa_score
+from repro.core.metrics import map_endmembers_to_classes
+from repro.errors import ShapeError
+
+
+class TestConfusionMatrix:
+    def test_perfect_prediction(self):
+        truth = np.array([[1, 2], [3, 1]])
+        matrix = confusion_matrix(truth, truth, 3)
+        assert matrix.shape == (3, 4)
+        np.testing.assert_array_equal(np.diag(matrix[:, :3]), [2, 1, 1])
+        assert matrix.sum() == 4
+
+    def test_errors_counted(self):
+        truth = np.array([1, 1, 2])
+        pred = np.array([1, 2, 2])
+        matrix = confusion_matrix(truth, pred, 2)
+        assert matrix[0, 0] == 1 and matrix[0, 1] == 1 and matrix[1, 1] == 1
+
+    def test_unlabeled_truth_ignored(self):
+        truth = np.array([0, 1, 0, 2])
+        pred = np.array([1, 1, 2, 2])
+        matrix = confusion_matrix(truth, pred, 2)
+        assert matrix.sum() == 2
+
+    def test_rejected_predictions_in_last_column(self):
+        truth = np.array([1, 2])
+        pred = np.array([0, 99])
+        matrix = confusion_matrix(truth, pred, 2)
+        assert matrix[0, 2] == 1 and matrix[1, 2] == 1
+
+    def test_row_sums_equal_class_counts(self, rng):
+        truth = rng.integers(1, 5, size=200)
+        pred = rng.integers(0, 7, size=200)
+        matrix = confusion_matrix(truth, pred, 4)
+        for c in range(4):
+            assert matrix[c].sum() == (truth == c + 1).sum()
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            confusion_matrix(np.ones(3), np.ones(4), 2)
+
+
+class TestKappa:
+    def test_perfect_agreement(self):
+        matrix = confusion_matrix(np.array([1, 2, 1, 2]),
+                                  np.array([1, 2, 1, 2]), 2)
+        assert kappa_score(matrix) == pytest.approx(1.0)
+
+    def test_chance_level_near_zero(self, rng):
+        truth = rng.integers(1, 3, size=5000)
+        pred = rng.integers(1, 3, size=5000)
+        matrix = confusion_matrix(truth, pred, 2)
+        assert abs(kappa_score(matrix)) < 0.06
+
+    def test_empty_matrix(self):
+        assert kappa_score(np.zeros((3, 4))) == 0.0
+
+
+class TestEvaluate:
+    def test_report_fields(self):
+        truth = np.array([[1, 1], [2, 2]])
+        pred = np.array([[1, 2], [2, 2]])
+        report = evaluate_classification(truth, pred, ("a", "b"))
+        assert report.overall_accuracy == pytest.approx(75.0)
+        assert report.per_class_accuracy[0] == pytest.approx(50.0)
+        assert report.per_class_accuracy[1] == pytest.approx(100.0)
+
+    def test_absent_class_is_nan(self):
+        truth = np.array([1, 1])
+        pred = np.array([1, 1])
+        report = evaluate_classification(truth, pred, ("a", "b"))
+        assert np.isnan(report.per_class_accuracy[1])
+
+    def test_rows_and_table(self):
+        truth = np.array([1, 2])
+        report = evaluate_classification(truth, truth, ("alpha", "beta"))
+        rows = report.rows()
+        assert rows[0][0] == "alpha"
+        table = report.format_table()
+        assert "alpha" in table and "Overall:" in table
+        assert "100.00" in table
+
+    def test_format_table_handles_nan(self):
+        report = evaluate_classification(np.array([1]), np.array([1]),
+                                         ("a", "b"))
+        assert "--" in report.format_table()
+
+
+class TestEndmemberMapping:
+    def test_labels_from_positions(self):
+        gt = np.array([[1, 2], [3, 4]])
+        positions = np.array([[0, 1], [1, 0]])
+        np.testing.assert_array_equal(
+            map_endmembers_to_classes(positions, gt), [2, 3])
+
+    def test_bad_positions_shape(self):
+        with pytest.raises(ShapeError):
+            map_endmembers_to_classes(np.array([1, 2]), np.ones((2, 2)))

@@ -1,0 +1,132 @@
+"""Tests for linear spectral unmixing and classification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    classify_abundances,
+    unmix_fcls,
+    unmix_lsu,
+    unmix_nnls,
+    unmix_sclsu,
+)
+from repro.errors import ShapeError
+
+
+@pytest.fixture()
+def endmembers(rng):
+    """Four well-separated synthetic endmembers over 16 bands."""
+    base = rng.uniform(0.2, 1.0, size=(4, 16))
+    base[0] *= np.linspace(0.3, 1.5, 16)
+    base[1] *= np.linspace(1.5, 0.3, 16)
+    base[2, 4:8] *= 0.2
+    return base
+
+
+@pytest.fixture()
+def true_abundances(rng):
+    a = rng.dirichlet(np.ones(4), size=(6, 5))
+    return a
+
+
+@pytest.fixture()
+def mixed_pixels(endmembers, true_abundances):
+    return true_abundances @ endmembers
+
+
+class TestExactRecovery:
+    """On noise-free mixtures every estimator must recover the truth."""
+
+    def test_lsu(self, mixed_pixels, endmembers, true_abundances):
+        est = unmix_lsu(mixed_pixels, endmembers)
+        np.testing.assert_allclose(est, true_abundances, atol=1e-9)
+
+    def test_sclsu(self, mixed_pixels, endmembers, true_abundances):
+        est = unmix_sclsu(mixed_pixels, endmembers)
+        np.testing.assert_allclose(est, true_abundances, atol=1e-9)
+
+    def test_nnls(self, mixed_pixels, endmembers, true_abundances):
+        est = unmix_nnls(mixed_pixels, endmembers)
+        np.testing.assert_allclose(est, true_abundances, atol=1e-8)
+
+    def test_fcls(self, mixed_pixels, endmembers, true_abundances):
+        est = unmix_fcls(mixed_pixels, endmembers)
+        np.testing.assert_allclose(est, true_abundances, atol=1e-6)
+
+
+class TestConstraints:
+    def test_sclsu_sums_to_one_even_with_noise(self, mixed_pixels,
+                                               endmembers, rng):
+        noisy = mixed_pixels + rng.normal(0, 0.01, mixed_pixels.shape)
+        est = unmix_sclsu(noisy, endmembers)
+        np.testing.assert_allclose(est.sum(axis=-1), 1.0, atol=1e-9)
+
+    def test_nnls_nonnegative(self, mixed_pixels, endmembers, rng):
+        noisy = np.abs(mixed_pixels + rng.normal(0, 0.05,
+                                                 mixed_pixels.shape))
+        est = unmix_nnls(noisy, endmembers)
+        assert np.all(est >= 0)
+
+    def test_fcls_both_constraints(self, mixed_pixels, endmembers, rng):
+        noisy = np.abs(mixed_pixels + rng.normal(0, 0.05,
+                                                 mixed_pixels.shape))
+        est = unmix_fcls(noisy, endmembers)
+        assert np.all(est >= 0)
+        np.testing.assert_allclose(est.sum(axis=-1), 1.0, atol=1e-3)
+
+    def test_lsu_scale_equivariance(self, mixed_pixels, endmembers):
+        a = unmix_lsu(mixed_pixels, endmembers)
+        b = unmix_lsu(3.0 * mixed_pixels, endmembers)
+        np.testing.assert_allclose(b, 3.0 * a, rtol=1e-9)
+
+
+class TestShapes:
+    def test_single_pixel(self, endmembers):
+        est = unmix_lsu(endmembers[2], endmembers)
+        assert est.shape == (4,)
+        np.testing.assert_allclose(est, [0, 0, 1, 0], atol=1e-9)
+
+    def test_image_shape_preserved(self, mixed_pixels, endmembers):
+        assert unmix_lsu(mixed_pixels, endmembers).shape == (6, 5, 4)
+
+    def test_band_mismatch(self, endmembers):
+        with pytest.raises(ShapeError):
+            unmix_lsu(np.ones(8), endmembers)
+
+    def test_underdetermined_rejected(self, rng):
+        endmembers = rng.uniform(0.1, 1, size=(10, 6))
+        with pytest.raises(ShapeError, match="underdetermined"):
+            unmix_lsu(np.ones(6), endmembers)
+
+    def test_endmembers_must_be_2d(self):
+        with pytest.raises(ShapeError):
+            unmix_lsu(np.ones(6), np.ones(6))
+
+
+class TestClassify:
+    def test_argmax(self):
+        abundances = np.array([[0.2, 0.5, 0.3], [0.9, 0.05, 0.05]])
+        np.testing.assert_array_equal(classify_abundances(abundances),
+                                      [1, 0])
+
+    def test_image_shape(self, rng):
+        abundances = rng.uniform(size=(4, 5, 7))
+        assert classify_abundances(abundances).shape == (4, 5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            classify_abundances(np.empty((3, 0)))
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=20, deadline=None)
+    def test_property_pure_endmember_classified_as_itself(self, seed):
+        rng = np.random.default_rng(seed)
+        endmembers = rng.uniform(0.1, 1.0, size=(5, 12))
+        # guard against accidental near-collinearity
+        if np.linalg.cond(endmembers @ endmembers.T) > 1e8:
+            return
+        est = unmix_sclsu(endmembers, endmembers)
+        np.testing.assert_array_equal(classify_abundances(est),
+                                      np.arange(5))

@@ -1,0 +1,44 @@
+"""Tests for the analytic workload model."""
+
+import pytest
+
+from repro.core.workload import morphological_workload
+
+
+class TestWorkload:
+    def test_pair_count(self):
+        w = morphological_workload(10, 10, 16, radius=1)
+        assert w.se_size == 9
+        assert w.pair_count == 36
+
+    def test_linear_in_pixels(self):
+        small = morphological_workload(10, 10, 16)
+        large = morphological_workload(20, 20, 16)
+        assert large.flops == pytest.approx(4 * small.flops)
+        assert large.traffic_bytes == pytest.approx(4 * small.traffic_bytes)
+
+    def test_linear_in_bands_dominant_term(self):
+        """Flops are ~linear in N (the +6 per pair and argmin folds are
+        the only non-N terms)."""
+        a = morphological_workload(8, 8, 64)
+        b = morphological_workload(8, 8, 128)
+        assert b.flops / a.flops == pytest.approx(2.0, rel=0.02)
+
+    def test_radius_scaling(self):
+        """Complexity is O(P) with P ~ K^2: radius 2 has (25*24/2)/(9*8/2)
+        = 300/36 times the pair work."""
+        r1 = morphological_workload(8, 8, 32, radius=1)
+        r2 = morphological_workload(8, 8, 32, radius=2)
+        # the pair term dominates but normalization/log/entropy dilute the
+        # pure 300/36 pair ratio slightly
+        assert 6.5 < r2.flops / r1.flops < 300 / 36 + 0.01
+
+    def test_transcendentals_one_log_per_band(self):
+        w = morphological_workload(7, 5, 16)
+        assert w.transcendentals == 7 * 5 * 16
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            morphological_workload(0, 4, 4)
+        with pytest.raises(ValueError):
+            morphological_workload(4, 4, 4, radius=-1)

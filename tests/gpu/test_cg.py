@@ -1,0 +1,104 @@
+"""Tests for the Cg source emitter."""
+
+import re
+
+import pytest
+
+from repro.gpu import FragmentShader
+from repro.gpu import shaderir as ir
+from repro.gpu.cg import emit_cg, emit_pipeline_kernels
+
+
+def _body_k():
+    return FragmentShader(
+        "demo",
+        ir.add(ir.log(ir.max_(ir.TexFetch("norm"), ir.vec4(1e-12))),
+               ir.dot4(ir.TexFetch("norm", 1, -1), ir.Uniform("mask"))),
+        samplers=("norm",), uniforms=("mask",))
+
+
+class TestEmission:
+    def test_signature(self):
+        src = emit_cg(_body_k())
+        assert "float4 demo(" in src
+        assert "uniform sampler2D norm" in src
+        assert "uniform float4 mask" in src
+        assert "uniform float2 texel" in src
+        assert ": COLOR" in src
+
+    def test_offset_fetch_uses_texel(self):
+        src = emit_cg(_body_k())
+        assert "tex2D(norm, uv + float2(1, -1) * texel)" in src
+
+    def test_zero_offset_fetch_plain(self):
+        src = emit_cg(_body_k())
+        assert "tex2D(norm, uv);" in src
+
+    def test_dot_broadcast(self):
+        src = emit_cg(_body_k())
+        assert re.search(r"dot\(r\d+, mask\)\.xxxx", src)
+
+    def test_single_return(self):
+        src = emit_cg(_body_k())
+        assert src.count("return ") == 1
+        assert src.rstrip().endswith("}")
+
+    def test_shared_subtree_emitted_once(self):
+        fetch = ir.TexFetch("a")
+        shader = FragmentShader("shared", ir.mul(ir.add(fetch, 1.0), fetch),
+                                samplers=("a",))
+        src = emit_cg(shader)
+        assert src.count("tex2D(a, uv)") == 1
+
+    def test_select_lowered_to_lerp(self):
+        shader = FragmentShader(
+            "sel",
+            ir.select(ir.cmp_gt(ir.TexFetch("a"), 0.5),
+                      ir.TexFetch("a"), ir.vec4(0.0)),
+            samplers=("a",))
+        src = emit_cg(shader)
+        assert "lerp(" in src
+
+    def test_dependent_fetch(self):
+        shader = FragmentShader(
+            "dyn", ir.TexFetchDyn("lut", ir.FragCoord()),
+            samplers=("lut",))
+        src = emit_cg(shader)
+        assert "tex2D(lut, " in src and "texel" in src
+
+    def test_braces_balanced(self):
+        src = emit_cg(_body_k())
+        assert src.count("{") == src.count("}")
+
+    def test_registers_assigned_before_use(self):
+        src = emit_cg(_body_k())
+        defined = set()
+        for line in src.splitlines():
+            for used in re.findall(r"\br(\d+)\b", line):
+                if f"float4 r{used} =" in line:
+                    continue
+                assert used in defined, line
+            match = re.search(r"float4 r(\d+) =", line)
+            if match:
+                # uses on the right-hand side must already be defined
+                rhs = line.split("=", 1)[1]
+                for used in re.findall(r"\br(\d+)\b", rhs):
+                    assert used in defined, line
+                defined.add(match.group(1))
+
+
+class TestPipelineExport:
+    def test_every_kernel_emits(self):
+        sources = emit_pipeline_kernels(radius=1, fuse_groups=6, bands=32)
+        assert "bandsum_w6" in sources
+        assert "cross_0_1_w6" in sources
+        assert "mei_final" in sources
+        for name, src in sources.items():
+            assert src.count("{") == src.count("}"), name
+            assert "return " in src, name
+
+    def test_kernel_count_scales_with_pairs(self):
+        sources = emit_pipeline_kernels(radius=1, fuse_groups=1, bands=8)
+        crosses = [n for n in sources if n.startswith("cross_")]
+        sids = [n for n in sources if n.startswith("sid_")]
+        assert len(crosses) == 36 and len(sids) == 36

@@ -1,0 +1,133 @@
+"""Tests for the VirtualGPU device object."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GpuOutOfMemoryError, ShaderError
+from repro.gpu import FragmentShader, GEFORCE_7800GTX, VirtualGPU
+from repro.gpu import shaderir as ir
+
+
+@pytest.fixture()
+def gpu():
+    return VirtualGPU(GEFORCE_7800GTX)
+
+
+@pytest.fixture()
+def double_shader():
+    return FragmentShader("double", ir.mul(ir.TexFetch("a"), 2.0),
+                          samplers=("a",))
+
+
+class TestUploadDownload:
+    def test_upload_counts_transfer_and_vram(self, gpu, rng):
+        data = rng.uniform(size=(8, 8, 4)).astype(np.float32)
+        tex = gpu.upload(data)
+        assert gpu.counters.bytes_uploaded == tex.nbytes
+        assert gpu.vram.used == tex.nbytes
+
+    def test_upload_copies(self, gpu):
+        data = np.ones((4, 4, 4), dtype=np.float32)
+        tex = gpu.upload(data)
+        data[...] = 0
+        assert np.all(tex.data == 1.0)
+
+    def test_download_roundtrip(self, gpu, rng):
+        data = rng.uniform(size=(6, 3, 4)).astype(np.float32)
+        tex = gpu.upload(data)
+        np.testing.assert_array_equal(gpu.download(tex), data)
+        assert gpu.counters.bytes_downloaded == tex.nbytes
+
+    def test_download_scalar_quarter_traffic(self, gpu, rng):
+        data = rng.uniform(size=(8, 8, 4)).astype(np.float32)
+        tex = gpu.upload(data)
+        out = gpu.download_scalar(tex)
+        np.testing.assert_array_equal(out, data[:, :, 0])
+        assert gpu.counters.bytes_downloaded == tex.nbytes // 4
+
+    def test_upload_scalar(self, gpu, rng):
+        image = rng.uniform(size=(5, 7)).astype(np.float32)
+        tex = gpu.upload_scalar(image)
+        np.testing.assert_array_equal(tex.data[:, :, 0], image)
+
+    def test_oom_on_upload(self):
+        gpu = VirtualGPU(GEFORCE_7800GTX.with_(vram_bytes=64))
+        with pytest.raises(GpuOutOfMemoryError):
+            gpu.upload(np.zeros((8, 8, 4), dtype=np.float32))
+
+    def test_free_releases_vram(self, gpu):
+        tex = gpu.create_target(8, 8)
+        used = gpu.vram.used
+        gpu.free(tex)
+        assert gpu.vram.used == used - 8 * 8 * 16
+        gpu.free(tex)  # second free is a no-op
+        assert gpu.vram.used == used - 8 * 8 * 16
+
+
+class TestLaunch:
+    def test_launch_computes_and_counts(self, gpu, double_shader, rng):
+        data = rng.uniform(size=(4, 5, 4)).astype(np.float32)
+        tex = gpu.upload(data)
+        target = gpu.create_target(4, 5)
+        gpu.launch(double_shader, target, {"a": tex})
+        np.testing.assert_array_equal(target.data, data * 2)
+        assert gpu.counters.kernel_launch_count == 1
+        record = gpu.counters.launches[0]
+        assert record.kernel == "double"
+        assert record.fragments == 20
+        assert record.modeled_time_s > 0
+
+    def test_launch_requires_resident_inputs(self, gpu, double_shader):
+        from repro.gpu import Texture2D
+        ghost = Texture2D.zeros(4, 4)  # never uploaded
+        target = gpu.create_target(4, 4)
+        with pytest.raises(ShaderError, match="not.*resident|resident"):
+            gpu.launch(double_shader, target, {"a": ghost})
+
+    def test_launch_rejects_target_as_input(self, gpu):
+        shader = FragmentShader("inc", ir.add(ir.TexFetch("a"), 1.0),
+                                samplers=("a",))
+        target = gpu.create_target(4, 4)
+        with pytest.raises(ShaderError, match="ping-pong"):
+            gpu.launch(shader, target, {"a": target})
+
+    def test_launch_rejects_non_texture_binding(self, gpu, double_shader):
+        target = gpu.create_target(4, 4)
+        with pytest.raises(ShaderError, match="expected Texture2D"):
+            gpu.launch(double_shader, target,
+                       {"a": np.zeros((4, 4, 4))})  # type: ignore
+
+    def test_chained_launches_ping_pong(self, gpu, double_shader, rng):
+        data = rng.uniform(size=(4, 4, 4)).astype(np.float32)
+        tex = gpu.upload(data)
+        ping = gpu.create_target(4, 4)
+        pong = gpu.create_target(4, 4)
+        gpu.launch(double_shader, ping, {"a": tex})
+        gpu.launch(double_shader, pong, {"a": ping})
+        np.testing.assert_array_equal(pong.data, data * 4)
+
+    def test_counters_aggregate(self, gpu, double_shader, rng):
+        data = rng.uniform(size=(4, 4, 4)).astype(np.float32)
+        tex = gpu.upload(data)
+        target = gpu.create_target(4, 4)
+        for _ in range(3):
+            gpu.launch(double_shader, target, {"a": tex})
+        summary = gpu.counters.summary()
+        assert summary["kernel_launches"] == 3
+        assert summary["fragments_shaded"] == 48
+        assert summary["total_time_s"] == pytest.approx(
+            summary["kernel_time_s"] + summary["transfer_time_s"])
+
+    def test_time_by_kernel(self, gpu, double_shader, rng):
+        tex = gpu.upload(rng.uniform(size=(4, 4, 4)).astype(np.float32))
+        target = gpu.create_target(4, 4)
+        gpu.launch(double_shader, target, {"a": tex})
+        profile = gpu.counters.time_by_kernel()
+        assert set(profile) == {"double"}
+        assert profile["double"] > 0
+
+    def test_reset_counters(self, gpu, rng):
+        gpu.upload(rng.uniform(size=(4, 4, 4)).astype(np.float32))
+        gpu.reset_counters()
+        assert gpu.counters.kernel_launch_count == 0
+        assert gpu.counters.bytes_uploaded == 0

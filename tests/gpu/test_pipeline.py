@@ -1,0 +1,106 @@
+"""Tests for the Fig. 2 rendering pipeline (quad, vertex stage,
+rasterizer, full chain)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShaderError, ShapeError
+from repro.gpu import FragmentShader
+from repro.gpu import shaderir as ir
+from repro.gpu.pipeline import (
+    QuadRenderer,
+    Vertex,
+    VertexShader,
+    make_quad,
+    rasterize,
+)
+
+
+class TestQuadGeometry:
+    def test_quad_is_two_triangles(self):
+        quad = make_quad(8, 6)
+        assert len(quad) == 6
+
+    def test_quad_spans_viewport(self):
+        quad = make_quad(8, 6)
+        xs = [v.x for v in quad]
+        ys = [v.y for v in quad]
+        assert min(xs) == 0 and max(xs) == 8
+        assert min(ys) == 0 and max(ys) == 6
+
+    def test_texcoords_unit_square(self):
+        quad = make_quad(5, 5)
+        assert {(v.u, v.v) for v in quad} == {(0, 0), (1, 0), (0, 1), (1, 1)}
+
+    def test_bad_viewport(self):
+        with pytest.raises(ShapeError):
+            make_quad(0, 4)
+
+
+class TestVertexShader:
+    def test_identity_default(self):
+        quad = make_quad(4, 4)
+        assert VertexShader().run(quad) == quad
+
+    def test_affine_transform(self):
+        vs = VertexShader(scale=(0.5, 2.0), offset=(1.0, -1.0))
+        out = vs.run((Vertex(2.0, 3.0, 0.25, 0.75),))
+        assert out[0].x == 2.0 and out[0].y == 5.0
+        assert out[0].u == 0.25 and out[0].v == 0.75  # passthrough
+
+
+class TestRasterizer:
+    def test_full_quad_covers_once(self):
+        coverage, u, v = rasterize(make_quad(16, 9), 16, 9)
+        assert np.all(coverage == 1)
+
+    def test_interpolated_texcoords_monotone(self):
+        _, u, v = rasterize(make_quad(8, 8), 8, 8)
+        assert np.all(np.diff(u, axis=1) > 0)
+        assert np.all(np.diff(v, axis=0) > 0)
+        assert u[0, 0] == pytest.approx(0.5 / 8)
+        assert u[0, -1] == pytest.approx(7.5 / 8)
+
+    def test_half_size_quad_covers_quarter(self):
+        quad = VertexShader(scale=(0.5, 0.5)).run(make_quad(8, 8))
+        coverage, _, _ = rasterize(quad, 8, 8)
+        assert coverage[:4, :4].all()
+        assert not coverage[4:, :].any()
+        assert not coverage[:, 4:].any()
+
+    def test_degenerate_triangle_ignored(self):
+        tri = (Vertex(0, 0, 0, 0), Vertex(4, 4, 0, 0), Vertex(2, 2, 0, 0))
+        coverage, _, _ = rasterize(tri, 4, 4)
+        assert coverage.sum() == 0
+
+    def test_non_triangle_count_rejected(self):
+        with pytest.raises(ShapeError):
+            rasterize(make_quad(4, 4)[:4], 4, 4)
+
+
+class TestQuadRenderer:
+    def test_render_matches_direct_execute(self, rng):
+        tex = rng.uniform(size=(6, 7, 4)).astype(np.float32)
+        shader = FragmentShader("dbl", ir.mul(ir.TexFetch("a"), 2.0),
+                                samplers=("a",))
+        renderer = QuadRenderer()
+        out = renderer.render(shader, 7, 6, {"a": tex})
+        np.testing.assert_array_equal(out, tex * 2)
+        assert renderer.vertices_processed == 6
+        assert renderer.fragments_rasterized == 42
+
+    def test_incomplete_coverage_detected(self, rng):
+        tex = rng.uniform(size=(8, 8, 4)).astype(np.float32)
+        shader = FragmentShader("id", ir.TexFetch("a"), samplers=("a",))
+        shrunk = QuadRenderer(VertexShader(scale=(0.5, 1.0)))
+        with pytest.raises(ShaderError, match="exactly once"):
+            shrunk.render(shader, 8, 8, {"a": tex})
+
+    def test_counters_accumulate(self, rng):
+        tex = rng.uniform(size=(4, 4, 4)).astype(np.float32)
+        shader = FragmentShader("id", ir.TexFetch("a"), samplers=("a",))
+        renderer = QuadRenderer()
+        renderer.render(shader, 4, 4, {"a": tex})
+        renderer.render(shader, 4, 4, {"a": tex})
+        assert renderer.vertices_processed == 12
+        assert renderer.fragments_rasterized == 32

@@ -1,0 +1,80 @@
+"""Tests for fragment-shader validation and static statistics."""
+
+import pytest
+
+from repro.errors import ShaderValidationError
+from repro.gpu import FragmentShader
+from repro.gpu import shaderir as ir
+
+
+def _simple_body():
+    return ir.add(ir.TexFetch("a"), ir.TexFetch("b", 1, -1))
+
+
+class TestValidation:
+    def test_valid_shader(self):
+        shader = FragmentShader("k", _simple_body(), samplers=("a", "b"))
+        assert shader.name == "k"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ShaderValidationError, match="name"):
+            FragmentShader("", _simple_body(), samplers=("a", "b"))
+
+    def test_undeclared_sampler(self):
+        with pytest.raises(ShaderValidationError, match="undeclared sampler"):
+            FragmentShader("k", _simple_body(), samplers=("a",))
+
+    def test_unused_sampler(self):
+        with pytest.raises(ShaderValidationError, match="unused samplers"):
+            FragmentShader("k", _simple_body(), samplers=("a", "b", "c"))
+
+    def test_undeclared_uniform(self):
+        body = ir.mul(ir.TexFetch("a"), ir.Uniform("gain"))
+        with pytest.raises(ShaderValidationError, match="undeclared uniform"):
+            FragmentShader("k", body, samplers=("a",))
+
+    def test_unused_uniform(self):
+        with pytest.raises(ShaderValidationError, match="unused uniforms"):
+            FragmentShader("k", _simple_body(), samplers=("a", "b"),
+                           uniforms=("gain",))
+
+    def test_duplicate_samplers(self):
+        with pytest.raises(ShaderValidationError, match="duplicate"):
+            FragmentShader("k", _simple_body(), samplers=("a", "b", "a"))
+
+    def test_dynamic_fetch_sampler_checked(self):
+        body = ir.TexFetchDyn("lut", ir.FragCoord())
+        with pytest.raises(ShaderValidationError, match="undeclared sampler"):
+            FragmentShader("k", body, samplers=())
+
+
+class TestStats:
+    def test_counts(self):
+        body = ir.add(ir.log(ir.TexFetch("a")),
+                      ir.dot4(ir.TexFetch("a", 1, 0), ir.TexFetch("b")))
+        shader = FragmentShader("k", body, samplers=("a", "b"))
+        stats = shader.stats
+        assert stats.static_fetches == 3
+        assert stats.dynamic_fetches == 0
+        assert stats.transcendental_count == 1
+        assert stats.max_static_offset == 1
+        # 3 fetches + log + dot + add
+        assert stats.instruction_count == 6
+
+    def test_shared_subtree_counted_once(self):
+        fetch = ir.TexFetch("a")
+        body = ir.add(ir.mul(fetch, fetch), fetch)
+        shader = FragmentShader("k", body, samplers=("a",))
+        assert shader.stats.static_fetches == 1
+        assert shader.stats.instruction_count == 3  # fetch, mul, add
+
+    def test_dynamic_fetch_counted(self):
+        body = ir.TexFetchDyn("lut", ir.FragCoord())
+        shader = FragmentShader("k", body, samplers=("lut",))
+        assert shader.stats.dynamic_fetches == 1
+        assert shader.stats.static_fetches == 0
+
+    def test_max_offset_chebyshev(self):
+        body = ir.add(ir.TexFetch("a", -3, 2), ir.TexFetch("a", 1, 1))
+        shader = FragmentShader("k", body, samplers=("a",))
+        assert shader.stats.max_static_offset == 3

@@ -1,0 +1,107 @@
+"""Tests for textures and the Fig. 3 band packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.gpu import Texture2D, pack_bands, unpack_bands
+from repro.gpu.texture import band_group_count, group_masks
+
+
+class TestTexture2D:
+    def test_construction_coerces_float32(self):
+        tex = Texture2D(np.ones((3, 4, 4), dtype=np.float64))
+        assert tex.data.dtype == np.float32
+        assert (tex.height, tex.width) == (3, 4)
+
+    def test_nbytes(self):
+        tex = Texture2D.zeros(5, 7)
+        assert tex.nbytes == 5 * 7 * 16
+
+    def test_rejects_wrong_channel_count(self):
+        with pytest.raises(ShapeError):
+            Texture2D(np.ones((3, 4, 3)))
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(ShapeError):
+            Texture2D(np.ones((3, 4)))
+
+    def test_zeros_rejects_bad_extents(self):
+        with pytest.raises(ShapeError):
+            Texture2D.zeros(0, 4)
+
+    def test_scalar_roundtrip(self, rng):
+        image = rng.uniform(size=(6, 5)).astype(np.float32)
+        tex = Texture2D.from_scalar_image(image)
+        np.testing.assert_array_equal(tex.scalar_image(), image)
+        assert np.all(tex.data[:, :, 1:] == 0)
+
+
+class TestBandGrouping:
+    @pytest.mark.parametrize("bands,groups", [(1, 1), (4, 1), (5, 2),
+                                              (8, 2), (216, 54), (224, 56)])
+    def test_group_count(self, bands, groups):
+        assert band_group_count(bands) == groups
+
+    def test_group_count_rejects_zero(self):
+        with pytest.raises(ShapeError):
+            band_group_count(0)
+
+    def test_masks_cover_exactly_the_bands(self):
+        masks = group_masks(10)
+        total = sum(int(m.sum()) for m in masks)
+        assert total == 10
+        assert np.array_equal(masks[-1], [1, 1, 0, 0])
+
+    def test_masks_full_groups_all_ones(self):
+        for mask in group_masks(8):
+            np.testing.assert_array_equal(mask, np.ones(4))
+
+
+class TestPackUnpack:
+    def test_pack_shapes(self, rng):
+        cube = rng.uniform(size=(5, 6, 10)).astype(np.float32)
+        stack = pack_bands(cube)
+        assert len(stack) == 3
+        assert all(t.shape == (5, 6, 4) for t in stack)
+
+    def test_pack_values_and_padding(self, rng):
+        cube = rng.uniform(size=(3, 3, 6)).astype(np.float32)
+        stack = pack_bands(cube)
+        np.testing.assert_array_equal(stack[0], cube[:, :, 0:4])
+        np.testing.assert_array_equal(stack[1][:, :, :2], cube[:, :, 4:6])
+        assert np.all(stack[1][:, :, 2:] == 0)
+
+    def test_roundtrip(self, rng):
+        cube = rng.uniform(size=(4, 7, 13)).astype(np.float32)
+        np.testing.assert_array_equal(unpack_bands(pack_bands(cube), 13),
+                                      cube)
+
+    def test_unpack_accepts_texture_objects(self, rng):
+        cube = rng.uniform(size=(4, 4, 5)).astype(np.float32)
+        textures = [Texture2D(t) for t in pack_bands(cube)]
+        np.testing.assert_array_equal(unpack_bands(textures, 5), cube)
+
+    def test_unpack_wrong_stack_size(self, rng):
+        cube = rng.uniform(size=(4, 4, 5)).astype(np.float32)
+        with pytest.raises(ShapeError):
+            unpack_bands(pack_bands(cube), 9)
+
+    def test_unpack_empty(self):
+        with pytest.raises(ShapeError):
+            unpack_bands([], 4)
+
+    def test_pack_rejects_2d(self):
+        with pytest.raises(ShapeError):
+            pack_bands(np.ones((4, 4)))
+
+    @given(h=st.integers(1, 8), w=st.integers(1, 8), n=st.integers(1, 17))
+    @settings(max_examples=50, deadline=None)
+    def test_property_roundtrip(self, h, w, n):
+        rng = np.random.default_rng(h * 100 + w * 10 + n)
+        cube = rng.uniform(size=(h, w, n)).astype(np.float32)
+        stack = pack_bands(cube)
+        assert len(stack) == band_group_count(n)
+        np.testing.assert_array_equal(unpack_bands(stack, n), cube)

@@ -1,0 +1,75 @@
+"""Tests for AVIRIS-like band metadata."""
+
+import numpy as np
+import pytest
+
+from repro.hsi import AVIRIS_BAND_COUNT, BandSet, aviris_bands
+from repro.hsi.bands import AVIRIS_RANGE_NM, WATER_ABSORPTION_WINDOWS_NM
+
+
+class TestAvirisBands:
+    def test_default_count(self):
+        bands = aviris_bands()
+        assert bands.count == AVIRIS_BAND_COUNT == 224
+
+    def test_coverage(self):
+        bands = aviris_bands()
+        assert bands.centers_nm[0] == AVIRIS_RANGE_NM[0]
+        assert bands.centers_nm[-1] == AVIRIS_RANGE_NM[1]
+
+    def test_nominal_resolution_about_10nm(self):
+        bands = aviris_bands()
+        spacing = np.diff(bands.centers_nm)
+        assert spacing[0] == pytest.approx(9.42, abs=0.05)
+
+    def test_water_windows_marked_bad(self):
+        bands = aviris_bands()
+        for lo, hi in WATER_ABSORPTION_WINDOWS_NM:
+            inside = (bands.centers_nm >= lo) & (bands.centers_nm <= hi)
+            assert inside.any()
+            assert not bands.good[inside].any()
+
+    def test_good_band_count_plausible(self):
+        # The literature keeps ~200-220 usable AVIRIS channels.
+        bands = aviris_bands()
+        assert 190 <= bands.good_count < 224
+
+    def test_reduced_sensor_keeps_structure(self):
+        bands = aviris_bands(64)
+        assert bands.count == 64
+        assert 0 < bands.good_count < 64
+
+    def test_too_few_bands_rejected(self):
+        with pytest.raises(ValueError):
+            aviris_bands(1)
+
+
+class TestBandSet:
+    def test_nearest(self):
+        bands = aviris_bands(64)
+        idx = bands.nearest(587.0)
+        assert abs(bands.centers_nm[idx] - 587.0) == \
+            np.abs(bands.centers_nm - 587.0).min()
+
+    def test_good_indices_sorted_subset(self):
+        bands = aviris_bands(64)
+        idx = bands.good_indices()
+        assert np.all(np.diff(idx) > 0)
+        assert bands.good[idx].all()
+
+    def test_subset(self):
+        bands = aviris_bands(32)
+        sub = bands.subset(np.array([0, 5, 9]))
+        assert sub.count == 3
+        np.testing.assert_array_equal(sub.centers_nm,
+                                      bands.centers_nm[[0, 5, 9]])
+
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            BandSet(np.array([400.0, 500.0]), np.array([10.0]),
+                    np.array([True, True]))
+
+    def test_descending_centres_rejected(self):
+        with pytest.raises(ValueError, match="ascending"):
+            BandSet(np.array([500.0, 400.0]), np.array([10.0, 10.0]),
+                    np.array([True, True]))

@@ -1,0 +1,139 @@
+"""Tests for the HyperCube container and its interleaves."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LayoutError, ShapeError
+from repro.hsi import HyperCube, Interleave
+from repro.hsi.cube import cube_from_bip
+
+
+@pytest.fixture()
+def bip_data(rng):
+    return rng.uniform(0, 1, size=(6, 7, 5))  # lines, samples, bands
+
+
+class TestInterleave:
+    def test_parse_strings(self):
+        assert Interleave.parse("bip") is Interleave.BIP
+        assert Interleave.parse("BIL") is Interleave.BIL
+        assert Interleave.parse("Bsq") is Interleave.BSQ
+
+    def test_parse_passthrough(self):
+        assert Interleave.parse(Interleave.BIL) is Interleave.BIL
+
+    def test_parse_unknown(self):
+        with pytest.raises(LayoutError, match="unknown interleave"):
+            Interleave.parse("bsqq")
+
+
+class TestConstruction:
+    def test_geometry_bip(self, bip_data):
+        cube = HyperCube(bip_data)
+        assert (cube.lines, cube.samples, cube.bands) == (6, 7, 5)
+
+    def test_geometry_bil(self, bip_data):
+        cube = HyperCube(np.transpose(bip_data, (0, 2, 1)),
+                         interleave="bil")
+        assert (cube.lines, cube.samples, cube.bands) == (6, 7, 5)
+
+    def test_geometry_bsq(self, bip_data):
+        cube = HyperCube(np.transpose(bip_data, (2, 0, 1)),
+                         interleave="bsq")
+        assert (cube.lines, cube.samples, cube.bands) == (6, 7, 5)
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(ShapeError):
+            HyperCube(np.ones((3, 3)))
+
+    def test_wavelength_length_checked(self, bip_data):
+        with pytest.raises(ShapeError):
+            HyperCube(bip_data, wavelengths_nm=np.arange(4.0))
+
+    def test_size_accounting(self, bip_data):
+        cube = HyperCube(bip_data.astype(np.float32))
+        assert cube.nbytes == 6 * 7 * 5 * 4
+        assert cube.size_mb == pytest.approx(cube.nbytes / 1e6)
+        assert cube.pixel_count == 42
+
+
+class TestLayoutConversions:
+    @pytest.mark.parametrize("interleave", ["bip", "bil", "bsq"])
+    def test_roundtrip_through_layout(self, bip_data, interleave):
+        cube = HyperCube(bip_data)
+        converted = cube.to(interleave)
+        np.testing.assert_array_equal(converted.as_bip(), bip_data)
+        assert converted.interleave is Interleave.parse(interleave)
+
+    def test_as_bip_is_view_for_bip(self, bip_data):
+        cube = HyperCube(bip_data)
+        assert cube.as_bip() is cube.data or \
+            cube.as_bip().base is bip_data or \
+            np.shares_memory(cube.as_bip(), bip_data)
+
+    def test_as_bip_view_for_bsq(self, bip_data):
+        bsq = np.ascontiguousarray(np.transpose(bip_data, (2, 0, 1)))
+        cube = HyperCube(bsq, interleave="bsq")
+        assert np.shares_memory(cube.as_bip(), bsq)
+
+    def test_as_layout_contiguous_copies(self, bip_data):
+        cube = HyperCube(bip_data)
+        out = cube.as_layout("bsq", contiguous=True)
+        assert out.flags.c_contiguous
+        assert out.shape == (5, 6, 7)
+
+
+class TestAccess:
+    def test_pixel_spectrum(self, bip_data):
+        cube = HyperCube(bip_data)
+        np.testing.assert_array_equal(cube.pixel(2, 3), bip_data[2, 3])
+
+    def test_band_view(self, bip_data):
+        cube = HyperCube(bip_data)
+        np.testing.assert_array_equal(cube.band(4), bip_data[:, :, 4])
+
+    def test_band_out_of_range(self, bip_data):
+        cube = HyperCube(bip_data)
+        with pytest.raises(IndexError):
+            cube.band(5)
+
+    def test_band_at_wavelength(self, bip_data):
+        wl = np.array([400.0, 500.0, 600.0, 700.0, 800.0])
+        cube = HyperCube(bip_data, wavelengths_nm=wl)
+        index, band = cube.band_at_wavelength(612.0)
+        assert index == 2
+        np.testing.assert_array_equal(band, bip_data[:, :, 2])
+
+    def test_band_at_wavelength_needs_metadata(self, bip_data):
+        with pytest.raises(LayoutError):
+            HyperCube(bip_data).band_at_wavelength(500.0)
+
+
+class TestCrop:
+    def test_crop_tuple(self, bip_data):
+        cube = HyperCube(bip_data)
+        cropped = cube.crop((1, 4), (2, 6))
+        assert (cropped.lines, cropped.samples, cropped.bands) == (3, 4, 5)
+        np.testing.assert_array_equal(cropped.as_bip(),
+                                      bip_data[1:4, 2:6])
+
+    def test_crop_slice_is_view(self, bip_data):
+        cube = HyperCube(bip_data)
+        cropped = cube.crop(slice(0, 2), slice(0, 2))
+        assert np.shares_memory(cropped.as_bip(), bip_data)
+
+    def test_empty_crop_rejected(self, bip_data):
+        with pytest.raises(ShapeError):
+            HyperCube(bip_data).crop((2, 2), (0, 3))
+
+    def test_crop_keeps_wavelengths(self, bip_data):
+        wl = np.linspace(400, 800, 5)
+        cube = HyperCube(bip_data, wavelengths_nm=wl)
+        np.testing.assert_array_equal(cube.crop((0, 2), (0, 2)).wavelengths_nm,
+                                      wl)
+
+
+def test_cube_from_bip_helper(bip_data):
+    cube = cube_from_bip(bip_data, name="x")
+    assert cube.name == "x"
+    assert cube.interleave is Interleave.BIP

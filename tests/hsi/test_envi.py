@@ -1,0 +1,178 @@
+"""Tests for ENVI-style cube I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EnviFormatError
+from repro.hsi import HyperCube
+from repro.hsi.envi import (
+    EnviHeader,
+    Interleave,
+    format_header,
+    parse_header,
+    read_cube,
+    write_cube,
+)
+
+
+@pytest.fixture()
+def cube(rng):
+    return HyperCube(rng.uniform(0, 1, (5, 6, 4)).astype(np.float32),
+                     wavelengths_nm=np.linspace(400, 700, 4),
+                     name="testcube")
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("interleave", ["bip", "bil", "bsq"])
+    def test_roundtrip_interleaves(self, cube, interleave, tmp_path):
+        path = str(tmp_path / "scene.raw")
+        write_cube(cube.to(interleave), path)
+        back = read_cube(path)
+        np.testing.assert_allclose(back.as_bip(), cube.as_bip(), rtol=1e-6)
+        assert back.interleave is Interleave.parse(interleave)
+
+    @pytest.mark.parametrize("dtype", [np.uint8, np.int16, np.uint16,
+                                       np.int32, np.float32, np.float64])
+    def test_roundtrip_dtypes(self, rng, dtype, tmp_path):
+        data = (rng.uniform(0, 100, (3, 4, 2))).astype(dtype)
+        cube = HyperCube(data)
+        path = str(tmp_path / "scene.raw")
+        write_cube(cube, path)
+        back = read_cube(path)
+        assert back.data.dtype == np.dtype(dtype)
+        np.testing.assert_array_equal(back.as_bip(), cube.as_bip())
+
+    def test_wavelengths_roundtrip(self, cube, tmp_path):
+        path = str(tmp_path / "scene.raw")
+        write_cube(cube, path)
+        back = read_cube(path)
+        np.testing.assert_allclose(back.wavelengths_nm,
+                                   cube.wavelengths_nm, atol=0.01)
+
+    def test_name_carried_in_description(self, cube, tmp_path):
+        path = str(tmp_path / "scene.raw")
+        write_cube(cube, path)
+        assert read_cube(path).name == "testcube"
+
+
+class TestHeaderParsing:
+    def test_minimal_header(self):
+        header = parse_header(
+            "ENVI\nsamples = 7\nlines = 5\nbands = 3\n"
+            "data type = 4\ninterleave = bsq\n")
+        assert (header.lines, header.samples, header.bands) == (5, 7, 3)
+        assert header.dtype == np.float32
+        assert header.file_shape() == (3, 5, 7)
+
+    def test_missing_magic(self):
+        with pytest.raises(EnviFormatError, match="magic"):
+            parse_header("samples = 2\nlines = 2\nbands = 1\n")
+
+    def test_missing_dimension(self):
+        with pytest.raises(EnviFormatError, match="missing required"):
+            parse_header("ENVI\nsamples = 2\nbands = 1\n")
+
+    def test_nonpositive_dimension(self):
+        with pytest.raises(EnviFormatError, match="positive"):
+            parse_header("ENVI\nsamples = 0\nlines = 2\nbands = 1\n")
+
+    def test_unsupported_dtype(self):
+        with pytest.raises(EnviFormatError, match="data type"):
+            parse_header("ENVI\nsamples = 2\nlines = 2\nbands = 1\n"
+                         "data type = 6\n")
+
+    def test_wavelength_block_multiline(self):
+        header = parse_header(
+            "ENVI\nsamples = 2\nlines = 2\nbands = 3\ndata type = 4\n"
+            "wavelength = {400.0,\n 500.0, 600.0}\n")
+        np.testing.assert_allclose(header.wavelengths_nm,
+                                   [400.0, 500.0, 600.0])
+
+    def test_wavelength_micrometers_converted(self):
+        header = parse_header(
+            "ENVI\nsamples = 2\nlines = 2\nbands = 2\ndata type = 4\n"
+            "wavelength units = Micrometers\n"
+            "wavelength = {0.4, 2.5}\n")
+        np.testing.assert_allclose(header.wavelengths_nm, [400.0, 2500.0])
+
+    def test_wavelength_count_mismatch(self):
+        with pytest.raises(EnviFormatError, match="wavelengths"):
+            parse_header("ENVI\nsamples = 2\nlines = 2\nbands = 3\n"
+                         "data type = 4\nwavelength = {400.0, 500.0}\n")
+
+    def test_unterminated_block(self):
+        with pytest.raises(EnviFormatError, match="unterminated"):
+            parse_header("ENVI\nsamples = 2\nlines = 2\nbands = 1\n"
+                         "description = {oops\n")
+
+    def test_bad_byte_order(self):
+        with pytest.raises(EnviFormatError, match="byte order"):
+            parse_header("ENVI\nsamples = 2\nlines = 2\nbands = 1\n"
+                         "data type = 4\nbyte order = 7\n")
+
+    def test_format_parse_roundtrip(self):
+        header = EnviHeader(lines=3, samples=4, bands=2,
+                            interleave=Interleave.BIL,
+                            dtype=np.dtype(np.int16),
+                            wavelengths_nm=np.array([500.0, 600.0]))
+        again = parse_header(format_header(header))
+        assert again.lines == 3 and again.samples == 4 and again.bands == 2
+        assert again.interleave is Interleave.BIL
+        assert again.dtype == np.int16
+
+
+class TestMemoryMapped:
+    def test_mmap_matches_eager(self, cube, tmp_path):
+        path = str(tmp_path / "scene.raw")
+        write_cube(cube, path)
+        eager = read_cube(path)
+        mapped = read_cube(path, mmap=True)
+        np.testing.assert_array_equal(mapped.as_bip(), eager.as_bip())
+
+    def test_mmap_is_backed_by_file(self, cube, tmp_path):
+        path = str(tmp_path / "scene.raw")
+        write_cube(cube, path)
+        mapped = read_cube(path, mmap=True)
+        base = mapped.data
+        found = isinstance(base, np.memmap)
+        while not found and getattr(base, "base", None) is not None:
+            base = base.base
+            found = isinstance(base, np.memmap)
+        assert found
+
+    def test_mmap_chunked_processing(self, tmp_path, rng):
+        """The onboard workflow: mmap a cube from disk, stream chunks
+        through the morphological stage, match the in-memory result."""
+        from repro.core import mei_reference
+        from repro.hsi.chunking import plan_chunks
+
+        data = rng.uniform(0.05, 1.0, (16, 6, 5)).astype(np.float32)
+        cube = HyperCube(data)
+        path = str(tmp_path / "big.raw")
+        write_cube(cube, path)
+        mapped = read_cube(path, mmap=True)
+        plan = plan_chunks(mapped, max_chunk_bytes=6 * 6 * 5 * 4, halo=1)
+        assert len(plan) > 1
+        out = np.empty((16, 6))
+        for chunk in plan:
+            part = mei_reference(np.asarray(chunk.extract(mapped.as_bip()),
+                                            dtype=np.float64))
+            out[chunk.core_start:chunk.core_stop] = chunk.core_of(part.mei)
+        whole = mei_reference(data.astype(np.float64))
+        np.testing.assert_allclose(out, whole.mei, rtol=1e-10)
+
+
+class TestReadErrors:
+    def test_missing_header(self, tmp_path):
+        raw = tmp_path / "orphan.raw"
+        raw.write_bytes(b"\x00" * 16)
+        with pytest.raises(EnviFormatError, match="no header"):
+            read_cube(str(raw))
+
+    def test_size_mismatch(self, cube, tmp_path):
+        path = str(tmp_path / "scene.raw")
+        write_cube(cube, path)
+        with open(path, "ab") as fh:
+            fh.write(b"\x00\x00\x00\x00")
+        with pytest.raises(EnviFormatError, match="elements"):
+            read_cube(path)

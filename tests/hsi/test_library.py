@@ -1,0 +1,106 @@
+"""Tests for the synthetic spectral library."""
+
+import numpy as np
+import pytest
+
+from repro.hsi import aviris_bands, build_default_library
+from repro.hsi.library import (
+    AbsorptionFeature,
+    DEFAULT_MATERIALS,
+    SpectralLibrary,
+)
+
+
+@pytest.fixture(scope="module")
+def library():
+    return build_default_library(aviris_bands(224))
+
+
+class TestAbsorptionFeature:
+    def test_transmission_bounds(self):
+        feat = AbsorptionFeature(1450.0, 60.0, 0.5)
+        wl = np.linspace(400, 2500, 300)
+        t = feat.transmission(wl)
+        assert np.all(t <= 1.0) and np.all(t >= 0.5 - 1e-12)
+
+    def test_deepest_at_centre(self):
+        feat = AbsorptionFeature(1000.0, 50.0, 0.3)
+        wl = np.linspace(400, 2500, 500)
+        t = feat.transmission(wl)
+        assert wl[np.argmin(t)] == pytest.approx(1000.0, abs=5.0)
+
+    def test_depth_out_of_range(self):
+        with pytest.raises(ValueError):
+            AbsorptionFeature(1000.0, 50.0, 1.2).transmission(
+                np.array([1000.0]))
+
+
+class TestDefaultLibrary:
+    def test_all_materials_present(self, library):
+        for material in DEFAULT_MATERIALS:
+            assert material.name in library
+
+    def test_spectra_positive(self, library):
+        assert np.all(library.spectra > 0)
+
+    def test_vegetation_red_edge(self, library):
+        """Vegetation must jump across the 700 nm red edge."""
+        veg = library.get("corn_mature")
+        bands = library.bands
+        red = veg[bands.nearest(670.0)]
+        nir = veg[bands.nearest(850.0)]
+        assert nir > 3.0 * red
+
+    def test_vegetation_water_absorption(self, library):
+        veg = library.get("trees")
+        bands = library.bands
+        shoulder = veg[bands.nearest(1280.0)]
+        well = veg[bands.nearest(1450.0)]
+        assert well < shoulder
+
+    def test_water_dark_in_nir(self, library):
+        lake = library.get("lake")
+        bands = library.bands
+        assert lake[bands.nearest(900.0)] < 0.02
+
+    def test_soil_brighter_than_water(self, library):
+        assert library.get("bare_soil").mean() > 10 * library.get("lake").mean()
+
+    def test_unknown_material(self, library):
+        with pytest.raises(KeyError, match="no material"):
+            library.get("vibranium")
+
+    def test_len(self, library):
+        assert len(library) == len(DEFAULT_MATERIALS)
+
+
+class TestLibraryOperations:
+    def test_subset_bands(self, library):
+        idx = library.bands.good_indices()
+        sub = library.subset_bands(idx)
+        assert sub.spectra.shape == (len(library), idx.size)
+        np.testing.assert_array_equal(sub.get("hay"),
+                                      library.get("hay")[idx])
+
+    def test_inconsistent_shape_rejected(self):
+        bands = aviris_bands(16)
+        with pytest.raises(ValueError):
+            SpectralLibrary(bands, ("a",), np.ones((2, 16)))
+
+    def test_nonpositive_spectra_rejected(self):
+        bands = aviris_bands(16)
+        with pytest.raises(ValueError):
+            SpectralLibrary(bands, ("a",), np.zeros((1, 16)))
+
+    def test_evaluation_on_different_grids_consistent(self):
+        """The same recipe on coarse and fine grids must agree where the
+        grids coincide (interpolated continua, smooth features)."""
+        coarse = build_default_library(aviris_bands(56))
+        fine = build_default_library(aviris_bands(224))
+        # 224 = 4*56 - 3... grids share endpoints; compare via nearest
+        for name in ("bare_soil", "concrete"):
+            c = coarse.get(name)
+            f = fine.get(name)
+            for i, wl in enumerate(coarse.bands.centers_nm):
+                j = fine.bands.nearest(wl)
+                assert c[i] == pytest.approx(f[j], rel=0.08)

@@ -1,0 +1,74 @@
+"""Tests for the sensor noise model."""
+
+import numpy as np
+import pytest
+
+from repro.hsi import NoiseModel, aviris_bands
+
+
+@pytest.fixture()
+def bands():
+    return aviris_bands(64)
+
+
+class TestSnrProfile:
+    def test_peak_near_800nm(self, bands):
+        model = NoiseModel()
+        snr = model.snr_profile(bands)
+        peak_wl = bands.centers_nm[np.argmax(snr)]
+        assert 700.0 <= peak_wl <= 900.0
+
+    def test_bounds(self, bands):
+        model = NoiseModel(peak_snr=200.0, edge_snr=50.0)
+        snr = model.snr_profile(bands)
+        assert np.all(snr >= 50.0 - 1e-9)
+        assert np.all(snr <= 200.0 + 1e-9)
+
+    def test_invalid_snr_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel(peak_snr=0.0)
+
+    def test_invalid_transmission_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel(absorption_transmission=1.5)
+
+
+class TestApply:
+    def test_shape_and_positivity(self, bands, rng):
+        cube = rng.uniform(0.1, 0.5, size=(8, 9, bands.count))
+        out = NoiseModel().apply(cube, bands, rng)
+        assert out.shape == cube.shape
+        assert np.all(out > 0)
+
+    def test_deterministic_given_seed(self, bands):
+        cube = np.full((4, 4, bands.count), 0.3)
+        a = NoiseModel().apply(cube, bands, np.random.default_rng(5))
+        b = NoiseModel().apply(cube, bands, np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_bad_bands_attenuated(self, bands):
+        cube = np.full((6, 6, bands.count), 0.4)
+        out = NoiseModel(absorption_transmission=0.02).apply(
+            cube, bands, np.random.default_rng(0))
+        good_mean = out[:, :, bands.good].mean()
+        bad_mean = out[:, :, ~bands.good].mean()
+        assert bad_mean < 0.1 * good_mean
+
+    def test_noise_scales_with_snr(self, bands):
+        cube = np.full((32, 32, bands.count), 0.4)
+        noisy_lo = NoiseModel(peak_snr=20, edge_snr=10).apply(
+            cube, bands, np.random.default_rng(1))
+        noisy_hi = NoiseModel(peak_snr=2000, edge_snr=1000).apply(
+            cube, bands, np.random.default_rng(1))
+        good = bands.good
+        assert noisy_lo[:, :, good].std() > 5 * noisy_hi[:, :, good].std()
+
+    def test_input_not_mutated(self, bands, rng):
+        cube = rng.uniform(0.1, 0.5, size=(4, 4, bands.count))
+        original = cube.copy()
+        NoiseModel().apply(cube, bands, rng)
+        np.testing.assert_array_equal(cube, original)
+
+    def test_band_mismatch_rejected(self, bands, rng):
+        with pytest.raises(ValueError):
+            NoiseModel().apply(np.ones((4, 4, 3)), bands, rng)

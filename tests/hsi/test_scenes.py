@@ -1,0 +1,64 @@
+"""Tests for the additional scene presets and the AMC regimes they
+represent."""
+
+import numpy as np
+import pytest
+
+from repro.core import AMCConfig, run_amc
+from repro.hsi.scenes import (
+    COASTAL_CLASSES,
+    MINIMAL_CLASSES,
+    URBAN_CLASSES,
+    generate_coastal_scene,
+    generate_minimal_scene,
+    generate_urban_scene,
+)
+
+
+class TestPresetsGenerate:
+    def test_urban(self):
+        scene = generate_urban_scene(48, 48, band_count=48, seed=2)
+        assert scene.n_classes == len(URBAN_CLASSES) == 8
+        assert scene.ground_truth.max() <= 8
+
+    def test_coastal_water_dominates(self):
+        scene = generate_coastal_scene(64, 64, band_count=48, seed=2)
+        water = (scene.ground_truth == 1).mean()
+        assert water > 0.25  # DeepWater has 4x area weight
+
+    def test_minimal(self):
+        scene = generate_minimal_scene()
+        assert scene.n_classes == len(MINIMAL_CLASSES) == 4
+        assert set(np.unique(scene.ground_truth)) <= {1, 2, 3, 4}
+
+    def test_deterministic(self):
+        a = generate_minimal_scene(seed=7)
+        b = generate_minimal_scene(seed=7)
+        np.testing.assert_array_equal(a.cube.data, b.cube.data)
+
+
+class TestRegimes:
+    def test_urban_regime_is_easy(self):
+        """Pure, distinct classes: AMC must score very high."""
+        scene = generate_urban_scene(64, 64, band_count=64, seed=3)
+        result = run_amc(scene.cube, AMCConfig(n_classes=12),
+                         ground_truth=scene.ground_truth,
+                         class_names=scene.class_names)
+        assert result.report.overall_accuracy > 85.0
+
+    def test_coastal_regime_runs_clean(self):
+        """Dark low-SNR water must not blow up the SID math (no NaNs,
+        finite MEI, sane accuracy)."""
+        scene = generate_coastal_scene(64, 64, band_count=64, seed=3)
+        result = run_amc(scene.cube, AMCConfig(n_classes=10),
+                         ground_truth=scene.ground_truth,
+                         class_names=scene.class_names)
+        assert np.isfinite(result.mei).all()
+        assert result.report.overall_accuracy > 50.0
+
+    def test_minimal_scene_classifies(self):
+        scene = generate_minimal_scene(seed=5)
+        result = run_amc(scene.cube, AMCConfig(n_classes=6),
+                         ground_truth=scene.ground_truth,
+                         class_names=scene.class_names)
+        assert result.report.overall_accuracy > 80.0

@@ -1,0 +1,154 @@
+"""Tests for the Indian-Pines-like scene generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.hsi import (
+    INDIAN_PINES_CLASSES,
+    SceneParams,
+    generate_indian_pines_like,
+    generate_scene,
+)
+from repro.hsi.synthetic import _purity_from_accuracy
+
+
+class TestClassTable:
+    def test_matches_paper_row_count(self):
+        assert len(INDIAN_PINES_CLASSES) == 32  # Table 3 rows
+
+    def test_every_class_names_a_material(self, session_scene):
+        lib = session_scene.library
+        for spec in INDIAN_PINES_CLASSES:
+            assert spec.material in lib
+            for mixer in spec.mixers:
+                assert mixer in lib
+
+    def test_paper_accuracies_recorded(self):
+        by_name = {c.name: c.paper_accuracy for c in INDIAN_PINES_CLASSES}
+        assert by_name["BareSoil"] == 98.05
+        assert by_name["Buildings"] == 30.43
+        assert by_name["Woods"] == 88.89
+
+    def test_purity_monotone_in_accuracy(self):
+        """Higher reported accuracy must map to higher purity."""
+        assert _purity_from_accuracy(99.0) > _purity_from_accuracy(70.0) \
+            > _purity_from_accuracy(30.0)
+
+    def test_purity_calibration_midpoint(self):
+        # 50% accuracy sits exactly at the decision boundary.
+        assert _purity_from_accuracy(50.0) == pytest.approx(0.5, abs=1e-6)
+
+
+class TestGeneration:
+    def test_shapes(self, session_scene):
+        scene = session_scene
+        assert scene.ground_truth.shape == (48, 48)
+        assert scene.cube.lines == 48 and scene.cube.samples == 48
+        assert scene.abundance.shape == (48, 48)
+
+    def test_bad_bands_dropped(self, session_scene):
+        # 64-channel sensor keeps only good channels by default.
+        assert session_scene.cube.bands == session_scene.bands.good_count \
+            == session_scene.bands.count
+
+    def test_keep_bad_bands_option(self):
+        scene = generate_scene(SceneParams(lines=16, samples=16,
+                                           band_count=32, seed=1,
+                                           drop_bad_bands=False))
+        assert scene.cube.bands == 32
+
+    def test_all_pixels_labeled(self, session_scene):
+        assert session_scene.ground_truth.min() >= 1
+        assert session_scene.ground_truth.max() <= session_scene.n_classes
+
+    def test_deterministic(self):
+        a = generate_indian_pines_like(24, 24, band_count=32, seed=9)
+        b = generate_indian_pines_like(24, 24, band_count=32, seed=9)
+        np.testing.assert_array_equal(a.cube.data, b.cube.data)
+        np.testing.assert_array_equal(a.ground_truth, b.ground_truth)
+
+    def test_seed_changes_scene(self):
+        a = generate_indian_pines_like(24, 24, band_count=32, seed=9)
+        b = generate_indian_pines_like(24, 24, band_count=32, seed=10)
+        assert not np.array_equal(a.ground_truth, b.ground_truth)
+
+    def test_cube_positive_float32(self, session_scene):
+        data = session_scene.cube.data
+        assert data.dtype == np.float32
+        assert np.all(data > 0)
+
+    def test_class_coverage_on_large_scene(self):
+        scene = generate_indian_pines_like(128, 128, band_count=32, seed=4)
+        present = np.unique(scene.ground_truth)
+        # Large scenes must realize the vast majority of the 32 classes.
+        assert present.size >= 26
+
+    def test_purity_reflects_class_spec(self):
+        scene = generate_indian_pines_like(96, 96, band_count=32, seed=4)
+        gt = scene.ground_truth
+        names = scene.class_names
+        pure = names.index("BareSoil") + 1
+        mixed = names.index("Buildings") + 1
+        if (gt == pure).any() and (gt == mixed).any():
+            assert scene.abundance[gt == pure].mean() > \
+                scene.abundance[gt == mixed].mean()
+
+    def test_mixed_class_spectra_closer_to_background(self):
+        """A low-purity class's pixels sit closer to its background
+        material than a high-purity class's pixels do."""
+        scene = generate_indian_pines_like(96, 96, band_count=64, seed=4)
+        assert np.isfinite(scene.abundance).all()
+        assert 0.0 < scene.abundance.min() and scene.abundance.max() <= 0.98
+
+    def test_class_spec_lookup(self, session_scene):
+        spec = session_scene.class_spec(1)
+        assert spec.name == session_scene.class_names[0]
+
+    def test_wavelengths_attached(self, session_scene):
+        wl = session_scene.cube.wavelengths_nm
+        assert wl is not None and wl.size == session_scene.cube.bands
+
+
+class TestGeneratorFuzz:
+    """Hypothesis: the generator never crashes and its invariants hold
+    over randomized configurations."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(lines=st.integers(8, 40), samples=st.integers(8, 40),
+           bands=st.integers(8, 48), seed=st.integers(0, 10 ** 6),
+           jitter=st.floats(0.01, 0.3),
+           illum=st.floats(0.0, 0.3))
+    @settings(max_examples=25, deadline=None)
+    def test_property_invariants(self, lines, samples, bands, seed,
+                                 jitter, illum):
+        scene = generate_scene(SceneParams(
+            lines=lines, samples=samples, band_count=bands, seed=seed,
+            purity_jitter=jitter, illumination_variation=illum,
+            min_field=4))
+        assert scene.ground_truth.shape == (lines, samples)
+        assert scene.ground_truth.min() >= 1
+        assert scene.ground_truth.max() <= len(scene.class_names)
+        data = scene.cube.as_bip()
+        assert np.isfinite(data).all()
+        assert (data > 0).all()
+        assert scene.cube.bands == scene.bands.count
+        assert np.isfinite(scene.abundance).all()
+        assert scene.abundance.min() > 0.0
+        assert scene.abundance.max() <= 0.98 + 1e-6
+
+
+class TestParamValidation:
+    def test_too_small_scene(self):
+        with pytest.raises(ShapeError):
+            SceneParams(lines=2, samples=16)
+
+    def test_too_few_bands(self):
+        with pytest.raises(ShapeError):
+            SceneParams(band_count=4)
+
+    def test_empty_classes(self):
+        with pytest.raises(ValueError):
+            SceneParams(classes=())

@@ -1,0 +1,196 @@
+"""Tests for spectral distance measures, SID foremost (paper eq. 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import ShapeError
+from repro.spectral import (
+    euclidean,
+    normalize_spectra,
+    sam,
+    sid,
+    sid_cross_terms,
+    sid_image,
+    sid_pairwise,
+    sid_self_entropy,
+    spectral_correlation,
+)
+
+probability_vectors = hnp.arrays(
+    np.float64, st.integers(2, 24).map(lambda n: (n,)),
+    elements=st.floats(0.01, 100.0)).map(normalize_spectra)
+
+
+def _sid_by_definition(p, q):
+    """Literal transcription of eq. 2."""
+    return float(np.sum(p * np.log(p / q)) + np.sum(q * np.log(q / p)))
+
+
+class TestSid:
+    def test_identical_spectra_zero(self):
+        p = normalize_spectra(np.array([1.0, 2.0, 3.0]))
+        assert sid(p, p) == pytest.approx(0.0, abs=1e-15)
+
+    def test_matches_definition(self, rng):
+        p = normalize_spectra(rng.uniform(0.1, 1.0, 12))
+        q = normalize_spectra(rng.uniform(0.1, 1.0, 12))
+        assert sid(p, q) == pytest.approx(_sid_by_definition(p, q))
+
+    def test_symmetry(self, rng):
+        p = normalize_spectra(rng.uniform(0.1, 1.0, 8))
+        q = normalize_spectra(rng.uniform(0.1, 1.0, 8))
+        assert sid(p, q) == pytest.approx(sid(q, p))
+
+    def test_broadcasts_image_against_vector(self, rng):
+        image = normalize_spectra(rng.uniform(0.1, 1.0, (4, 5, 8)))
+        ref = normalize_spectra(rng.uniform(0.1, 1.0, 8))
+        out = sid(image, ref)
+        assert out.shape == (4, 5)
+        assert out[2, 3] == pytest.approx(_sid_by_definition(image[2, 3], ref))
+
+    def test_band_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            sid(np.ones(4) / 4, np.ones(5) / 5)
+
+    def test_known_value_two_bands(self):
+        p = np.array([0.75, 0.25])
+        q = np.array([0.25, 0.75])
+        expected = 0.5 * np.log(3) * 2  # (0.75-0.25)(log3) twice
+        assert sid(p, q) == pytest.approx(expected)
+
+    @given(probability_vectors, st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_property_nonnegative_symmetric(self, p, data):
+        q = normalize_spectra(data.draw(hnp.arrays(
+            np.float64, p.shape, elements=st.floats(0.01, 100.0))))
+        d1 = float(sid(p, q))
+        d2 = float(sid(q, p))
+        assert d1 >= 0.0
+        assert d1 == pytest.approx(d2, rel=1e-9, abs=1e-12)
+
+    @given(probability_vectors)
+    @settings(max_examples=30, deadline=None)
+    def test_property_identity_of_indiscernibles(self, p):
+        assert float(sid(p, p)) == pytest.approx(0.0, abs=1e-10)
+
+
+class TestDecomposition:
+    def test_cross_entropy_identity(self, rng):
+        """sid == h(p) + h(q) - cross(p, q) — the identity every backend
+        relies on."""
+        p = normalize_spectra(rng.uniform(0.1, 1.0, 16))
+        q = normalize_spectra(rng.uniform(0.1, 1.0, 16))
+        recomposed = sid_self_entropy(p) + sid_self_entropy(q) \
+            - sid_cross_terms(p, q)
+        assert recomposed == pytest.approx(float(sid(p, q)))
+
+    def test_self_entropy_shape(self, rng):
+        image = normalize_spectra(rng.uniform(0.1, 1.0, (3, 4, 8)))
+        assert sid_self_entropy(image).shape == (3, 4)
+
+    def test_self_entropy_is_negative(self, rng):
+        p = normalize_spectra(rng.uniform(0.1, 1.0, 8))
+        assert sid_self_entropy(p) < 0.0  # sum p log p < 0 for non-trivial p
+
+
+class TestSidImage:
+    def test_matches_per_pixel_sid(self, rng):
+        a = normalize_spectra(rng.uniform(0.1, 1.0, (4, 3, 10)))
+        b = normalize_spectra(rng.uniform(0.1, 1.0, (4, 3, 10)))
+        out = sid_image(a, b)
+        for y in range(4):
+            for x in range(3):
+                assert out[y, x] == pytest.approx(
+                    _sid_by_definition(a[y, x], b[y, x]), abs=1e-12)
+
+    def test_precomputed_entropies(self, rng):
+        a = normalize_spectra(rng.uniform(0.1, 1.0, (4, 3, 10)))
+        b = normalize_spectra(rng.uniform(0.1, 1.0, (4, 3, 10)))
+        ha = sid_self_entropy(a)
+        hb = sid_self_entropy(b)
+        np.testing.assert_allclose(sid_image(a, b, ha, hb), sid_image(a, b))
+
+    def test_shape_mismatch_rejected(self, rng):
+        a = normalize_spectra(rng.uniform(0.1, 1.0, (4, 3, 10)))
+        with pytest.raises(ShapeError):
+            sid_image(a, a[:2])
+
+    def test_requires_3d(self):
+        with pytest.raises(ShapeError):
+            sid_image(np.ones((3, 4)), np.ones((3, 4)))
+
+
+class TestSidPairwise:
+    def test_matches_elementwise(self, rng):
+        a = normalize_spectra(rng.uniform(0.1, 1.0, (5, 12)))
+        b = normalize_spectra(rng.uniform(0.1, 1.0, (3, 12)))
+        out = sid_pairwise(a, b)
+        assert out.shape == (5, 3)
+        for i in range(5):
+            for j in range(3):
+                assert out[i, j] == pytest.approx(
+                    _sid_by_definition(a[i], b[j]), abs=1e-10)
+
+    def test_self_matrix_symmetric_zero_diag(self, rng):
+        a = normalize_spectra(rng.uniform(0.1, 1.0, (6, 9)))
+        out = sid_pairwise(a)
+        np.testing.assert_allclose(out, out.T, atol=1e-12)
+        np.testing.assert_allclose(np.diag(out), 0.0, atol=1e-10)
+
+    def test_rejects_non_2d(self, rng):
+        with pytest.raises(ShapeError):
+            sid_pairwise(np.ones(4) / 4)
+
+    def test_rejects_band_mismatch(self):
+        with pytest.raises(ShapeError):
+            sid_pairwise(np.ones((2, 4)) / 4, np.ones((2, 5)) / 5)
+
+
+class TestSam:
+    def test_zero_for_parallel(self, rng):
+        p = rng.uniform(0.1, 1.0, 8)
+        assert sam(p, 3.7 * p) == pytest.approx(0.0, abs=1e-7)
+
+    def test_orthogonal_is_right_angle(self):
+        assert sam(np.array([1.0, 0.0]), np.array([0.0, 1.0])) \
+            == pytest.approx(np.pi / 2)
+
+    def test_scale_invariance(self, rng):
+        p = rng.uniform(0.1, 1.0, 8)
+        q = rng.uniform(0.1, 1.0, 8)
+        assert sam(p, q) == pytest.approx(sam(2.0 * p, 0.5 * q))
+
+    def test_range(self, rng):
+        for _ in range(20):
+            p = rng.uniform(0.0, 1.0, 6)
+            q = rng.uniform(0.0, 1.0, 6)
+            angle = float(sam(p + 1e-6, q + 1e-6))
+            assert 0.0 <= angle <= np.pi
+
+
+class TestCorrelationAndEuclidean:
+    def test_correlation_perfect(self, rng):
+        p = rng.uniform(0.1, 1.0, 10)
+        assert spectral_correlation(p, 2 * p + 3) == pytest.approx(1.0)
+
+    def test_correlation_anti(self, rng):
+        p = rng.uniform(0.1, 1.0, 10)
+        assert spectral_correlation(p, -p) == pytest.approx(-1.0)
+
+    def test_correlation_bounds(self, rng):
+        for _ in range(10):
+            c = float(spectral_correlation(rng.normal(size=8),
+                                           rng.normal(size=8)))
+            assert -1.0 <= c <= 1.0
+
+    def test_euclidean_matches_numpy(self, rng):
+        p = rng.normal(size=12)
+        q = rng.normal(size=12)
+        assert euclidean(p, q) == pytest.approx(np.linalg.norm(p - q))
+
+    def test_euclidean_zero(self, rng):
+        p = rng.normal(size=5)
+        assert euclidean(p, p) == 0.0

@@ -1,0 +1,138 @@
+"""Tests for probability normalization (paper eqs. 3-4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import ShapeError
+from repro.spectral import (
+    SpectralEpsilon,
+    normalize_image,
+    normalize_spectra,
+    safe_log,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_epsilon():
+    yield
+    SpectralEpsilon.reset()
+
+
+class TestNormalizeSpectra:
+    def test_unit_sum_1d(self):
+        out = normalize_spectra(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_unit_sum_batch(self, rng):
+        spectra = rng.uniform(0.1, 5.0, size=(20, 16))
+        out = normalize_spectra(spectra)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-12)
+
+    def test_proportions_preserved(self):
+        out = normalize_spectra(np.array([2.0, 6.0]))
+        assert out[1] / out[0] == pytest.approx(3.0)
+
+    def test_custom_axis(self, rng):
+        spectra = rng.uniform(0.1, 1.0, size=(7, 5))
+        out = normalize_spectra(spectra, axis=0)
+        np.testing.assert_allclose(out.sum(axis=0), 1.0, rtol=1e-12)
+
+    def test_zero_components_clamped(self):
+        out = normalize_spectra(np.array([0.0, 1.0, 1.0]))
+        assert out[0] == SpectralEpsilon.get()
+        assert np.all(out > 0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            normalize_spectra(np.array([1.0, -0.5, 2.0]))
+
+    def test_all_zero_spectrum_rejected(self):
+        with pytest.raises(ValueError, match="sums to zero"):
+            normalize_spectra(np.zeros((3, 4)))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ShapeError):
+            normalize_spectra(np.empty((4, 0)))
+
+    def test_scalar_rejected(self):
+        with pytest.raises(ShapeError):
+            normalize_spectra(np.float64(3.0))
+
+    def test_float32_stays_float32(self):
+        out = normalize_spectra(np.ones(8, dtype=np.float32))
+        assert out.dtype == np.float32
+
+    def test_float64_output_for_ints(self):
+        out = normalize_spectra(np.array([1, 2, 3]))
+        assert out.dtype == np.float64
+
+    def test_explicit_epsilon(self):
+        out = normalize_spectra(np.array([0.0, 1.0]), epsilon=1e-3)
+        assert out[0] == pytest.approx(1e-3)
+
+    @given(hnp.arrays(np.float64, hnp.array_shapes(min_dims=2, max_dims=3,
+                                                   min_side=1, max_side=6),
+                      elements=st.floats(0.01, 100.0)))
+    @settings(max_examples=40, deadline=None)
+    def test_property_unit_sum_and_bounds(self, spectra):
+        out = normalize_spectra(spectra)
+        assert np.all(out > 0)
+        assert np.all(out <= 1.0 + 1e-9)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-9)
+
+
+class TestNormalizeImage:
+    def test_shape_preserved(self, small_cube):
+        out = normalize_image(small_cube)
+        assert out.shape == small_cube.shape
+
+    def test_pixelwise_unit_sum(self, small_cube):
+        out = normalize_image(small_cube)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-12)
+
+    def test_requires_3d(self):
+        with pytest.raises(ShapeError):
+            normalize_image(np.ones((4, 4)))
+
+
+class TestSpectralEpsilon:
+    def test_default(self):
+        assert SpectralEpsilon.get() == 1e-12
+
+    def test_set_and_reset(self):
+        SpectralEpsilon.set(1e-6)
+        assert SpectralEpsilon.get() == 1e-6
+        SpectralEpsilon.reset()
+        assert SpectralEpsilon.get() == 1e-12
+
+    @pytest.mark.parametrize("bad", [0.0, -1e-9, float("nan"), float("inf")])
+    def test_rejects_invalid(self, bad):
+        with pytest.raises(ValueError):
+            SpectralEpsilon.set(bad)
+
+
+class TestSafeLog:
+    def test_matches_log_for_positive(self, rng):
+        values = rng.uniform(0.5, 2.0, size=32)
+        np.testing.assert_allclose(safe_log(values), np.log(values))
+
+    def test_clamps_zero(self):
+        out = safe_log(np.array([0.0]))
+        assert out[0] == pytest.approx(np.log(SpectralEpsilon.get()))
+
+    def test_no_warnings_on_zero(self):
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            safe_log(np.zeros(4))
+
+    def test_float32_preserved(self):
+        out = safe_log(np.ones(4, dtype=np.float32))
+        assert out.dtype == np.float32
+
+    def test_custom_epsilon(self):
+        out = safe_log(np.array([0.0]), epsilon=np.e)
+        assert out[0] == pytest.approx(1.0)

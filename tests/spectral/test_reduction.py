@@ -1,0 +1,139 @@
+"""Tests for PCA / MNF / virtual dimensionality."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.spectral.reduction import (
+    estimate_noise_covariance,
+    mnf,
+    pca,
+    virtual_dimensionality,
+)
+
+
+@pytest.fixture()
+def low_rank_cube(rng):
+    """A 3-source scene: 16 bands, rank-3 signal + small noise."""
+    sources = rng.uniform(0.1, 1.0, size=(3, 16))
+    weights = rng.dirichlet(np.ones(3), size=(24, 24))
+    cube = weights @ sources + rng.normal(0, 0.003, size=(24, 24, 16))
+    return np.clip(cube, 1e-4, None), sources
+
+
+class TestPca:
+    def test_explains_low_rank_data(self, low_rank_cube):
+        cube, _ = low_rank_cube
+        proj = pca(cube, 5)
+        total_var = cube.reshape(-1, 16).var(axis=0, ddof=1).sum()
+        # rank-3 signal: 3 components carry essentially all variance
+        assert proj.scores[:3].sum() / total_var > 0.98
+
+    def test_components_orthonormal(self, low_rank_cube):
+        cube, _ = low_rank_cube
+        proj = pca(cube, 4)
+        gram = proj.components @ proj.components.T
+        np.testing.assert_allclose(gram, np.eye(4), atol=1e-10)
+
+    def test_scores_descend(self, low_rank_cube):
+        proj = pca(low_rank_cube[0], 6)
+        assert np.all(np.diff(proj.scores) <= 1e-12)
+
+    def test_transform_shape(self, low_rank_cube):
+        proj = pca(low_rank_cube[0], 3)
+        assert proj.transformed.shape == (24, 24, 3)
+
+    def test_project_new_data(self, low_rank_cube, rng):
+        cube, _ = low_rank_cube
+        proj = pca(cube, 3)
+        out = proj.project(cube[:2, :2])
+        np.testing.assert_allclose(out, proj.transformed[:2, :2],
+                                   rtol=1e-10)
+
+    def test_project_band_mismatch(self, low_rank_cube):
+        proj = pca(low_rank_cube[0], 3)
+        with pytest.raises(ShapeError):
+            proj.project(np.ones((4, 4, 5)))
+
+    def test_component_bounds(self, low_rank_cube):
+        with pytest.raises(ValueError):
+            pca(low_rank_cube[0], 0)
+        with pytest.raises(ValueError):
+            pca(low_rank_cube[0], 17)
+
+    def test_accepts_pixel_matrix(self, rng):
+        pixels = rng.uniform(size=(100, 8))
+        proj = pca(pixels, 2)
+        assert proj.transformed.shape == (100, 2)
+
+
+class TestNoiseCovariance:
+    def test_recovers_iid_noise_level(self, rng):
+        sigma = 0.05
+        cube = 0.5 + rng.normal(0, sigma, size=(64, 64, 6))
+        noise_cov = estimate_noise_covariance(cube)
+        np.testing.assert_allclose(np.diag(noise_cov), sigma ** 2,
+                                   rtol=0.15)
+
+    def test_smooth_signal_ignored(self, rng):
+        """A spatially smooth signal contributes ~nothing to the
+        shift-difference estimate."""
+        ramp = np.linspace(0, 1, 64)[None, :, None] * np.ones((64, 1, 6))
+        noise_cov = estimate_noise_covariance(ramp)
+        assert np.abs(noise_cov).max() < 1e-3
+
+    def test_requires_cube(self):
+        with pytest.raises(ShapeError):
+            estimate_noise_covariance(np.ones((4, 6)))
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ShapeError):
+            estimate_noise_covariance(np.ones((4, 1, 6)))
+
+
+class TestMnf:
+    def test_ranks_noisy_band_below_signal(self, rng):
+        """A band of pure high-variance noise dominates PCA but must rank
+        last in MNF."""
+        signal = np.linspace(0, 1, 32)[None, :, None] \
+            * rng.uniform(0.5, 1.0, size=6)[None, None, :]
+        cube = np.tile(signal, (32, 1, 1)) + rng.normal(0, 0.002,
+                                                        (32, 32, 6))
+        cube[:, :, 3] = rng.normal(0, 0.5, size=(32, 32))  # junk band
+        proj_pca = pca(cube, 1)
+        proj_mnf = mnf(cube, 1)
+        # PCA's first component points at the junk band...
+        assert np.abs(proj_pca.components[0, 3]) > 0.9
+        # ...MNF's does not.
+        junk_weight = np.abs(proj_mnf.components[0, 3]) \
+            / np.abs(proj_mnf.components[0]).max()
+        assert junk_weight < 0.2
+
+    def test_transform_shape_and_scores(self, low_rank_cube):
+        proj = mnf(low_rank_cube[0], 4)
+        assert proj.transformed.shape == (24, 24, 4)
+        assert np.all(np.diff(proj.scores) <= 1e-9)
+
+    def test_requires_cube(self):
+        with pytest.raises(ShapeError):
+            mnf(np.ones((10, 6)), 2)
+
+
+class TestVirtualDimensionality:
+    def test_counts_sources_in_low_rank_scene(self, low_rank_cube):
+        cube, sources = low_rank_cube
+        vd = virtual_dimensionality(cube)
+        # 3 sources + mean offset: HFC lands in a small band around 3
+        assert 2 <= vd <= 6
+
+    def test_pure_noise_has_low_vd(self, rng):
+        cube = rng.normal(0, 1.0, size=(32, 32, 12))
+        assert virtual_dimensionality(cube) <= 2
+
+    def test_false_alarm_rate_validated(self, low_rank_cube):
+        with pytest.raises(ValueError):
+            virtual_dimensionality(low_rank_cube[0], false_alarm_rate=0.9)
+
+    def test_needs_pixels(self):
+        with pytest.raises(ShapeError):
+            virtual_dimensionality(np.ones((1, 4)))

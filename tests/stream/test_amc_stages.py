@@ -1,0 +1,116 @@
+"""Tests: the declarative AMC stage graphs agree with the core math."""
+
+import numpy as np
+import pytest
+
+from repro.core.mei import mei_reference, se_offsets
+from repro.errors import StreamError
+from repro.spectral import normalize_image, safe_log, sid_self_entropy
+from repro.stream import CpuExecutor, GpuExecutor, Stream
+from repro.stream.amc_stages import (
+    build_cumulative_graph,
+    build_normalization_graph,
+    group_streams,
+)
+from repro.gpu.texture import unpack_bands
+
+
+@pytest.fixture(scope="module")
+def cube():
+    return np.random.default_rng(55).uniform(0.05, 1.0, (8, 7, 10))
+
+
+@pytest.fixture(scope="module")
+def norm_outputs(cube):
+    graph = build_normalization_graph(bands=10)
+    inputs = group_streams(cube.astype(np.float32))
+    inputs["zero"] = Stream.zeros("zero", 8, 7)
+    return CpuExecutor().run(graph, inputs)
+
+
+class TestNormalizationGraph:
+    def test_total_matches_band_sum(self, cube, norm_outputs):
+        expected = cube.sum(axis=2)
+        got = norm_outputs["total"].scalar()
+        np.testing.assert_allclose(got, expected, rtol=1e-5)
+
+    def test_norm_streams_match_eq34(self, cube, norm_outputs):
+        expected = normalize_image(cube)
+        stack = [norm_outputs[f"norm{g}"].data for g in range(3)]
+        got = unpack_bands(stack, 10)
+        np.testing.assert_allclose(got, expected, rtol=1e-4, atol=1e-7)
+
+    def test_log_streams(self, cube, norm_outputs):
+        expected = safe_log(normalize_image(cube))
+        stack = [norm_outputs[f"log{g}"].data for g in range(3)]
+        got = unpack_bands(stack, 10)
+        np.testing.assert_allclose(got, expected, rtol=1e-4, atol=1e-5)
+
+    def test_entropy_matches(self, cube, norm_outputs):
+        expected = sid_self_entropy(normalize_image(cube))
+        got = norm_outputs["entropy"].scalar()
+        np.testing.assert_allclose(got, expected, rtol=1e-4, atol=1e-6)
+
+    def test_padded_lanes_stay_zero(self, norm_outputs):
+        # 10 bands -> last group has 2 padded lanes, masked to zero
+        assert np.all(norm_outputs["norm2"].data[:, :, 2:] == 0)
+
+    def test_executors_agree(self, cube):
+        graph = build_normalization_graph(bands=10)
+        inputs = group_streams(cube.astype(np.float32))
+        inputs["zero"] = Stream.zeros("zero", 8, 7)
+        cpu = CpuExecutor().run(graph, inputs)
+        gpu = GpuExecutor().run(graph, {k: s.copy()
+                                        for k, s in inputs.items()})
+        for name in ("total", "entropy", "norm0", "log2"):
+            np.testing.assert_array_equal(cpu[name].data, gpu[name].data)
+
+    def test_invalid_bands(self):
+        with pytest.raises(StreamError):
+            build_normalization_graph(bands=0)
+
+
+class TestCumulativeGraph:
+    def test_pair_sids_match_reference(self, cube, norm_outputs):
+        from repro.core.mei import cumulative_distances
+
+        pairs = ((0, 4), (4, 8), (2, 6))
+        graph = build_cumulative_graph(bands=10, radius=1, pairs=pairs)
+        inputs = {name: norm_outputs[name].copy(name)
+                  for name in graph.inputs if name != "zero"}
+        inputs["zero"] = Stream.zeros("zero", 8, 7)
+        out = CpuExecutor().run(graph, inputs)
+
+        normalized = normalize_image(cube)
+        _, pair_maps = cumulative_distances(normalized, 1,
+                                            return_pair_maps=True)
+        for a, b in pairs:
+            np.testing.assert_allclose(out[f"sid_{a}_{b}"].scalar(),
+                                       pair_maps[(a, b)],
+                                       rtol=1e-3, atol=1e-5)
+
+    def test_full_pairs_reproduce_cumulative(self, cube, norm_outputs):
+        graph = build_cumulative_graph(bands=10, radius=1)
+        inputs = {name: norm_outputs[name].copy(name)
+                  for name in graph.inputs if name != "zero"}
+        inputs["zero"] = Stream.zeros("zero", 8, 7)
+        out = CpuExecutor().run(graph, inputs)
+        ref = mei_reference(cube)
+        k_count = len(se_offsets(1))
+        for k in range(k_count):
+            np.testing.assert_allclose(out[f"accum{k}"].scalar(),
+                                       ref.cumulative[:, :, k],
+                                       rtol=2e-3, atol=1e-4)
+
+    def test_invalid_pair_rejected(self):
+        with pytest.raises(StreamError, match="invalid SE pair"):
+            build_cumulative_graph(bands=10, radius=1, pairs=((3, 3),))
+        with pytest.raises(StreamError, match="invalid SE pair"):
+            build_cumulative_graph(bands=10, radius=1, pairs=((0, 9),))
+
+    def test_graph_is_inspectable_data(self):
+        graph = build_cumulative_graph(bands=10, radius=1,
+                                       pairs=((0, 8),))
+        # one cross chain (3 groups), one sid, two accums, two aliases
+        assert graph.step_count() == 3 + 1 + 2 + 2
+        assert "sid_0_8" in graph.outputs

@@ -1,0 +1,77 @@
+"""Tests for the standard kernel library (convolution, blur, sobel)."""
+
+import numpy as np
+import pytest
+from scipy.ndimage import convolve as nd_convolve
+
+from repro.errors import StreamError
+from repro.stream import CpuExecutor, StageGraph, Step, Stream
+from repro.stream.kernel import convolve2d, gaussian_blur, sobel_magnitude
+
+
+def _run_kernel(kernel, image):
+    graph = StageGraph("k", inputs=("a",),
+                       steps=(Step(kernel, {"a": "a"}, "out"),),
+                       outputs=("out",))
+    stream = Stream.from_scalar("a", image.astype(np.float32))
+    return CpuExecutor().run(graph, {"a": stream})["out"].scalar()
+
+
+class TestConvolve2d:
+    def test_matches_scipy_interior(self, rng):
+        image = rng.uniform(size=(12, 14))
+        weights = rng.uniform(-1, 1, size=(3, 3))
+        got = _run_kernel(convolve2d("c", weights), image)
+        want = nd_convolve(image, weights[::-1, ::-1], mode="nearest")
+        np.testing.assert_allclose(got[1:-1, 1:-1], want[1:-1, 1:-1],
+                                   rtol=1e-5, atol=1e-6)
+
+    def test_identity_kernel(self, rng):
+        image = rng.uniform(size=(6, 6))
+        got = _run_kernel(convolve2d("id", [[0, 0, 0], [0, 1, 0],
+                                            [0, 0, 0]]), image)
+        np.testing.assert_allclose(got, image, rtol=1e-6)
+
+    def test_zero_coefficients_skipped(self):
+        kernel = convolve2d("sparse", [[0, 1, 0], [0, 0, 0], [0, 0, 0]])
+        assert kernel.shader.stats.static_fetches == 1
+
+    def test_even_extent_rejected(self):
+        with pytest.raises(StreamError, match="odd"):
+            convolve2d("bad", np.ones((2, 3)))
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(StreamError, match="all zero"):
+            convolve2d("bad", np.zeros((3, 3)))
+
+
+class TestGaussianBlur:
+    def test_preserves_mean_of_constant(self):
+        got = _run_kernel(gaussian_blur("g", radius=2), np.full((9, 9), 3.0))
+        np.testing.assert_allclose(got, 3.0, rtol=1e-5)
+
+    def test_smooths_noise(self, rng):
+        image = rng.normal(0, 1, size=(32, 32))
+        got = _run_kernel(gaussian_blur("g", radius=2), image)
+        assert got.std() < 0.5 * image.std()
+
+    def test_radius_validation(self):
+        with pytest.raises(StreamError):
+            gaussian_blur("g", radius=0)
+
+
+class TestSobel:
+    def test_flat_image_zero(self):
+        got = _run_kernel(sobel_magnitude("s"), np.full((8, 8), 2.0))
+        np.testing.assert_allclose(got, 0.0, atol=1e-5)
+
+    def test_vertical_edge_detected(self):
+        image = np.zeros((10, 10))
+        image[:, 5:] = 1.0
+        got = _run_kernel(sobel_magnitude("s"), image)
+        # response concentrated on the two columns around the edge
+        assert got[:, 4:6].mean() > 10 * (got[:, :3].mean() + 1e-9)
+
+    def test_nonnegative(self, rng):
+        got = _run_kernel(sobel_magnitude("s"), rng.uniform(size=(9, 9)))
+        assert np.all(got >= 0)

@@ -1,0 +1,157 @@
+"""Tests for the stage-graph optimization passes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamError
+from repro.gpu import shaderir as ir
+from repro.stream import CpuExecutor, StageGraph, Step, Stream, StreamKernel
+from repro.stream.kernel import map_binary
+from repro.stream.optimize import (
+    collapse_copies,
+    eliminate_dead_steps,
+    optimize,
+)
+
+
+def _dbl():
+    return StreamKernel.from_expression(
+        "dbl", ir.mul(ir.TexFetch("a"), 2.0), inputs=("a",))
+
+
+def _copy():
+    return StreamKernel.from_expression(
+        "cp", ir.TexFetch("a"), inputs=("a",))
+
+
+def _alias():
+    return StreamKernel.from_expression(
+        "alias", ir.add(ir.TexFetch("a"), ir.vec4(0.0)), inputs=("a",))
+
+
+@pytest.fixture()
+def x(rng):
+    return Stream.from_scalar("x", rng.uniform(size=(5, 5)))
+
+
+class TestDeadStepElimination:
+    def test_drops_unreachable_steps(self):
+        graph = StageGraph(
+            "g", inputs=("x",),
+            steps=(Step(_dbl(), {"a": "x"}, "used"),
+                   Step(_dbl(), {"a": "x"}, "wasted"),
+                   Step(_dbl(), {"a": "wasted"}, "wasted2")),
+            outputs=("used",))
+        slim = eliminate_dead_steps(graph)
+        assert slim.step_count() == 1
+        assert slim.steps[0].output == "used"
+
+    def test_keeps_transitive_dependencies(self):
+        graph = StageGraph(
+            "g", inputs=("x",),
+            steps=(Step(_dbl(), {"a": "x"}, "mid"),
+                   Step(_dbl(), {"a": "mid"}, "out")),
+            outputs=("out",))
+        assert eliminate_dead_steps(graph).step_count() == 2
+
+    def test_all_dead_rejected(self):
+        graph = StageGraph("g", inputs=("x", "y"),
+                           steps=(Step(_dbl(), {"a": "x"}, "unused"),),
+                           outputs=("y",))
+        with pytest.raises(StreamError):
+            eliminate_dead_steps(graph)
+
+
+class TestCollapseCopies:
+    def test_pure_copy_removed(self, x):
+        graph = StageGraph(
+            "g", inputs=("x",),
+            steps=(Step(_copy(), {"a": "x"}, "c"),
+                   Step(_dbl(), {"a": "c"}, "out")),
+            outputs=("out",))
+        slim = collapse_copies(graph)
+        assert slim.step_count() == 1
+        assert slim.steps[0].inputs == {"a": "x"}
+
+    def test_add_zero_alias_removed(self, x):
+        graph = StageGraph(
+            "g", inputs=("x",),
+            steps=(Step(_alias(), {"a": "x"}, "al"),
+                   Step(_dbl(), {"a": "al"}, "out")),
+            outputs=("out",))
+        assert collapse_copies(graph).step_count() == 1
+
+    def test_output_copies_kept(self, x):
+        graph = StageGraph("g", inputs=("x",),
+                           steps=(Step(_copy(), {"a": "x"}, "out"),),
+                           outputs=("out",))
+        assert collapse_copies(graph).step_count() == 1
+
+    def test_chained_aliases_resolved(self, x):
+        graph = StageGraph(
+            "g", inputs=("x",),
+            steps=(Step(_copy(), {"a": "x"}, "c1"),
+                   Step(_alias(), {"a": "c1"}, "c2"),
+                   Step(_dbl(), {"a": "c2"}, "out")),
+            outputs=("out",))
+        slim = collapse_copies(graph)
+        assert slim.step_count() == 1
+        assert slim.steps[0].inputs == {"a": "x"}
+
+    def test_offset_fetch_not_a_copy(self, x):
+        shift = StreamKernel.from_expression(
+            "shift", ir.TexFetch("a", 1, 0), inputs=("a",))
+        graph = StageGraph("g", inputs=("x",),
+                           steps=(Step(shift, {"a": "x"}, "s"),
+                                  Step(_dbl(), {"a": "s"}, "out")),
+                           outputs=("out",))
+        assert collapse_copies(graph).step_count() == 2
+
+
+class TestSemanticsPreserved:
+    def test_optimized_graph_same_outputs(self, x, rng):
+        add = map_binary("add", "add")
+        graph = StageGraph(
+            "g", inputs=("x", "y"),
+            steps=(Step(_copy(), {"a": "x"}, "cx"),
+                   Step(_dbl(), {"a": "cx"}, "x2"),
+                   Step(_dbl(), {"a": "y"}, "dead"),
+                   Step(_alias(), {"a": "x2"}, "x2a"),
+                   Step(add, {"a": "x2a", "b": "y"}, "out")),
+            outputs=("out",))
+        slim = optimize(graph)
+        assert slim.step_count() < graph.step_count()
+        inputs = {"x": x, "y": Stream.from_scalar(
+            "y", rng.uniform(size=(5, 5)))}
+        full = CpuExecutor().run(graph, inputs)
+        opt = CpuExecutor().run(slim, inputs)
+        np.testing.assert_array_equal(full["out"].data, opt["out"].data)
+
+    def test_amc_cumulative_graph_shrinks(self):
+        """The generated AMC cumulative graph contains alias copies —
+        the optimizer must remove them without changing outputs."""
+        from repro.stream.amc_stages import (
+            build_cumulative_graph,
+            build_normalization_graph,
+            group_streams,
+        )
+
+        cube = np.random.default_rng(3).uniform(0.1, 1.0, (6, 6, 8))
+        norm_graph = build_normalization_graph(bands=8)
+        inputs = group_streams(cube.astype(np.float32))
+        inputs["zero"] = Stream.zeros("zero", 6, 6)
+        norm_out = CpuExecutor().run(norm_graph, inputs)
+
+        graph = build_cumulative_graph(bands=8, pairs=((0, 8), (2, 6)))
+        gi = {n: norm_out[n].copy(n) for n in graph.inputs if n != "zero"}
+        gi["zero"] = Stream.zeros("zero", 6, 6)
+        # a caller that only wants one SID map narrows the outputs; the
+        # optimizer must then discard the other pair's whole chain
+        narrowed = StageGraph(graph.name, inputs=graph.inputs,
+                              steps=graph.steps, outputs=("sid_0_8",))
+        slim = optimize(narrowed)
+        assert slim.step_count() < narrowed.step_count()
+        a = CpuExecutor().run(graph, gi)
+        b = CpuExecutor().run(slim, {n: gi[n].copy(n) for n in gi})
+        np.testing.assert_array_equal(a["sid_0_8"].data,
+                                      b["sid_0_8"].data)

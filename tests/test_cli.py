@@ -1,0 +1,103 @@
+"""Tests for the command-line interface (driven through main())."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "x.raw"])
+        assert args.lines == 128 and args.bands == 224
+
+    def test_classify_backend_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["classify", "x.raw",
+                                       "--backend", "cuda"])
+
+    def test_bench_table_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--table", "3"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "GeForce 7800 GTX" in out
+        assert "Pentium 4" in out
+
+    def test_bench(self, capsys):
+        assert main(["bench", "--table", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 5" in out and "icc" in out
+        assert "speedup" in out
+
+    def test_generate_then_classify(self, tmp_path, capsys):
+        path = str(tmp_path / "scene.raw")
+        assert main(["generate", path, "--lines", "24", "--samples", "24",
+                     "--bands", "32", "--seed", "3"]) == 0
+        assert os.path.exists(path)
+        assert os.path.exists(path + ".hdr")
+        assert os.path.exists(path + ".gt.ppm")
+        gt = np.load(path + ".gt.npy")
+        assert gt.shape == (24, 24)
+
+        assert main(["classify", path, "--classes", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "overall accuracy" in out
+        assert os.path.exists(path + ".mei.pgm")
+        assert os.path.exists(path + ".classes.ppm")
+
+    def test_classify_gpu_backend_reports_device_time(self, tmp_path,
+                                                      capsys):
+        path = str(tmp_path / "scene.raw")
+        main(["generate", path, "--lines", "16", "--samples", "16",
+              "--bands", "24", "--seed", "4"])
+        assert main(["classify", path, "--classes", "4",
+                     "--backend", "gpu"]) == 0
+        out = capsys.readouterr().out
+        assert "modeled GPU time" in out
+
+    def test_classify_with_trace(self, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "scene.raw")
+        main(["generate", path, "--lines", "12", "--samples", "12",
+              "--bands", "16", "--seed", "5"])
+        trace_path = str(tmp_path / "timeline.json")
+        assert main(["classify", path, "--classes", "3",
+                     "--backend", "gpu", "--trace", trace_path]) == 0
+        with open(trace_path) as fh:
+            trace = json.load(fh)
+        assert trace["traceEvents"]
+        out = capsys.readouterr().out
+        assert "device timeline" in out
+
+    def test_trace_requires_gpu_backend(self, tmp_path, capsys):
+        path = str(tmp_path / "scene.raw")
+        main(["generate", path, "--lines", "12", "--samples", "12",
+              "--bands", "16", "--seed", "5"])
+        assert main(["classify", path, "--classes", "3",
+                     "--trace", str(tmp_path / "t.json")]) == 2
+
+    def test_classify_without_ground_truth(self, tmp_path, capsys):
+        from repro.hsi import HyperCube
+        from repro.hsi.envi import write_cube
+
+        rng = np.random.default_rng(0)
+        cube = HyperCube(rng.uniform(0.1, 1.0, (12, 12, 16))
+                         .astype(np.float32))
+        path = str(tmp_path / "plain.raw")
+        write_cube(cube, path)
+        assert main(["classify", path, "--classes", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "overall accuracy" not in out
+        assert os.path.exists(path + ".classes.ppm")

@@ -1,0 +1,88 @@
+"""Integration tests: every example must run end-to-end.
+
+Examples are part of the public deliverable; these tests execute each
+one in-process (importing by path, calling ``main()``) with stdout
+captured, so a regression anywhere in the stack that breaks a
+documented workflow fails the suite.
+
+They are the slowest tests in the suite (~1 min total on one core);
+deselect with ``-m "not example"`` for quick iterations.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "examples")
+
+pytestmark = pytest.mark.example
+
+
+def _run_example(name: str, argv: list[str] | None = None) -> None:
+    path = os.path.join(EXAMPLES_DIR, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    old_argv = sys.argv
+    try:
+        sys.argv = [path] + (argv or [])
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    _run_example("quickstart")
+    out = capsys.readouterr().out
+    assert "Overall:" in out
+    assert "kappa" in out
+
+
+def test_indian_pines(capsys, tmp_path, monkeypatch):
+    # keep it quick and keep outputs out of the repo
+    monkeypatch.setattr("os.path.dirname", lambda p, _real=os.path.dirname:
+                        str(tmp_path) if p.endswith("indian_pines.py")
+                        else _real(p))
+    _run_example("indian_pines", ["--size", "64", "--seed", "1"])
+    out = capsys.readouterr().out
+    assert "Fig 5(a)" in out
+    assert "Overall:" in out
+
+
+def test_onboard_gpu(capsys):
+    _run_example("onboard_gpu")
+    out = capsys.readouterr().out
+    assert "chunks:" in out
+    assert "chunked == unchunked MEI: True" in out
+
+
+def test_stream_pipeline(capsys):
+    _run_example("stream_pipeline")
+    out = capsys.readouterr().out
+    assert "agree bit-for-bit: True" in out
+
+
+def test_target_detection(capsys):
+    _run_example("target_detection")
+    out = capsys.readouterr().out
+    assert "area under curve" in out
+
+
+def test_custom_scenes(capsys):
+    _run_example("custom_scenes")
+    out = capsys.readouterr().out
+    assert "urban" in out and "coastal" in out
+    assert "chunked (24-line budget) == whole-image: True" in out
+
+
+def test_advanced_pipeline(capsys, tmp_path, monkeypatch):
+    monkeypatch.setattr("os.path.dirname", lambda p, _real=os.path.dirname:
+                        str(tmp_path) if p.endswith("advanced_pipeline.py")
+                        else _real(p))
+    _run_example("advanced_pipeline")
+    out = capsys.readouterr().out
+    assert "virtual dimensionality" in out
+    assert "Cg fragment programs" in out

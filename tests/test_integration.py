@@ -1,0 +1,106 @@
+"""Whole-workflow integration test.
+
+One scenario, end to end, the way a downstream user would chain the
+library: generate a scene → write it to disk in ENVI format → reopen it
+memory-mapped → run the full AMC pipeline on the GPU backend with
+device-side unmixing → evaluate against ground truth → export every
+artefact (maps, Cg kernels, device timeline).  Each step's output feeds
+the next; nothing is mocked.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import AMCConfig, run_amc
+from repro.gpu.cg import emit_cg
+from repro.hsi import generate_minimal_scene
+from repro.hsi.envi import read_cube, write_cube
+from repro.viz import write_class_map_ppm, write_pgm
+
+
+@pytest.fixture(scope="module")
+def workdir(tmp_path_factory):
+    return tmp_path_factory.mktemp("workflow")
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return generate_minimal_scene(40, 40, band_count=32, seed=77)
+
+
+@pytest.fixture(scope="module")
+def cube_on_disk(scene, workdir):
+    path = str(workdir / "scene.raw")
+    write_cube(scene.cube, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def result(scene, cube_on_disk):
+    cube = read_cube(cube_on_disk, mmap=True)
+    return run_amc(cube, AMCConfig(n_classes=6, backend="gpu",
+                                   gpu_unmixing=True),
+                   ground_truth=scene.ground_truth,
+                   class_names=scene.class_names)
+
+
+class TestWorkflow:
+    def test_disk_roundtrip_preserved_data(self, scene, cube_on_disk):
+        reloaded = read_cube(cube_on_disk, mmap=True)
+        np.testing.assert_array_equal(reloaded.as_bip(),
+                                      scene.cube.as_bip())
+        np.testing.assert_allclose(reloaded.wavelengths_nm,
+                                   scene.cube.wavelengths_nm, atol=0.01)
+
+    def test_classification_quality(self, result):
+        assert result.report.overall_accuracy > 80.0
+        assert result.report.kappa > 0.6
+
+    def test_device_accounting_covers_both_stages(self, result):
+        profile = result.gpu_output.time_by_kernel
+        assert any(k.startswith("cross_") for k in profile)  # morphology
+        assert "copy" in profile                             # unmixing
+        assert result.gpu_output.modeled_time_s > 0
+
+    def test_artefact_export(self, result, scene, workdir):
+        mei_path = write_pgm(result.mei, str(workdir / "mei.pgm"))
+        cls_path = write_class_map_ppm(result.labels,
+                                       str(workdir / "classes.ppm"),
+                                       n_classes=scene.n_classes)
+        assert os.path.getsize(mei_path) > 40 * 40
+        assert os.path.getsize(cls_path) > 3 * 40 * 40
+
+    def test_cg_export_of_hot_kernel(self, result, workdir):
+        """Export the Cg source of the pipeline's most expensive kernel."""
+        from repro.core.amc_gpu import _kernels
+        from repro.spectral.normalize import SpectralEpsilon
+
+        profile = result.gpu_output.time_by_kernel
+        hottest = max(profile, key=profile.get)
+        widths = tuple(sorted({int(n.split("_w")[-1])
+                               for n in profile if "_w" in n}))
+        shaders = _kernels(1, SpectralEpsilon.get(), widths or (1,))
+        src = emit_cg(shaders[hottest])
+        path = workdir / "hottest.cg"
+        path.write_text(src)
+        assert hottest.replace("-", "_") in src
+        assert src.count("{") == src.count("}")
+
+    def test_timeline_export(self, scene, workdir):
+        from repro.core.amc_gpu import gpu_morphological_stage
+        from repro.gpu import VirtualGPU
+        from repro.gpu.trace import export_chrome_trace
+
+        device = VirtualGPU()
+        gpu_morphological_stage(scene.cube.as_bip(), device=device)
+        path = export_chrome_trace(device.counters,
+                                   str(workdir / "timeline.json"))
+        with open(path) as fh:
+            trace = json.load(fh)
+        assert trace["otherData"]["modeled_total_ms"] > 0
+        assert len(trace["traceEvents"]) \
+            == device.counters.kernel_launch_count \
+            + len(device.counters.transfers)

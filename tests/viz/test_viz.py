@@ -1,0 +1,128 @@
+"""Tests for the PGM/PPM writers and ASCII renderer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.viz import (
+    class_palette,
+    render_ascii,
+    write_class_map_ppm,
+    write_pgm,
+    write_ppm,
+)
+
+
+def _read_pnm(path):
+    with open(path, "rb") as fh:
+        magic = fh.readline().strip()
+        dims = fh.readline().split()
+        maxval = int(fh.readline())
+        data = fh.read()
+    return magic, (int(dims[1]), int(dims[0])), maxval, data
+
+
+class TestPgm:
+    def test_header_and_payload(self, rng, tmp_path):
+        image = rng.uniform(size=(6, 9))
+        path = write_pgm(image, str(tmp_path / "x.pgm"))
+        magic, shape, maxval, data = _read_pnm(path)
+        assert magic == b"P5"
+        assert shape == (6, 9)
+        assert maxval == 255
+        assert len(data) == 54
+
+    def test_normalization_spans_range(self, tmp_path):
+        image = np.linspace(0, 1, 100).reshape(10, 10)
+        path = write_pgm(image, str(tmp_path / "x.pgm"))
+        *_, data = _read_pnm(path)
+        values = np.frombuffer(data, dtype=np.uint8)
+        assert values.min() == 0 and values.max() == 255
+
+    def test_constant_image(self, tmp_path):
+        path = write_pgm(np.full((4, 4), 3.0), str(tmp_path / "c.pgm"))
+        *_, data = _read_pnm(path)
+        assert len(data) == 16  # must not crash on zero dynamic range
+
+    def test_no_normalize_mode(self, tmp_path):
+        image = np.full((2, 2), 7, dtype=np.uint8)
+        path = write_pgm(image, str(tmp_path / "n.pgm"), normalize=False)
+        *_, data = _read_pnm(path)
+        assert set(data) == {7}
+
+    def test_rejects_3d(self, tmp_path):
+        with pytest.raises(ShapeError):
+            write_pgm(np.zeros((2, 2, 3)), str(tmp_path / "x.pgm"))
+
+
+class TestPpm:
+    def test_roundtrip(self, rng, tmp_path):
+        rgb = (rng.uniform(size=(5, 4, 3)) * 255).astype(np.uint8)
+        path = write_ppm(rgb, str(tmp_path / "x.ppm"))
+        magic, shape, _, data = _read_pnm(path)
+        assert magic == b"P6"
+        assert shape == (5, 4)
+        np.testing.assert_array_equal(
+            np.frombuffer(data, np.uint8).reshape(5, 4, 3), rgb)
+
+    def test_rejects_bad_shape(self, tmp_path):
+        with pytest.raises(ShapeError):
+            write_ppm(np.zeros((4, 4, 4), dtype=np.uint8),
+                      str(tmp_path / "x.ppm"))
+
+
+class TestClassMap:
+    def test_palette_distinct(self):
+        palette = class_palette(32)
+        assert palette.shape == (33, 3)
+        assert np.array_equal(palette[0], [0, 0, 0])
+        unique = {tuple(c) for c in palette}
+        assert len(unique) >= 30  # golden-angle hues barely collide
+
+    def test_write_class_map(self, tmp_path):
+        labels = np.array([[0, 1], [2, 2]])
+        path = write_class_map_ppm(labels, str(tmp_path / "c.ppm"))
+        magic, shape, _, data = _read_pnm(path)
+        assert magic == b"P6" and shape == (2, 2)
+        rgb = np.frombuffer(data, np.uint8).reshape(2, 2, 3)
+        assert np.array_equal(rgb[0, 0], [0, 0, 0])
+        assert not np.array_equal(rgb[0, 1], rgb[1, 0])
+
+    def test_out_of_range_labels(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_class_map_ppm(np.array([[5]]), str(tmp_path / "c.ppm"),
+                                n_classes=3)
+
+    def test_palette_needs_classes(self):
+        with pytest.raises(ValueError):
+            class_palette(0)
+
+
+class TestAscii:
+    def test_gradient_orders_characters(self):
+        art = render_ascii(np.linspace(0, 1, 64).reshape(8, 8),
+                           max_width=8, max_height=8)
+        lines = art.splitlines()
+        assert len(lines) == 8
+        assert lines[0][0] == " "  # darkest
+        assert lines[-1][-1] == "@"  # brightest
+
+    def test_downsampling_respects_budget(self, rng):
+        art = render_ascii(rng.uniform(size=(100, 200)), max_width=40,
+                           max_height=10)
+        lines = art.splitlines()
+        assert len(lines) <= 10
+        assert max(len(line) for line in lines) <= 40
+
+    def test_constant_image(self):
+        art = render_ascii(np.zeros((4, 4)))
+        assert set(art.replace("\n", "")) == {" "}
+
+    def test_label_mode(self):
+        art = render_ascii(np.array([[1, 2], [3, 10]]), labels=True)
+        assert art.splitlines()[0] == "12"
+        assert art.splitlines()[1] == "3a"
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ShapeError):
+            render_ascii(np.zeros(4))
