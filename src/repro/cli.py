@@ -4,12 +4,20 @@ Four subcommands cover the library's day-to-day uses::
 
     repro generate  out.raw --lines 128 --samples 128    # synthesize a scene
     repro classify  out.raw --classes 45 --backend gpu   # run AMC
+    repro classify  out.raw --workers 4 --profile        # multi-core + report
     repro bench     --table 4                            # modeled tables
     repro info                                           # platform specs
 
-``generate`` writes an ENVI-style cube plus ``<path>.gt.pgm`` ground
-truth; ``classify`` accepts any ENVI cube (not only generated ones) and
-writes the MEI image and classification map next to it.
+``generate`` writes an ENVI-style cube (``<path>`` + ``<path>.hdr``)
+plus ground truth as ``<path>.gt.ppm`` (color map) and ``<path>.gt.npy``
+(label array); ``classify`` accepts any ENVI cube (not only generated
+ones) and writes the MEI image (``<path>.mei.pgm``) and classification
+map (``<path>.classes.ppm``) next to it.
+
+``classify --workers N`` runs the morphological stage chunk-parallel
+across N worker processes (0 = all cores) with results identical to
+serial; ``--profile`` prints a stage/chunk timing report, or writes it
+as JSON when given a path (``--profile report.json``).
 """
 
 from __future__ import annotations
@@ -53,8 +61,11 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     except FileNotFoundError:
         pass
 
+    from repro.parallel import resolve_workers
+
+    workers = resolve_workers(args.workers)
     config = AMCConfig(n_classes=args.classes, se_radius=args.radius,
-                       backend=args.backend)
+                       backend=args.backend, n_workers=workers)
     device = None
     if args.trace:
         if args.backend != "gpu":
@@ -64,7 +75,16 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 
         device = VirtualGPU(config.gpu_spec)
         from repro.core.amc_gpu import gpu_morphological_stage
-    result = run_amc(cube, config, ground_truth=ground_truth)
+    profiler = None
+    if args.profile is not None:
+        from repro.profiling import Profiler
+
+        profiler = Profiler(meta={"image": f"{cube.lines}x{cube.samples}x"
+                                           f"{cube.bands}",
+                                  "backend": args.backend,
+                                  "workers": workers})
+    result = run_amc(cube, config, ground_truth=ground_truth,
+                     profiler=profiler)
     if args.trace:
         # re-run the device stage on a fresh device to capture a clean
         # timeline (run_amc manages its own device internally)
@@ -91,6 +111,12 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         print(f"modeled GPU time:   {out.modeled_time_s * 1e3:.2f} ms "
               f"({out.chunk_count} chunk(s), "
               f"{out.counters['kernel_launches']:.0f} launches)")
+    if profiler is not None:
+        rep = profiler.report()
+        if args.profile == "-":
+            print(rep.to_text())
+        else:
+            print(f"profile report:     {rep.save(args.profile)}")
     return 0
 
 
@@ -159,6 +185,14 @@ def build_parser() -> argparse.ArgumentParser:
     cls.add_argument("--trace", metavar="PATH", default=None,
                      help="with --backend gpu: write a Chrome-trace "
                           "timeline of the device work to PATH")
+    cls.add_argument("--workers", type=int, default=1, metavar="N",
+                     help="worker processes for the chunk-parallel "
+                          "morphological stage (0 = all cores; results "
+                          "are identical to serial)")
+    cls.add_argument("--profile", nargs="?", const="-", default=None,
+                     metavar="PATH",
+                     help="emit a stage/chunk timing report: text to "
+                          "stdout, or JSON to PATH when given")
     cls.set_defaults(func=_cmd_classify)
 
     bench = sub.add_parser("bench", help="print a modeled paper table")

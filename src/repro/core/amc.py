@@ -46,6 +46,7 @@ from repro.errors import ShapeError
 from repro.gpu.device import VirtualGPU
 from repro.gpu.spec import GEFORCE_7800GTX, GpuSpec
 from repro.hsi.cube import HyperCube
+from repro.profiling.profiler import Profiler, profiled_stage
 
 _UNMIXERS = {
     "lsu": unmix_lsu,
@@ -111,6 +112,13 @@ class AMCConfig:
     #: cover the whole algorithm.  Implies unconstrained LSU and no
     #: classify-time smoothing (the device path has neither).
     gpu_unmixing: bool = False
+    #: Worker processes for the morphological stage (the runtime-dominant
+    #: stage).  1 = serial (the default); N > 1 splits the image into
+    #: halo-carrying line chunks executed by a process pool
+    #: (:mod:`repro.parallel`), bit-identical to serial; 0 = one worker
+    #: per CPU core.  With the "gpu" backend each worker simulates its
+    #: own board and the accounting is summed.
+    n_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.endmember_source not in ("dilation", "center"):
@@ -132,6 +140,8 @@ class AMCConfig:
             raise ValueError("n_classes must be >= 1")
         if self.se_radius < 1:
             raise ValueError("se_radius must be >= 1")
+        if self.n_workers < 0:
+            raise ValueError("n_workers must be >= 0 (0 = all cores)")
 
 
 @dataclass(frozen=True)
@@ -168,7 +178,8 @@ def _as_bip(cube) -> np.ndarray:
 
 def run_amc(cube, config: AMCConfig = AMCConfig(), *,
             ground_truth: np.ndarray | None = None,
-            class_names: tuple[str, ...] | None = None) -> AMCResult:
+            class_names: tuple[str, ...] | None = None,
+            profiler: Profiler | None = None) -> AMCResult:
     """Run the complete AMC algorithm.
 
     Parameters
@@ -184,6 +195,11 @@ def run_amc(cube, config: AMCConfig = AMCConfig(), *,
         :class:`~repro.core.metrics.ClassificationReport` is produced.
     class_names:
         Names for the report (defaults to "class-1"... when omitted).
+    profiler:
+        Optional :class:`~repro.profiling.Profiler`; receives one timed
+        record per algorithm stage (morphology, endmembers, unmixing,
+        classification, evaluation) and, on chunk-parallel runs, one
+        record per chunk.
 
     Returns
     -------
@@ -193,76 +209,114 @@ def run_amc(cube, config: AMCConfig = AMCConfig(), *,
 
     # ---- steps 1-2: morphological stage -> MEI -------------------------
     gpu_output: GpuAmcOutput | None = None
-    if config.backend == "reference":
-        morph: MorphologicalOutput = mei_reference(bip, config.se_radius)
-        mei, ero, dil = morph.mei, morph.erosion_index, morph.dilation_index
-    elif config.backend == "naive":
-        morph = mei_naive(bip, config.se_radius)
-        mei, ero, dil = morph.mei, morph.erosion_index, morph.dilation_index
-    else:
-        device = VirtualGPU(config.gpu_spec)
-        gpu_output = gpu_morphological_stage(bip, config.se_radius,
-                                             device=device)
-        mei = gpu_output.mei.astype(np.float64)
-        ero, dil = gpu_output.erosion_index, gpu_output.dilation_index
+    device: VirtualGPU | None = None
+    with profiled_stage(profiler, "morphology"):
+        if config.n_workers != 1:
+            # chunk-parallel: the image splits into halo-carrying line
+            # chunks executed by a process pool, bit-identical to serial
+            # (import deferred: repro.parallel sits above this package).
+            from repro.parallel import parallel_morphological_stage
+
+            mei, ero, dil, gpu_output = parallel_morphological_stage(
+                bip, config.se_radius, backend=config.backend,
+                n_workers=config.n_workers, gpu_spec=config.gpu_spec,
+                profiler=profiler)
+            if config.backend == "gpu":
+                mei = mei.astype(np.float64)
+        elif config.backend == "reference":
+            morph: MorphologicalOutput = mei_reference(bip, config.se_radius)
+            mei, ero, dil = (morph.mei, morph.erosion_index,
+                             morph.dilation_index)
+        elif config.backend == "naive":
+            morph = mei_naive(bip, config.se_radius)
+            mei, ero, dil = (morph.mei, morph.erosion_index,
+                             morph.dilation_index)
+        else:
+            device = VirtualGPU(config.gpu_spec)
+            gpu_output = gpu_morphological_stage(bip, config.se_radius,
+                                                 device=device)
+            mei = gpu_output.mei.astype(np.float64)
+            ero, dil = gpu_output.erosion_index, gpu_output.dilation_index
 
     # ---- step 3: endmembers + unmixing ----------------------------------
-    candidates = None
-    if config.endmember_source == "dilation":
-        candidates = dilation_candidates(mei, dil, config.se_radius)
-    endmembers = select_endmembers(
-        bip, mei, config.n_classes,
-        strategy=config.endmember_strategy,
-        min_sid=config.endmember_min_sid,
-        min_spatial=config.endmember_min_spatial,
-        candidates=candidates,
-        smooth_radius=config.endmember_smooth_radius)
+    with profiled_stage(profiler, "endmembers"):
+        candidates = None
+        if config.endmember_source == "dilation":
+            candidates = dilation_candidates(mei, dil, config.se_radius)
+        endmembers = select_endmembers(
+            bip, mei, config.n_classes,
+            strategy=config.endmember_strategy,
+            min_sid=config.endmember_min_sid,
+            min_spatial=config.endmember_min_spatial,
+            candidates=candidates,
+            smooth_radius=config.endmember_smooth_radius)
     if config.backend == "gpu" and config.gpu_unmixing:
-        unmix_out = gpu_unmix_classify(bip, endmembers.spectra,
-                                       device=device,
-                                       return_abundances=True)
-        abundances = unmix_out.abundances.astype(np.float64)
-        winner = unmix_out.winner_index
-        # refresh the aggregate accounting to cover both device stages
-        gpu_output = GpuAmcOutput(
-            mei=gpu_output.mei, erosion_index=gpu_output.erosion_index,
-            dilation_index=gpu_output.dilation_index,
-            radius=gpu_output.radius,
-            chunk_count=gpu_output.chunk_count,
-            modeled_time_s=device.counters.total_time_s,
-            counters=device.counters.summary(),
-            time_by_kernel=device.counters.time_by_kernel())
+        with profiled_stage(profiler, "unmixing"):
+            if device is None:
+                # the morphological stage ran on per-worker boards; the
+                # tail gets its own device and the accounting is summed
+                from repro.parallel import combine_gpu_accounting
+
+                device = VirtualGPU(config.gpu_spec)
+                unmix_out = gpu_unmix_classify(bip, endmembers.spectra,
+                                               device=device,
+                                               return_abundances=True)
+                gpu_output = combine_gpu_accounting(gpu_output,
+                                                    device.counters)
+            else:
+                unmix_out = gpu_unmix_classify(bip, endmembers.spectra,
+                                               device=device,
+                                               return_abundances=True)
+                # refresh the aggregate accounting to cover both stages
+                gpu_output = GpuAmcOutput(
+                    mei=gpu_output.mei,
+                    erosion_index=gpu_output.erosion_index,
+                    dilation_index=gpu_output.dilation_index,
+                    radius=gpu_output.radius,
+                    chunk_count=gpu_output.chunk_count,
+                    modeled_time_s=device.counters.total_time_s,
+                    counters=device.counters.summary(),
+                    time_by_kernel=device.counters.time_by_kernel())
+            abundances = unmix_out.abundances.astype(np.float64)
+            winner = unmix_out.winner_index
     else:
-        pixels = smooth_cube(bip, config.classify_smooth_radius) \
-            if config.classify_smooth_radius > 0 else bip
-        abundances = _UNMIXERS[config.unmixing](pixels, endmembers.spectra)
+        with profiled_stage(profiler, "unmixing"):
+            pixels = smooth_cube(bip, config.classify_smooth_radius) \
+                if config.classify_smooth_radius > 0 else bip
+            abundances = _UNMIXERS[config.unmixing](pixels,
+                                                    endmembers.spectra)
         # ---- step 4: classification ---------------------------------------
-        winner = classify_abundances(abundances)    # 0-based endmember idx
+        with profiled_stage(profiler, "classification"):
+            winner = classify_abundances(abundances)  # 0-based endmember idx
 
     endmember_labels = None
     report = None
-    if ground_truth is not None:
-        ground_truth = np.asarray(ground_truth)
-        if ground_truth.shape != bip.shape[:2]:
-            raise ShapeError(
-                f"ground truth {ground_truth.shape} does not match image "
-                f"{bip.shape[:2]}")
-        endmember_labels = map_endmembers_to_classes(
-            endmembers.positions, ground_truth)
-        if config.label_mapping == "majority":
-            for k in range(config.n_classes):
-                assigned = ground_truth[winner == k]
-                assigned = assigned[assigned >= 1]
-                if assigned.size:
-                    values, counts = np.unique(assigned, return_counts=True)
-                    endmember_labels[k] = values[np.argmax(counts)]
-        labels = endmember_labels[winner]
-        n_classes = int(ground_truth.max())
-        if class_names is None:
-            class_names = tuple(f"class-{i + 1}" for i in range(n_classes))
-        report = evaluate_classification(ground_truth, labels, class_names)
-    else:
-        labels = winner + 1
+    with profiled_stage(profiler, "evaluation"):
+        if ground_truth is not None:
+            ground_truth = np.asarray(ground_truth)
+            if ground_truth.shape != bip.shape[:2]:
+                raise ShapeError(
+                    f"ground truth {ground_truth.shape} does not match "
+                    f"image {bip.shape[:2]}")
+            endmember_labels = map_endmembers_to_classes(
+                endmembers.positions, ground_truth)
+            if config.label_mapping == "majority":
+                for k in range(config.n_classes):
+                    assigned = ground_truth[winner == k]
+                    assigned = assigned[assigned >= 1]
+                    if assigned.size:
+                        values, counts = np.unique(assigned,
+                                                   return_counts=True)
+                        endmember_labels[k] = values[np.argmax(counts)]
+            labels = endmember_labels[winner]
+            n_classes = int(ground_truth.max())
+            if class_names is None:
+                class_names = tuple(f"class-{i + 1}"
+                                    for i in range(n_classes))
+            report = evaluate_classification(ground_truth, labels,
+                                             class_names)
+        else:
+            labels = winner + 1
 
     return AMCResult(config=config, mei=mei, erosion_index=ero,
                      dilation_index=dil, endmembers=endmembers,

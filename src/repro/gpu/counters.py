@@ -93,6 +93,19 @@ class GpuCounters:
         return sum(t.modeled_time_s for t in self.transfers)
 
     @property
+    def upload_time_s(self) -> float:
+        """Modeled time spent on host->device transfers (stream upload)."""
+        return sum(t.modeled_time_s for t in self.transfers
+                   if t.direction == "upload")
+
+    @property
+    def download_time_s(self) -> float:
+        """Modeled time spent on device->host transfers (stream
+        download)."""
+        return sum(t.modeled_time_s for t in self.transfers
+                   if t.direction == "download")
+
+    @property
     def total_time_s(self) -> float:
         """Modeled end-to-end device time (kernels + transfers)."""
         return self.kernel_time_s + self.transfer_time_s
@@ -115,5 +128,7 @@ class GpuCounters:
             "bytes_downloaded": float(self.bytes_downloaded),
             "kernel_time_s": self.kernel_time_s,
             "transfer_time_s": self.transfer_time_s,
+            "upload_time_s": self.upload_time_s,
+            "download_time_s": self.download_time_s,
             "total_time_s": self.total_time_s,
         }

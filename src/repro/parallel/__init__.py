@@ -1,0 +1,40 @@
+"""Multi-core execution of chunked pipelines (chunk = unit of work).
+
+The chunk plans of :mod:`repro.hsi.chunking` decompose an image into
+independent halo-carrying pieces — the paper's streaming decomposition.
+This package dispatches those pieces across a :mod:`multiprocessing`
+worker pool, producing results bit-identical to serial execution:
+
+* :func:`run_chunked_parallel` — the parallel counterpart of
+  :func:`repro.stream.chunked.run_chunked` for any
+  :class:`~repro.stream.graph.StageGraph`;
+* :func:`parallel_morphological_stage` — chunk-parallel AMC
+  morphological stage over any of the three backends (one virtual GPU
+  per worker for ``backend="gpu"``), wired into
+  :func:`repro.core.amc.run_amc` via ``AMCConfig(n_workers=...)`` and
+  the CLI via ``repro classify --workers N``;
+* :func:`resolve_workers` / :func:`run_tasks` — the shared pool
+  machinery (0 = all cores; serial in-process fallback when the pool is
+  unavailable or pointless).
+
+See ``docs/parallel.md`` for the architecture and the correctness
+argument.
+"""
+
+from repro.parallel.amc import (
+    combine_gpu_accounting,
+    parallel_morphological_stage,
+)
+from repro.parallel.pool import (
+    resolve_workers,
+    run_chunked_parallel,
+    run_tasks,
+)
+
+__all__ = [
+    "combine_gpu_accounting",
+    "parallel_morphological_stage",
+    "resolve_workers",
+    "run_chunked_parallel",
+    "run_tasks",
+]

@@ -1,0 +1,201 @@
+"""Chunk-parallel execution of the AMC morphological stage.
+
+The morphological stage dominates AMC's runtime (paper Table 4/5: it is
+*the* stage worth porting to the GPU), and it is local: every output
+pixel depends only on its SE neighbourhood, so the line-wise chunk plan
+of :mod:`repro.hsi.chunking` with ``halo = se_radius`` splits the image
+into fully independent pieces.  This module fans those pieces out over
+the worker pool machinery of :mod:`repro.parallel.pool` and stitches
+MEI / erosion / dilation maps bit-identically to whole-image execution:
+
+* normalization is per-pixel (each pixel vector sums to 1), so it
+  commutes with chunking;
+* every core pixel's SE window lies inside its chunk's extended region,
+  so clamp-to-edge addressing only ever fires at true image borders —
+  which coincide with extended-region borders on the first/last chunk;
+* erosion/dilation indices are *SE-neighbour* indices (row-major into
+  :func:`repro.core.mei.se_offsets`), positions relative to each pixel,
+  so they stitch without translation.
+
+With ``backend="gpu"`` each chunk runs the full stream pipeline on its
+own :class:`~repro.gpu.device.VirtualGPU` — the multi-board reading of
+the paper's decomposition — and the per-board accounting is summed into
+one :class:`~repro.core.amc_gpu.GpuAmcOutput` (``modeled_time_s`` is
+total device work, not the parallel makespan).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.amc_gpu import GpuAmcOutput, gpu_morphological_stage
+from repro.core.mei import mei_reference
+from repro.core.naive import mei_naive
+from repro.errors import ShapeError, StreamError
+from repro.gpu.counters import GpuCounters
+from repro.gpu.device import VirtualGPU
+from repro.gpu.spec import GEFORCE_7800GTX, GpuSpec
+from repro.hsi.chunking import plan_chunks_by_lines
+from repro.parallel.pool import resolve_workers, run_tasks
+from repro.profiling.profiler import ChunkRecord, Profiler
+
+_BACKENDS = ("reference", "naive", "gpu")
+
+# Worker-side state (see repro.parallel.pool for the pattern).
+_STATE: dict = {}
+
+
+def _init_worker(bip: np.ndarray, radius: int, backend: str,
+                 spec: GpuSpec) -> None:
+    _STATE["bip"] = bip
+    _STATE["radius"] = radius
+    _STATE["backend"] = backend
+    _STATE["spec"] = spec
+
+
+def _morph_chunk(chunk):
+    """Run the morphological stage on one chunk's extended region."""
+    bip, radius = _STATE["bip"], _STATE["radius"]
+    backend, spec = _STATE["backend"], _STATE["spec"]
+    sub = bip[chunk.ext_start:chunk.ext_stop]
+    start = time.perf_counter()
+    accounting = None
+    if backend == "gpu":
+        device = VirtualGPU(spec)
+        out = gpu_morphological_stage(sub, radius, device=device)
+        mei, ero, dil = out.mei, out.erosion_index, out.dilation_index
+        counters = device.counters
+        split = (counters.upload_time_s, counters.kernel_time_s,
+                 counters.download_time_s)
+        accounting = (out.modeled_time_s, out.chunk_count,
+                      counters.summary(), counters.time_by_kernel())
+    else:
+        impl = mei_reference if backend == "reference" else mei_naive
+        out = impl(sub, radius)
+        mei, ero, dil = out.mei, out.erosion_index, out.dilation_index
+        split = None
+    wall = time.perf_counter() - start
+    if split is None:
+        upload, compute, download = 0.0, wall, 0.0
+    else:
+        upload, compute, download = split
+    record = ChunkRecord(index=chunk.index, core_lines=chunk.core_lines,
+                         ext_lines=chunk.ext_lines, halo=radius,
+                         wall_s=wall, upload_s=upload, compute_s=compute,
+                         download_s=download, worker=os.getpid())
+    cores = tuple(np.ascontiguousarray(chunk.core_of(a))
+                  for a in (mei, ero, dil))
+    return chunk.index, cores, record, accounting
+
+
+def _sum_dicts(a: dict[str, float], b: dict[str, float]) -> dict[str, float]:
+    out = dict(a)
+    for key, value in b.items():
+        out[key] = out.get(key, 0.0) + value
+    return out
+
+
+def combine_gpu_accounting(morph: GpuAmcOutput,
+                           extra: GpuCounters) -> GpuAmcOutput:
+    """Fold further device activity into a morphological-stage output.
+
+    Used when the tail stages (GPU unmixing) ran on a *different*
+    device than the — possibly many, parallel — morphological boards:
+    returns a new :class:`GpuAmcOutput` whose accounting covers both.
+    """
+    return GpuAmcOutput(
+        mei=morph.mei, erosion_index=morph.erosion_index,
+        dilation_index=morph.dilation_index, radius=morph.radius,
+        chunk_count=morph.chunk_count,
+        modeled_time_s=morph.modeled_time_s + extra.total_time_s,
+        counters=_sum_dicts(morph.counters, extra.summary()),
+        time_by_kernel=_sum_dicts(morph.time_by_kernel,
+                                  extra.time_by_kernel()))
+
+
+def parallel_morphological_stage(bip: np.ndarray, radius: int = 1, *,
+                                 backend: str = "reference",
+                                 n_workers: int = 0,
+                                 n_chunks: int | None = None,
+                                 gpu_spec: GpuSpec = GEFORCE_7800GTX,
+                                 profiler: Profiler | None = None):
+    """Run the morphological stage chunk-parallel across processes.
+
+    Parameters
+    ----------
+    bip:
+        (H, W, N) radiance cube, band-interleaved-by-pixel.
+    radius:
+        SE radius; doubles as the chunk halo.
+    backend:
+        "reference" | "naive" | "gpu" — which morphological
+        implementation each worker runs.
+    n_workers:
+        Pool size (0 = all cores, 1 = serial in-process).
+    n_chunks:
+        How many chunks to split into (default: one per worker).  More
+        chunks than workers improves load balance at the price of more
+        redundant halo lines.
+    gpu_spec:
+        Board each worker simulates for ``backend="gpu"``.
+    profiler:
+        Optional profiler; receives one chunk record per chunk.
+
+    Returns
+    -------
+    (mei, erosion_index, dilation_index, gpu_output)
+        Stitched full-image maps, bit-identical to the serial
+        implementations; ``gpu_output`` is the summed
+        :class:`GpuAmcOutput` for the GPU backend, else ``None``.
+    """
+    bip = np.asarray(bip)
+    if bip.ndim != 3:
+        raise ShapeError(f"expected (H, W, N), got ndim={bip.ndim}")
+    if backend not in _BACKENDS:
+        raise StreamError(
+            f"unknown backend {backend!r}; pick from {_BACKENDS}")
+    lines, samples, bands = bip.shape
+    workers = resolve_workers(n_workers)
+    pieces = workers if n_chunks is None else int(n_chunks)
+    pieces = max(1, min(pieces, lines))
+    core_lines = -(-lines // pieces)               # ceil division
+    plan = plan_chunks_by_lines(lines, samples, bands,
+                                max_ext_lines=core_lines + 2 * radius,
+                                halo=radius)
+
+    results = run_tasks(plan, _morph_chunk, _init_worker,
+                        (bip, radius, backend, gpu_spec), workers,
+                        state=_STATE)
+
+    mei_dtype = np.float32 if backend == "gpu" else np.float64
+    mei = np.empty((lines, samples), dtype=mei_dtype)
+    erosion = np.empty((lines, samples), dtype=np.int64)
+    dilation = np.empty((lines, samples), dtype=np.int64)
+    total_time = 0.0
+    total_chunks = 0
+    counters: dict[str, float] = {}
+    by_kernel: dict[str, float] = {}
+    for index, cores, record, accounting in results:
+        chunk = plan.chunks[index]
+        core = slice(chunk.core_start, chunk.core_stop)
+        mei[core], erosion[core], dilation[core] = cores
+        if profiler is not None:
+            profiler.record_chunk(record)
+        if accounting is not None:
+            time_s, chunk_count, summary, kernels = accounting
+            total_time += time_s
+            total_chunks += chunk_count
+            counters = _sum_dicts(counters, summary)
+            by_kernel = _sum_dicts(by_kernel, kernels)
+
+    gpu_output = None
+    if backend == "gpu":
+        gpu_output = GpuAmcOutput(
+            mei=mei, erosion_index=erosion, dilation_index=dilation,
+            radius=radius, chunk_count=total_chunks,
+            modeled_time_s=total_time, counters=counters,
+            time_by_kernel=by_kernel)
+    return mei, erosion, dilation, gpu_output

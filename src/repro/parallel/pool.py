@@ -1,0 +1,202 @@
+"""Multi-core chunked execution of stage graphs.
+
+The chunk plan of :mod:`repro.stream.chunked` already decomposes a
+pipeline into *independent* units of work: every chunk carries the halo
+its stencils need, so no chunk reads another chunk's results.  That
+independence is exactly what the related streaming literature exploits
+("the streaming decomposition makes the workload embarrassingly
+parallel"), and this module cashes it in on the host: chunks are
+dispatched across a :mod:`multiprocessing` worker pool and the cores
+stitched back in plan order, producing results **identical** to serial
+execution — same chunk geometry, same per-chunk arithmetic, only the
+schedule differs.
+
+Design notes
+------------
+
+* Workers receive the graph, the full input streams and the executor
+  once (pool initializer), then one :class:`~repro.hsi.chunking.Chunk`
+  per task — the cheap message is the chunk geometry, not the data.
+  On fork-capable platforms even the one-time state rides the fork.
+* Each worker builds its chunk view, runs the executor, and sends back
+  only the *core* rows plus a
+  :class:`~repro.profiling.profiler.ChunkRecord` (wall time; on GPU
+  executors also the modeled upload/compute/download split read off the
+  worker-local device counters).
+* ``n_workers <= 1``, a single-chunk plan, or an unavailable pool all
+  take the same in-process code path — the fallback is the *identical*
+  per-chunk function, so correctness never depends on the pool.
+* Dependent-fetch graphs are rejected up front by
+  :func:`~repro.stream.chunked.graph_halo`, before any process is
+  spawned — the same constraint that forced the paper's MEI stage to
+  keep its whole chunk resident.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import numpy as np
+
+from repro.errors import StreamError
+from repro.hsi.chunking import Chunk
+from repro.profiling.profiler import ChunkRecord, Profiler
+from repro.stream.chunked import plan_stream_chunks
+from repro.stream.graph import StageGraph
+from repro.stream.stream import Stream
+
+
+def resolve_workers(n_workers: int) -> int:
+    """Normalize a worker-count request: 0 means "all cores".
+
+    Negative counts are rejected; anything else is returned clamped to
+    at least 1 (``os.cpu_count()`` can return ``None`` on exotic
+    platforms — that also resolves to 1).
+    """
+    if n_workers < 0:
+        raise StreamError(f"n_workers must be >= 0, got {n_workers}")
+    if n_workers == 0:
+        return max(1, os.cpu_count() or 1)
+    return n_workers
+
+
+# Worker-side state, installed once per pool process by _init_worker.
+# Plain module global: multiprocessing initializers cannot return state.
+_STATE: dict = {}
+
+
+def _init_worker(graph: StageGraph, inputs: dict[str, Stream],
+                 executor, halo: int) -> None:
+    _STATE["graph"] = graph
+    _STATE["inputs"] = inputs
+    _STATE["executor"] = executor
+    _STATE["halo"] = halo
+
+
+def _counters_of(executor):
+    device = getattr(executor, "device", None)
+    return None if device is None else device.counters
+
+
+def _run_chunk(chunk: Chunk):
+    """Execute one chunk; returns (index, core arrays, profile record)."""
+    graph, inputs = _STATE["graph"], _STATE["inputs"]
+    executor, halo = _STATE["executor"], _STATE["halo"]
+    counters = _counters_of(executor)
+    base = (0.0, 0.0, 0.0) if counters is None else (
+        counters.upload_time_s, counters.kernel_time_s,
+        counters.download_time_s)
+    start = time.perf_counter()
+    chunk_inputs = {
+        name: Stream(name, stream.data[chunk.ext_start:chunk.ext_stop])
+        for name, stream in inputs.items()}
+    result = executor.run(graph, chunk_inputs)
+    cores = {name: np.ascontiguousarray(chunk.core_of(stream.data))
+             for name, stream in result.items()}
+    wall = time.perf_counter() - start
+    if counters is None:
+        upload, compute, download = 0.0, wall, 0.0
+    else:
+        upload = counters.upload_time_s - base[0]
+        compute = counters.kernel_time_s - base[1]
+        download = counters.download_time_s - base[2]
+    record = ChunkRecord(index=chunk.index, core_lines=chunk.core_lines,
+                         ext_lines=chunk.ext_lines, halo=halo,
+                         wall_s=wall, upload_s=upload, compute_s=compute,
+                         download_s=download, worker=os.getpid())
+    return chunk.index, cores, record
+
+
+def _make_pool(ctx, processes: int, initializer, initargs):
+    """Pool construction, separated so tests can force the fallback."""
+    return ctx.Pool(processes=processes, initializer=initializer,
+                    initargs=initargs)
+
+
+def run_tasks(tasks, func, initializer, initargs, n_workers: int,
+              state: dict | None = None) -> list:
+    """Map ``func`` over ``tasks``, through a process pool when possible.
+
+    The shared dispatch engine of this package: ``initializer(*initargs)``
+    installs worker-side state (once per pool process), then ``func`` runs
+    per task.  With ``n_workers <= 1``, a single task, or a host where
+    pools cannot be created (``OSError``), the *same* initializer+func
+    pair runs in-process — the fallback path is byte-for-byte the same
+    computation.  ``state`` names the module-global dict the initializer
+    fills so the in-process path can clear it afterwards.
+    """
+    tasks = list(tasks)
+    if n_workers > 1 and len(tasks) > 1:
+        method = ("fork" if "fork" in multiprocessing.get_all_start_methods()
+                  else None)
+        ctx = multiprocessing.get_context(method)
+        try:
+            pool = _make_pool(ctx, min(n_workers, len(tasks)),
+                              initializer, initargs)
+        except OSError:
+            pool = None                      # no pool on this host: serial
+        if pool is not None:
+            with pool:
+                return pool.map(func, tasks, chunksize=1)
+    initializer(*initargs)
+    try:
+        return [func(task) for task in tasks]
+    finally:
+        if state is not None:
+            state.clear()
+
+
+def run_chunked_parallel(graph: StageGraph, inputs: dict[str, Stream],
+                         executor, *, max_ext_lines: int,
+                         halo: int | None = None, n_workers: int = 0,
+                         profiler: Profiler | None = None
+                         ) -> dict[str, Stream]:
+    """Run a stage graph chunk by chunk across a process pool.
+
+    The parallel counterpart of
+    :func:`repro.stream.chunked.run_chunked` — same parameters, same
+    chunk plan, bit-identical outputs; chunks merely execute
+    concurrently.
+
+    Parameters
+    ----------
+    graph, inputs, executor, max_ext_lines, halo:
+        As in :func:`~repro.stream.chunked.run_chunked`.  The executor
+        must be picklable (both :class:`~repro.stream.executor.CpuExecutor`
+        and :class:`~repro.stream.executor.GpuExecutor` are); each worker
+        process operates on its own copy, so a GPU executor's device
+        counters accumulate per worker — the per-chunk
+        upload/compute/download split still reaches the caller through
+        the profiler records.
+    n_workers:
+        Pool size; 0 means one worker per CPU core, 1 forces the serial
+        in-process path.
+    profiler:
+        Optional :class:`~repro.profiling.profiler.Profiler`; receives
+        one :class:`~repro.profiling.profiler.ChunkRecord` per chunk.
+
+    Returns
+    -------
+    dict of stitched output streams, identical to serial execution.
+    """
+    workers = resolve_workers(n_workers)
+    plan = plan_stream_chunks(graph, inputs, max_ext_lines=max_ext_lines,
+                              halo=halo)
+    lines, samples = plan.lines, plan.samples
+    results = run_tasks(plan, _run_chunk, _init_worker,
+                        (graph, inputs, executor, plan.halo), workers,
+                        state=_STATE)
+
+    outputs: dict[str, np.ndarray] = {}
+    for index, cores, record in results:
+        chunk = plan.chunks[index]
+        for name, core in cores.items():
+            if name not in outputs:
+                outputs[name] = np.empty((lines, samples, 4),
+                                         dtype=np.float32)
+            outputs[name][chunk.core_start:chunk.core_stop] = core
+        if profiler is not None:
+            profiler.record_chunk(record)
+    return {name: Stream(name, data) for name, data in outputs.items()}

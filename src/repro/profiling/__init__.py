@@ -1,0 +1,25 @@
+"""Observability for AMC runs: where did the time go?
+
+The package complements the virtual GPU's *modeled* accounting
+(:mod:`repro.gpu.counters`) with *measured* host-side records: per-stage
+wall-clock timers and per-chunk upload/compute/download splits, frozen
+into a JSON- or text-renderable :class:`~repro.profiling.profiler.ProfileReport`.
+Entry points: pass a :class:`Profiler` to
+:func:`repro.core.amc.run_amc` (or use ``repro classify --profile``).
+"""
+
+from repro.profiling.profiler import (
+    ChunkRecord,
+    ProfileReport,
+    Profiler,
+    StageRecord,
+    profiled_stage,
+)
+
+__all__ = [
+    "ChunkRecord",
+    "ProfileReport",
+    "Profiler",
+    "StageRecord",
+    "profiled_stage",
+]

@@ -1,0 +1,175 @@
+"""Wall-clock profiling of AMC runs: stage timers and per-chunk records.
+
+The virtual GPU already accounts for every *modeled* millisecond
+(:mod:`repro.gpu.counters`); this module is the host-side mirror for
+*measured* time.  A :class:`Profiler` collects two kinds of records:
+
+* :class:`StageRecord` — one wall-clock interval per algorithm stage
+  (morphology, endmembers, unmixing, classification, evaluation), taken
+  with :meth:`Profiler.stage`;
+* :class:`ChunkRecord` — one record per spatial chunk dispatched by the
+  chunked/parallel executors, mirroring the paper's three stream phases:
+  ``upload_s`` / ``compute_s`` / ``download_s`` follow exactly the
+  upload / kernel / download split of
+  :class:`~repro.gpu.counters.GpuCounters` (modeled seconds on the GPU
+  backend, measured host seconds on the CPU backends, where the
+  transfer phases are zero because no bus is crossed).
+
+:meth:`Profiler.report` freezes everything into a
+:class:`ProfileReport`, which renders as JSON (``to_json`` / ``save``)
+for machines and as an aligned text table (``to_text``) for terminals —
+the report behind ``repro classify --profile``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager, nullcontext
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """One timed algorithm stage (host wall clock)."""
+
+    name: str
+    wall_s: float
+
+
+@dataclass(frozen=True)
+class ChunkRecord:
+    """One spatial chunk's execution, in the paper's three stream phases.
+
+    Attributes
+    ----------
+    index:
+        Chunk index in the plan (core regions are ordered by line).
+    core_lines / ext_lines:
+        Lines the chunk owns in the output / lines it computed
+        including halos (``ext_lines - core_lines`` is the redundant
+        halo work this chunk paid for independence).
+    halo:
+        Halo lines carried on each interior edge.
+    wall_s:
+        Measured wall-clock seconds for the whole chunk, in whichever
+        process ran it.
+    upload_s / compute_s / download_s:
+        The stream upload / kernel / download split.  On the GPU
+        backend these are the modeled seconds from the device counters;
+        on CPU backends ``compute_s`` is measured host time and the
+        transfer phases are zero.
+    worker:
+        OS pid of the process that executed the chunk — equal across
+        records for serial runs, distinct for pool runs.
+    """
+
+    index: int
+    core_lines: int
+    ext_lines: int
+    halo: int
+    wall_s: float
+    upload_s: float = 0.0
+    compute_s: float = 0.0
+    download_s: float = 0.0
+    worker: int = 0
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """A frozen profiling report: metadata, stage and chunk records."""
+
+    meta: dict[str, object]
+    stages: tuple[StageRecord, ...]
+    chunks: tuple[ChunkRecord, ...]
+
+    @property
+    def total_wall_s(self) -> float:
+        """Sum of the stage wall-clock intervals."""
+        return sum(s.wall_s for s in self.stages)
+
+    def to_dict(self) -> dict:
+        """Plain-data form (what ``to_json`` serializes)."""
+        return {
+            "meta": dict(self.meta),
+            "total_wall_s": self.total_wall_s,
+            "stages": [asdict(s) for s in self.stages],
+            "chunks": [asdict(c) for c in self.chunks],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The report as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, path: str) -> str:
+        """Write the JSON report to ``path`` and return the path."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+        return path
+
+    def to_text(self) -> str:
+        """An aligned, terminal-friendly rendering."""
+        lines = ["profile"]
+        for key, value in self.meta.items():
+            lines.append(f"  {key}: {value}")
+        if self.stages:
+            lines.append("  stages (wall clock):")
+            width = max(len(s.name) for s in self.stages)
+            total = self.total_wall_s
+            for s in self.stages:
+                share = 100.0 * s.wall_s / total if total > 0 else 0.0
+                lines.append(f"    {s.name:<{width}}  "
+                             f"{s.wall_s * 1e3:9.2f} ms  {share:5.1f}%")
+            lines.append(f"    {'total':<{width}}  {total * 1e3:9.2f} ms")
+        if self.chunks:
+            lines.append("  chunks (upload/compute/download as in the "
+                         "stream model):")
+            lines.append("    idx  core  ext  halo     wall ms   "
+                         "upload ms  compute ms  download ms  worker")
+            for c in self.chunks:
+                lines.append(
+                    f"    {c.index:>3}  {c.core_lines:>4}  {c.ext_lines:>3}"
+                    f"  {c.halo:>4}  {c.wall_s * 1e3:10.2f}"
+                    f"  {c.upload_s * 1e3:10.3f}  {c.compute_s * 1e3:10.3f}"
+                    f"  {c.download_s * 1e3:11.3f}  {c.worker:>6}")
+        return "\n".join(lines)
+
+
+@dataclass
+class Profiler:
+    """Collects stage and chunk records during one run.
+
+    A profiler is passed down the call chain
+    (``run_amc(..., profiler=...)``); the executors it reaches append
+    chunk records, the algorithm driver wraps its stages.  ``meta``
+    carries free-form run context (backend, worker count, image shape).
+    """
+
+    meta: dict[str, object] = field(default_factory=dict)
+    stage_records: list[StageRecord] = field(default_factory=list)
+    chunk_records: list[ChunkRecord] = field(default_factory=list)
+
+    @contextmanager
+    def stage(self, name: str):
+        """Context manager timing one named stage."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.stage_records.append(
+                StageRecord(name, time.perf_counter() - start))
+
+    def record_chunk(self, record: ChunkRecord) -> None:
+        """Append one chunk record (workers return them to the parent)."""
+        self.chunk_records.append(record)
+
+    def report(self) -> ProfileReport:
+        """Freeze the collected records into a :class:`ProfileReport`."""
+        return ProfileReport(meta=dict(self.meta),
+                             stages=tuple(self.stage_records),
+                             chunks=tuple(self.chunk_records))
+
+
+def profiled_stage(profiler: Profiler | None, name: str):
+    """``profiler.stage(name)`` or a no-op context when no profiler."""
+    return nullcontext() if profiler is None else profiler.stage(name)

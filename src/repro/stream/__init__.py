@@ -27,7 +27,7 @@ builds *other* hyperspectral pipelines with — see
 ``examples/stream_pipeline.py``.
 """
 
-from repro.stream.chunked import graph_halo, run_chunked
+from repro.stream.chunked import graph_halo, plan_stream_chunks, run_chunked
 from repro.stream.executor import CpuExecutor, GpuExecutor
 from repro.stream.graph import StageGraph, Step
 from repro.stream.kernel import StreamKernel
@@ -43,5 +43,6 @@ __all__ = [
     "StreamKernel",
     "graph_halo",
     "optimize",
+    "plan_stream_chunks",
     "run_chunked",
 ]

@@ -21,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import StreamError
-from repro.hsi.chunking import plan_chunks_by_lines
+from repro.hsi.chunking import ChunkPlan, plan_chunks_by_lines
 from repro.stream.graph import StageGraph
 from repro.stream.stream import Stream
 
@@ -47,6 +47,29 @@ def graph_halo(graph: StageGraph) -> int:
                 f"chunked safely")
         halo += stats.max_static_offset
     return halo
+
+
+def plan_stream_chunks(graph: StageGraph, inputs: dict[str, Stream], *,
+                       max_ext_lines: int,
+                       halo: int | None = None) -> ChunkPlan:
+    """Validate the inputs and plan the line-wise chunks for a graph.
+
+    The shared front half of :func:`run_chunked` and
+    :func:`repro.parallel.run_chunked_parallel`: checks the input
+    streams agree on shape, derives (or accepts) the halo — rejecting
+    dependent-fetch graphs via :func:`graph_halo` — and returns the
+    validated :class:`~repro.hsi.chunking.ChunkPlan` whose cores tile
+    the image exactly.
+    """
+    if not inputs:
+        raise StreamError("chunked execution needs at least one input")
+    shapes = {s.shape for s in inputs.values()}
+    if len(shapes) != 1:
+        raise StreamError(f"input streams disagree on shape: {shapes}")
+    (lines, samples), = shapes
+    needed = graph_halo(graph) if halo is None else int(halo)
+    return plan_chunks_by_lines(lines, samples, 1,
+                                max_ext_lines=max_ext_lines, halo=needed)
 
 
 def run_chunked(graph: StageGraph, inputs: dict[str, Stream], executor, *,
@@ -76,16 +99,9 @@ def run_chunked(graph: StageGraph, inputs: dict[str, Stream], executor, *,
     -------
     dict of output streams, identical to unchunked execution.
     """
-    if not inputs:
-        raise StreamError("chunked execution needs at least one input")
-    shapes = {s.shape for s in inputs.values()}
-    if len(shapes) != 1:
-        raise StreamError(f"input streams disagree on shape: {shapes}")
-    (lines, samples), = shapes
-    needed = graph_halo(graph) if halo is None else int(halo)
-
-    plan = plan_chunks_by_lines(lines, samples, 1,
-                                max_ext_lines=max_ext_lines, halo=needed)
+    plan = plan_stream_chunks(graph, inputs, max_ext_lines=max_ext_lines,
+                              halo=halo)
+    lines, samples = plan.lines, plan.samples
     outputs: dict[str, np.ndarray] = {}
     for chunk in plan:
         chunk_inputs = {

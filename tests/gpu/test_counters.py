@@ -61,6 +61,12 @@ class TestAggregation:
         assert counters.transfer_time_s == pytest.approx(7e-5)
         assert counters.total_time_s == pytest.approx(6.7e-4)
 
+    def test_transfer_time_split(self, counters):
+        assert counters.upload_time_s == pytest.approx(5e-5)
+        assert counters.download_time_s == pytest.approx(2e-5)
+        assert counters.upload_time_s + counters.download_time_s \
+            == pytest.approx(counters.transfer_time_s)
+
     def test_time_by_kernel_groups(self, counters):
         profile = counters.time_by_kernel()
         assert profile["a"] == pytest.approx(3e-4)
@@ -71,7 +77,8 @@ class TestAggregation:
         assert set(summary) == {
             "kernel_launches", "fragments_shaded", "texture_fetches",
             "bytes_uploaded", "bytes_downloaded", "kernel_time_s",
-            "transfer_time_s", "total_time_s"}
+            "transfer_time_s", "upload_time_s", "download_time_s",
+            "total_time_s"}
 
     def test_reset(self, counters):
         counters.reset()

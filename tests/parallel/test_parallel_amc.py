@@ -1,0 +1,125 @@
+"""Tests for the chunk-parallel AMC morphological stage and run_amc
+wiring."""
+
+import numpy as np
+import pytest
+
+from repro.core import AMCConfig, run_amc
+from repro.core.amc_gpu import gpu_morphological_stage
+from repro.core.mei import mei_reference
+from repro.core.naive import mei_naive
+from repro.errors import ShapeError, StreamError
+from repro.parallel import parallel_morphological_stage
+from repro.profiling import Profiler
+
+
+class TestParallelMorphologicalStage:
+    @pytest.mark.parametrize("n_workers", [1, 2, 3])
+    def test_reference_bit_identical(self, small_cube, n_workers):
+        whole = mei_reference(small_cube, 1)
+        mei, ero, dil, gpu_out = parallel_morphological_stage(
+            small_cube, 1, backend="reference", n_workers=n_workers)
+        np.testing.assert_array_equal(mei, whole.mei)
+        np.testing.assert_array_equal(ero, whole.erosion_index)
+        np.testing.assert_array_equal(dil, whole.dilation_index)
+        assert gpu_out is None
+
+    def test_reference_radius_two(self, small_cube):
+        whole = mei_reference(small_cube, 2)
+        mei, ero, dil, _ = parallel_morphological_stage(
+            small_cube, 2, backend="reference", n_workers=2)
+        np.testing.assert_array_equal(mei, whole.mei)
+        np.testing.assert_array_equal(ero, whole.erosion_index)
+
+    def test_naive_bit_identical(self, tiny_cube):
+        whole = mei_naive(tiny_cube, 1)
+        mei, ero, dil, _ = parallel_morphological_stage(
+            tiny_cube, 1, backend="naive", n_workers=2)
+        np.testing.assert_array_equal(mei, whole.mei)
+        np.testing.assert_array_equal(ero, whole.erosion_index)
+        np.testing.assert_array_equal(dil, whole.dilation_index)
+
+    def test_gpu_bit_identical_and_accounted(self, small_cube):
+        whole = gpu_morphological_stage(small_cube, 1)
+        mei, ero, dil, gpu_out = parallel_morphological_stage(
+            small_cube, 1, backend="gpu", n_workers=2)
+        np.testing.assert_array_equal(mei, whole.mei)
+        np.testing.assert_array_equal(ero, whole.erosion_index)
+        np.testing.assert_array_equal(dil, whole.dilation_index)
+        # accounting is summed across the per-chunk boards: more total
+        # launches than the single-board run (halo work is redundant)
+        assert gpu_out.chunk_count >= 2
+        assert gpu_out.counters["kernel_launches"] \
+            > whole.counters["kernel_launches"]
+        assert gpu_out.modeled_time_s > 0.0
+        assert gpu_out.time_by_kernel
+
+    def test_more_chunks_than_workers(self, small_cube):
+        whole = mei_reference(small_cube, 1)
+        mei, _, _, _ = parallel_morphological_stage(
+            small_cube, 1, backend="reference", n_workers=2, n_chunks=5)
+        np.testing.assert_array_equal(mei, whole.mei)
+
+    def test_profiler_records_chunks(self, small_cube):
+        profiler = Profiler()
+        parallel_morphological_stage(small_cube, 1, backend="reference",
+                                     n_workers=2, profiler=profiler)
+        records = profiler.chunk_records
+        assert len(records) == 2
+        assert sum(r.core_lines for r in records) == small_cube.shape[0]
+        for r in records:
+            assert r.halo == 1
+            assert r.compute_s > 0.0
+
+    def test_bad_backend_rejected(self, tiny_cube):
+        with pytest.raises(StreamError, match="backend"):
+            parallel_morphological_stage(tiny_cube, 1, backend="cuda")
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ShapeError):
+            parallel_morphological_stage(np.zeros((4, 4)), 1)
+
+
+class TestRunAmcParallel:
+    def test_reference_backend_identical(self, session_scene):
+        scene = session_scene
+        serial = run_amc(scene.cube, AMCConfig(n_classes=5),
+                         ground_truth=scene.ground_truth)
+        parallel = run_amc(scene.cube, AMCConfig(n_classes=5, n_workers=2),
+                           ground_truth=scene.ground_truth)
+        np.testing.assert_array_equal(parallel.mei, serial.mei)
+        np.testing.assert_array_equal(parallel.labels, serial.labels)
+        np.testing.assert_array_equal(parallel.abundances,
+                                      serial.abundances)
+        assert parallel.overall_accuracy == serial.overall_accuracy
+
+    def test_gpu_backend_identical(self, small_cube):
+        serial = run_amc(small_cube,
+                         AMCConfig(n_classes=3, backend="gpu"))
+        parallel = run_amc(small_cube,
+                           AMCConfig(n_classes=3, backend="gpu",
+                                     n_workers=2))
+        np.testing.assert_array_equal(parallel.mei, serial.mei)
+        np.testing.assert_array_equal(parallel.labels, serial.labels)
+        assert parallel.gpu_output.modeled_time_s > 0.0
+
+    def test_gpu_unmixing_identical_with_merged_accounting(self,
+                                                           small_cube):
+        config = dict(n_classes=3, backend="gpu", gpu_unmixing=True)
+        serial = run_amc(small_cube, AMCConfig(**config))
+        parallel = run_amc(small_cube, AMCConfig(**config, n_workers=2))
+        np.testing.assert_array_equal(parallel.labels, serial.labels)
+        np.testing.assert_allclose(parallel.abundances, serial.abundances)
+        # merged accounting covers morphology (per-chunk boards) plus the
+        # unmixing device: at least as many launches as serial end-to-end
+        assert parallel.gpu_output.counters["kernel_launches"] \
+            >= serial.gpu_output.counters["kernel_launches"]
+
+    def test_config_validates_workers(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            AMCConfig(n_workers=-1)
+
+    def test_workers_zero_means_all_cores(self, tiny_cube):
+        serial = run_amc(tiny_cube, AMCConfig(n_classes=2))
+        auto = run_amc(tiny_cube, AMCConfig(n_classes=2, n_workers=0))
+        np.testing.assert_array_equal(auto.labels, serial.labels)

@@ -1,0 +1,178 @@
+"""Tests for the worker-pool chunked executor (repro.parallel.pool)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamError
+from repro.gpu import shaderir as ir
+from repro.parallel import resolve_workers, run_chunked_parallel
+from repro.parallel import pool as pool_mod
+from repro.profiling import Profiler
+from repro.stream import (
+    CpuExecutor,
+    GpuExecutor,
+    StageGraph,
+    Step,
+    Stream,
+    run_chunked,
+)
+from repro.stream.kernel import StreamKernel, stencil_sum
+
+
+def _blur3():
+    offsets = tuple((dy, dx) for dy in (-1, 0, 1) for dx in (-1, 0, 1))
+    return stencil_sum("blur3", offsets)
+
+
+@pytest.fixture()
+def two_stage_stencil():
+    """Two chained 3x3 stencils: total dependency radius 2."""
+    return StageGraph("double-blur", inputs=("x",),
+                      steps=(Step(_blur3(), {"a": "x"}, "once"),
+                             Step(_blur3(), {"a": "once"}, "twice")),
+                      outputs=("twice",))
+
+
+class TestResolveWorkers:
+    def test_zero_means_all_cores(self):
+        assert resolve_workers(0) >= 1
+
+    def test_positive_passthrough(self):
+        assert resolve_workers(3) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(StreamError, match="n_workers"):
+            resolve_workers(-1)
+
+
+class TestBitIdentical:
+    """Parallel results must equal serial results exactly."""
+
+    @pytest.mark.parametrize("n_workers", [2, 3])
+    @pytest.mark.parametrize("max_ext_lines", [9, 14])
+    def test_cpu_executor(self, two_stage_stencil, rng, n_workers,
+                          max_ext_lines):
+        x = Stream.from_scalar("x", rng.uniform(size=(30, 7)))
+        serial = run_chunked(two_stage_stencil, {"x": x}, CpuExecutor(),
+                             max_ext_lines=max_ext_lines)
+        parallel = run_chunked_parallel(
+            two_stage_stencil, {"x": x}, CpuExecutor(),
+            max_ext_lines=max_ext_lines, n_workers=n_workers)
+        np.testing.assert_array_equal(parallel["twice"].data,
+                                      serial["twice"].data)
+
+    def test_gpu_executor(self, two_stage_stencil, rng):
+        x = Stream.from_scalar("x", rng.uniform(size=(24, 6)))
+        whole = GpuExecutor().run(two_stage_stencil, {"x": x})
+        parallel = run_chunked_parallel(
+            two_stage_stencil, {"x": x}, GpuExecutor(),
+            max_ext_lines=10, n_workers=2)
+        np.testing.assert_array_equal(parallel["twice"].data,
+                                      whole["twice"].data)
+
+    def test_multiple_outputs_stitched(self, rng):
+        blur = _blur3()
+        graph = StageGraph("multi", inputs=("x",),
+                           steps=(Step(blur, {"a": "x"}, "a1"),
+                                  Step(blur, {"a": "a1"}, "a2")),
+                           outputs=("a1", "a2"))
+        x = Stream.from_scalar("x", rng.uniform(size=(20, 5)))
+        whole = CpuExecutor().run(graph, {"x": x})
+        parallel = run_chunked_parallel(graph, {"x": x}, CpuExecutor(),
+                                        max_ext_lines=8, n_workers=2)
+        for name in ("a1", "a2"):
+            np.testing.assert_array_equal(parallel[name].data,
+                                          whole[name].data)
+
+    def test_serial_n_workers_one(self, two_stage_stencil, rng):
+        """n_workers=1 takes the in-process path, same results."""
+        x = Stream.from_scalar("x", rng.uniform(size=(30, 7)))
+        serial = run_chunked(two_stage_stencil, {"x": x}, CpuExecutor(),
+                             max_ext_lines=9)
+        parallel = run_chunked_parallel(
+            two_stage_stencil, {"x": x}, CpuExecutor(),
+            max_ext_lines=9, n_workers=1)
+        np.testing.assert_array_equal(parallel["twice"].data,
+                                      serial["twice"].data)
+
+
+class TestRejection:
+    def test_dependent_fetch_rejected(self):
+        """Dependent-fetch graphs cannot be chunked — parallel included."""
+        k = StreamKernel.from_expression(
+            "dyn", ir.TexFetchDyn("a", ir.FragCoord()), inputs=("a",))
+        graph = StageGraph("d", inputs=("x",),
+                           steps=(Step(k, {"a": "x"}, "o"),),
+                           outputs=("o",))
+        x = Stream.zeros("x", 16, 4)
+        with pytest.raises(StreamError, match="dependent"):
+            run_chunked_parallel(graph, {"x": x}, CpuExecutor(),
+                                 max_ext_lines=8, n_workers=2)
+
+    def test_empty_inputs_rejected(self, two_stage_stencil):
+        with pytest.raises(StreamError, match="at least one input"):
+            run_chunked_parallel(two_stage_stencil, {}, CpuExecutor(),
+                                 max_ext_lines=8, n_workers=2)
+
+    def test_insufficient_budget_raises(self, two_stage_stencil, rng):
+        x = Stream.from_scalar("x", rng.uniform(size=(30, 7)))
+        with pytest.raises(StreamError):
+            run_chunked_parallel(two_stage_stencil, {"x": x},
+                                 CpuExecutor(), max_ext_lines=4,
+                                 n_workers=2)
+
+
+class TestFallback:
+    def test_pool_unavailable_falls_back_to_serial(self, two_stage_stencil,
+                                                   rng, monkeypatch):
+        """A host without working pools still gets correct results."""
+        def broken_pool(*args, **kwargs):
+            raise OSError("no process spawning here")
+
+        monkeypatch.setattr(pool_mod, "_make_pool", broken_pool)
+        x = Stream.from_scalar("x", rng.uniform(size=(30, 7)))
+        serial = run_chunked(two_stage_stencil, {"x": x}, CpuExecutor(),
+                             max_ext_lines=9)
+        parallel = run_chunked_parallel(
+            two_stage_stencil, {"x": x}, CpuExecutor(),
+            max_ext_lines=9, n_workers=4)
+        np.testing.assert_array_equal(parallel["twice"].data,
+                                      serial["twice"].data)
+
+
+class TestProfiling:
+    def test_one_record_per_chunk(self, two_stage_stencil, rng):
+        x = Stream.from_scalar("x", rng.uniform(size=(30, 7)))
+        profiler = Profiler()
+        run_chunked_parallel(two_stage_stencil, {"x": x}, CpuExecutor(),
+                             max_ext_lines=9, n_workers=2,
+                             profiler=profiler)
+        records = profiler.chunk_records
+        assert len(records) == 6  # 30 lines / (9 - 2*2) core lines
+        assert sorted(r.index for r in records) == list(range(6))
+        assert sum(r.core_lines for r in records) == 30
+        for r in records:
+            assert r.ext_lines >= r.core_lines
+            assert r.halo == 2
+            assert r.wall_s >= 0.0
+
+    def test_gpu_records_carry_transfer_split(self, two_stage_stencil, rng):
+        x = Stream.from_scalar("x", rng.uniform(size=(24, 6)))
+        profiler = Profiler()
+        run_chunked_parallel(two_stage_stencil, {"x": x}, GpuExecutor(),
+                             max_ext_lines=10, n_workers=2,
+                             profiler=profiler)
+        for r in profiler.chunk_records:
+            assert r.upload_s > 0.0
+            assert r.compute_s > 0.0
+            assert r.download_s > 0.0
+
+    def test_cpu_records_have_no_bus_time(self, two_stage_stencil, rng):
+        x = Stream.from_scalar("x", rng.uniform(size=(30, 7)))
+        profiler = Profiler()
+        run_chunked_parallel(two_stage_stencil, {"x": x}, CpuExecutor(),
+                             max_ext_lines=9, n_workers=1,
+                             profiler=profiler)
+        for r in profiler.chunk_records:
+            assert r.upload_s == 0.0 and r.download_s == 0.0
+            assert r.compute_s > 0.0

@@ -1,0 +1,149 @@
+"""Tests for the profiling layer: records, reports, run_amc wiring."""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import AMCConfig, run_amc
+from repro.profiling import (
+    ChunkRecord,
+    ProfileReport,
+    Profiler,
+    StageRecord,
+    profiled_stage,
+)
+
+
+def _chunk(index=0, **overrides):
+    defaults = dict(index=index, core_lines=8, ext_lines=10, halo=1,
+                    wall_s=0.25, upload_s=0.01, compute_s=0.2,
+                    download_s=0.04, worker=1234)
+    defaults.update(overrides)
+    return ChunkRecord(**defaults)
+
+
+class TestProfiler:
+    def test_stage_records_in_order(self):
+        profiler = Profiler()
+        with profiler.stage("first"):
+            pass
+        with profiler.stage("second"):
+            time.sleep(0.001)
+        names = [s.name for s in profiler.stage_records]
+        assert names == ["first", "second"]
+        assert profiler.stage_records[1].wall_s > 0.0
+
+    def test_stage_records_survive_exceptions(self):
+        profiler = Profiler()
+        with pytest.raises(RuntimeError):
+            with profiler.stage("doomed"):
+                raise RuntimeError("boom")
+        assert [s.name for s in profiler.stage_records] == ["doomed"]
+
+    def test_record_chunk(self):
+        profiler = Profiler()
+        profiler.record_chunk(_chunk())
+        profiler.record_chunk(_chunk(index=1))
+        assert [c.index for c in profiler.chunk_records] == [0, 1]
+
+    def test_profiled_stage_none_is_noop(self):
+        with profiled_stage(None, "anything"):
+            pass  # must not raise
+
+    def test_profiled_stage_delegates(self):
+        profiler = Profiler()
+        with profiled_stage(profiler, "real"):
+            pass
+        assert profiler.stage_records[0].name == "real"
+
+
+class TestProfileReport:
+    @pytest.fixture()
+    def report(self) -> ProfileReport:
+        profiler = Profiler(meta={"backend": "gpu", "workers": 2})
+        with profiler.stage("morphology"):
+            pass
+        with profiler.stage("unmixing"):
+            pass
+        profiler.record_chunk(_chunk())
+        profiler.record_chunk(_chunk(index=1, worker=5678))
+        return profiler.report()
+
+    def test_shape(self, report):
+        assert report.meta == {"backend": "gpu", "workers": 2}
+        assert [s.name for s in report.stages] == ["morphology",
+                                                   "unmixing"]
+        assert len(report.chunks) == 2
+        assert isinstance(report.stages[0], StageRecord)
+
+    def test_total_wall(self, report):
+        assert report.total_wall_s == pytest.approx(
+            sum(s.wall_s for s in report.stages))
+
+    def test_to_dict_keys(self, report):
+        data = report.to_dict()
+        assert set(data) == {"meta", "total_wall_s", "stages", "chunks"}
+        assert set(data["chunks"][0]) == {
+            "index", "core_lines", "ext_lines", "halo", "wall_s",
+            "upload_s", "compute_s", "download_s", "worker"}
+        assert set(data["stages"][0]) == {"name", "wall_s"}
+
+    def test_json_round_trip(self, report):
+        data = json.loads(report.to_json())
+        assert data["meta"]["backend"] == "gpu"
+        assert len(data["chunks"]) == 2
+        assert data["chunks"][1]["worker"] == 5678
+
+    def test_save(self, report, tmp_path):
+        path = str(tmp_path / "profile.json")
+        assert report.save(path) == path
+        with open(path) as fh:
+            assert json.load(fh)["total_wall_s"] >= 0.0
+
+    def test_text_rendering(self, report):
+        text = report.to_text()
+        assert "morphology" in text
+        assert "backend: gpu" in text
+        assert "upload" in text and "download" in text
+        assert "total" in text
+
+    def test_empty_report_renders(self):
+        report = Profiler().report()
+        assert report.to_text() == "profile"
+        assert report.total_wall_s == 0.0
+
+
+class TestRunAmcProfiling:
+    def test_stages_recorded(self, tiny_cube):
+        profiler = Profiler()
+        run_amc(tiny_cube, AMCConfig(n_classes=2), profiler=profiler)
+        names = [s.name for s in profiler.stage_records]
+        assert names == ["morphology", "endmembers", "unmixing",
+                         "classification", "evaluation"]
+        assert not profiler.chunk_records  # serial whole-image run
+
+    def test_parallel_run_adds_chunk_records(self, small_cube):
+        profiler = Profiler()
+        run_amc(small_cube, AMCConfig(n_classes=2, n_workers=2),
+                profiler=profiler)
+        assert len(profiler.chunk_records) == 2
+        assert sum(c.core_lines for c in profiler.chunk_records) \
+            == small_cube.shape[0]
+
+    def test_gpu_chunks_carry_modeled_split(self, small_cube):
+        profiler = Profiler()
+        run_amc(small_cube,
+                AMCConfig(n_classes=2, backend="gpu", n_workers=2),
+                profiler=profiler)
+        for record in profiler.chunk_records:
+            assert record.upload_s > 0.0
+            assert record.compute_s > 0.0
+            assert record.download_s > 0.0
+
+    def test_results_unaffected_by_profiling(self, tiny_cube):
+        bare = run_amc(tiny_cube, AMCConfig(n_classes=2))
+        profiled = run_amc(tiny_cube, AMCConfig(n_classes=2),
+                           profiler=Profiler())
+        np.testing.assert_array_equal(bare.labels, profiled.labels)

@@ -7,7 +7,7 @@ import pytest
 
 PACKAGES = ["repro", "repro.spectral", "repro.hsi", "repro.stream",
             "repro.gpu", "repro.cpu", "repro.core", "repro.bench",
-            "repro.viz"]
+            "repro.viz", "repro.parallel", "repro.profiling"]
 
 
 @pytest.mark.parametrize("package", PACKAGES)

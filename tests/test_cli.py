@@ -26,6 +26,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bench", "--table", "3"])
 
+    def test_classify_workers_default_serial(self):
+        args = build_parser().parse_args(["classify", "x.raw"])
+        assert args.workers == 1 and args.profile is None
+
+    def test_classify_profile_flag_forms(self):
+        bare = build_parser().parse_args(["classify", "x.raw", "--profile"])
+        assert bare.profile == "-"
+        pathed = build_parser().parse_args(
+            ["classify", "x.raw", "--profile", "out.json"])
+        assert pathed.profile == "out.json"
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -87,6 +98,52 @@ class TestCommands:
               "--bands", "16", "--seed", "5"])
         assert main(["classify", path, "--classes", "3",
                      "--trace", str(tmp_path / "t.json")]) == 2
+
+    def test_classify_workers_with_profile_text(self, tmp_path, capsys):
+        path = str(tmp_path / "scene.raw")
+        main(["generate", path, "--lines", "24", "--samples", "16",
+              "--bands", "24", "--seed", "6"])
+        capsys.readouterr()
+        assert main(["classify", path, "--classes", "4",
+                     "--workers", "2", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "workers: 2" in out
+        assert "morphology" in out
+        assert "upload" in out          # per-chunk stream-phase table
+
+    def test_classify_profile_json(self, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "scene.raw")
+        main(["generate", path, "--lines", "16", "--samples", "16",
+              "--bands", "24", "--seed", "7"])
+        profile_path = str(tmp_path / "profile.json")
+        assert main(["classify", path, "--classes", "3",
+                     "--backend", "gpu", "--workers", "2",
+                     "--profile", profile_path]) == 0
+        with open(profile_path) as fh:
+            data = json.load(fh)
+        assert data["meta"]["backend"] == "gpu"
+        assert [s["name"] for s in data["stages"]] == [
+            "morphology", "endmembers", "unmixing", "classification",
+            "evaluation"]
+        assert data["chunks"] and data["chunks"][0]["upload_s"] > 0
+        out = capsys.readouterr().out
+        assert "profile report" in out
+
+    def test_classify_workers_matches_serial_outputs(self, tmp_path,
+                                                     capsys):
+        path = str(tmp_path / "scene.raw")
+        main(["generate", path, "--lines", "20", "--samples", "16",
+              "--bands", "24", "--seed", "8"])
+        assert main(["classify", path, "--classes", "4"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["classify", path, "--classes", "4",
+                     "--workers", "3"]) == 0
+        parallel = capsys.readouterr().out
+        accuracy = [line for line in serial.splitlines()
+                    if "overall accuracy" in line]
+        assert accuracy and accuracy[0] in parallel
 
     def test_classify_without_ground_truth(self, tmp_path, capsys):
         from repro.hsi import HyperCube

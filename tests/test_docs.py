@@ -1,0 +1,38 @@
+"""Docs-consistency gate: the checks of tools/check_docs.py run in CI.
+
+The checker compares docs/api.md against a fresh render of
+tools/gen_api_docs.py, verifies every public module is indexed, and
+verifies every public package appears in docs/architecture.md — so a
+new module or package cannot ship undocumented.
+"""
+
+import importlib.util
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _load_checker():
+    path = os.path.join(REPO_ROOT, "tools", "check_docs.py")
+    spec = importlib.util.spec_from_file_location("check_docs", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_docs", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_are_consistent():
+    checker = _load_checker()
+    problems = checker.run_checks()
+    assert not problems, "\n".join(problems)
+
+
+def test_checker_detects_missing_module(tmp_path, monkeypatch):
+    """The gate actually gates: an unindexed module must be reported."""
+    checker = _load_checker()
+    monkeypatch.setattr(
+        checker.gen_api_docs, "discover_modules",
+        lambda: ["repro.not_a_real_module"])
+    problems = checker.check_modules_indexed()
+    assert problems and "not_a_real_module" in problems[0]

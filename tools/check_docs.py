@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Docs consistency check — documentation cannot silently rot.
+
+Three cross-checks, run by ``tests/test_docs.py`` so they gate CI:
+
+1. **API index currency** — ``docs/api.md`` must equal what
+   ``tools/gen_api_docs.py`` renders right now (same generator, same
+   source tree).  A new module, a changed ``__all__`` or an edited
+   docstring first line all show up here until the index is
+   regenerated.
+2. **Module coverage** — every public module under ``src/repro/`` must
+   be mentioned by its dotted name in ``docs/api.md`` (guaranteed by
+   the generator's discovery walk, but checked independently so a
+   hand-edited index still fails).
+3. **Architecture coverage** — every public *package* must appear in
+   ``docs/architecture.md``'s layering description.
+
+Run directly for a human-readable report::
+
+    python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(TOOLS_DIR)
+
+sys.path.insert(0, TOOLS_DIR)
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+import gen_api_docs  # noqa: E402  (path set up above)
+
+
+def _read(relpath: str) -> str:
+    with open(os.path.join(REPO_ROOT, relpath), encoding="utf-8") as fh:
+        return fh.read()
+
+
+def check_api_index_current() -> list[str]:
+    """docs/api.md must match a fresh render of the generator."""
+    current = _read(os.path.join("docs", "api.md"))
+    fresh = gen_api_docs.render()
+    if current != fresh:
+        return ["docs/api.md is stale — run `python tools/gen_api_docs.py`"]
+    return []
+
+
+def check_modules_indexed() -> list[str]:
+    """Every public module's dotted name must appear in docs/api.md."""
+    api = _read(os.path.join("docs", "api.md"))
+    return [f"module `{name}` is not mentioned in docs/api.md"
+            for name in gen_api_docs.discover_modules()
+            if name not in api]
+
+
+def check_packages_in_architecture() -> list[str]:
+    """Every public package must appear in docs/architecture.md."""
+    architecture = _read(os.path.join("docs", "architecture.md"))
+    return [f"package `{package}` is not mentioned in docs/architecture.md"
+            for package, _ in gen_api_docs.PACKAGES
+            if package != "repro" and package not in architecture]
+
+
+def run_checks() -> list[str]:
+    """All problems found, empty when the docs are consistent."""
+    return (check_api_index_current()
+            + check_modules_indexed()
+            + check_packages_in_architecture())
+
+
+def main() -> int:
+    problems = run_checks()
+    for problem in problems:
+        print(f"FAIL: {problem}")
+    if problems:
+        return 1
+    modules = len(gen_api_docs.discover_modules())
+    print(f"docs consistent: {modules} modules indexed, "
+          f"{len(gen_api_docs.PACKAGES)} packages in the architecture map")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
