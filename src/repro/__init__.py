@@ -28,6 +28,7 @@ from repro.core import AMCConfig, AMCResult, run_amc
 from repro.errors import ReproError
 from repro.hsi import HyperCube, SyntheticScene, generate_indian_pines_like
 from repro.gpu import VirtualGPU
+from repro.pipeline import run_amc_batch
 
 __version__ = "1.0.0"
 
@@ -41,4 +42,5 @@ __all__ = [
     "__version__",
     "generate_indian_pines_like",
     "run_amc",
+    "run_amc_batch",
 ]

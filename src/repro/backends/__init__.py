@@ -1,0 +1,59 @@
+"""Pluggable morphological backends for AMC.
+
+The paper runs one algorithm on very different execution substrates
+(Pentium 4 baselines, two GPU generations); the related ports in
+PAPERS.md repeat that pattern.  This package makes the substrate a
+first-class, *pluggable* axis: a :class:`MorphologicalBackend` adapts
+one implementation of the morphological stage to a common contract, a
+registry maps names to adapters, and every consumer —
+:func:`repro.core.amc.run_amc`, the chunk-parallel executor, ``amee``,
+the CLI — resolves through :func:`get_backend` instead of
+string-comparing backend names (``tools/check_dispatch.py`` enforces
+that this stays the *only* dispatch point).
+
+Built-ins: ``reference`` (vectorized float64 CPU), ``naive`` (per-pixel
+loop oracle), ``gpu`` (stream pipeline on a virtual board).  Register
+your own with::
+
+    from repro.backends import MorphologicalBackend, register_backend
+
+    class MyBackend(MorphologicalBackend):
+        name = "mine"
+        def run(self, bip, radius, *, spec=None, device=None):
+            ...
+
+    register_backend(MyBackend())
+
+and ``AMCConfig(backend="mine")``, ``repro classify --backend mine``
+and ``n_workers > 1`` all work immediately.
+"""
+
+from repro.backends.base import (
+    ChunkResult,
+    MorphologicalBackend,
+    MorphologyResult,
+)
+from repro.backends.builtin import GpuBackend, NaiveBackend, ReferenceBackend
+from repro.backends.registry import (
+    backend_names,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+
+register_backend(ReferenceBackend())
+register_backend(NaiveBackend())
+register_backend(GpuBackend())
+
+__all__ = [
+    "ChunkResult",
+    "GpuBackend",
+    "MorphologicalBackend",
+    "MorphologyResult",
+    "NaiveBackend",
+    "ReferenceBackend",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "unregister_backend",
+]

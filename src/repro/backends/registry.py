@@ -1,0 +1,65 @@
+"""The backend registry: one place that maps names to implementations.
+
+Every layer that used to string-compare ``config.backend`` now resolves
+through :func:`get_backend`, so adding an execution substrate is a
+single :func:`register_backend` call — the algorithm driver, the
+chunk-parallel executor, ``AMCConfig`` validation and the CLI's
+``--backend`` choices all pick it up without modification
+(``tools/check_dispatch.py`` keeps it that way).
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import MorphologicalBackend
+from repro.errors import UnknownBackendError
+
+_REGISTRY: dict[str, MorphologicalBackend] = {}
+
+
+def register_backend(backend: MorphologicalBackend, *,
+                     replace: bool = False) -> MorphologicalBackend:
+    """Register a backend under its :attr:`~MorphologicalBackend.name`.
+
+    Returns the backend (so the call composes as a decorator-ish
+    one-liner).  Re-registering a taken name is an error unless
+    ``replace=True`` — silent shadowing of ``reference`` would be a
+    debugging nightmare.
+    """
+    if not isinstance(backend, MorphologicalBackend):
+        raise TypeError(f"expected a MorphologicalBackend instance, got "
+                        f"{type(backend).__name__}")
+    if not backend.name:
+        raise ValueError("backend.name must be a non-empty string")
+    if backend.name in _REGISTRY and not replace:
+        raise ValueError(
+            f"backend {backend.name!r} is already registered; pass "
+            f"replace=True to override it")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend from the registry (no-op for unknown names)."""
+    _REGISTRY.pop(name, None)
+
+
+def backend_names() -> tuple[str, ...]:
+    """The registered backend names, sorted — the CLI's ``--backend``
+    choices and the listing every unknown-backend error carries."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(backend) -> MorphologicalBackend:
+    """Resolve a backend name (or pass an instance through).
+
+    Raises :class:`~repro.errors.UnknownBackendError` — listing the
+    registered names — for anything not in the registry.
+    """
+    if isinstance(backend, MorphologicalBackend):
+        return backend
+    try:
+        return _REGISTRY[backend]
+    except KeyError:
+        raise UnknownBackendError(
+            f"unknown backend {backend!r}; registered backends: "
+            f"{backend_names()}") from None

@@ -48,6 +48,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
+    from repro.backends import get_backend
     from repro.core import AMCConfig, run_amc
     from repro.hsi.envi import read_cube
     from repro.viz import write_class_map_ppm, write_pgm
@@ -66,15 +67,17 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     workers = resolve_workers(args.workers)
     config = AMCConfig(n_classes=args.classes, se_radius=args.radius,
                        backend=args.backend, n_workers=workers)
+    backend = get_backend(args.backend)
     device = None
     if args.trace:
-        if args.backend != "gpu":
-            print("--trace requires --backend gpu", file=sys.stderr)
+        if not backend.supports_trace:
+            print(f"--trace requires a device backend "
+                  f"(--backend {args.backend} has no timeline)",
+                  file=sys.stderr)
             return 2
         from repro.gpu import VirtualGPU
 
         device = VirtualGPU(config.gpu_spec)
-        from repro.core.amc_gpu import gpu_morphological_stage
     profiler = None
     if args.profile is not None:
         from repro.profiling import Profiler
@@ -90,8 +93,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         # timeline (run_amc manages its own device internally)
         from repro.gpu.trace import export_chrome_trace
 
-        gpu_morphological_stage(cube.as_bip(), config.se_radius,
-                                device=device)
+        backend.run(cube.as_bip(), config.se_radius, device=device)
         trace_path = export_chrome_trace(device.counters, args.trace)
         print(f"device timeline:    {trace_path} "
               f"(open in chrome://tracing or Perfetto)")
@@ -176,11 +178,13 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--seed", type=int, default=2006)
     gen.set_defaults(func=_cmd_generate)
 
+    from repro.backends import backend_names
+
     cls = sub.add_parser("classify", help="run AMC on an ENVI cube")
     cls.add_argument("path", help="path to the raw cube (with .hdr)")
     cls.add_argument("--classes", type=int, default=45)
     cls.add_argument("--radius", type=int, default=1)
-    cls.add_argument("--backend", choices=("reference", "gpu"),
+    cls.add_argument("--backend", choices=backend_names(),
                      default="reference")
     cls.add_argument("--trace", metavar="PATH", default=None,
                      help="with --backend gpu: write a Chrome-trace "

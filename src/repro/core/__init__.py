@@ -11,7 +11,10 @@ unmixing, classification):
 * :mod:`~repro.core.amc_gpu` — the stream-programming implementation of
   paper Fig. 4 running on :class:`~repro.gpu.device.VirtualGPU`,
 
-all orchestrated by :func:`~repro.core.amc.run_amc`.
+all orchestrated by :func:`~repro.core.amc.run_amc` — since the
+stage-pipeline refactor a façade over :mod:`repro.pipeline`, with the
+implementations adapted and resolved through the :mod:`repro.backends`
+registry.
 """
 
 from repro.core.amc import AMCConfig, AMCResult, run_amc

@@ -1,17 +1,25 @@
 """The full Automated Morphological Classification algorithm (paper §3.1).
 
-:func:`run_amc` chains the four AMC steps over any of the three
-morphological backends:
+:func:`run_amc` chains the four AMC steps over any registered
+morphological backend:
 
-1. morphological stage → MEI image (backend: ``"reference"`` vectorized
-   CPU, ``"gpu"`` stream implementation on a virtual board, or
-   ``"naive"`` loop oracle);
+1. morphological stage → MEI image (built-in backends: ``"reference"``
+   vectorized CPU, ``"gpu"`` stream implementation on a virtual board,
+   or ``"naive"`` loop oracle — see :mod:`repro.backends`);
 2. endmember selection — the c highest-MEI pixels (with the diversity
    guards of :mod:`repro.core.endmembers`);
 3. linear spectral unmixing → per-pixel abundances;
 4. classification — argmax abundance, mapped to ground-truth labels when
    a ground truth is supplied (each endmember inherits the label of the
    pixel it came from).
+
+Since the stage-pipeline refactor, :func:`run_amc` is a thin façade
+over :mod:`repro.pipeline`: the steps are
+:class:`~repro.pipeline.Stage` objects executed by the
+:class:`~repro.pipeline.Pipeline` runner, and backends are resolved
+through the :mod:`repro.backends` registry — results are identical to
+the historical monolith (the pipeline test suite pins them
+bit-for-bit).
 """
 
 from __future__ import annotations
@@ -20,42 +28,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.amc_gpu import GpuAmcOutput, gpu_morphological_stage
-from repro.core.endmembers import (
-    EndmemberSet,
-    dilation_candidates,
-    select_endmembers,
-    smooth_cube,
-)
-from repro.core.mei import MorphologicalOutput, mei_reference
-from repro.core.metrics import (
-    ClassificationReport,
-    evaluate_classification,
-    map_endmembers_to_classes,
-)
-from repro.core.naive import mei_naive
-from repro.core.unmix_gpu import gpu_unmix_classify
-from repro.core.unmixing import (
-    classify_abundances,
-    unmix_fcls,
-    unmix_lsu,
-    unmix_nnls,
-    unmix_sclsu,
-)
+from repro.core.amc_gpu import GpuAmcOutput
+from repro.core.endmembers import EndmemberSet
+from repro.core.metrics import ClassificationReport
+from repro.core.unmixing import UNMIXERS
 from repro.errors import ShapeError
-from repro.gpu.device import VirtualGPU
 from repro.gpu.spec import GEFORCE_7800GTX, GpuSpec
 from repro.hsi.cube import HyperCube
-from repro.profiling.profiler import Profiler, profiled_stage
-
-_UNMIXERS = {
-    "lsu": unmix_lsu,
-    "sclsu": unmix_sclsu,
-    "nnls": unmix_nnls,
-    "fcls": unmix_fcls,
-}
-
-_BACKENDS = ("reference", "gpu", "naive")
+from repro.profiling.profiler import Profiler
 
 
 @dataclass(frozen=True)
@@ -70,7 +50,8 @@ class AMCConfig:
     se_radius:
         Structuring-element radius (1 = the paper's 3x3 window).
     backend:
-        "reference" | "gpu" | "naive".
+        Any name registered in :mod:`repro.backends` (built-in:
+        "reference" | "gpu" | "naive").
     unmixing:
         "lsu" | "sclsu" | "nnls" | "fcls".
     gpu_spec:
@@ -106,11 +87,12 @@ class AMCConfig:
     #: pixels assigned to it (the standard unsupervised-classification
     #: evaluation protocol, robust when c exceeds the class count).
     label_mapping: str = "majority"
-    #: With the "gpu" backend, also run unmixing + argmax classification
-    #: on the device (the extension stages of repro.core.unmix_gpu) —
-    #: both stages then share one VirtualGPU, so the result's counters
-    #: cover the whole algorithm.  Implies unconstrained LSU and no
-    #: classify-time smoothing (the device path has neither).
+    #: On a backend whose device can run the tail (the built-in "gpu"),
+    #: also run unmixing + argmax classification on the device (the
+    #: extension stages of repro.core.unmix_gpu) — both stages then
+    #: share one VirtualGPU, so the result's counters cover the whole
+    #: algorithm.  Implies unconstrained LSU and no classify-time
+    #: smoothing (the device path has neither).
     gpu_unmixing: bool = False
     #: Worker processes for the morphological stage (the runtime-dominant
     #: stage).  1 = serial (the default); N > 1 splits the image into
@@ -129,13 +111,16 @@ class AMCConfig:
             raise ValueError(
                 f"label_mapping must be 'majority' or 'position', got "
                 f"{self.label_mapping!r}")
-        if self.backend not in _BACKENDS:
-            raise ValueError(
-                f"unknown backend {self.backend!r}; pick from {_BACKENDS}")
-        if self.unmixing not in _UNMIXERS:
+        # deferred import: repro.backends defers its implementation
+        # imports, but validating here at construction keeps errors
+        # early and lists whatever is registered *now*.
+        from repro.backends import get_backend
+
+        get_backend(self.backend)
+        if self.unmixing not in UNMIXERS:
             raise ValueError(
                 f"unknown unmixing {self.unmixing!r}; pick from "
-                f"{sorted(_UNMIXERS)}")
+                f"{sorted(UNMIXERS)}")
         if self.n_classes < 1:
             raise ValueError("n_classes must be >= 1")
         if self.se_radius < 1:
@@ -205,121 +190,10 @@ def run_amc(cube, config: AMCConfig = AMCConfig(), *,
     -------
     AMCResult
     """
-    bip = _as_bip(cube)
+    # import deferred: repro.pipeline sits above this package (it
+    # composes core, backends and — through the morphology stage —
+    # parallel); same pattern the monolith used for repro.parallel.
+    from repro.pipeline import execute_amc
 
-    # ---- steps 1-2: morphological stage -> MEI -------------------------
-    gpu_output: GpuAmcOutput | None = None
-    device: VirtualGPU | None = None
-    with profiled_stage(profiler, "morphology"):
-        if config.n_workers != 1:
-            # chunk-parallel: the image splits into halo-carrying line
-            # chunks executed by a process pool, bit-identical to serial
-            # (import deferred: repro.parallel sits above this package).
-            from repro.parallel import parallel_morphological_stage
-
-            mei, ero, dil, gpu_output = parallel_morphological_stage(
-                bip, config.se_radius, backend=config.backend,
-                n_workers=config.n_workers, gpu_spec=config.gpu_spec,
-                profiler=profiler)
-            if config.backend == "gpu":
-                mei = mei.astype(np.float64)
-        elif config.backend == "reference":
-            morph: MorphologicalOutput = mei_reference(bip, config.se_radius)
-            mei, ero, dil = (morph.mei, morph.erosion_index,
-                             morph.dilation_index)
-        elif config.backend == "naive":
-            morph = mei_naive(bip, config.se_radius)
-            mei, ero, dil = (morph.mei, morph.erosion_index,
-                             morph.dilation_index)
-        else:
-            device = VirtualGPU(config.gpu_spec)
-            gpu_output = gpu_morphological_stage(bip, config.se_radius,
-                                                 device=device)
-            mei = gpu_output.mei.astype(np.float64)
-            ero, dil = gpu_output.erosion_index, gpu_output.dilation_index
-
-    # ---- step 3: endmembers + unmixing ----------------------------------
-    with profiled_stage(profiler, "endmembers"):
-        candidates = None
-        if config.endmember_source == "dilation":
-            candidates = dilation_candidates(mei, dil, config.se_radius)
-        endmembers = select_endmembers(
-            bip, mei, config.n_classes,
-            strategy=config.endmember_strategy,
-            min_sid=config.endmember_min_sid,
-            min_spatial=config.endmember_min_spatial,
-            candidates=candidates,
-            smooth_radius=config.endmember_smooth_radius)
-    if config.backend == "gpu" and config.gpu_unmixing:
-        with profiled_stage(profiler, "unmixing"):
-            if device is None:
-                # the morphological stage ran on per-worker boards; the
-                # tail gets its own device and the accounting is summed
-                from repro.parallel import combine_gpu_accounting
-
-                device = VirtualGPU(config.gpu_spec)
-                unmix_out = gpu_unmix_classify(bip, endmembers.spectra,
-                                               device=device,
-                                               return_abundances=True)
-                gpu_output = combine_gpu_accounting(gpu_output,
-                                                    device.counters)
-            else:
-                unmix_out = gpu_unmix_classify(bip, endmembers.spectra,
-                                               device=device,
-                                               return_abundances=True)
-                # refresh the aggregate accounting to cover both stages
-                gpu_output = GpuAmcOutput(
-                    mei=gpu_output.mei,
-                    erosion_index=gpu_output.erosion_index,
-                    dilation_index=gpu_output.dilation_index,
-                    radius=gpu_output.radius,
-                    chunk_count=gpu_output.chunk_count,
-                    modeled_time_s=device.counters.total_time_s,
-                    counters=device.counters.summary(),
-                    time_by_kernel=device.counters.time_by_kernel())
-            abundances = unmix_out.abundances.astype(np.float64)
-            winner = unmix_out.winner_index
-    else:
-        with profiled_stage(profiler, "unmixing"):
-            pixels = smooth_cube(bip, config.classify_smooth_radius) \
-                if config.classify_smooth_radius > 0 else bip
-            abundances = _UNMIXERS[config.unmixing](pixels,
-                                                    endmembers.spectra)
-        # ---- step 4: classification ---------------------------------------
-        with profiled_stage(profiler, "classification"):
-            winner = classify_abundances(abundances)  # 0-based endmember idx
-
-    endmember_labels = None
-    report = None
-    with profiled_stage(profiler, "evaluation"):
-        if ground_truth is not None:
-            ground_truth = np.asarray(ground_truth)
-            if ground_truth.shape != bip.shape[:2]:
-                raise ShapeError(
-                    f"ground truth {ground_truth.shape} does not match "
-                    f"image {bip.shape[:2]}")
-            endmember_labels = map_endmembers_to_classes(
-                endmembers.positions, ground_truth)
-            if config.label_mapping == "majority":
-                for k in range(config.n_classes):
-                    assigned = ground_truth[winner == k]
-                    assigned = assigned[assigned >= 1]
-                    if assigned.size:
-                        values, counts = np.unique(assigned,
-                                                   return_counts=True)
-                        endmember_labels[k] = values[np.argmax(counts)]
-            labels = endmember_labels[winner]
-            n_classes = int(ground_truth.max())
-            if class_names is None:
-                class_names = tuple(f"class-{i + 1}"
-                                    for i in range(n_classes))
-            report = evaluate_classification(ground_truth, labels,
-                                             class_names)
-        else:
-            labels = winner + 1
-
-    return AMCResult(config=config, mei=mei, erosion_index=ero,
-                     dilation_index=dil, endmembers=endmembers,
-                     abundances=abundances,
-                     endmember_labels=endmember_labels,
-                     labels=labels, report=report, gpu_output=gpu_output)
+    return execute_amc(_as_bip(cube), config, ground_truth=ground_truth,
+                       class_names=class_names, profiler=profiler)

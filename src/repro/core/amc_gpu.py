@@ -32,7 +32,7 @@ which the test-suite cross-checks enforce.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from functools import lru_cache
 
 import numpy as np
@@ -55,6 +55,15 @@ from repro.hsi.chunking import ChunkPlan, plan_chunks_by_lines
 from repro.spectral.normalize import SpectralEpsilon
 
 
+def sum_time_dicts(a: dict[str, float],
+                   b: dict[str, float]) -> dict[str, float]:
+    """Key-wise sum of two counter/time dictionaries."""
+    out = dict(a)
+    for key, value in b.items():
+        out[key] = out.get(key, 0.0) + value
+    return out
+
+
 @dataclass(frozen=True)
 class GpuAmcOutput:
     """Results of the GPU morphological stage.
@@ -72,6 +81,32 @@ class GpuAmcOutput:
     modeled_time_s: float
     counters: dict[str, float]
     time_by_kernel: dict[str, float]
+
+    def with_accounting(self, counters, *, add: bool = False
+                        ) -> "GpuAmcOutput":
+        """A copy whose accounting is refreshed from a device's counters.
+
+        Both tail-stage aggregation paths go through here:
+
+        * ``add=False`` — ``counters`` belong to the *same* device that
+          produced this output (e.g. serial morphology + GPU unmixing on
+          one board), so the device totals already include this output's
+          launches and simply replace the recorded accounting;
+        * ``add=True`` — ``counters`` belong to a *separate* device
+          (e.g. per-worker morphological boards plus a tail board), so
+          its activity is summed into the existing accounting.
+        """
+        if add:
+            modeled = self.modeled_time_s + counters.total_time_s
+            summary = sum_time_dicts(self.counters, counters.summary())
+            kernels = sum_time_dicts(self.time_by_kernel,
+                                     counters.time_by_kernel())
+        else:
+            modeled = counters.total_time_s
+            summary = counters.summary()
+            kernels = counters.time_by_kernel()
+        return replace(self, modeled_time_s=modeled, counters=summary,
+                       time_by_kernel=kernels)
 
 
 # --------------------------------------------------------------------------

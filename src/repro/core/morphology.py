@@ -119,42 +119,34 @@ def amee(cube_bip: np.ndarray, radius: int = 1, iterations: int = 3, *,
     iterations:
         Number of erosion/dilation/MEI passes (>= 1).
     backend:
-        "reference" (float64 CPU) or "gpu" (the stream pipeline per
-        iteration on a virtual 7800 GTX; the host performs only the
-        dilation gather between passes).
+        Any backend registered in :mod:`repro.backends` (built-in:
+        "reference" float64 CPU, "gpu" the stream pipeline per
+        iteration on a virtual 7800 GTX — one device reused across
+        iterations, the host performing only the dilation gather
+        between passes — or the "naive" loop oracle).
     """
     cube_bip = np.asarray(cube_bip, dtype=np.float64)
     if cube_bip.ndim != 3:
         raise ShapeError(f"expected (H, W, N), got {cube_bip.shape}")
     if iterations < 1:
         raise ValueError(f"iterations must be >= 1, got {iterations}")
-    if backend not in ("reference", "gpu"):
-        raise ValueError(f"backend must be 'reference' or 'gpu', got "
-                         f"{backend!r}")
+    # deferred import keeps this module's import graph identical to the
+    # pre-registry layering (backends defers core imports in turn)
+    from repro.backends import get_backend
 
-    device = None
-    if backend == "gpu":
-        from repro.gpu.device import VirtualGPU
-
-        device = VirtualGPU()
+    impl = get_backend(backend)
 
     current = cube_bip
     best = None
     per_iteration = []
+    device = None
     for _ in range(iterations):
-        if device is not None:
-            from repro.core.amc_gpu import gpu_morphological_stage
-
-            out = gpu_morphological_stage(current, radius, device=device)
-            mei_map = out.mei.astype(np.float64)
-            dilation_index = out.dilation_index
-        else:
-            morph = mei_reference(current, radius)
-            mei_map = morph.mei
-            dilation_index = morph.dilation_index
+        out = impl.run(current, radius, device=device)
+        device = out.device          # device backends reuse one board
+        mei_map = out.mei
         per_iteration.append(mei_map)
         best = mei_map if best is None else np.maximum(best, mei_map)
-        current = _gather(current, dilation_index, radius)
+        current = _gather(current, out.dilation_index, radius)
     return AmeeOutput(mei=best, final_cube=current,
                       iteration_mei=np.stack(per_iteration),
                       radius=radius, iterations=iterations)

@@ -138,3 +138,13 @@ def classify_abundances(abundances: np.ndarray) -> np.ndarray:
     if abundances.ndim < 1 or abundances.shape[-1] < 1:
         raise ShapeError("abundances must have a non-empty last axis")
     return np.argmax(abundances, axis=-1)
+
+
+#: Name → unmixer mapping (``AMCConfig.unmixing`` choices); shared by
+#: the config validation and the pipeline's unmixing stage.
+UNMIXERS = {
+    "lsu": unmix_lsu,
+    "sclsu": unmix_sclsu,
+    "nnls": unmix_nnls,
+    "fcls": unmix_fcls,
+}

@@ -43,6 +43,15 @@ class DeviceError(ReproError):
     """A virtual device (GPU or CPU model) was configured inconsistently."""
 
 
+class UnknownBackendError(StreamError, ValueError):
+    """A morphological backend name is not in the registry.
+
+    Subclasses both :class:`StreamError` (backends are execution
+    substrates of the stream decomposition) and :class:`ValueError`
+    (callers that validate configuration catch it as a plain value
+    problem).  The message always lists the registered names."""
+
+
 class EnviFormatError(ReproError, ValueError):
     """An ENVI-style header could not be parsed or describes an unsupported
     interleave/dtype combination."""

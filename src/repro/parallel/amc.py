@@ -17,11 +17,15 @@ MEI / erosion / dilation maps bit-identically to whole-image execution:
   :func:`repro.core.mei.se_offsets`), positions relative to each pixel,
   so they stitch without translation.
 
-With ``backend="gpu"`` each chunk runs the full stream pipeline on its
-own :class:`~repro.gpu.device.VirtualGPU` — the multi-board reading of
-the paper's decomposition — and the per-board accounting is summed into
-one :class:`~repro.core.amc_gpu.GpuAmcOutput` (``modeled_time_s`` is
-total device work, not the parallel makespan).
+Backends are resolved through :mod:`repro.backends`: each worker calls
+:meth:`~repro.backends.MorphologicalBackend.run_chunk` on its chunk's
+extended region — any registered backend (including custom ones) is
+chunk-parallel for free.  With the built-in ``"gpu"`` backend each
+chunk runs the full stream pipeline on its own
+:class:`~repro.gpu.device.VirtualGPU` — the multi-board reading of the
+paper's decomposition — and the per-board accounting is summed into one
+:class:`~repro.core.amc_gpu.GpuAmcOutput` (``modeled_time_s`` is total
+device work, not the parallel makespan).
 """
 
 from __future__ import annotations
@@ -31,25 +35,21 @@ import time
 
 import numpy as np
 
-from repro.core.amc_gpu import GpuAmcOutput, gpu_morphological_stage
-from repro.core.mei import mei_reference
-from repro.core.naive import mei_naive
-from repro.errors import ShapeError, StreamError
+from repro.backends import MorphologicalBackend, get_backend
+from repro.core.amc_gpu import GpuAmcOutput
+from repro.errors import ShapeError
 from repro.gpu.counters import GpuCounters
-from repro.gpu.device import VirtualGPU
 from repro.gpu.spec import GEFORCE_7800GTX, GpuSpec
 from repro.hsi.chunking import plan_chunks_by_lines
 from repro.parallel.pool import resolve_workers, run_tasks
 from repro.profiling.profiler import ChunkRecord, Profiler
 
-_BACKENDS = ("reference", "naive", "gpu")
-
 # Worker-side state (see repro.parallel.pool for the pattern).
 _STATE: dict = {}
 
 
-def _init_worker(bip: np.ndarray, radius: int, backend: str,
-                 spec: GpuSpec) -> None:
+def _init_worker(bip: np.ndarray, radius: int,
+                 backend: MorphologicalBackend, spec: GpuSpec) -> None:
     _STATE["bip"] = bip
     _STATE["radius"] = radius
     _STATE["backend"] = backend
@@ -62,40 +62,20 @@ def _morph_chunk(chunk):
     backend, spec = _STATE["backend"], _STATE["spec"]
     sub = bip[chunk.ext_start:chunk.ext_stop]
     start = time.perf_counter()
-    accounting = None
-    if backend == "gpu":
-        device = VirtualGPU(spec)
-        out = gpu_morphological_stage(sub, radius, device=device)
-        mei, ero, dil = out.mei, out.erosion_index, out.dilation_index
-        counters = device.counters
-        split = (counters.upload_time_s, counters.kernel_time_s,
-                 counters.download_time_s)
-        accounting = (out.modeled_time_s, out.chunk_count,
-                      counters.summary(), counters.time_by_kernel())
-    else:
-        impl = mei_reference if backend == "reference" else mei_naive
-        out = impl(sub, radius)
-        mei, ero, dil = out.mei, out.erosion_index, out.dilation_index
-        split = None
+    piece = backend.run_chunk(sub, radius, spec=spec)
     wall = time.perf_counter() - start
-    if split is None:
+    if piece.split is None:
         upload, compute, download = 0.0, wall, 0.0
     else:
-        upload, compute, download = split
+        upload, compute, download = piece.split
     record = ChunkRecord(index=chunk.index, core_lines=chunk.core_lines,
                          ext_lines=chunk.ext_lines, halo=radius,
                          wall_s=wall, upload_s=upload, compute_s=compute,
                          download_s=download, worker=os.getpid())
     cores = tuple(np.ascontiguousarray(chunk.core_of(a))
-                  for a in (mei, ero, dil))
-    return chunk.index, cores, record, accounting
-
-
-def _sum_dicts(a: dict[str, float], b: dict[str, float]) -> dict[str, float]:
-    out = dict(a)
-    for key, value in b.items():
-        out[key] = out.get(key, 0.0) + value
-    return out
+                  for a in (piece.mei, piece.erosion_index,
+                            piece.dilation_index))
+    return chunk.index, cores, record, piece.accounting
 
 
 def combine_gpu_accounting(morph: GpuAmcOutput,
@@ -105,19 +85,14 @@ def combine_gpu_accounting(morph: GpuAmcOutput,
     Used when the tail stages (GPU unmixing) ran on a *different*
     device than the — possibly many, parallel — morphological boards:
     returns a new :class:`GpuAmcOutput` whose accounting covers both.
+    Thin wrapper over
+    :meth:`~repro.core.amc_gpu.GpuAmcOutput.with_accounting`.
     """
-    return GpuAmcOutput(
-        mei=morph.mei, erosion_index=morph.erosion_index,
-        dilation_index=morph.dilation_index, radius=morph.radius,
-        chunk_count=morph.chunk_count,
-        modeled_time_s=morph.modeled_time_s + extra.total_time_s,
-        counters=_sum_dicts(morph.counters, extra.summary()),
-        time_by_kernel=_sum_dicts(morph.time_by_kernel,
-                                  extra.time_by_kernel()))
+    return morph.with_accounting(extra, add=True)
 
 
 def parallel_morphological_stage(bip: np.ndarray, radius: int = 1, *,
-                                 backend: str = "reference",
+                                 backend="reference",
                                  n_workers: int = 0,
                                  n_chunks: int | None = None,
                                  gpu_spec: GpuSpec = GEFORCE_7800GTX,
@@ -131,8 +106,9 @@ def parallel_morphological_stage(bip: np.ndarray, radius: int = 1, *,
     radius:
         SE radius; doubles as the chunk halo.
     backend:
-        "reference" | "naive" | "gpu" — which morphological
-        implementation each worker runs.
+        A registered backend name (built-in: "reference" | "naive" |
+        "gpu") or a :class:`~repro.backends.MorphologicalBackend`
+        instance — which morphological implementation each worker runs.
     n_workers:
         Pool size (0 = all cores, 1 = serial in-process).
     n_chunks:
@@ -149,14 +125,12 @@ def parallel_morphological_stage(bip: np.ndarray, radius: int = 1, *,
     (mei, erosion_index, dilation_index, gpu_output)
         Stitched full-image maps, bit-identical to the serial
         implementations; ``gpu_output`` is the summed
-        :class:`GpuAmcOutput` for the GPU backend, else ``None``.
+        :class:`GpuAmcOutput` for device backends, else ``None``.
     """
     bip = np.asarray(bip)
     if bip.ndim != 3:
         raise ShapeError(f"expected (H, W, N), got ndim={bip.ndim}")
-    if backend not in _BACKENDS:
-        raise StreamError(
-            f"unknown backend {backend!r}; pick from {_BACKENDS}")
+    backend = get_backend(backend)
     lines, samples, bands = bip.shape
     workers = resolve_workers(n_workers)
     pieces = workers if n_chunks is None else int(n_chunks)
@@ -170,14 +144,10 @@ def parallel_morphological_stage(bip: np.ndarray, radius: int = 1, *,
                         (bip, radius, backend, gpu_spec), workers,
                         state=_STATE)
 
-    mei_dtype = np.float32 if backend == "gpu" else np.float64
-    mei = np.empty((lines, samples), dtype=mei_dtype)
+    mei = np.empty((lines, samples), dtype=backend.mei_dtype)
     erosion = np.empty((lines, samples), dtype=np.int64)
     dilation = np.empty((lines, samples), dtype=np.int64)
-    total_time = 0.0
-    total_chunks = 0
-    counters: dict[str, float] = {}
-    by_kernel: dict[str, float] = {}
+    accountings = []
     for index, cores, record, accounting in results:
         chunk = plan.chunks[index]
         core = slice(chunk.core_start, chunk.core_stop)
@@ -185,17 +155,8 @@ def parallel_morphological_stage(bip: np.ndarray, radius: int = 1, *,
         if profiler is not None:
             profiler.record_chunk(record)
         if accounting is not None:
-            time_s, chunk_count, summary, kernels = accounting
-            total_time += time_s
-            total_chunks += chunk_count
-            counters = _sum_dicts(counters, summary)
-            by_kernel = _sum_dicts(by_kernel, kernels)
+            accountings.append(accounting)
 
-    gpu_output = None
-    if backend == "gpu":
-        gpu_output = GpuAmcOutput(
-            mei=mei, erosion_index=erosion, dilation_index=dilation,
-            radius=radius, chunk_count=total_chunks,
-            modeled_time_s=total_time, counters=counters,
-            time_by_kernel=by_kernel)
+    gpu_output = backend.stitched_accounting(mei, erosion, dilation,
+                                             radius, accountings)
     return mei, erosion, dilation, gpu_output

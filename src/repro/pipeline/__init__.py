@@ -1,0 +1,47 @@
+"""AMC as a composable stage pipeline.
+
+The algorithm the paper stages as fixed phases (Fig. 4: upload →
+normalize → cumulative SID → min/max → MEI → download, then the host
+tail) is expressed here as data: five :class:`Stage` objects executed
+in order by a :class:`Pipeline` runner over a shared context dict.  The
+runner — not the stages — owns profiling and GPU-accounting
+aggregation, so every execution path emits the same five stage records
+and the same counter summaries.
+
+:func:`repro.core.amc.run_amc` is a thin façade over
+:func:`execute_amc`; :func:`run_amc_batch` is the first consumer the
+monolithic shape could not support — many cubes through one reused
+pipeline (and, with ``n_workers != 1``, one process pool for the whole
+batch).  Morphological implementations are resolved through
+:mod:`repro.backends`, never by string comparison.
+"""
+
+from repro.pipeline.amc import (
+    AMC_STAGE_NAMES,
+    build_amc_pipeline,
+    execute_amc,
+)
+from repro.pipeline.batch import run_amc_batch
+from repro.pipeline.runner import Pipeline
+from repro.pipeline.stages import (
+    ClassificationStage,
+    EndmemberStage,
+    EvaluationStage,
+    MorphologyStage,
+    Stage,
+    UnmixingStage,
+)
+
+__all__ = [
+    "AMC_STAGE_NAMES",
+    "ClassificationStage",
+    "EndmemberStage",
+    "EvaluationStage",
+    "MorphologyStage",
+    "Pipeline",
+    "Stage",
+    "UnmixingStage",
+    "build_amc_pipeline",
+    "execute_amc",
+    "run_amc_batch",
+]

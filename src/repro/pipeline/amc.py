@@ -1,0 +1,65 @@
+"""The standard AMC pipeline and its executor.
+
+:func:`build_amc_pipeline` composes the five canonical stages;
+:func:`execute_amc` runs one image through a pipeline and assembles the
+:class:`~repro.core.amc.AMCResult`.  :func:`repro.core.amc.run_amc` is
+a thin façade over this module — same signature, same results, but the
+stage list is now data a caller can recompose (drop the evaluation
+stage, insert a custom one, reuse one pipeline across a batch).
+"""
+
+from __future__ import annotations
+
+from repro.backends import get_backend
+from repro.core.amc import AMCConfig, AMCResult
+from repro.pipeline.runner import Pipeline
+from repro.pipeline.stages import (
+    ClassificationStage,
+    EndmemberStage,
+    EvaluationStage,
+    MorphologyStage,
+    UnmixingStage,
+)
+from repro.profiling.profiler import Profiler
+
+#: The five canonical AMC stage labels, in execution order — also the
+#: stage records a profiled run emits, on every path.
+AMC_STAGE_NAMES = ("morphology", "endmembers", "unmixing",
+                   "classification", "evaluation")
+
+
+def build_amc_pipeline() -> Pipeline:
+    """The canonical five-stage AMC pipeline (paper §3.1 + evaluation)."""
+    return Pipeline((MorphologyStage(), EndmemberStage(), UnmixingStage(),
+                     ClassificationStage(), EvaluationStage()))
+
+
+def execute_amc(bip, config: AMCConfig, *,
+                ground_truth=None, class_names=None,
+                profiler: Profiler | None = None,
+                pipeline: Pipeline | None = None) -> AMCResult:
+    """Run one (H, W, N) image through an AMC pipeline.
+
+    Parameters mirror :func:`repro.core.amc.run_amc` (which delegates
+    here); ``pipeline`` lets a caller supply a prebuilt — possibly
+    customized — pipeline, e.g. to amortize construction across a
+    batch.
+    """
+    if pipeline is None:
+        pipeline = build_amc_pipeline()
+    ctx = {
+        "bip": bip,
+        "config": config,
+        "backend": get_backend(config.backend),
+        "ground_truth": ground_truth,
+        "class_names": class_names,
+    }
+    pipeline.run(ctx, profiler=profiler)
+    return AMCResult(config=config, mei=ctx["mei"],
+                     erosion_index=ctx["erosion_index"],
+                     dilation_index=ctx["dilation_index"],
+                     endmembers=ctx["endmembers"],
+                     abundances=ctx["abundances"],
+                     endmember_labels=ctx["endmember_labels"],
+                     labels=ctx["labels"], report=ctx["report"],
+                     gpu_output=ctx["gpu_output"])

@@ -1,0 +1,120 @@
+"""Batch AMC: many cubes through one pipeline / one worker pool.
+
+The first consumer the monolithic ``run_amc`` could not support: a
+sensor downlink (or a load test) hands over *many* scenes, and spinning
+a fresh pipeline — or worse, a fresh process pool — per cube wastes the
+setup cost ``run_amc`` pays once.  :func:`run_amc_batch` amortizes
+both:
+
+* ``config.n_workers == 1`` — one :class:`~repro.pipeline.Pipeline`
+  instance (and the kernel caches it warms) is reused across every
+  cube, sequentially;
+* ``config.n_workers != 1`` — one process pool serves the whole batch,
+  one task per cube; each worker builds its pipeline once (pool
+  initializer) and reuses it for every cube it is handed.  Workers run
+  the serial per-cube path — chunk- and batch-level parallelism do not
+  nest — which is bit-identical to chunk-parallel execution anyway.
+
+Either way the results are exactly what per-cube
+:func:`~repro.core.amc.run_amc` calls would produce (the batch test
+pins this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.amc import AMCConfig, AMCResult, _as_bip
+from repro.pipeline.amc import build_amc_pipeline, execute_amc
+from repro.profiling.profiler import Profiler
+
+# Worker-side state (see repro.parallel.pool for the pattern).
+_STATE: dict = {}
+
+
+def _init_batch_worker(config: AMCConfig, class_names, bips,
+                       ground_truths) -> None:
+    # The bips ride in the initializer — not the task queue — so fork
+    # inherits them with their memory layout intact; pickling through
+    # the queue would force them C-contiguous, and numpy's pairwise
+    # summation is layout-sensitive at the last bit.
+    _STATE["config"] = config
+    _STATE["class_names"] = class_names
+    _STATE["bips"] = bips
+    _STATE["ground_truths"] = ground_truths
+    _STATE["pipeline"] = build_amc_pipeline()
+
+
+def _run_batch_cube(index):
+    """Run one cube through the worker's long-lived pipeline."""
+    result = execute_amc(_STATE["bips"][index], _STATE["config"],
+                         ground_truth=_STATE["ground_truths"][index],
+                         class_names=_STATE["class_names"],
+                         pipeline=_STATE["pipeline"])
+    return index, result
+
+
+def run_amc_batch(cubes, config: AMCConfig = AMCConfig(), *,
+                  ground_truths=None, class_names=None,
+                  profiler: Profiler | None = None) -> list[AMCResult]:
+    """Run AMC over a sequence of cubes, reusing pipeline and pool.
+
+    Parameters
+    ----------
+    cubes:
+        Sequence of :class:`~repro.hsi.cube.HyperCube` / (H, W, N)
+        arrays (shapes may differ between cubes).
+    config:
+        One configuration applied to every cube.  ``n_workers != 1``
+        parallelizes *across cubes* through a single process pool kept
+        for the whole batch.
+    ground_truths:
+        Optional sequence of per-cube (H, W) label maps (``None``
+        entries allowed), same length as ``cubes``.
+    class_names:
+        Shared class names for the reports.
+    profiler:
+        Optional profiler; on the sequential path it receives the five
+        stage records per cube, in batch order.  The pool path keeps
+        its records worker-side and records nothing.
+
+    Returns
+    -------
+    list of :class:`~repro.core.amc.AMCResult`, one per cube, in input
+    order — each equal to an independent ``run_amc(cube, config)``
+    call.
+    """
+    cubes = list(cubes)
+    if ground_truths is None:
+        ground_truths = [None] * len(cubes)
+    else:
+        ground_truths = list(ground_truths)
+        if len(ground_truths) != len(cubes):
+            raise ValueError(
+                f"got {len(cubes)} cubes but {len(ground_truths)} ground "
+                f"truths")
+    bips = [_as_bip(cube) for cube in cubes]
+
+    if config.n_workers != 1 and len(bips) > 1:
+        # import deferred: repro.parallel sits above repro.core but
+        # below this package; the pool machinery is shared.
+        from repro.parallel.pool import resolve_workers, run_tasks
+
+        serial_config = replace(config, n_workers=1)
+        results = run_tasks(range(len(bips)), _run_batch_cube,
+                            _init_batch_worker,
+                            (serial_config, class_names, bips,
+                             ground_truths),
+                            resolve_workers(config.n_workers),
+                            state=_STATE)
+        ordered: list[AMCResult | None] = [None] * len(bips)
+        for index, result in results:
+            # restore the caller's config (workers ran n_workers=1)
+            ordered[index] = replace(result, config=config)
+        return ordered
+
+    pipeline = build_amc_pipeline()
+    return [execute_amc(bip, config, ground_truth=gt,
+                        class_names=class_names, profiler=profiler,
+                        pipeline=pipeline)
+            for bip, gt in zip(bips, ground_truths)]

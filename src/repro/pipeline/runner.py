@@ -1,0 +1,51 @@
+"""The pipeline runner: ordered stages over a shared context.
+
+A :class:`Pipeline` is just a tuple of
+:class:`~repro.pipeline.stages.Stage` objects; :meth:`Pipeline.run`
+executes them in order against one context dict, wrapping every stage
+in a profiling span — the runner, not the stages, owns profiling, which
+is what guarantees that *every* execution path emits the same stage
+records (the pre-pipeline ``run_amc`` dropped the ``classification``
+record on the device-unmixing path).
+"""
+
+from __future__ import annotations
+
+from repro.profiling.profiler import Profiler, profiled_stage
+
+
+class Pipeline:
+    """An ordered, profiled sequence of stages.
+
+    Pipelines are stateless between runs (all per-run state lives in
+    the context dict), so one instance can be reused across many inputs
+    — :func:`~repro.pipeline.batch.run_amc_batch` does exactly that.
+    """
+
+    def __init__(self, stages) -> None:
+        self.stages = tuple(stages)
+        if not self.stages:
+            raise ValueError("a Pipeline needs at least one stage")
+
+    @property
+    def stage_names(self) -> tuple[str, ...]:
+        """The stage labels, in execution order."""
+        return tuple(stage.name for stage in self.stages)
+
+    def run(self, ctx: dict, *, profiler: Profiler | None = None) -> dict:
+        """Run every stage in order; returns the (mutated) context.
+
+        Each stage executes inside ``profiler.stage(stage.name)``, so a
+        profiled run always yields exactly one record per stage, in
+        pipeline order.  The profiler is also placed into the context
+        (key ``"profiler"``) for stages that forward it to executors
+        (chunk records).
+        """
+        ctx.setdefault("profiler", profiler)
+        for stage in self.stages:
+            with profiled_stage(profiler, stage.name):
+                stage.run(ctx)
+        return ctx
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Pipeline({', '.join(self.stage_names)})"

@@ -1,0 +1,129 @@
+"""Tests for the morphological backend registry and custom backends."""
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    MorphologicalBackend,
+    MorphologyResult,
+    backend_names,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.core import AMCConfig, run_amc
+from repro.core.mei import mei_reference
+from repro.errors import StreamError, UnknownBackendError
+
+
+class ShiftedReferenceBackend(MorphologicalBackend):
+    """A recognisable custom backend: the reference stage with the MEI
+    plane shifted by a constant (indices untouched, so the tail still
+    classifies identically).  Module-level so worker processes can
+    unpickle it."""
+
+    name = "shifted"
+
+    def run(self, bip, radius, *, spec=None, device=None):
+        out = mei_reference(bip, radius)
+        return MorphologyResult(mei=out.mei + 0.25,
+                                erosion_index=out.erosion_index,
+                                dilation_index=out.dilation_index)
+
+
+@pytest.fixture()
+def shifted_backend():
+    backend = register_backend(ShiftedReferenceBackend())
+    yield backend
+    unregister_backend("shifted")
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert set(backend_names()) >= {"reference", "naive", "gpu"}
+
+    def test_names_sorted(self):
+        assert list(backend_names()) == sorted(backend_names())
+
+    def test_unknown_backend_lists_registered_names(self):
+        with pytest.raises(UnknownBackendError) as excinfo:
+            get_backend("hexapod")
+        message = str(excinfo.value)
+        assert "hexapod" in message
+        for name in backend_names():
+            assert name in message
+
+    def test_unknown_backend_is_value_and_stream_error(self):
+        """Both historical contracts hold: AMCConfig callers catch
+        ValueError, the parallel executor's callers catch StreamError."""
+        with pytest.raises(ValueError):
+            get_backend("hexapod")
+        with pytest.raises(StreamError, match="backend"):
+            get_backend("hexapod")
+
+    def test_instances_pass_through(self):
+        backend = get_backend("reference")
+        assert get_backend(backend) is backend
+
+    def test_register_requires_instance(self):
+        with pytest.raises(TypeError, match="instance"):
+            register_backend(ShiftedReferenceBackend)
+
+    def test_register_requires_name(self):
+        anonymous = ShiftedReferenceBackend()
+        anonymous.name = ""
+        with pytest.raises(ValueError, match="non-empty"):
+            register_backend(anonymous)
+
+    def test_duplicate_registration_refused(self, shifted_backend):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(ShiftedReferenceBackend())
+        replacement = register_backend(ShiftedReferenceBackend(),
+                                       replace=True)
+        assert get_backend("shifted") is replacement
+
+    def test_unregister_unknown_is_noop(self):
+        unregister_backend("never-existed")
+
+
+class TestCustomBackendIntegration:
+    def test_amcconfig_accepts_registered_name(self, shifted_backend):
+        assert AMCConfig(backend="shifted").backend == "shifted"
+
+    def test_amcconfig_rejects_unknown_name(self):
+        with pytest.raises(ValueError, match="backend"):
+            AMCConfig(backend="hexapod")
+
+    def test_runs_through_run_amc(self, small_cube, shifted_backend):
+        reference = run_amc(small_cube, AMCConfig(n_classes=3))
+        shifted = run_amc(small_cube,
+                          AMCConfig(n_classes=3, backend="shifted"))
+        np.testing.assert_array_equal(shifted.mei, reference.mei + 0.25)
+        np.testing.assert_array_equal(shifted.labels, reference.labels)
+
+    def test_chunk_parallel_via_default_run_chunk(self, small_cube,
+                                                  shifted_backend):
+        """A custom backend that only implements run() is chunk-parallel
+        for free through the base-class run_chunk."""
+        serial = run_amc(small_cube,
+                         AMCConfig(n_classes=3, backend="shifted"))
+        parallel = run_amc(small_cube,
+                           AMCConfig(n_classes=3, backend="shifted",
+                                     n_workers=2))
+        np.testing.assert_array_equal(parallel.mei, serial.mei)
+        np.testing.assert_array_equal(parallel.labels, serial.labels)
+
+    def test_cli_choices_follow_registry(self, shifted_backend):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["classify", "cube.raw", "--backend", "shifted"])
+        assert args.backend == "shifted"
+
+    def test_cli_rejects_unregistered_name(self, capsys):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["classify", "cube.raw", "--backend", "hexapod"])
+        assert "invalid choice" in capsys.readouterr().err

@@ -1,0 +1,79 @@
+"""run_amc_batch equals independent per-cube run_amc calls."""
+
+import numpy as np
+import pytest
+
+from repro.core import AMCConfig, run_amc
+from repro.hsi import SceneParams, generate_scene
+from repro.pipeline import AMC_STAGE_NAMES, run_amc_batch
+from repro.profiling import Profiler
+
+
+@pytest.fixture(scope="module")
+def batch_scenes():
+    """Three small scenes with different shapes and content."""
+    return [generate_scene(SceneParams(lines=14 + 2 * i, samples=12 + i,
+                                       band_count=20, seed=300 + i,
+                                       min_field=4))
+            for i in range(3)]
+
+
+def assert_results_equal(batch, singles):
+    assert len(batch) == len(singles)
+    for got, want in zip(batch, singles):
+        np.testing.assert_array_equal(got.mei, want.mei)
+        np.testing.assert_array_equal(got.labels, want.labels)
+        np.testing.assert_array_equal(got.abundances, want.abundances)
+        assert (got.report is None) == (want.report is None)
+        if want.report is not None:
+            assert got.report.overall_accuracy \
+                == want.report.overall_accuracy
+            assert got.report.kappa == want.report.kappa
+
+
+@pytest.mark.parametrize("n_workers", [1, 2])
+def test_batch_matches_per_cube_runs(batch_scenes, n_workers):
+    config = AMCConfig(n_classes=4, n_workers=n_workers)
+    singles = [run_amc(scene.cube, config,
+                       ground_truth=scene.ground_truth)
+               for scene in batch_scenes]
+    batch = run_amc_batch(
+        [scene.cube for scene in batch_scenes], config,
+        ground_truths=[scene.ground_truth for scene in batch_scenes])
+    assert_results_equal(batch, singles)
+    assert all(result.config is config for result in batch)
+
+
+def test_batch_gpu_backend(batch_scenes):
+    config = AMCConfig(n_classes=4, backend="gpu")
+    singles = [run_amc(scene.cube, config) for scene in batch_scenes]
+    batch = run_amc_batch([scene.cube for scene in batch_scenes], config)
+    assert_results_equal(batch, singles)
+    for got, want in zip(batch, singles):
+        assert got.gpu_output.modeled_time_s \
+            == want.gpu_output.modeled_time_s
+
+
+def test_batch_without_ground_truth(batch_scenes):
+    batch = run_amc_batch([scene.cube for scene in batch_scenes],
+                          AMCConfig(n_classes=4))
+    assert all(result.report is None for result in batch)
+
+
+def test_mismatched_ground_truth_length(batch_scenes):
+    with pytest.raises(ValueError, match="3 cubes but 1"):
+        run_amc_batch([scene.cube for scene in batch_scenes],
+                      AMCConfig(n_classes=4),
+                      ground_truths=[batch_scenes[0].ground_truth])
+
+
+def test_empty_batch():
+    assert run_amc_batch([], AMCConfig(n_classes=4)) == []
+
+
+def test_sequential_batch_profiles_every_cube(batch_scenes):
+    profiler = Profiler()
+    run_amc_batch([scene.cube for scene in batch_scenes],
+                  AMCConfig(n_classes=4), profiler=profiler)
+    names = [record.name for record in profiler.stage_records]
+    assert names == list(AMC_STAGE_NAMES) * len(batch_scenes)

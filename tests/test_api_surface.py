@@ -6,8 +6,9 @@ import importlib
 import pytest
 
 PACKAGES = ["repro", "repro.spectral", "repro.hsi", "repro.stream",
-            "repro.gpu", "repro.cpu", "repro.core", "repro.bench",
-            "repro.viz", "repro.parallel", "repro.profiling"]
+            "repro.gpu", "repro.cpu", "repro.core", "repro.backends",
+            "repro.pipeline", "repro.bench", "repro.viz", "repro.parallel",
+            "repro.profiling"]
 
 
 @pytest.mark.parametrize("package", PACKAGES)

@@ -1,0 +1,59 @@
+"""Dispatch-lint gate: the check of tools/check_dispatch.py runs in CI.
+
+The checker fails when a ``backend == "..."`` string comparison appears
+in library code outside ``src/repro/backends/`` — the if/elif dispatch
+the registry refactor removed must not re-fragment.
+"""
+
+import importlib.util
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _load_checker():
+    path = os.path.join(REPO_ROOT, "tools", "check_dispatch.py")
+    spec = importlib.util.spec_from_file_location("check_dispatch", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_dispatch", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_dispatch_is_centralized():
+    checker = _load_checker()
+    problems = checker.scan()
+    assert not problems, "\n".join(problems)
+
+
+def test_checker_detects_string_dispatch(tmp_path):
+    """The gate actually gates: a reintroduced comparison is reported."""
+    checker = _load_checker()
+    offender = tmp_path / "src" / "repro" / "core"
+    offender.mkdir(parents=True)
+    (offender / "bad.py").write_text(
+        'def pick(config):\n'
+        '    if config.backend == "gpu":  # backend == "x" in a comment'
+        ' alone is fine\n'
+        '        return 1\n'
+        '    return 0\n')
+    problems = checker.scan(str(tmp_path))
+    assert len(problems) == 1
+    assert "bad.py:2" in problems[0]
+
+
+def test_checker_ignores_comments_and_backends_package(tmp_path):
+    checker = _load_checker()
+    allowed = tmp_path / "src" / "repro" / "backends"
+    allowed.mkdir(parents=True)
+    (allowed / "registry.py").write_text(
+        'def get(name):\n'
+        '    if name.backend == "gpu":\n'
+        '        return 1\n')
+    other = tmp_path / "src" / "repro" / "parallel"
+    other.mkdir(parents=True)
+    (other / "amc.py").write_text(
+        '# historical: dispatched on backend == "gpu" here\n'
+        'X = 1\n')
+    assert checker.scan(str(tmp_path)) == []
