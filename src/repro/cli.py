@@ -18,6 +18,13 @@ map (``<path>.classes.ppm``) next to it.
 across N worker processes (0 = all cores) with results identical to
 serial; ``--profile`` prints a stage/chunk timing report, or writes it
 as JSON when given a path (``--profile report.json``).
+
+Robustness knobs (see ``docs/robustness.md``): ``--retries`` and
+``--chunk-timeout-s`` configure the per-chunk retry budget and deadline
+of the parallel paths; ``classify`` accepts *multiple* cube paths (a
+batch through one pool) and ``--on-error raise|skip|collect`` decides
+whether one corrupt scene aborts, is skipped, or is reported alongside
+the successes.
 """
 
 from __future__ import annotations
@@ -47,26 +54,93 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_classify(args: argparse.Namespace) -> int:
-    from repro.backends import get_backend
-    from repro.core import AMCConfig, run_amc
+def _load_scene(path: str):
+    """Read one ENVI cube plus its optional ``.gt.npy`` ground truth."""
     from repro.hsi.envi import read_cube
-    from repro.viz import write_class_map_ppm, write_pgm
 
-    cube = read_cube(args.path)
+    cube = read_cube(path)
     print(f"loaded {cube}")
     ground_truth = None
     try:
-        ground_truth = np.load(args.path + ".gt.npy")
+        ground_truth = np.load(path + ".gt.npy")
         print("found ground truth; accuracy will be reported")
     except FileNotFoundError:
         pass
+    return cube, ground_truth
 
+
+def _write_outputs(result, path: str) -> None:
+    """Write one cube's MEI image and classification map next to it."""
+    from repro.viz import write_class_map_ppm, write_pgm
+
+    mei_path = write_pgm(result.mei, path + ".mei.pgm")
+    cls_path = write_class_map_ppm(
+        result.labels, path + ".classes.ppm",
+        n_classes=int(result.labels.max()))
+    print(f"MEI image:          {mei_path}")
+    print(f"classification map: {cls_path}")
+    if result.report is not None:
+        print(f"overall accuracy:   "
+              f"{result.report.overall_accuracy:.2f}%  "
+              f"(kappa {result.report.kappa:.3f})")
+
+
+def _classify_batch(args: argparse.Namespace, config) -> int:
+    """Batch mode of ``classify``: many cubes through one pool."""
+    from repro.pipeline import BatchItemError, run_amc_batch
+
+    scenes = [_load_scene(path) for path in args.path]
+    profiler = None
+    if args.profile is not None:
+        from repro.profiling import Profiler
+
+        profiler = Profiler(meta={"cubes": len(scenes),
+                                  "backend": args.backend,
+                                  "workers": config.n_workers,
+                                  "on_error": args.on_error})
+    # run "skip" as "collect" so failures keep their cube index — the
+    # CLI applies the skip (no outputs) while still naming the cube
+    effective = "collect" if args.on_error == "skip" else args.on_error
+    results = run_amc_batch([cube for cube, _ in scenes], config,
+                            ground_truths=[gt for _, gt in scenes],
+                            profiler=profiler, on_error=effective)
+    failed = 0
+    for path, result in zip(args.path, results):
+        if isinstance(result, BatchItemError):
+            failed += 1
+            verb = "skipped" if args.on_error == "skip" else "failed"
+            print(f"{path}: {verb} — {type(result.error).__name__}: "
+                  f"{result.error}", file=sys.stderr)
+            continue
+        _write_outputs(result, path)
+    if profiler is not None:
+        rep = profiler.report()
+        if args.profile == "-":
+            print(rep.to_text())
+        else:
+            print(f"profile report:     {rep.save(args.profile)}")
+    return 1 if failed == len(results) and failed else 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from repro.backends import get_backend
+    from repro.core import AMCConfig, run_amc
     from repro.parallel import resolve_workers
 
     workers = resolve_workers(args.workers)
     config = AMCConfig(n_classes=args.classes, se_radius=args.radius,
-                       backend=args.backend, n_workers=workers)
+                       backend=args.backend, n_workers=workers,
+                       max_retries=args.retries,
+                       chunk_timeout_s=args.chunk_timeout_s)
+    if len(args.path) > 1:
+        if args.trace:
+            print("--trace requires a single cube path",
+                  file=sys.stderr)
+            return 2
+        return _classify_batch(args, config)
+    args.path = args.path[0]
+
+    cube, ground_truth = _load_scene(args.path)
     backend = get_backend(args.backend)
     device = None
     if args.trace:
@@ -98,16 +172,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         print(f"device timeline:    {trace_path} "
               f"(open in chrome://tracing or Perfetto)")
 
-    mei_path = write_pgm(result.mei, args.path + ".mei.pgm")
-    cls_path = write_class_map_ppm(
-        result.labels, args.path + ".classes.ppm",
-        n_classes=int(result.labels.max()))
-    print(f"MEI image:          {mei_path}")
-    print(f"classification map: {cls_path}")
-    if result.report is not None:
-        print(f"overall accuracy:   "
-              f"{result.report.overall_accuracy:.2f}%  "
-              f"(kappa {result.report.kappa:.3f})")
+    _write_outputs(result, args.path)
     if result.gpu_output is not None:
         out = result.gpu_output
         print(f"modeled GPU time:   {out.modeled_time_s * 1e3:.2f} ms "
@@ -181,7 +246,9 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.backends import backend_names
 
     cls = sub.add_parser("classify", help="run AMC on an ENVI cube")
-    cls.add_argument("path", help="path to the raw cube (with .hdr)")
+    cls.add_argument("path", nargs="+",
+                     help="path(s) to raw cube(s) (with .hdr); several "
+                          "paths run as a batch through one pool")
     cls.add_argument("--classes", type=int, default=45)
     cls.add_argument("--radius", type=int, default=1)
     cls.add_argument("--backend", choices=backend_names(),
@@ -197,6 +264,20 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="PATH",
                      help="emit a stage/chunk timing report: text to "
                           "stdout, or JSON to PATH when given")
+    cls.add_argument("--retries", type=int, default=0, metavar="N",
+                     help="extra attempts per chunk before the run "
+                          "fails (chunk independence makes retries "
+                          "bit-identical)")
+    cls.add_argument("--chunk-timeout-s", type=float, default=None,
+                     metavar="S",
+                     help="per-chunk deadline when collecting pool "
+                          "results; needed to detect crashed workers "
+                          "(lost chunks are recomputed in-process)")
+    cls.add_argument("--on-error", choices=("raise", "skip", "collect"),
+                     default="raise",
+                     help="batch mode: what one failing cube does — "
+                          "abort the batch, skip the cube, or report "
+                          "it alongside the successes")
     cls.set_defaults(func=_cmd_classify)
 
     bench = sub.add_parser("bench", help="print a modeled paper table")

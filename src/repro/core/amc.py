@@ -101,6 +101,16 @@ class AMCConfig:
     #: per CPU core.  With the "gpu" backend each worker simulates its
     #: own board and the accounting is summed.
     n_workers: int = 1
+    #: Extra attempts each chunk of the parallel morphological stage may
+    #: consume after its first (0 = fail fast).  Retries are safe — and
+    #: bit-identical — because chunks are independent; see
+    #: :mod:`repro.resilience`.
+    max_retries: int = 0
+    #: Per-chunk deadline (seconds) when collecting pool results.  None
+    #: waits forever; a finite deadline is required to *detect* a worker
+    #: that died mid-chunk (the pool silently drops its task), after
+    #: which the chunk is recomputed in-process.
+    chunk_timeout_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.endmember_source not in ("dilation", "center"):
@@ -127,6 +137,13 @@ class AMCConfig:
             raise ValueError("se_radius must be >= 1")
         if self.n_workers < 0:
             raise ValueError("n_workers must be >= 0 (0 = all cores)")
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if self.chunk_timeout_s is not None and self.chunk_timeout_s <= 0:
+            raise ValueError(
+                f"chunk_timeout_s must be positive, got "
+                f"{self.chunk_timeout_s}")
 
 
 @dataclass(frozen=True)

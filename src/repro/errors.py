@@ -31,7 +31,37 @@ class ShaderValidationError(ShaderError, ValueError):
 
 
 class GpuOutOfMemoryError(ReproError, MemoryError):
-    """The virtual GPU's VRAM allocator could not satisfy an allocation."""
+    """The virtual GPU's VRAM allocator could not satisfy an allocation.
+
+    Carries the allocation arithmetic as structured attributes — not just
+    message text — so the degradation planner of
+    :mod:`repro.resilience` (and tests) can reason about the shortfall:
+
+    ``requested``
+        Bytes the failed allocation asked for (``None`` when unknown).
+    ``free`` / ``capacity``
+        Bytes still available / total device bytes at failure time
+        (``None`` when unknown).
+    """
+
+    def __init__(self, message: str = "", *, requested: int | None = None,
+                 free: int | None = None,
+                 capacity: int | None = None) -> None:
+        super().__init__(message)
+        self.requested = requested
+        self.free = free
+        self.capacity = capacity
+
+    def __reduce__(self):
+        # Keyword-only attributes do not survive the default
+        # args-based exception pickling (worker exceptions cross the
+        # pool's result queue), so ship them as state.
+        return (self.__class__, self.args,
+                {"requested": self.requested, "free": self.free,
+                 "capacity": self.capacity})
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
 
 
 class StreamError(ReproError):
@@ -55,3 +85,30 @@ class UnknownBackendError(StreamError, ValueError):
 class EnviFormatError(ReproError, ValueError):
     """An ENVI-style header could not be parsed or describes an unsupported
     interleave/dtype combination."""
+
+
+class NonFiniteInputError(ReproError, ValueError):
+    """An input cube contains NaN or infinite values.
+
+    Raised at the AMC entry points (:func:`repro.core.amc.run_amc` /
+    :func:`repro.pipeline.execute_amc`) before any stage runs: a NaN
+    band would otherwise propagate silently through normalization and
+    poison every SID downstream.  The message names the first offending
+    pixel and band."""
+
+
+class TransientFaultError(ReproError):
+    """A transient, retryable failure during task execution.
+
+    The retry machinery of :mod:`repro.resilience` treats this class
+    (and its subclasses) as retryable by default; the fault injector of
+    :mod:`repro.faults` raises it for its ``"transient"`` fault kind."""
+
+
+class WorkerCrashError(TransientFaultError):
+    """An injected worker crash, surfaced in-process.
+
+    The ``"worker_crash"`` fault kind kills pool workers outright
+    (``os._exit``); when the same fault fires in a non-worker process it
+    raises this instead of taking the interpreter down.  Subclasses
+    :class:`TransientFaultError` so in-process retry recovers it."""

@@ -1,0 +1,36 @@
+"""Deterministic, seedable fault injection for chaos testing.
+
+The injector lets tests (and operators) plant worker crashes, chunk
+timeouts, transient kernel failures, and forced GPU OOM at exact
+execution coordinates — reproducibly, independent of worker scheduling.
+See :mod:`repro.faults.injector` for the matching and installation
+model, and ``docs/robustness.md`` for the cookbook.
+"""
+
+from repro.faults.injector import (
+    CRASH_EXIT_CODE,
+    ENV_VAR,
+    KINDS,
+    FaultInjector,
+    FaultSpec,
+    current_attempt,
+    current_injector,
+    install,
+    maybe_inject,
+    set_attempt,
+    uninstall,
+)
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "ENV_VAR",
+    "FaultInjector",
+    "FaultSpec",
+    "KINDS",
+    "current_attempt",
+    "current_injector",
+    "install",
+    "maybe_inject",
+    "set_attempt",
+    "uninstall",
+]

@@ -62,7 +62,8 @@ class VramAllocator:
             raise GpuOutOfMemoryError(
                 f"cannot allocate {nbytes} bytes{f' for {label}' if label else ''}: "
                 f"{self.used}/{self.capacity} bytes in use "
-                f"({self.free} free)")
+                f"({self.free} free)",
+                requested=nbytes, free=self.free, capacity=self.capacity)
         handle = next(self._ids)
         self._allocations[handle] = nbytes
         self.high_water_mark = max(self.high_water_mark, self.used)

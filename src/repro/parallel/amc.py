@@ -32,17 +32,20 @@ from __future__ import annotations
 
 import os
 import time
+from dataclasses import replace
 
 import numpy as np
 
 from repro.backends import MorphologicalBackend, get_backend
 from repro.core.amc_gpu import GpuAmcOutput
-from repro.errors import ShapeError
+from repro.errors import GpuOutOfMemoryError, ShapeError
+from repro.faults import maybe_inject
 from repro.gpu.counters import GpuCounters
 from repro.gpu.spec import GEFORCE_7800GTX, GpuSpec
 from repro.hsi.chunking import plan_chunks_by_lines
 from repro.parallel.pool import resolve_workers, run_tasks
 from repro.profiling.profiler import ChunkRecord, Profiler
+from repro.resilience import RetryPolicy
 
 # Worker-side state (see repro.parallel.pool for the pattern).
 _STATE: dict = {}
@@ -58,6 +61,7 @@ def _init_worker(bip: np.ndarray, radius: int,
 
 def _morph_chunk(chunk):
     """Run the morphological stage on one chunk's extended region."""
+    maybe_inject("chunk", index=chunk.index, ext_lines=chunk.ext_lines)
     bip, radius = _STATE["bip"], _STATE["radius"]
     backend, spec = _STATE["backend"], _STATE["spec"]
     sub = bip[chunk.ext_start:chunk.ext_stop]
@@ -96,7 +100,8 @@ def parallel_morphological_stage(bip: np.ndarray, radius: int = 1, *,
                                  n_workers: int = 0,
                                  n_chunks: int | None = None,
                                  gpu_spec: GpuSpec = GEFORCE_7800GTX,
-                                 profiler: Profiler | None = None):
+                                 profiler: Profiler | None = None,
+                                 policy: RetryPolicy | None = None):
     """Run the morphological stage chunk-parallel across processes.
 
     Parameters
@@ -118,7 +123,19 @@ def parallel_morphological_stage(bip: np.ndarray, radius: int = 1, *,
     gpu_spec:
         Board each worker simulates for ``backend="gpu"``.
     profiler:
-        Optional profiler; receives one chunk record per chunk.
+        Optional profiler; receives one chunk record per chunk, plus
+        resilience events (retries, recoveries, degradations).
+    policy:
+        Optional :class:`~repro.resilience.RetryPolicy` — per-chunk
+        retry budget and deadline (see
+        :func:`~repro.parallel.pool.run_tasks`).
+
+    A :class:`~repro.errors.GpuOutOfMemoryError` from any chunk (a
+    simulated board too small for its extended region) triggers
+    graceful degradation: the image is re-planned with halved per-chunk
+    core lines — down to single-line chunks — and retried.  Chunk
+    geometry never changes the stitched values, so degraded runs stay
+    bit-identical.
 
     Returns
     -------
@@ -136,23 +153,46 @@ def parallel_morphological_stage(bip: np.ndarray, radius: int = 1, *,
     pieces = workers if n_chunks is None else int(n_chunks)
     pieces = max(1, min(pieces, lines))
     core_lines = -(-lines // pieces)               # ceil division
-    plan = plan_chunks_by_lines(lines, samples, bands,
-                                max_ext_lines=core_lines + 2 * radius,
-                                halo=radius)
-
-    results = run_tasks(plan, _morph_chunk, _init_worker,
-                        (bip, radius, backend, gpu_spec), workers,
-                        state=_STATE)
+    while True:
+        plan = plan_chunks_by_lines(lines, samples, bands,
+                                    max_ext_lines=core_lines + 2 * radius,
+                                    halo=radius)
+        try:
+            results = run_tasks(plan, _morph_chunk, _init_worker,
+                                (bip, radius, backend, gpu_spec), workers,
+                                state=_STATE, policy=policy,
+                                profiler=profiler)
+            break
+        except GpuOutOfMemoryError as exc:
+            if core_lines <= 1:
+                raise
+            smaller = max(1, core_lines // 2)
+            if profiler is not None:
+                detail = f"core lines per chunk {core_lines} -> {smaller}"
+                if exc.requested is not None:
+                    detail += (f" (requested={exc.requested}, "
+                               f"free={exc.free})")
+                profiler.record_event("oom_degrade", detail)
+            core_lines = smaller
 
     mei = np.empty((lines, samples), dtype=backend.mei_dtype)
     erosion = np.empty((lines, samples), dtype=np.int64)
     dilation = np.empty((lines, samples), dtype=np.int64)
     accountings = []
-    for index, cores, record, accounting in results:
+    for outcome in results:
+        index, cores, record, accounting = outcome.value
         chunk = plan.chunks[index]
         core = slice(chunk.core_start, chunk.core_stop)
         mei[core], erosion[core], dilation[core] = cores
         if profiler is not None:
+            if outcome.retries:
+                record = replace(record, retries=outcome.retries)
+                profiler.record_event(
+                    "retry", f"chunk took {outcome.retries} extra "
+                    f"attempt(s)"
+                    + (" (recovered in-process)" if outcome.recovered
+                       else ""),
+                    chunk_index=index)
             profiler.record_chunk(record)
         if accounting is not None:
             accountings.append(accounting)

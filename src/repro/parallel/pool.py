@@ -30,6 +30,17 @@ Design notes
   :func:`~repro.stream.chunked.graph_halo`, before any process is
   spawned — the same constraint that forced the paper's MEI stage to
   keep its whole chunk resident.
+
+Fault tolerance (:mod:`repro.resilience`) rides the same independence:
+tasks are retried per the caller's :class:`~repro.resilience.RetryPolicy`
+(worker-side), collected with a per-task deadline, and any task the
+pool loses — worker crash, stalled chunk, broken pool, ``OSError`` at
+pool creation — is recomputed *in-process* with the identical per-chunk
+function, so a dying pool degrades the schedule, never the results.
+A :class:`~repro.errors.GpuOutOfMemoryError` during chunked execution
+triggers graceful degradation instead of failure: the plan is rebuilt
+with halved ``max_ext_lines`` (down to the halo-imposed minimum) and
+retried — the paper's motivation for chunking, applied dynamically.
 """
 
 from __future__ import annotations
@@ -37,12 +48,16 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+from dataclasses import replace
 
 import numpy as np
 
-from repro.errors import StreamError
+from repro.errors import GpuOutOfMemoryError, StreamError
+from repro.faults import maybe_inject
 from repro.hsi.chunking import Chunk
 from repro.profiling.profiler import ChunkRecord, Profiler
+from repro.resilience import RetryPolicy, TaskOutcome, collect_async, \
+    run_with_retry
 from repro.stream.chunked import plan_stream_chunks
 from repro.stream.graph import StageGraph
 from repro.stream.stream import Stream
@@ -82,6 +97,7 @@ def _counters_of(executor):
 
 def _run_chunk(chunk: Chunk):
     """Execute one chunk; returns (index, core arrays, profile record)."""
+    maybe_inject("chunk", index=chunk.index, ext_lines=chunk.ext_lines)
     graph, inputs = _STATE["graph"], _STATE["inputs"]
     executor, halo = _STATE["executor"], _STATE["halo"]
     counters = _counters_of(executor)
@@ -115,8 +131,38 @@ def _make_pool(ctx, processes: int, initializer, initargs):
                     initargs=initargs)
 
 
+def _recompute_in_process(tasks, indices, func, initializer, initargs,
+                          state, policy: RetryPolicy, extra_retries: int
+                          ) -> dict[int, TaskOutcome]:
+    """Run the given task indices in-process (the recovery/fallback path).
+
+    Attempt numbers start at ``policy.max_retries + 1`` — disjoint from
+    every worker-side attempt — so a fault pinned to a worker attempt
+    (e.g. an injected ``os._exit``) can never re-fire in the parent.
+    ``extra_retries`` is added to each outcome's retry count to account
+    for attempts the pool already lost (0 when no pool ever ran).
+    """
+    initializer(*initargs)
+    try:
+        outcomes = {}
+        for index in indices:
+            outcome = run_with_retry(func, tasks[index], index=index,
+                                     policy=policy,
+                                     attempt_base=policy.max_retries + 1)
+            outcomes[index] = TaskOutcome(
+                outcome.value, retries=outcome.retries + extra_retries,
+                recovered=True)
+        return outcomes
+    finally:
+        if state is not None:
+            state.clear()
+
+
 def run_tasks(tasks, func, initializer, initargs, n_workers: int,
-              state: dict | None = None) -> list:
+              state: dict | None = None,
+              policy: RetryPolicy | None = None,
+              profiler: Profiler | None = None
+              ) -> list[TaskOutcome]:
     """Map ``func`` over ``tasks``, through a process pool when possible.
 
     The shared dispatch engine of this package: ``initializer(*initargs)``
@@ -126,8 +172,24 @@ def run_tasks(tasks, func, initializer, initargs, n_workers: int,
     pair runs in-process — the fallback path is byte-for-byte the same
     computation.  ``state`` names the module-global dict the initializer
     fills so the in-process path can clear it afterwards.
+
+    Fault tolerance: every task runs under ``policy``'s bounded retry
+    loop (worker-side in pools, in-process otherwise), pool results are
+    collected with the policy's per-task deadline, and any task the pool
+    fails to deliver — a crashed worker, a stalled chunk, a worker-side
+    exception — is recomputed in-process, so one dying worker degrades
+    the schedule, never the run.  Detecting a *crashed* worker requires
+    a finite ``policy.chunk_timeout_s`` (a bare ``multiprocessing.Pool``
+    silently drops the in-flight task of a dead worker).  Recoveries are
+    recorded as ``"pool_recovery"`` events on ``profiler``.
+
+    Returns one :class:`~repro.resilience.TaskOutcome` per task, in task
+    order; ``outcome.value`` is what ``func`` returned.
     """
     tasks = list(tasks)
+    if policy is None:
+        policy = RetryPolicy()
+    outcomes: list[TaskOutcome | None] = [None] * len(tasks)
     if n_workers > 1 and len(tasks) > 1:
         method = ("fork" if "fork" in multiprocessing.get_all_start_methods()
                   else None)
@@ -135,23 +197,55 @@ def run_tasks(tasks, func, initializer, initargs, n_workers: int,
         try:
             pool = _make_pool(ctx, min(n_workers, len(tasks)),
                               initializer, initargs)
-        except OSError:
-            pool = None                      # no pool on this host: serial
+        except OSError as exc:
+            pool = None                      # no pool on this host
+            failures: dict[int, BaseException] = {-1: exc}
         if pool is not None:
+            # the context manager terminate()s on exit, killing any
+            # straggler worker still sleeping on a lost task
             with pool:
-                return pool.map(func, tasks, chunksize=1)
+                collected, failures = collect_async(pool, func, tasks,
+                                                    policy)
+            for index, outcome in collected.items():
+                outcomes[index] = outcome
+        missing = [i for i, o in enumerate(outcomes) if o is None]
+        if not missing:
+            return outcomes
+        if profiler is not None:
+            for index, exc in sorted(failures.items()):
+                profiler.record_event(
+                    "pool_recovery", f"{type(exc).__name__}: {exc}",
+                    chunk_index=index)
+        recovered = _recompute_in_process(
+            tasks, missing, func, initializer, initargs, state, policy,
+            extra_retries=0 if pool is None else 1)
+        for index, outcome in recovered.items():
+            outcomes[index] = outcome
+        return outcomes
     initializer(*initargs)
     try:
-        return [func(task) for task in tasks]
+        return [run_with_retry(func, task, index=index, policy=policy)
+                for index, task in enumerate(tasks)]
     finally:
         if state is not None:
             state.clear()
 
 
+def degrade_ext_lines(current: int, floor: int) -> int:
+    """The next (halved) ``max_ext_lines`` after an OOM, or raise-worthy.
+
+    Returns ``max(floor, current // 2)``; when that is not strictly
+    smaller than ``current`` the degradation has bottomed out at the
+    halo-imposed minimum and the caller must re-raise.
+    """
+    return max(floor, current // 2)
+
+
 def run_chunked_parallel(graph: StageGraph, inputs: dict[str, Stream],
                          executor, *, max_ext_lines: int,
                          halo: int | None = None, n_workers: int = 0,
-                         profiler: Profiler | None = None
+                         profiler: Profiler | None = None,
+                         policy: RetryPolicy | None = None
                          ) -> dict[str, Stream]:
     """Run a stage graph chunk by chunk across a process pool.
 
@@ -175,22 +269,50 @@ def run_chunked_parallel(graph: StageGraph, inputs: dict[str, Stream],
         in-process path.
     profiler:
         Optional :class:`~repro.profiling.profiler.Profiler`; receives
-        one :class:`~repro.profiling.profiler.ChunkRecord` per chunk.
+        one :class:`~repro.profiling.profiler.ChunkRecord` per chunk,
+        plus resilience events (retries, recoveries, degradations).
+    policy:
+        Optional :class:`~repro.resilience.RetryPolicy` — per-task
+        retry budget and deadline (see :func:`run_tasks`).
+
+    A :class:`~repro.errors.GpuOutOfMemoryError` raised during execution
+    triggers graceful degradation: the run is re-planned with halved
+    ``max_ext_lines`` (down to ``2 * halo + 1``, the smallest chunk that
+    still holds one core line plus its halos) and retried.  Chunk
+    geometry does not affect results, so degraded runs stay
+    bit-identical.
 
     Returns
     -------
     dict of stitched output streams, identical to serial execution.
     """
     workers = resolve_workers(n_workers)
-    plan = plan_stream_chunks(graph, inputs, max_ext_lines=max_ext_lines,
-                              halo=halo)
-    lines, samples = plan.lines, plan.samples
-    results = run_tasks(plan, _run_chunk, _init_worker,
-                        (graph, inputs, executor, plan.halo), workers,
-                        state=_STATE)
+    ext_lines = max_ext_lines
+    while True:
+        plan = plan_stream_chunks(graph, inputs, max_ext_lines=ext_lines,
+                                  halo=halo)
+        try:
+            results = run_tasks(plan, _run_chunk, _init_worker,
+                                (graph, inputs, executor, plan.halo),
+                                workers, state=_STATE, policy=policy,
+                                profiler=profiler)
+            break
+        except GpuOutOfMemoryError as exc:
+            smaller = degrade_ext_lines(ext_lines, 2 * plan.halo + 1)
+            if smaller >= ext_lines:
+                raise
+            if profiler is not None:
+                detail = f"max_ext_lines {ext_lines} -> {smaller}"
+                if exc.requested is not None:
+                    detail += (f" (requested={exc.requested}, "
+                               f"free={exc.free})")
+                profiler.record_event("oom_degrade", detail)
+            ext_lines = smaller
 
+    lines, samples = plan.lines, plan.samples
     outputs: dict[str, np.ndarray] = {}
-    for index, cores, record in results:
+    for outcome in results:
+        index, cores, record = outcome.value
         chunk = plan.chunks[index]
         for name, core in cores.items():
             if name not in outputs:
@@ -198,5 +320,13 @@ def run_chunked_parallel(graph: StageGraph, inputs: dict[str, Stream],
                                          dtype=np.float32)
             outputs[name][chunk.core_start:chunk.core_stop] = core
         if profiler is not None:
+            if outcome.retries:
+                record = replace(record, retries=outcome.retries)
+                profiler.record_event(
+                    "retry", f"chunk took {outcome.retries} extra "
+                    f"attempt(s)"
+                    + (" (recovered in-process)" if outcome.recovered
+                       else ""),
+                    chunk_index=index)
             profiler.record_chunk(record)
     return {name: Stream(name, data) for name, data in outputs.items()}

@@ -19,9 +19,14 @@ batch).  Morphological implementations are resolved through
 from repro.pipeline.amc import (
     AMC_STAGE_NAMES,
     build_amc_pipeline,
+    check_finite_cube,
     execute_amc,
 )
-from repro.pipeline.batch import run_amc_batch
+from repro.pipeline.batch import (
+    ON_ERROR_POLICIES,
+    BatchItemError,
+    run_amc_batch,
+)
 from repro.pipeline.runner import Pipeline
 from repro.pipeline.stages import (
     ClassificationStage,
@@ -34,14 +39,17 @@ from repro.pipeline.stages import (
 
 __all__ = [
     "AMC_STAGE_NAMES",
+    "BatchItemError",
     "ClassificationStage",
     "EndmemberStage",
     "EvaluationStage",
     "MorphologyStage",
+    "ON_ERROR_POLICIES",
     "Pipeline",
     "Stage",
     "UnmixingStage",
     "build_amc_pipeline",
+    "check_finite_cube",
     "execute_amc",
     "run_amc_batch",
 ]

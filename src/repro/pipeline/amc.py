@@ -10,8 +10,11 @@ stage, insert a custom one, reuse one pipeline across a batch).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.backends import get_backend
 from repro.core.amc import AMCConfig, AMCResult
+from repro.errors import NonFiniteInputError
 from repro.pipeline.runner import Pipeline
 from repro.pipeline.stages import (
     ClassificationStage,
@@ -26,6 +29,31 @@ from repro.profiling.profiler import Profiler
 #: stage records a profiled run emits, on every path.
 AMC_STAGE_NAMES = ("morphology", "endmembers", "unmixing",
                    "classification", "evaluation")
+
+
+def check_finite_cube(bip: np.ndarray) -> np.ndarray:
+    """Reject cubes containing NaN or infinity, naming the first one.
+
+    A non-finite radiance value would otherwise slip through per-pixel
+    normalization (which only guards the scalar brightness) and poison
+    every SID computed downstream — silently, as more NaN.  Returns the
+    validated array unchanged.
+    """
+    bip = np.asarray(bip)
+    if not np.isfinite(bip).all():
+        where = np.argwhere(~np.isfinite(bip))[0]
+        if bip.ndim == 3:
+            line, sample, band = (int(v) for v in where)
+            value = bip[line, sample, band]
+            location = (f"pixel (line={line}, sample={sample}), "
+                        f"band {band}")
+        else:  # pragma: no cover - non-3D cubes fail shape checks later
+            value = bip[tuple(where)]
+            location = f"index {tuple(int(v) for v in where)}"
+        raise NonFiniteInputError(
+            f"input cube contains non-finite values: first is {value!r} "
+            f"at {location}")
+    return bip
 
 
 def build_amc_pipeline() -> Pipeline:
@@ -47,6 +75,7 @@ def execute_amc(bip, config: AMCConfig, *,
     """
     if pipeline is None:
         pipeline = build_amc_pipeline()
+    bip = check_finite_cube(bip)
     ctx = {
         "bip": bip,
         "config": config,

@@ -10,6 +10,7 @@ Entry points: pass a :class:`Profiler` to
 
 from repro.profiling.profiler import (
     ChunkRecord,
+    EventRecord,
     ProfileReport,
     Profiler,
     StageRecord,
@@ -18,6 +19,7 @@ from repro.profiling.profiler import (
 
 __all__ = [
     "ChunkRecord",
+    "EventRecord",
     "ProfileReport",
     "Profiler",
     "StageRecord",

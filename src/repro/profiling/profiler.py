@@ -13,7 +13,11 @@ The virtual GPU already accounts for every *modeled* millisecond
   upload / kernel / download split of
   :class:`~repro.gpu.counters.GpuCounters` (modeled seconds on the GPU
   backend, measured host seconds on the CPU backends, where the
-  transfer phases are zero because no bus is crossed).
+  transfer phases are zero because no bus is crossed);
+* :class:`EventRecord` — one entry per noteworthy resilience event
+  (a retried chunk, a pool falling back to in-process recovery, an OOM
+  degradation re-plan), recorded with :meth:`Profiler.record_event` so
+  fault recovery is *visible* in the report rather than silent.
 
 :meth:`Profiler.report` freezes everything into a
 :class:`ProfileReport`, which renders as JSON (``to_json`` / ``save``)
@@ -62,6 +66,9 @@ class ChunkRecord:
     worker:
         OS pid of the process that executed the chunk — equal across
         records for serial runs, distinct for pool runs.
+    retries:
+        How many extra attempts this chunk needed before the recorded
+        (successful) one — 0 on the fault-free path.
     """
 
     index: int
@@ -73,6 +80,31 @@ class ChunkRecord:
     compute_s: float = 0.0
     download_s: float = 0.0
     worker: int = 0
+    retries: int = 0
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One resilience event observed during a run.
+
+    Attributes
+    ----------
+    kind:
+        Event category — ``"retry"`` (a task was re-attempted),
+        ``"pool_recovery"`` (a dead/broken pool's missing tasks were
+        recomputed in-process), ``"oom_degrade"`` (chunked execution
+        re-planned with smaller chunks after a GPU OOM),
+        ``"batch_error"`` (a batch cube failed under a non-raise
+        ``on_error`` policy).
+    detail:
+        Human-readable context (exception text, old/new chunk sizes...).
+    chunk_index:
+        The chunk or cube index the event concerns (-1 if run-wide).
+    """
+
+    kind: str
+    detail: str = ""
+    chunk_index: int = -1
 
 
 @dataclass(frozen=True)
@@ -82,6 +114,7 @@ class ProfileReport:
     meta: dict[str, object]
     stages: tuple[StageRecord, ...]
     chunks: tuple[ChunkRecord, ...]
+    events: tuple[EventRecord, ...] = ()
 
     @property
     def total_wall_s(self) -> float:
@@ -95,6 +128,7 @@ class ProfileReport:
             "total_wall_s": self.total_wall_s,
             "stages": [asdict(s) for s in self.stages],
             "chunks": [asdict(c) for c in self.chunks],
+            "events": [asdict(e) for e in self.events],
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -125,13 +159,20 @@ class ProfileReport:
             lines.append("  chunks (upload/compute/download as in the "
                          "stream model):")
             lines.append("    idx  core  ext  halo     wall ms   "
-                         "upload ms  compute ms  download ms  worker")
+                         "upload ms  compute ms  download ms  worker  retries")
             for c in self.chunks:
                 lines.append(
                     f"    {c.index:>3}  {c.core_lines:>4}  {c.ext_lines:>3}"
                     f"  {c.halo:>4}  {c.wall_s * 1e3:10.2f}"
                     f"  {c.upload_s * 1e3:10.3f}  {c.compute_s * 1e3:10.3f}"
-                    f"  {c.download_s * 1e3:11.3f}  {c.worker:>6}")
+                    f"  {c.download_s * 1e3:11.3f}  {c.worker:>6}"
+                    f"  {c.retries:>7}")
+        if self.events:
+            lines.append("  resilience events:")
+            for e in self.events:
+                where = "" if e.chunk_index < 0 else f" [chunk {e.chunk_index}]"
+                detail = f": {e.detail}" if e.detail else ""
+                lines.append(f"    {e.kind}{where}{detail}")
         return "\n".join(lines)
 
 
@@ -148,6 +189,7 @@ class Profiler:
     meta: dict[str, object] = field(default_factory=dict)
     stage_records: list[StageRecord] = field(default_factory=list)
     chunk_records: list[ChunkRecord] = field(default_factory=list)
+    event_records: list[EventRecord] = field(default_factory=list)
 
     @contextmanager
     def stage(self, name: str):
@@ -163,11 +205,17 @@ class Profiler:
         """Append one chunk record (workers return them to the parent)."""
         self.chunk_records.append(record)
 
+    def record_event(self, kind: str, detail: str = "",
+                     chunk_index: int = -1) -> None:
+        """Append one resilience :class:`EventRecord`."""
+        self.event_records.append(EventRecord(kind, detail, chunk_index))
+
     def report(self) -> ProfileReport:
         """Freeze the collected records into a :class:`ProfileReport`."""
         return ProfileReport(meta=dict(self.meta),
                              stages=tuple(self.stage_records),
-                             chunks=tuple(self.chunk_records))
+                             chunks=tuple(self.chunk_records),
+                             events=tuple(self.event_records))
 
 
 def profiled_stage(profiler: Profiler | None, name: str):

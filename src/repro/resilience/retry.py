@@ -1,0 +1,121 @@
+"""Bounded retry and error isolation primitives.
+
+The primitives here are deliberately tiny — a policy record, a retry
+loop, an isolation wrapper — because the *semantics* doing the heavy
+lifting live elsewhere: chunk independence (every chunk carries its own
+halo) is what makes re-running one task safe, and the stitching layer's
+bit-identical guarantee is what makes it *correct*.
+
+This package is also the only place in the codebase allowed to contain
+blanket ``except`` clauses (``tools/check_excepts.py`` enforces it):
+swallowing arbitrary exceptions is exactly the resilience layer's job
+and nobody else's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import faults
+from repro.errors import StreamError, TransientFaultError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How much failure one task dispatch is allowed to absorb.
+
+    Attributes
+    ----------
+    max_retries:
+        Extra attempts after the first, per task (0 = one attempt).
+        Applies worker-side in pools and in-process on the serial path.
+    chunk_timeout_s:
+        Per-task deadline when collecting pool results.  ``None`` (the
+        default) waits forever — which also means a worker that *dies*
+        mid-task can never be detected, because a plain
+        ``multiprocessing.Pool`` silently drops the in-flight task;
+        crash recovery therefore requires a finite deadline.
+    retryable:
+        Exception classes the retry loop absorbs.  Anything else
+        propagates immediately — a ``ShapeError`` will not get better
+        on attempt two.
+    """
+
+    max_retries: int = 0
+    chunk_timeout_s: float | None = None
+    retryable: tuple[type[BaseException], ...] = (TransientFaultError,)
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise StreamError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if self.chunk_timeout_s is not None and self.chunk_timeout_s <= 0:
+            raise StreamError(
+                f"chunk_timeout_s must be positive, got "
+                f"{self.chunk_timeout_s}")
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """One task's successful result plus how much failure it cost.
+
+    Attributes
+    ----------
+    value:
+        Whatever the task function returned.
+    retries:
+        Attempts beyond the first this task consumed (including a lost
+        pool attempt when the task was recovered in-process).
+    recovered:
+        True when the recorded attempt ran in the parent process after
+        the pool lost or failed the task.
+    """
+
+    value: object
+    retries: int = 0
+    recovered: bool = False
+
+
+def run_with_retry(func, task, *, index: int | None = None,
+                   policy: RetryPolicy = RetryPolicy(),
+                   attempt_base: int = 0) -> TaskOutcome:
+    """Run ``func(task)`` with the policy's bounded retry loop.
+
+    Each attempt is numbered ``attempt_base + n`` and published through
+    :func:`repro.faults.set_attempt` so injected faults can key on it.
+    Recovery paths pass ``attempt_base > policy.max_retries`` — their
+    attempt numbers are disjoint from any worker attempt, so a fault
+    pinned to attempt 0 can never re-fire in the parent process (where
+    an injected ``os._exit`` would kill the whole run, not one worker).
+
+    Only ``policy.retryable`` exceptions are absorbed; the last one is
+    re-raised when attempts run out.
+    """
+    last: BaseException | None = None
+    for attempt in range(policy.max_retries + 1):
+        faults.set_attempt(attempt_base + attempt)
+        try:
+            try:
+                value = func(task)
+            finally:
+                faults.set_attempt(0)
+        except policy.retryable as exc:
+            last = exc
+            continue
+        return TaskOutcome(value, retries=attempt)
+    assert last is not None
+    raise last
+
+
+def run_isolated(func, *args, **kwargs):
+    """Run ``func(*args, **kwargs)``, capturing any exception.
+
+    Returns ``(value, None)`` on success, ``(None, exception)`` on any
+    :class:`Exception` — the error-isolation primitive behind the batch
+    runner's ``on_error`` policies.  ``BaseException`` (keyboard
+    interrupt, ``SystemExit``) still propagates.
+    """
+    try:
+        return func(*args, **kwargs), None
+    except Exception as exc:
+        return None, exc

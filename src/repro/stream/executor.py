@@ -88,14 +88,16 @@ class GpuExecutor:
         try:
             for index, step in enumerate(graph.steps):
                 target = gpu.create_target(height, width, label=step.output)
+                launched = False
                 try:
                     bindings = {sampler: resident[source]
                                 for sampler, source in step.inputs.items()}
                     gpu.launch(step.kernel.shader, target, bindings,
                                step.uniforms or None)
-                except BaseException:
-                    gpu.free(target)  # not yet tracked in `resident`
-                    raise
+                    launched = True
+                finally:
+                    if not launched:
+                        gpu.free(target)  # not yet tracked in `resident`
                 resident[step.output] = target
                 for source in set(step.inputs.values()):
                     if last_use.get(source) == index and source not in keep:

@@ -1,0 +1,153 @@
+"""Tests for the deterministic fault injector (repro.faults)."""
+
+import time
+
+import pytest
+
+from repro import faults
+from repro.errors import (
+    GpuOutOfMemoryError,
+    StreamError,
+    TransientFaultError,
+    WorkerCrashError,
+)
+from repro.faults import FaultInjector, FaultSpec
+
+
+@pytest.fixture(autouse=True)
+def _clean_installation():
+    """Every test starts and ends with no injector installed."""
+    faults.uninstall()
+    faults.set_attempt(0)
+    yield
+    faults.uninstall()
+    faults.set_attempt(0)
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(StreamError, match="unknown fault kind"):
+            FaultSpec(kind="meteor")
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(StreamError, match="probability"):
+            FaultSpec(kind="transient", probability=1.5)
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(StreamError, match="sleep_s"):
+            FaultSpec(kind="timeout", sleep_s=-1)
+
+    def test_matching_coordinates(self):
+        spec = FaultSpec(kind="transient", site="chunk", index=2, attempt=0)
+        assert spec.matches("chunk", 2, 0, None, seed=0)
+        assert not spec.matches("chunk", 1, 0, None, seed=0)
+        assert not spec.matches("chunk", 2, 1, None, seed=0)
+        assert not spec.matches("cube", 2, 0, None, seed=0)
+
+    def test_wildcards(self):
+        spec = FaultSpec(kind="transient", index=None, attempt=None)
+        for index in (0, 7):
+            for attempt in (0, 3):
+                assert spec.matches("chunk", index, attempt, None, seed=0)
+
+    def test_ext_lines_threshold(self):
+        spec = FaultSpec(kind="gpu_oom", attempt=None, ext_lines_above=10)
+        assert spec.matches("chunk", 0, 0, 11, seed=0)
+        assert not spec.matches("chunk", 0, 0, 10, seed=0)
+        assert not spec.matches("chunk", 0, 0, None, seed=0)
+
+
+class TestFiring:
+    def test_transient_raises(self):
+        injector = FaultInjector([FaultSpec(kind="transient", index=1)])
+        injector.check("chunk", index=0)  # no match: silent
+        with pytest.raises(TransientFaultError, match="chunk\\[1\\]"):
+            injector.check("chunk", index=1)
+
+    def test_attempt_keyed_fault_fires_once(self):
+        injector = FaultInjector([FaultSpec(kind="transient", attempt=0)])
+        with pytest.raises(TransientFaultError):
+            injector.check("chunk", index=0, attempt=0)
+        injector.check("chunk", index=0, attempt=1)  # retry succeeds
+
+    def test_worker_crash_raises_outside_pool(self):
+        """In a non-daemon process the crash surfaces as an exception."""
+        injector = FaultInjector([FaultSpec(kind="worker_crash")])
+        with pytest.raises(WorkerCrashError):
+            injector.check("chunk", index=0)
+
+    def test_timeout_sleeps_then_continues(self):
+        injector = FaultInjector([FaultSpec(kind="timeout", sleep_s=0.05)])
+        start = time.perf_counter()
+        injector.check("chunk", index=0)  # returns after the stall
+        assert time.perf_counter() - start >= 0.05
+
+    def test_gpu_oom_carries_structured_bytes(self):
+        injector = FaultInjector(
+            [FaultSpec(kind="gpu_oom", attempt=None, ext_lines_above=8)])
+        injector.check("chunk", index=0, ext_lines=8)  # under threshold
+        with pytest.raises(GpuOutOfMemoryError) as excinfo:
+            injector.check("chunk", index=0, ext_lines=16)
+        assert excinfo.value.requested > excinfo.value.free
+        assert excinfo.value.requested == 16 << 20
+
+
+class TestDeterminism:
+    def test_probability_is_scheduling_independent(self):
+        spec = FaultSpec(kind="transient", attempt=None, probability=0.5)
+        fired = [spec.matches("chunk", index, 0, None, seed=7)
+                 for index in range(64)]
+        again = [spec.matches("chunk", index, 0, None, seed=7)
+                 for index in reversed(range(64))]
+        assert fired == list(reversed(again))
+        assert any(fired) and not all(fired)
+
+    def test_different_seeds_differ(self):
+        spec = FaultSpec(kind="transient", attempt=None, probability=0.5)
+        a = [spec.matches("chunk", i, 0, None, seed=1) for i in range(64)]
+        b = [spec.matches("chunk", i, 0, None, seed=2) for i in range(64)]
+        assert a != b
+
+
+class TestInstallation:
+    def test_install_and_maybe_inject(self):
+        faults.install(FaultInjector([FaultSpec(kind="transient")]))
+        with pytest.raises(TransientFaultError):
+            faults.maybe_inject("chunk", index=0)
+        faults.uninstall()
+        faults.maybe_inject("chunk", index=0)  # no injector: no-op
+
+    def test_attempt_global(self):
+        faults.install(FaultInjector([FaultSpec(kind="transient",
+                                                attempt=1)]))
+        faults.maybe_inject("chunk", index=0)  # attempt 0: no match
+        faults.set_attempt(1)
+        with pytest.raises(TransientFaultError):
+            faults.maybe_inject("chunk", index=0)
+
+    def test_json_round_trip(self):
+        injector = FaultInjector(
+            [FaultSpec(kind="gpu_oom", attempt=None, ext_lines_above=6),
+             FaultSpec(kind="timeout", index=3, sleep_s=2.5)],
+            seed=42)
+        clone = FaultInjector.from_json(injector.to_json())
+        assert clone.seed == 42
+        assert clone.specs == injector.specs
+
+    def test_env_var_configuration(self, monkeypatch):
+        injector = FaultInjector([FaultSpec(kind="transient", index=0)],
+                                 seed=9)
+        monkeypatch.setenv(faults.ENV_VAR, injector.to_json())
+        current = faults.current_injector()
+        assert current.seed == 9
+        with pytest.raises(TransientFaultError):
+            faults.maybe_inject("chunk", index=0)
+        monkeypatch.delenv(faults.ENV_VAR)
+        assert faults.current_injector() is None
+
+    def test_installed_takes_precedence_over_env(self, monkeypatch):
+        monkeypatch.setenv(
+            faults.ENV_VAR,
+            FaultInjector([FaultSpec(kind="transient")], seed=1).to_json())
+        faults.install(FaultInjector([], seed=2))
+        assert faults.current_injector().seed == 2

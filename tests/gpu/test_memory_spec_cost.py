@@ -34,6 +34,31 @@ class TestVramAllocator:
         with pytest.raises(GpuOutOfMemoryError, match="mei"):
             vram.allocate(100, label="mei")
 
+    def test_oom_carries_structured_byte_counts(self):
+        vram = VramAllocator(100)
+        vram.allocate(80)
+        with pytest.raises(GpuOutOfMemoryError) as excinfo:
+            vram.allocate(30)
+        error = excinfo.value
+        assert error.requested == 30
+        assert error.free == 20
+        assert error.capacity == 100
+
+    def test_oom_survives_pickling(self):
+        """Pool workers ship the exception through a result queue."""
+        import pickle
+
+        vram = VramAllocator(100)
+        vram.allocate(80)
+        with pytest.raises(GpuOutOfMemoryError) as excinfo:
+            vram.allocate(30, label="texture")
+        clone = pickle.loads(pickle.dumps(excinfo.value))
+        assert isinstance(clone, GpuOutOfMemoryError)
+        assert clone.requested == 30
+        assert clone.free == 20
+        assert clone.capacity == 100
+        assert str(clone) == str(excinfo.value)
+
     def test_double_free(self):
         vram = VramAllocator(100)
         handle = vram.allocate(10)

@@ -1,13 +1,18 @@
 """Tests for the worker-pool chunked executor (repro.parallel.pool)."""
 
+import os
+
 import numpy as np
 import pytest
 
+from repro import faults
 from repro.errors import StreamError
+from repro.faults import FaultInjector, FaultSpec
 from repro.gpu import shaderir as ir
 from repro.parallel import resolve_workers, run_chunked_parallel
 from repro.parallel import pool as pool_mod
 from repro.profiling import Profiler
+from repro.resilience import RetryPolicy
 from repro.stream import (
     CpuExecutor,
     GpuExecutor,
@@ -138,6 +143,150 @@ class TestFallback:
             max_ext_lines=9, n_workers=4)
         np.testing.assert_array_equal(parallel["twice"].data,
                                       serial["twice"].data)
+
+    def test_pool_unavailable_records_recovery_event(self, two_stage_stencil,
+                                                     rng, monkeypatch):
+        monkeypatch.setattr(
+            pool_mod, "_make_pool",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("nope")))
+        x = Stream.from_scalar("x", rng.uniform(size=(30, 7)))
+        profiler = Profiler()
+        run_chunked_parallel(two_stage_stencil, {"x": x}, CpuExecutor(),
+                             max_ext_lines=9, n_workers=4,
+                             profiler=profiler)
+        events = [e for e in profiler.event_records
+                  if e.kind == "pool_recovery"]
+        assert len(events) == 1
+        assert events[0].chunk_index == -1      # whole-pool failure
+        assert "OSError" in events[0].detail
+
+
+@pytest.fixture()
+def _clean_faults():
+    faults.uninstall()
+    faults.set_attempt(0)
+    yield
+    faults.uninstall()
+    faults.set_attempt(0)
+
+
+class TestResilience:
+    """Injected faults must never change results — only the schedule.
+
+    The injector is installed in the parent; fork-based pool workers
+    inherit it, so worker-side execution sees the same fault plan.
+    """
+
+    def _serial(self, graph, x):
+        return run_chunked(graph, {"x": x}, CpuExecutor(),
+                           max_ext_lines=9)["twice"].data
+
+    def test_worker_crash_recovers_bit_identical(self, two_stage_stencil,
+                                                 rng, _clean_faults):
+        """A worker dying mid-task (os._exit) loses only its chunk."""
+        x = Stream.from_scalar("x", rng.uniform(size=(30, 7)))
+        serial = self._serial(two_stage_stencil, x)
+        faults.install(FaultInjector(
+            [FaultSpec(kind="worker_crash", index=0, attempt=0)]))
+        profiler = Profiler()
+        parallel = run_chunked_parallel(
+            two_stage_stencil, {"x": x}, CpuExecutor(),
+            max_ext_lines=9, n_workers=2, profiler=profiler,
+            policy=RetryPolicy(chunk_timeout_s=2.0))
+        np.testing.assert_array_equal(parallel["twice"].data, serial)
+        assert any(e.kind == "pool_recovery" and e.chunk_index == 0
+                   for e in profiler.event_records)
+        recovered = [r for r in profiler.chunk_records if r.index == 0]
+        assert recovered[0].worker == os.getpid()   # recomputed in-process
+        assert recovered[0].retries >= 1
+
+    def test_injected_timeout_recovers_bit_identical(self, two_stage_stencil,
+                                                     rng, _clean_faults):
+        """A stalled chunk trips the deadline and is recomputed."""
+        x = Stream.from_scalar("x", rng.uniform(size=(30, 7)))
+        serial = self._serial(two_stage_stencil, x)
+        faults.install(FaultInjector(
+            [FaultSpec(kind="timeout", index=1, attempt=0, sleep_s=20.0)]))
+        profiler = Profiler()
+        parallel = run_chunked_parallel(
+            two_stage_stencil, {"x": x}, CpuExecutor(),
+            max_ext_lines=9, n_workers=2, profiler=profiler,
+            policy=RetryPolicy(chunk_timeout_s=1.0))
+        np.testing.assert_array_equal(parallel["twice"].data, serial)
+        assert any(e.kind == "pool_recovery" and e.chunk_index == 1
+                   for e in profiler.event_records)
+
+    def test_transient_fault_retried_worker_side(self, two_stage_stencil,
+                                                 rng, _clean_faults):
+        x = Stream.from_scalar("x", rng.uniform(size=(30, 7)))
+        serial = self._serial(two_stage_stencil, x)
+        faults.install(FaultInjector(
+            [FaultSpec(kind="transient", index=2, attempt=0)]))
+        profiler = Profiler()
+        parallel = run_chunked_parallel(
+            two_stage_stencil, {"x": x}, CpuExecutor(),
+            max_ext_lines=9, n_workers=2, profiler=profiler,
+            policy=RetryPolicy(max_retries=1))
+        np.testing.assert_array_equal(parallel["twice"].data, serial)
+        retried = [r for r in profiler.chunk_records if r.index == 2]
+        assert retried[0].retries == 1
+        assert retried[0].worker != os.getpid()     # stayed in the pool
+
+    def test_transient_fault_retried_serially(self, two_stage_stencil,
+                                              rng, _clean_faults):
+        """The serial path runs the same retry loop in-process."""
+        x = Stream.from_scalar("x", rng.uniform(size=(30, 7)))
+        serial = self._serial(two_stage_stencil, x)
+        faults.install(FaultInjector(
+            [FaultSpec(kind="transient", index=2, attempt=0)]))
+        parallel = run_chunked_parallel(
+            two_stage_stencil, {"x": x}, CpuExecutor(),
+            max_ext_lines=9, n_workers=1,
+            policy=RetryPolicy(max_retries=1))
+        np.testing.assert_array_equal(parallel["twice"].data, serial)
+
+    def test_exhausted_retries_raise(self, two_stage_stencil, rng,
+                                     _clean_faults):
+        x = Stream.from_scalar("x", rng.uniform(size=(30, 7)))
+        faults.install(FaultInjector(
+            [FaultSpec(kind="transient", index=0, attempt=None)]))
+        from repro.errors import TransientFaultError
+
+        with pytest.raises(TransientFaultError):
+            run_chunked_parallel(
+                two_stage_stencil, {"x": x}, CpuExecutor(),
+                max_ext_lines=9, n_workers=1,
+                policy=RetryPolicy(max_retries=2))
+
+    def test_oom_degrades_and_stays_bit_identical(self, two_stage_stencil,
+                                                  rng, _clean_faults):
+        """Injected OOM forces a smaller-chunk re-plan, same results."""
+        x = Stream.from_scalar("x", rng.uniform(size=(30, 7)))
+        serial = self._serial(two_stage_stencil, x)
+        faults.install(FaultInjector(
+            [FaultSpec(kind="gpu_oom", attempt=None, ext_lines_above=8)]))
+        profiler = Profiler()
+        parallel = run_chunked_parallel(
+            two_stage_stencil, {"x": x}, CpuExecutor(),
+            max_ext_lines=9, n_workers=1, profiler=profiler)
+        np.testing.assert_array_equal(parallel["twice"].data, serial)
+        degrades = [e for e in profiler.event_records
+                    if e.kind == "oom_degrade"]
+        assert len(degrades) == 1
+        assert "9 -> 5" in degrades[0].detail   # halo 2: floor is 5
+
+    def test_oom_below_floor_raises(self, two_stage_stencil, rng,
+                                    _clean_faults):
+        """Degradation bottoms out at the halo-imposed minimum."""
+        from repro.errors import GpuOutOfMemoryError
+
+        x = Stream.from_scalar("x", rng.uniform(size=(30, 7)))
+        faults.install(FaultInjector(
+            [FaultSpec(kind="gpu_oom", attempt=None, ext_lines_above=4)]))
+        with pytest.raises(GpuOutOfMemoryError):
+            run_chunked_parallel(
+                two_stage_stencil, {"x": x}, CpuExecutor(),
+                max_ext_lines=9, n_workers=1)
 
 
 class TestProfiling:

@@ -136,3 +136,54 @@ class TestProfilingSymmetry:
                 ground_truth=golden_scene.ground_truth, profiler=profiler)
         names = [record.name for record in profiler.stage_records]
         assert names == list(AMC_STAGE_NAMES)
+
+
+class TestNonFiniteRejection:
+    """Non-finite cubes are rejected at the pipeline's front door."""
+
+    def test_nan_named_by_pixel_and_band(self, small_cube):
+        from repro.errors import NonFiniteInputError
+        from repro.pipeline import check_finite_cube
+
+        bad = np.array(small_cube, copy=True)
+        bad[2, 3, 7] = np.nan
+        with pytest.raises(NonFiniteInputError,
+                           match=r"pixel \(line=2, sample=3\), band 7"):
+            check_finite_cube(bad)
+
+    def test_infinity_rejected_too(self, small_cube):
+        from repro.errors import NonFiniteInputError
+
+        bad = np.array(small_cube, copy=True)
+        bad[0, 0, 0] = np.inf
+        with pytest.raises(NonFiniteInputError, match="inf"):
+            run_amc(bad, AMCConfig(n_classes=3))
+
+    def test_first_offender_is_named(self, small_cube):
+        """Several bad values: the row-major first one is reported."""
+        from repro.errors import NonFiniteInputError
+
+        bad = np.array(small_cube, copy=True)
+        bad[5, 1, 2] = np.nan
+        bad[1, 4, 9] = -np.inf
+        with pytest.raises(NonFiniteInputError,
+                           match=r"pixel \(line=1, sample=4\), band 9"):
+            execute_amc(bad, AMCConfig(n_classes=3))
+
+    def test_is_a_value_error(self, small_cube):
+        """Callers catching ValueError keep working."""
+        from repro.errors import NonFiniteInputError, ReproError
+
+        assert issubclass(NonFiniteInputError, ValueError)
+        assert issubclass(NonFiniteInputError, ReproError)
+        bad = np.array(small_cube, copy=True)
+        bad[0, 0, 0] = np.nan
+        with pytest.raises(ValueError):
+            run_amc(bad, AMCConfig(n_classes=3))
+
+    def test_finite_cube_passes_through_unchanged(self, small_cube):
+        from repro.pipeline import check_finite_cube
+
+        out = check_finite_cube(small_cube)
+        assert out is np.asarray(small_cube) or np.shares_memory(
+            out, small_cube)

@@ -3,9 +3,16 @@
 import numpy as np
 import pytest
 
+from repro import faults
 from repro.core import AMCConfig, run_amc
+from repro.errors import NonFiniteInputError, TransientFaultError
+from repro.faults import FaultInjector, FaultSpec
 from repro.hsi import SceneParams, generate_scene
-from repro.pipeline import AMC_STAGE_NAMES, run_amc_batch
+from repro.pipeline import (
+    AMC_STAGE_NAMES,
+    BatchItemError,
+    run_amc_batch,
+)
 from repro.profiling import Profiler
 
 
@@ -77,3 +84,81 @@ def test_sequential_batch_profiles_every_cube(batch_scenes):
                   AMCConfig(n_classes=4), profiler=profiler)
     names = [record.name for record in profiler.stage_records]
     assert names == list(AMC_STAGE_NAMES) * len(batch_scenes)
+
+
+@pytest.fixture()
+def poisoned_batch(batch_scenes):
+    """The three scenes' cubes with NaN injected into the middle one."""
+    cubes = [np.array(scene.cube.as_bip(), copy=True)
+             for scene in batch_scenes]
+    cubes[1][3, 4, 5] = np.nan
+    return cubes
+
+
+class TestOnError:
+    def test_invalid_policy_rejected(self, batch_scenes):
+        with pytest.raises(ValueError, match="on_error"):
+            run_amc_batch([batch_scenes[0].cube], AMCConfig(n_classes=4),
+                          on_error="ignore")
+
+    def test_raise_is_default(self, poisoned_batch):
+        with pytest.raises(NonFiniteInputError, match="band 5"):
+            run_amc_batch(poisoned_batch, AMCConfig(n_classes=4))
+
+    def test_skip_drops_failed_cubes(self, poisoned_batch):
+        config = AMCConfig(n_classes=4)
+        results = run_amc_batch(poisoned_batch, config, on_error="skip")
+        singles = [run_amc(poisoned_batch[i], config) for i in (0, 2)]
+        assert_results_equal(results, singles)
+
+    def test_collect_keeps_positions(self, poisoned_batch):
+        config = AMCConfig(n_classes=4)
+        results = run_amc_batch(poisoned_batch, config, on_error="collect")
+        assert len(results) == 3
+        failure = results[1]
+        assert isinstance(failure, BatchItemError)
+        assert failure.index == 1
+        assert isinstance(failure.error, NonFiniteInputError)
+        assert str(failure).startswith("cube 1 failed: ")
+        assert_results_equal([results[0], results[2]],
+                             [run_amc(poisoned_batch[i], config)
+                              for i in (0, 2)])
+
+    @pytest.mark.parametrize("on_error", ["skip", "collect"])
+    def test_pool_path_isolates_failures(self, poisoned_batch, on_error):
+        """Worker-side exceptions are returned, never cross the pool."""
+        config = AMCConfig(n_classes=4, n_workers=2)
+        results = run_amc_batch(poisoned_batch, config, on_error=on_error)
+        survivors = [r for r in results
+                     if not isinstance(r, BatchItemError)]
+        assert len(survivors) == 2
+        if on_error == "collect":
+            assert isinstance(results[1], BatchItemError)
+            assert results[1].index == 1
+        assert all(r.config is config for r in survivors)
+
+    def test_failures_recorded_on_profiler(self, poisoned_batch):
+        profiler = Profiler()
+        run_amc_batch(poisoned_batch, AMCConfig(n_classes=4),
+                      on_error="skip", profiler=profiler)
+        events = [e for e in profiler.event_records
+                  if e.kind == "batch_error"]
+        assert len(events) == 1
+        assert events[0].chunk_index == 1
+        assert "NonFiniteInputError" in events[0].detail
+
+    def test_injected_cube_fault_is_isolated(self, batch_scenes):
+        """The injector's "cube" site fails exactly one batch item."""
+        faults.install(FaultInjector(
+            [FaultSpec(kind="transient", site="cube", index=2,
+                       attempt=None)]))
+        try:
+            results = run_amc_batch(
+                [scene.cube for scene in batch_scenes],
+                AMCConfig(n_classes=4), on_error="collect")
+        finally:
+            faults.uninstall()
+        assert isinstance(results[2], BatchItemError)
+        assert isinstance(results[2].error, TransientFaultError)
+        assert not isinstance(results[0], BatchItemError)
+        assert not isinstance(results[1], BatchItemError)

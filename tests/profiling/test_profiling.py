@@ -48,6 +48,15 @@ class TestProfiler:
         profiler.record_chunk(_chunk(index=1))
         assert [c.index for c in profiler.chunk_records] == [0, 1]
 
+    def test_record_event(self):
+        profiler = Profiler()
+        profiler.record_event("retry", "chunk took 1 extra attempt", 3)
+        profiler.record_event("oom_degrade", "max_ext_lines 12 -> 6")
+        assert [e.kind for e in profiler.event_records] \
+            == ["retry", "oom_degrade"]
+        assert profiler.event_records[0].chunk_index == 3
+        assert profiler.event_records[1].chunk_index == -1
+
     def test_profiled_stage_none_is_noop(self):
         with profiled_stage(None, "anything"):
             pass  # must not raise
@@ -84,10 +93,11 @@ class TestProfileReport:
 
     def test_to_dict_keys(self, report):
         data = report.to_dict()
-        assert set(data) == {"meta", "total_wall_s", "stages", "chunks"}
+        assert set(data) == {"meta", "total_wall_s", "stages", "chunks",
+                             "events"}
         assert set(data["chunks"][0]) == {
             "index", "core_lines", "ext_lines", "halo", "wall_s",
-            "upload_s", "compute_s", "download_s", "worker"}
+            "upload_s", "compute_s", "download_s", "worker", "retries"}
         assert set(data["stages"][0]) == {"name", "wall_s"}
 
     def test_json_round_trip(self, report):
@@ -113,6 +123,20 @@ class TestProfileReport:
         report = Profiler().report()
         assert report.to_text() == "profile"
         assert report.total_wall_s == 0.0
+
+    def test_events_serialize_and_render(self):
+        profiler = Profiler()
+        profiler.record_chunk(_chunk(retries=2))
+        profiler.record_event("pool_recovery", "TimeoutError: lost", 1)
+        report = profiler.report()
+        data = report.to_dict()
+        assert data["events"] == [{"kind": "pool_recovery",
+                                   "detail": "TimeoutError: lost",
+                                   "chunk_index": 1}]
+        assert data["chunks"][0]["retries"] == 2
+        text = report.to_text()
+        assert "resilience events" in text
+        assert "pool_recovery [chunk 1]: TimeoutError: lost" in text
 
 
 class TestRunAmcProfiling:

@@ -1,0 +1,83 @@
+"""Chaos acceptance test: AMC under injected faults stays bit-identical.
+
+ISSUE acceptance criterion: a chunk-parallel ``run_amc`` that suffers a
+worker crash, a stalled chunk, and a simulated GPU OOM in one run must
+still complete with output byte-for-byte identical to a fault-free
+serial run, and the profiler report must show the retries and the
+degradation.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.core import AMCConfig, run_amc
+from repro.faults import FaultInjector, FaultSpec
+from repro.profiling import Profiler
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.uninstall()
+    faults.set_attempt(0)
+    yield
+    faults.uninstall()
+    faults.set_attempt(0)
+
+
+def _sha256(array) -> str:
+    return hashlib.sha256(np.ascontiguousarray(array).tobytes()).hexdigest()
+
+
+class TestChaosAmc:
+    def test_crash_timeout_and_oom_in_one_run(self, small_cube):
+        """One run eats all three fault kinds and still matches serial."""
+        serial = run_amc(small_cube, AMCConfig(n_classes=3))
+
+        # small_cube is 10 lines; 2 workers -> 2 chunks of 5 core lines,
+        # 6 extended lines each (radius-1 halo).  The OOM spec fires on
+        # any chunk wider than 5 extended lines, so the first plan OOMs
+        # and degrades to 2-core-line chunks (<= 4 extended lines); in
+        # the degraded plan chunk 0's worker crashes and chunk 1 stalls
+        # past the deadline, forcing in-process recovery of both.
+        faults.install(FaultInjector([
+            FaultSpec(kind="gpu_oom", attempt=None, ext_lines_above=5),
+            FaultSpec(kind="worker_crash", index=0, attempt=0),
+            FaultSpec(kind="timeout", index=1, attempt=0, sleep_s=30.0),
+        ]))
+        profiler = Profiler()
+        chaos = run_amc(
+            small_cube,
+            AMCConfig(n_classes=3, n_workers=2, max_retries=1,
+                      chunk_timeout_s=2.0),
+            profiler=profiler)
+
+        assert _sha256(chaos.labels) == _sha256(serial.labels)
+        assert _sha256(chaos.mei) == _sha256(serial.mei)
+        np.testing.assert_array_equal(chaos.abundances, serial.abundances)
+
+        kinds = {event.kind for event in profiler.event_records}
+        assert "oom_degrade" in kinds
+        assert "pool_recovery" in kinds
+        assert "retry" in kinds
+        # the recovered chunks carry their extra attempts on the records
+        assert any(record.retries >= 1
+                   for record in profiler.chunk_records)
+
+        report = profiler.report().to_text()
+        assert "resilience events" in report
+        assert "oom_degrade" in report
+        assert "pool_recovery" in report
+
+    def test_fault_free_run_records_no_events(self, small_cube):
+        """No injector, no faults: the resilience layer stays silent."""
+        profiler = Profiler()
+        run_amc(small_cube,
+                AMCConfig(n_classes=3, n_workers=2, max_retries=1,
+                          chunk_timeout_s=30.0),
+                profiler=profiler)
+        assert profiler.event_records == []
+        assert all(record.retries == 0
+                   for record in profiler.chunk_records)

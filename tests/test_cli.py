@@ -158,3 +158,99 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "overall accuracy" not in out
         assert os.path.exists(path + ".classes.ppm")
+
+
+def _write_nan_cube(tmp_path, name="broken.raw"):
+    from repro.hsi import HyperCube
+    from repro.hsi.envi import write_cube
+
+    rng = np.random.default_rng(1)
+    data = rng.uniform(0.1, 1.0, (12, 12, 16)).astype(np.float32)
+    data[4, 4, 4] = np.nan
+    path = str(tmp_path / name)
+    write_cube(HyperCube(data), path)
+    return path
+
+
+class TestRobustnessFlags:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["classify", "x.raw"])
+        assert args.retries == 0
+        assert args.chunk_timeout_s is None
+        assert args.on_error == "raise"
+        assert args.path == ["x.raw"]
+
+    def test_on_error_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["classify", "x.raw",
+                                       "--on-error", "ignore"])
+
+    def test_classify_with_retry_knobs(self, tmp_path, capsys):
+        path = str(tmp_path / "scene.raw")
+        main(["generate", path, "--lines", "16", "--samples", "12",
+              "--bands", "16", "--seed", "9"])
+        assert main(["classify", path, "--classes", "3", "--workers", "2",
+                     "--retries", "1", "--chunk-timeout-s", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "overall accuracy" in out
+
+    def test_batch_classify_writes_all_outputs(self, tmp_path, capsys):
+        paths = []
+        for i in range(2):
+            path = str(tmp_path / f"scene{i}.raw")
+            main(["generate", path, "--lines", "14", "--samples", "12",
+                  "--bands", "16", "--seed", str(20 + i)])
+            paths.append(path)
+        capsys.readouterr()
+        assert main(["classify", *paths, "--classes", "3"]) == 0
+        for path in paths:
+            assert os.path.exists(path + ".mei.pgm")
+            assert os.path.exists(path + ".classes.ppm")
+
+    def test_batch_trace_rejected(self, tmp_path, capsys):
+        assert main(["classify", "a.raw", "b.raw", "--classes", "3",
+                     "--trace", str(tmp_path / "t.json")]) == 2
+        assert "single cube" in capsys.readouterr().err
+
+    def test_batch_on_error_skip(self, tmp_path, capsys):
+        good = str(tmp_path / "good.raw")
+        main(["generate", good, "--lines", "14", "--samples", "12",
+              "--bands", "16", "--seed", "30"])
+        bad = _write_nan_cube(tmp_path)
+        capsys.readouterr()
+        assert main(["classify", good, bad, "--classes", "3",
+                     "--on-error", "skip"]) == 0
+        captured = capsys.readouterr()
+        assert "skipped" in captured.err
+        assert "NonFiniteInputError" in captured.err
+        assert os.path.exists(good + ".mei.pgm")
+        assert not os.path.exists(bad + ".mei.pgm")
+
+    def test_batch_on_error_collect_reports_failure(self, tmp_path,
+                                                    capsys):
+        good = str(tmp_path / "good.raw")
+        main(["generate", good, "--lines", "14", "--samples", "12",
+              "--bands", "16", "--seed", "31"])
+        bad = _write_nan_cube(tmp_path)
+        capsys.readouterr()
+        assert main(["classify", good, bad, "--classes", "3",
+                     "--on-error", "collect"]) == 0
+        assert "failed" in capsys.readouterr().err
+
+    def test_batch_all_failures_exit_nonzero(self, tmp_path, capsys):
+        bad_a = _write_nan_cube(tmp_path, "a.raw")
+        bad_b = _write_nan_cube(tmp_path, "b.raw")
+        assert main(["classify", bad_a, bad_b, "--classes", "3",
+                     "--on-error", "skip"]) == 1
+
+    def test_batch_profile_reports_batch_errors(self, tmp_path, capsys):
+        good = str(tmp_path / "good.raw")
+        main(["generate", good, "--lines", "14", "--samples", "12",
+              "--bands", "16", "--seed", "32"])
+        bad = _write_nan_cube(tmp_path)
+        capsys.readouterr()
+        assert main(["classify", good, bad, "--classes", "3",
+                     "--on-error", "skip", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "on_error: skip" in out
+        assert "batch_error" in out

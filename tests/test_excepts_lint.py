@@ -1,0 +1,87 @@
+"""Except-lint gate: the check of tools/check_excepts.py runs in CI.
+
+The checker fails when a bare ``except:`` or a blanket
+``except Exception`` / ``except BaseException`` clause appears in
+library code outside ``src/repro/resilience/`` — absorbing arbitrary
+failures is the resilience layer's job and nobody else's.
+"""
+
+import importlib.util
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _load_checker():
+    path = os.path.join(REPO_ROOT, "tools", "check_excepts.py")
+    spec = importlib.util.spec_from_file_location("check_excepts", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_excepts", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_excepts_are_contained():
+    checker = _load_checker()
+    problems = checker.scan()
+    assert not problems, "\n".join(problems)
+
+
+def test_checker_detects_blanket_excepts(tmp_path):
+    """The gate actually gates: every blanket form is reported."""
+    checker = _load_checker()
+    offender = tmp_path / "src" / "repro" / "core"
+    offender.mkdir(parents=True)
+    (offender / "bad.py").write_text(
+        'def risky():\n'
+        '    try:\n'
+        '        work()\n'
+        '    except:\n'
+        '        pass\n'
+        '    try:\n'
+        '        work()\n'
+        '    except Exception as exc:\n'
+        '        pass\n'
+        '    try:\n'
+        '        work()\n'
+        '    except (ValueError, BaseException):\n'
+        '        pass\n')
+    problems = checker.scan(str(tmp_path))
+    assert len(problems) == 3
+    assert "bad.py:4" in problems[0]
+    assert "bad.py:8" in problems[1]
+    assert "bad.py:12" in problems[2]
+
+
+def test_checker_allows_specific_excepts(tmp_path):
+    checker = _load_checker()
+    package = tmp_path / "src" / "repro" / "hsi"
+    package.mkdir(parents=True)
+    (package / "ok.py").write_text(
+        'def careful():\n'
+        '    try:\n'
+        '        work()\n'
+        '    except (ValueError, OSError) as exc:\n'
+        '        raise RuntimeError() from exc\n'
+        '    except KeyError:\n'
+        '        pass\n')
+    assert checker.scan(str(tmp_path)) == []
+
+
+def test_checker_ignores_comments_and_resilience_package(tmp_path):
+    checker = _load_checker()
+    allowed = tmp_path / "src" / "repro" / "resilience"
+    allowed.mkdir(parents=True)
+    (allowed / "retry.py").write_text(
+        'def isolate():\n'
+        '    try:\n'
+        '        work()\n'
+        '    except Exception as exc:\n'
+        '        return exc\n')
+    other = tmp_path / "src" / "repro" / "parallel"
+    other.mkdir(parents=True)
+    (other / "pool.py").write_text(
+        '# a blanket except Exception: here would be a bug\n'
+        'X = 1\n')
+    assert checker.scan(str(tmp_path)) == []

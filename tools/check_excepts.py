@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Except lint — blanket exception handling stays in the resilience layer.
+
+Swallowing arbitrary exceptions hides real bugs behind "handled"
+failures, and the fault-tolerance work made the temptation permanent:
+once retry/recovery wrappers exist, it is one lazy edit away to catch
+``Exception`` at a call site instead of routing the failure through
+:mod:`repro.resilience`.  This checker keeps the containment: it fails
+if a bare ``except:`` or a blanket ``except Exception`` /
+``except BaseException`` clause appears in library code outside
+``src/repro/resilience/`` — the one package whose *job* is absorbing
+arbitrary failures.  Everywhere else, catch the specific exceptions you
+can actually handle.
+
+Run by ``tests/test_excepts_lint.py`` so it gates CI; run directly for
+a human-readable report::
+
+    python tools/check_excepts.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(TOOLS_DIR)
+
+#: A bare ``except:`` or a clause catching ``Exception`` /
+#: ``BaseException`` (alone or anywhere in a tuple).
+PATTERN = re.compile(
+    r"\bexcept\s*(:|(\(?[^:]*\b(?:Exception|BaseException)\b[^:]*\)?\s*:))")
+
+#: Directory (relative to the scanned root) whose files may blanket-catch.
+ALLOWED_DIR = os.path.join("src", "repro", "resilience")
+
+
+def scan_file(path: str) -> list[tuple[int, str]]:
+    """(line number, line) pairs of blanket excepts in one file."""
+    hits = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            code = line.split("#", 1)[0]
+            if PATTERN.search(code):
+                hits.append((lineno, line.rstrip()))
+    return hits
+
+
+def scan(root: str = REPO_ROOT) -> list[str]:
+    """All violations under ``root``'s ``src/repro`` tree, as
+    ``path:line: text`` strings (empty when containment holds)."""
+    problems = []
+    src = os.path.join(root, "src", "repro")
+    allowed = os.path.join(root, ALLOWED_DIR)
+    for dirpath, dirnames, filenames in os.walk(src):
+        dirnames[:] = [d for d in dirnames
+                       if not d.startswith((".", "_"))
+                       and not d.endswith(".egg-info")]
+        if os.path.commonpath([dirpath, allowed]) == allowed:
+            continue
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            for lineno, line in scan_file(path):
+                rel = os.path.relpath(path, root)
+                problems.append(f"{rel}:{lineno}: {line.strip()}")
+    return problems
+
+
+def main() -> int:
+    problems = scan()
+    for problem in problems:
+        print(f"FAIL: blanket except outside repro/resilience/ — "
+              f"{problem}")
+    if problems:
+        print("catch the specific exceptions you can handle, or route the "
+              "failure through repro.resilience (run_isolated, "
+              "run_with_retry)")
+        return 1
+    print("exception containment holds: no bare/blanket excepts outside "
+          "repro/resilience/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
