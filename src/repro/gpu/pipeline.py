@@ -51,7 +51,9 @@ def make_quad(width: int, height: int) -> tuple[Vertex, ...]:
     """
     if width <= 0 or height <= 0:
         raise ShapeError(f"viewport must be positive, got {width}x{height}")
-    w, h = float(width), float(height)
+    # Vertex positions, not texel data: the rasterizer interpolates in
+    # host precision before any float32 shading happens.
+    w, h = float(width), float(height)  # reprolint: disable=dtype-discipline
     v00 = Vertex(0.0, 0.0, 0.0, 0.0)
     v10 = Vertex(w, 0.0, 1.0, 0.0)
     v01 = Vertex(0.0, h, 0.0, 1.0)
@@ -103,8 +105,10 @@ def rasterize(vertices: tuple[Vertex, ...], width: int, height: int
     if len(vertices) % 3 != 0:
         raise ShapeError(f"vertex count {len(vertices)} is not triangles")
     coverage = np.zeros((height, width), dtype=np.int32)
-    u = np.zeros((height, width), dtype=np.float64)
-    v = np.zeros((height, width), dtype=np.float64)
+    # Barycentric texcoord interpolation runs in f64 so the edge-function
+    # tie rules stay exact; these are coordinates, never texel values.
+    u = np.zeros((height, width), dtype=np.float64)  # reprolint: disable=dtype-discipline
+    v = np.zeros((height, width), dtype=np.float64)  # reprolint: disable=dtype-discipline
     px = np.arange(width)[None, :] + 0.5
     py = np.arange(height)[:, None] + 0.5
 

@@ -60,8 +60,11 @@ class Const(Expr):
         if len(self.values) != 4:
             raise ShaderValidationError(
                 f"Const needs 4 lanes, got {len(self.values)}")
-        object.__setattr__(self, "values",
-                           tuple(float(v) for v in self.values))
+        # IR literals are host-side program text (like constants in a .cg
+        # file); the interpreter quantizes them to float32 at execution.
+        object.__setattr__(
+            self, "values",
+            tuple(float(v) for v in self.values))  # reprolint: disable=dtype-discipline
 
 
 @dataclass(frozen=True)
@@ -190,7 +193,8 @@ def vec4(x: float, y: float | None = None, z: float | None = None,
 def _coerce(value: ExprLike) -> Expr:
     if isinstance(value, Expr):
         return value
-    return vec4(float(value))
+    # Coercing a host scalar into IR program text, not into texel data.
+    return vec4(float(value))  # reprolint: disable=dtype-discipline
 
 
 def add(a: ExprLike, b: ExprLike) -> Op:

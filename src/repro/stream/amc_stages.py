@@ -60,7 +60,9 @@ def build_normalization_graph(bands: int, *,
         raise StreamError(f"bands must be >= 1, got {bands}")
     groups = band_group_count(bands)
     masks = group_masks(bands)
-    eps_value = SpectralEpsilon.get() if eps is None else float(eps)
+    # Host-side uniform scalar; the shader receives it as a float32 lane.
+    eps_value = (SpectralEpsilon.get() if eps is None
+                 else float(eps))  # reprolint: disable=dtype-discipline
 
     bandsum = StreamKernel.from_expression(
         "g_bandsum",

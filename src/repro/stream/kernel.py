@@ -104,7 +104,9 @@ def convolve2d(name: str, weights) -> StreamKernel:
     """
     import numpy as np
 
-    weights = np.asarray(weights, dtype=np.float64)
+    # Filter design happens host-side at shader-compile time; the
+    # coefficients become float32 IR constants below.
+    weights = np.asarray(weights, dtype=np.float64)  # reprolint: disable=dtype-discipline
     if weights.ndim != 2 or weights.size == 0:
         raise StreamError(f"weights must be a non-empty 2-D array, got "
                           f"shape {weights.shape}")
@@ -115,7 +117,7 @@ def convolve2d(name: str, weights) -> StreamKernel:
     body: ir.Expr | None = None
     for y in range(weights.shape[0]):
         for x in range(weights.shape[1]):
-            w = float(weights[y, x])
+            w = float(weights[y, x])  # reprolint: disable=dtype-discipline
             if w == 0.0:
                 continue
             term = ir.mul(ir.TexFetch("a", x - cx, y - cy), ir.vec4(w))
@@ -134,7 +136,8 @@ def gaussian_blur(name: str, radius: int = 1,
         raise StreamError(f"radius must be >= 1, got {radius}")
     if sigma is None:
         sigma = radius / 1.5
-    axis = np.arange(-radius, radius + 1, dtype=np.float64)
+    # Gaussian weight design in host precision, quantized by convolve2d.
+    axis = np.arange(-radius, radius + 1, dtype=np.float64)  # reprolint: disable=dtype-discipline
     one_d = np.exp(-0.5 * (axis / sigma) ** 2)
     weights = np.outer(one_d, one_d)
     weights /= weights.sum()

@@ -1,0 +1,7 @@
+"""Fixture: the backends registry may compare names (0 findings)."""
+
+
+def resolve(config):
+    if config.backend == "gpu":
+        return "gpu-adapter"
+    return "reference-adapter"

@@ -1,0 +1,20 @@
+"""Fixture: every blanket except form must fire (3 findings)."""
+
+
+def risky():
+    try:
+        work()
+    except:
+        pass
+    try:
+        work()
+    except Exception as exc:
+        del exc
+    try:
+        work()
+    except (ValueError, BaseException):
+        pass
+
+
+def work():
+    pass

@@ -1,0 +1,21 @@
+"""Fixture: specific excepts plus the regex false-positive traps.
+
+A literal ``except Exception:`` in this docstring must not fire now
+that the check reads the AST instead of the text.
+"""
+
+NOTE = "except Exception: inside a string is documentation, not code"
+# a blanket except BaseException: in a comment alone is fine too
+
+
+def careful():
+    try:
+        work()
+    except (ValueError, OSError) as exc:
+        raise RuntimeError("boom") from exc
+    except KeyError:
+        pass
+
+
+def work():
+    pass

@@ -1,0 +1,9 @@
+"""Fixture: backend string dispatch must fire (2 findings)."""
+
+
+def pick(config, backend):
+    if config.backend == "gpu":
+        return 1
+    if backend != "cpu":
+        return 2
+    return 0

@@ -1,0 +1,14 @@
+"""Fixture: dispatch false-positive traps.
+
+Historical note: code here once did ``backend == "gpu"`` — mentioning
+that in a docstring must not fire now that the check reads the AST.
+"""
+
+LEGEND = 'resolved via the registry, never backend == "naive" chains'
+# backend != "cpu" in a comment alone is fine
+
+
+def pick(name):
+    if name == "gpu":  # comparing a non-backend name is allowed
+        return 1
+    return 0

@@ -1,0 +1,18 @@
+"""Fixture: every mutable-default form must fire (4 findings)."""
+
+
+def append(item, log=[]):
+    log.append(item)
+    return log
+
+
+def tally(counts={}):
+    return counts
+
+
+def collect(*, seen=set()):
+    return seen
+
+
+def fresh(buffer=list()):
+    return buffer

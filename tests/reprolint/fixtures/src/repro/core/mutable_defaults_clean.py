@@ -1,0 +1,11 @@
+"""Fixture: immutable and sentinel defaults (0 findings)."""
+
+
+def append(item, log=None):
+    log = [] if log is None else log
+    log.append(item)
+    return log
+
+
+def label(prefix="chunk", parts=(), flags=frozenset()):
+    return prefix, parts, flags

@@ -1,0 +1,17 @@
+"""Fixture: exception state that would not survive pickling (1 finding)."""
+
+
+class ReproError(Exception):
+    """Local stand-in for the library's root error class."""
+
+
+class LossyError(ReproError):
+    """Keyword-only state, not forwarded, no __reduce__: fires."""
+
+    def __init__(self, message, *, requested=None):
+        super().__init__(message)
+        self.requested = requested
+
+
+class DeepLossyError(LossyError):
+    """Transitive subclass without __init__: default pickling is fine."""

@@ -1,0 +1,46 @@
+"""Fixture: every pickle-safe shape the rule must accept (0 findings)."""
+
+
+class ReproError(Exception):
+    """Local stand-in for the library's root error class."""
+
+
+class ForwardedError(ReproError):
+    """All extra state travels through super().__init__: clean."""
+
+    def __init__(self, message, code):
+        super().__init__(message, code)
+        self.code = code
+
+
+class StarForwardedError(ReproError):
+    """Star-args forwarded wholesale: clean."""
+
+    def __init__(self, *args):
+        super().__init__(*args)
+
+
+class ReducedError(ReproError):
+    """Keyword-only state shipped by an explicit __reduce__: clean."""
+
+    def __init__(self, message, *, free=None):
+        super().__init__(message)
+        self.free = free
+
+    def __reduce__(self):
+        return (self.__class__, self.args, {"free": self.free})
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
+
+class PlainError(ReproError):
+    """No __init__ at all: default pickling is fine."""
+
+
+class NotOurError(ValueError):
+    """Not ReproError-derived — outside the rule's hierarchy."""
+
+    def __init__(self, message, *, detail=None):
+        super().__init__(message)
+        self.detail = detail

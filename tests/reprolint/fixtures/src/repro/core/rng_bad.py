@@ -1,0 +1,15 @@
+"""Fixture: every global-state RNG form must fire (5 findings)."""
+
+import random
+from random import shuffle
+
+import numpy as np
+
+
+def sample(n):
+    np.random.seed(0)
+    values = np.random.rand(n)
+    rng = np.random.default_rng()
+    jitter = random.random()
+    shuffle(values)
+    return values, rng, jitter

@@ -1,0 +1,24 @@
+"""Fixture: inline suppressions (2 suppressed, 1 active finding).
+
+The last function disables the *wrong* rule, so its mutable default
+must still fire — a suppression silences exactly the named rule.
+"""
+
+
+def risky():
+    try:
+        work()
+    except Exception:  # reprolint: disable=blanket-except — fixture
+        raise
+
+
+def tally(counts={}):  # reprolint: disable=no-mutable-defaults
+    return counts
+
+
+def nope(log=[]):  # reprolint: disable=blanket-except
+    return log
+
+
+def work():
+    pass

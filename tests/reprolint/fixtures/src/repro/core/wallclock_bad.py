@@ -1,0 +1,13 @@
+"""Fixture: every clock-read form must fire (4 findings)."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp():
+    started = time.time()
+    ticks = time.monotonic_ns()
+    elapsed = perf_counter() - started
+    when = datetime.now()
+    return started, ticks, elapsed, when

@@ -1,0 +1,15 @@
+"""Fixture: sleeping and naming clocks without reading them (0 findings).
+
+Calling ``time.time()`` is forbidden in compute code — saying so in a
+docstring is not.
+"""
+
+import time
+
+
+def backoff(delay_s):
+    time.sleep(delay_s)  # pausing does not read the clock
+
+
+def describe():
+    return "we never call time.perf_counter() here"

@@ -1,0 +1,11 @@
+"""Fixture: every widening-dtype form must fire (3 findings)."""
+
+from numpy import float64
+
+import numpy as np
+
+
+def widen(texels):
+    buffer = np.zeros((4, 4), dtype=np.float64)
+    scalar = float(texels[0])
+    return buffer, scalar, float64

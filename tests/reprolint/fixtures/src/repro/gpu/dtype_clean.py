@@ -1,0 +1,12 @@
+"""Fixture: float32 discipline plus the annotation trap (0 findings)."""
+
+import numpy as np
+
+
+def pack(texels):
+    return np.asarray(texels, dtype=np.float32)
+
+
+def scale(value: float, gain: float = 2.0) -> float:
+    # `float` as an annotation names a type; only float(...) casts fire.
+    return np.float32(value) * np.float32(gain)

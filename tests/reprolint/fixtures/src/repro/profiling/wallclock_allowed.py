@@ -1,0 +1,9 @@
+"""Fixture: the profiling layer may read the clock (0 findings)."""
+
+import time
+
+
+def measure(task):
+    start = time.perf_counter()
+    result = task()
+    return result, time.perf_counter() - start

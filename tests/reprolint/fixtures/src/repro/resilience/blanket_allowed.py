@@ -1,0 +1,8 @@
+"""Fixture: the resilience layer may blanket-catch (0 findings)."""
+
+
+def isolate(task):
+    try:
+        return task()
+    except Exception as exc:
+        return exc

@@ -1,0 +1,7 @@
+"""Repository tooling: lints, doc generators, and the reprolint suite.
+
+This package marker exists so ``python -m tools.reprolint`` works from
+the repository root; the legacy single-file checkers
+(``check_excepts.py``, ``check_dispatch.py``, ``check_docs.py``) remain
+directly runnable as scripts.
+"""

@@ -1,19 +1,12 @@
 #!/usr/bin/env python
 """Dispatch lint — backend string dispatch must not re-fragment.
 
-Before the :mod:`repro.backends` registry, ``config.backend == "..."``
-chains were duplicated across ``core/amc.py``, ``core/morphology.py``
-and ``parallel/amc.py``; adding a backend meant editing every one of
-them.  The registry made name resolution a single point, and this
-checker keeps it that way: it fails if any ``backend == ...`` /
-``backend != ...`` comparison (including ``config.backend``,
-``args.backend``, ``self.backend``) appears in library code outside
-``src/repro/backends/``.  Capability decisions belong on the backend
-object (``supports_device_unmixing``, ``supports_trace``), not on its
-name.
-
-Run by ``tests/test_dispatch_lint.py`` so it gates CI; run directly for
-a human-readable report::
+Thin wrapper over reprolint's AST-accurate ``backend-dispatch`` rule
+(``tools/reprolint/rules/backend_dispatch.py``).  The original regex
+scanner this file used to be could false-positive on ``backend ==``
+text inside strings and docstrings; matching ``ast.Compare`` nodes
+cannot.  The wrapper (and its ``scan()`` API) is kept so documented
+invocations stay valid::
 
     python tools/check_dispatch.py
 """
@@ -21,51 +14,33 @@ a human-readable report::
 from __future__ import annotations
 
 import os
-import re
 import sys
 
 TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
 REPO_ROOT = os.path.dirname(TOOLS_DIR)
+if REPO_ROOT not in sys.path:
+    sys.path.insert(0, REPO_ROOT)
 
-#: Any equality/inequality comparison against a name ending in
-#: ``backend`` — the dispatch idiom the registry replaced.
-PATTERN = re.compile(r"\bbackend\s*(?:==|!=)")
+from tools.reprolint import run  # noqa: E402  (path set up above)
 
-#: Directory (relative to the scanned root) whose files may dispatch.
-ALLOWED_DIR = os.path.join("src", "repro", "backends")
+RULE_ID = "backend-dispatch"
 
 
-def scan_file(path: str) -> list[tuple[int, str]]:
-    """(line number, line) pairs of dispatch comparisons in one file."""
-    hits = []
+def _line_text(path: str, lineno: int) -> str:
     with open(path, encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            code = line.split("#", 1)[0]
-            if PATTERN.search(code):
-                hits.append((lineno, line.rstrip()))
-    return hits
+        for number, line in enumerate(fh, start=1):
+            if number == lineno:
+                return line.strip()
+    return ""
 
 
 def scan(root: str = REPO_ROOT) -> list[str]:
     """All violations under ``root``'s ``src/repro`` tree, as
     ``path:line: text`` strings (empty when dispatch is centralized)."""
-    problems = []
-    src = os.path.join(root, "src", "repro")
-    allowed = os.path.join(root, ALLOWED_DIR)
-    for dirpath, dirnames, filenames in os.walk(src):
-        dirnames[:] = [d for d in dirnames
-                       if not d.startswith((".", "_"))
-                       and not d.endswith(".egg-info")]
-        if os.path.commonpath([dirpath, allowed]) == allowed:
-            continue
-        for filename in sorted(filenames):
-            if not filename.endswith(".py"):
-                continue
-            path = os.path.join(dirpath, filename)
-            for lineno, line in scan_file(path):
-                rel = os.path.relpath(path, root)
-                problems.append(f"{rel}:{lineno}: {line.strip()}")
-    return problems
+    result = run(paths=["src/repro"], root=root, rules=[RULE_ID])
+    return [f"{f.path}:{f.line}: "
+            f"{_line_text(os.path.join(root, f.path), f.line)}"
+            for f in result.findings]
 
 
 def main() -> int:

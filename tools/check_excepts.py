@@ -1,19 +1,12 @@
 #!/usr/bin/env python
 """Except lint — blanket exception handling stays in the resilience layer.
 
-Swallowing arbitrary exceptions hides real bugs behind "handled"
-failures, and the fault-tolerance work made the temptation permanent:
-once retry/recovery wrappers exist, it is one lazy edit away to catch
-``Exception`` at a call site instead of routing the failure through
-:mod:`repro.resilience`.  This checker keeps the containment: it fails
-if a bare ``except:`` or a blanket ``except Exception`` /
-``except BaseException`` clause appears in library code outside
-``src/repro/resilience/`` — the one package whose *job* is absorbing
-arbitrary failures.  Everywhere else, catch the specific exceptions you
-can actually handle.
-
-Run by ``tests/test_excepts_lint.py`` so it gates CI; run directly for
-a human-readable report::
+Thin wrapper over reprolint's AST-accurate ``blanket-except`` rule
+(``tools/reprolint/rules/blanket_except.py``).  The original regex
+scanner this file used to be could false-positive on ``except
+Exception:`` text inside strings and docstrings; matching
+``ast.ExceptHandler`` nodes cannot.  The wrapper (and its ``scan()``
+API) is kept so documented invocations stay valid::
 
     python tools/check_excepts.py
 """
@@ -21,52 +14,33 @@ a human-readable report::
 from __future__ import annotations
 
 import os
-import re
 import sys
 
 TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
 REPO_ROOT = os.path.dirname(TOOLS_DIR)
+if REPO_ROOT not in sys.path:
+    sys.path.insert(0, REPO_ROOT)
 
-#: A bare ``except:`` or a clause catching ``Exception`` /
-#: ``BaseException`` (alone or anywhere in a tuple).
-PATTERN = re.compile(
-    r"\bexcept\s*(:|(\(?[^:]*\b(?:Exception|BaseException)\b[^:]*\)?\s*:))")
+from tools.reprolint import run  # noqa: E402  (path set up above)
 
-#: Directory (relative to the scanned root) whose files may blanket-catch.
-ALLOWED_DIR = os.path.join("src", "repro", "resilience")
+RULE_ID = "blanket-except"
 
 
-def scan_file(path: str) -> list[tuple[int, str]]:
-    """(line number, line) pairs of blanket excepts in one file."""
-    hits = []
+def _line_text(path: str, lineno: int) -> str:
     with open(path, encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            code = line.split("#", 1)[0]
-            if PATTERN.search(code):
-                hits.append((lineno, line.rstrip()))
-    return hits
+        for number, line in enumerate(fh, start=1):
+            if number == lineno:
+                return line.strip()
+    return ""
 
 
 def scan(root: str = REPO_ROOT) -> list[str]:
     """All violations under ``root``'s ``src/repro`` tree, as
     ``path:line: text`` strings (empty when containment holds)."""
-    problems = []
-    src = os.path.join(root, "src", "repro")
-    allowed = os.path.join(root, ALLOWED_DIR)
-    for dirpath, dirnames, filenames in os.walk(src):
-        dirnames[:] = [d for d in dirnames
-                       if not d.startswith((".", "_"))
-                       and not d.endswith(".egg-info")]
-        if os.path.commonpath([dirpath, allowed]) == allowed:
-            continue
-        for filename in sorted(filenames):
-            if not filename.endswith(".py"):
-                continue
-            path = os.path.join(dirpath, filename)
-            for lineno, line in scan_file(path):
-                rel = os.path.relpath(path, root)
-                problems.append(f"{rel}:{lineno}: {line.strip()}")
-    return problems
+    result = run(paths=["src/repro"], root=root, rules=[RULE_ID])
+    return [f"{f.path}:{f.line}: "
+            f"{_line_text(os.path.join(root, f.path), f.line)}"
+            for f in result.findings]
 
 
 def main() -> int:

@@ -1,0 +1,36 @@
+"""reprolint — the repo's unified AST-based static-analysis suite.
+
+One shared parse and tree walk per file, a plugin :class:`Check`
+protocol, path-scoped allowlists, inline
+``# reprolint: disable=<rule>`` suppressions, and text/JSON reporters
+behind ``python -m tools.reprolint``.  The rules encode invariants the
+runtime tests cannot fully cover — exception containment, single-point
+backend dispatch, pickle-safe exception state, explicit RNG seeding,
+clock-free compute, float32 shader-path discipline, and no mutable
+defaults.  See ``docs/static_analysis.md`` for the catalogue.
+"""
+
+from __future__ import annotations
+
+from .config import Config, load_config
+from .engine import (AstCache, Check, Finding, Rule, RunResult, iter_nodes,
+                     run)
+from .reporters import render_json, render_text
+from .rules import ALL_RULES, all_rules, resolve_rules
+
+__all__ = [
+    "ALL_RULES",
+    "AstCache",
+    "Check",
+    "Config",
+    "Finding",
+    "Rule",
+    "RunResult",
+    "all_rules",
+    "iter_nodes",
+    "load_config",
+    "render_json",
+    "render_text",
+    "resolve_rules",
+    "run",
+]

@@ -1,0 +1,63 @@
+"""CLI: ``python -m tools.reprolint [paths...] [--json] [--rules ...]``.
+
+Exit status 0 when no active findings remain (suppressed findings do
+not fail the run — they are reported so the debt stays visible), 1 when
+violations were found, 2 on usage errors (argparse's convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .engine import REPO_ROOT, run
+from .reporters import render_json, render_text
+from .rules import all_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="AST-based static analysis guarding the repo's "
+                    "determinism, pickle-safety and dtype invariants")
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: the scan roots from "
+             "[tool.reprolint] in pyproject.toml)")
+    parser.add_argument(
+        "--root", default=REPO_ROOT,
+        help="repository root findings are reported relative to "
+             "(default: this checkout)")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable JSON report instead of text")
+    parser.add_argument(
+        "--rules", default=None, metavar="ID[,ID...]",
+        help="comma-separated subset of rule ids to run (default: all)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}: {rule.description}")
+        return 0
+    rule_ids = (None if args.rules is None
+                else [part.strip() for part in args.rules.split(",")
+                      if part.strip()])
+    try:
+        result = run(paths=args.paths or None, root=args.root,
+                     rules=rule_ids)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_json(result) if args.json else render_text(result))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

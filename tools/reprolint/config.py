@@ -1,0 +1,59 @@
+"""reprolint configuration: scan roots and per-rule path allowlists.
+
+Configuration lives in ``pyproject.toml`` under ``[tool.reprolint]``::
+
+    [tool.reprolint]
+    roots = ["src/repro", "tools", "benchmarks", "examples"]
+
+    [tool.reprolint.allow]
+    dtype-discipline = ["src/repro/gpu/counters.py"]
+
+``roots`` are the directories scanned when no explicit paths are given
+(tests are deliberately absent: fixture files under
+``tests/reprolint/fixtures/`` violate rules on purpose).  ``allow``
+maps a rule id to extra exempt path prefixes, merged with the rule's
+built-in ``allowed_paths``.
+
+When ``root`` has no ``pyproject.toml`` (the unit tests lint synthetic
+trees under ``tmp_path``) or the interpreter predates :mod:`tomllib`,
+the built-in defaults apply.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Mapping
+
+try:
+    import tomllib
+except ImportError:  # Python < 3.11: fall back to the defaults below.
+    tomllib = None
+
+#: Directories scanned by default, relative to the repo root.  Fixture
+#: trees under tests/ are excluded by construction.
+DEFAULT_ROOTS: tuple[str, ...] = (
+    "src/repro", "tools", "benchmarks", "examples")
+
+
+@dataclass(frozen=True)
+class Config:
+    roots: tuple[str, ...] = DEFAULT_ROOTS
+    allow: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
+
+
+def load_config(root: str) -> Config:
+    """The ``[tool.reprolint]`` table of ``root``'s pyproject, or defaults."""
+    path = os.path.join(root, "pyproject.toml")
+    if tomllib is None or not os.path.isfile(path):
+        return Config()
+    with open(path, "rb") as fh:
+        try:
+            data = tomllib.load(fh)
+        except tomllib.TOMLDecodeError:
+            return Config()
+    table = data.get("tool", {}).get("reprolint", {})
+    roots = tuple(table.get("roots", DEFAULT_ROOTS))
+    allow = {rule_id: tuple(prefixes)
+             for rule_id, prefixes in table.get("allow", {}).items()}
+    return Config(roots=roots, allow=allow)

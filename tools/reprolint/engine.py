@@ -1,0 +1,276 @@
+"""reprolint core: one parse, one walk, many rules.
+
+The engine owns everything the individual rules should not have to
+repeat: file discovery, parsing (cached per file), the tree walk
+(memoized per tree, shared by every rule), path scoping, inline
+suppressions, and result ordering.  A rule is a small object satisfying
+the :class:`Check` protocol — it receives an already-parsed tree and
+returns :class:`Finding` objects; it never opens files and never walks
+the tree itself (it asks :func:`iter_nodes`, which walks each tree
+exactly once no matter how many rules or node types are requested).
+
+Path scoping happens *before* a rule runs:
+
+``applies_to``
+    Repo-relative posix prefixes the rule is confined to; empty means
+    every scanned file.
+``allowed_paths``
+    Prefixes (directories or single files) exempt from the rule — the
+    mechanism behind "blanket excepts may live in ``resilience/``".
+    Extended per-rule by ``[tool.reprolint.allow]`` in ``pyproject.toml``
+    (see :mod:`tools.reprolint.config`).
+
+Line-level escapes use ``# reprolint: disable=<rule>[,<rule>...]`` on
+the flagged line.  A suppression silences exactly the named rules; the
+finding is still produced, marked ``suppressed=True``, and counted in
+the JSON report so silenced debt stays visible.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, replace
+from typing import Iterable, Protocol, Sequence
+
+TOOLS_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+REPO_ROOT = os.path.dirname(TOOLS_DIR)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is root-relative with ``/`` separators regardless of
+    platform, so findings are stable keys in reports and tests.
+    """
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule_id)
+
+
+class Check(Protocol):
+    """What the engine requires of a rule."""
+
+    rule_id: str
+    description: str
+    applies_to: tuple[str, ...]
+    allowed_paths: tuple[str, ...]
+
+    def visit(self, tree: ast.Module, source: str,
+              path: str) -> list[Finding]:
+        """Findings for one already-parsed file (``path`` is relative)."""
+        ...
+
+
+class Rule:
+    """Convenience base for rules: scoping attributes + a finding factory."""
+
+    rule_id: str = ""
+    description: str = ""
+    applies_to: tuple[str, ...] = ()
+    allowed_paths: tuple[str, ...] = ()
+
+    def finding(self, path: str, node: ast.AST, message: str) -> Finding:
+        return Finding(self.rule_id, path, getattr(node, "lineno", 1),
+                       getattr(node, "col_offset", 0), message)
+
+
+# --------------------------------------------------------------------------
+# Shared parse + walk
+
+
+class AstCache:
+    """Parse each file at most once per run; every rule shares the tree."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, tuple[ast.Module, str]] = {}
+
+    def get(self, abspath: str) -> tuple[ast.Module, str]:
+        entry = self._entries.get(abspath)
+        if entry is None:
+            with open(abspath, encoding="utf-8") as fh:
+                source = fh.read()
+            entry = (ast.parse(source, filename=abspath), source)
+            self._entries[abspath] = entry
+        return entry
+
+
+#: id(tree) -> (tree, all nodes in walk order, {node type: nodes}).
+#: Keeping the tree in the value pins it alive, so an id can never be
+#: recycled while its entry exists; ``run`` clears the table when done.
+_WALK_CACHE: dict[int, tuple[ast.AST, list[ast.AST],
+                             dict[type, list[ast.AST]]]] = {}
+
+
+def iter_nodes(tree: ast.AST, *types: type) -> list[ast.AST]:
+    """Nodes of the given types, from a single memoized walk of ``tree``.
+
+    The first rule to ask triggers one ``ast.walk``; every later request
+    for the same tree — any rule, any node type — is a dict lookup.
+    With no ``types`` the full node list is returned.
+    """
+    entry = _WALK_CACHE.get(id(tree))
+    if entry is None or entry[0] is not tree:
+        nodes = list(ast.walk(tree))
+        by_type: dict[type, list[ast.AST]] = {}
+        for node in nodes:
+            by_type.setdefault(type(node), []).append(node)
+        entry = (tree, nodes, by_type)
+        _WALK_CACHE[id(tree)] = entry
+    if not types:
+        return list(entry[1])
+    if len(types) == 1:
+        return list(entry[2].get(types[0], ()))
+    out: list[ast.AST] = []
+    for t in types:
+        out.extend(entry[2].get(t, ()))
+    out.sort(key=lambda n: (getattr(n, "lineno", 0),
+                            getattr(n, "col_offset", 0)))
+    return out
+
+
+# --------------------------------------------------------------------------
+# Inline suppressions
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable=([A-Za-z0-9_-]+(?:\s*,\s*[A-Za-z0-9_-]+)*)")
+
+
+def suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Line number -> rule ids disabled on that physical line."""
+    out: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            out[lineno] = frozenset(
+                part.strip() for part in match.group(1).split(","))
+    return out
+
+
+# --------------------------------------------------------------------------
+# File discovery and scoping
+
+#: Directory names never descended into (caches, VCS, egg metadata).
+def _keep_dir(name: str) -> bool:
+    return (not name.startswith((".", "_"))
+            and not name.endswith(".egg-info"))
+
+
+def collect_files(paths: Sequence[str], root: str) -> list[str]:
+    """All ``.py`` files under ``paths`` (files or directories, resolved
+    against ``root``), sorted within each path for determinism.  Paths
+    that do not exist are skipped — scan roots are a superset of what a
+    given checkout may contain."""
+    files: list[str] = []
+    seen: set[str] = set()
+    for path in paths:
+        abspath = path if os.path.isabs(path) else os.path.join(root, path)
+        if os.path.isfile(abspath):
+            if abspath.endswith(".py") and abspath not in seen:
+                seen.add(abspath)
+                files.append(abspath)
+            continue
+        for dirpath, dirnames, filenames in os.walk(abspath):
+            dirnames[:] = sorted(d for d in dirnames if _keep_dir(d))
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                full = os.path.join(dirpath, filename)
+                if full not in seen:
+                    seen.add(full)
+                    files.append(full)
+    return files
+
+
+def path_matches(relpath: str, prefixes: Iterable[str]) -> bool:
+    """True when ``relpath`` equals a prefix or lies under a prefix
+    directory.  Prefixes use ``/`` separators and may name single files."""
+    for prefix in prefixes:
+        prefix = prefix.rstrip("/")
+        if relpath == prefix or relpath.startswith(prefix + "/"):
+            return True
+    return False
+
+
+# --------------------------------------------------------------------------
+# Runner
+
+
+@dataclass
+class RunResult:
+    """Outcome of one lint run.
+
+    ``findings`` are the active (build-failing) violations;
+    ``suppressed`` the ones silenced by inline ``disable`` comments —
+    reported separately so suppression debt is countable.
+    """
+
+    findings: list[Finding]
+    suppressed: list[Finding]
+    files_scanned: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def run(paths: Sequence[str] | None = None, root: str = REPO_ROOT,
+        rules: Sequence[str] | None = None, config=None) -> RunResult:
+    """Lint ``paths`` (default: the configured scan roots) under ``root``.
+
+    ``rules`` selects a subset by id; unknown ids raise ``ValueError``
+    so a typoed CI invocation fails loudly instead of passing vacuously.
+    """
+    from .config import load_config
+    from .rules import all_rules, resolve_rules
+
+    cfg = config if config is not None else load_config(root)
+    selected = all_rules() if rules is None else resolve_rules(rules)
+    scan_paths = list(paths) if paths is not None else list(cfg.roots)
+
+    cache = AstCache()
+    active: list[Finding] = []
+    suppressed: list[Finding] = []
+    files = collect_files(scan_paths, root)
+    try:
+        for abspath in files:
+            rel = os.path.relpath(abspath, root).replace(os.sep, "/")
+            applicable = [
+                rule for rule in selected
+                if (not rule.applies_to
+                    or path_matches(rel, rule.applies_to))
+                and not path_matches(
+                    rel, tuple(rule.allowed_paths)
+                    + tuple(cfg.allow.get(rule.rule_id, ())))
+            ]
+            if not applicable:
+                continue
+            try:
+                tree, source = cache.get(abspath)
+            except (SyntaxError, ValueError, UnicodeDecodeError) as exc:
+                active.append(Finding(
+                    "syntax-error", rel,
+                    getattr(exc, "lineno", None) or 1, 0,
+                    f"could not parse file: {exc}"))
+                continue
+            disabled = suppressions(source)
+            for rule in applicable:
+                for finding in rule.visit(tree, source, rel):
+                    if rule.rule_id in disabled.get(finding.line, ()):
+                        suppressed.append(replace(finding, suppressed=True))
+                    else:
+                        active.append(finding)
+    finally:
+        _WALK_CACHE.clear()
+    active.sort(key=Finding.sort_key)
+    suppressed.sort(key=Finding.sort_key)
+    return RunResult(active, suppressed, len(files))

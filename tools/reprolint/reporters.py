@@ -1,0 +1,53 @@
+"""Finding renderers: one for humans, one for machines.
+
+The JSON document is the CI artifact: the pytest gate
+(``tests/reprolint/test_reprolint.py``) and any external consumer read
+the same shape ``python -m tools.reprolint --json`` prints, so a local
+run and the CI run can never disagree about what was found.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .engine import Finding, RunResult
+
+#: Bumped when the JSON shape changes incompatibly.
+JSON_VERSION = 1
+
+
+def _finding_dict(finding: Finding) -> dict:
+    return {
+        "rule": finding.rule_id,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+        "suppressed": finding.suppressed,
+    }
+
+
+def render_json(result: RunResult) -> str:
+    document = {
+        "version": JSON_VERSION,
+        "files_scanned": result.files_scanned,
+        "findings": [_finding_dict(f) for f in result.findings],
+        "suppressed": [_finding_dict(f) for f in result.suppressed],
+        "suppressed_count": len(result.suppressed),
+    }
+    return json.dumps(document, indent=2, sort_keys=False)
+
+
+def render_text(result: RunResult) -> str:
+    lines = []
+    for finding in result.findings:
+        lines.append(f"FAIL: [{finding.rule_id}] {finding.path}:"
+                     f"{finding.line}:{finding.col}: {finding.message}")
+    summary = (f"{len(result.findings)} finding(s), "
+               f"{len(result.suppressed)} suppressed, "
+               f"{result.files_scanned} file(s) scanned")
+    if result.findings:
+        lines.append(summary)
+    else:
+        lines.append(f"reprolint clean: {summary}")
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Rule registry: every reprolint check, in stable report order.
+
+Adding a rule is three steps (see ``docs/static_analysis.md``): write a
+module here with a :class:`~tools.reprolint.engine.Rule` subclass, add
+an instance to :data:`ALL_RULES`, and give it bad/clean fixtures under
+``tests/reprolint/fixtures/``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .backend_dispatch import BackendDispatchRule
+from .blanket_except import BlanketExceptRule
+from .dtype_discipline import DtypeDisciplineRule
+from .mutable_defaults import MutableDefaultsRule
+from .pickle_safe_errors import PickleSafeErrorsRule
+from .unseeded_rng import UnseededRngRule
+from .wallclock import WallclockRule
+
+ALL_RULES = (
+    BlanketExceptRule(),
+    BackendDispatchRule(),
+    PickleSafeErrorsRule(),
+    UnseededRngRule(),
+    WallclockRule(),
+    DtypeDisciplineRule(),
+    MutableDefaultsRule(),
+)
+
+_BY_ID = {rule.rule_id: rule for rule in ALL_RULES}
+assert len(_BY_ID) == len(ALL_RULES), "duplicate rule_id in ALL_RULES"
+
+
+def all_rules():
+    """Every registered rule, in registry order."""
+    return list(ALL_RULES)
+
+
+def resolve_rules(rule_ids: Sequence[str]):
+    """Rules for the given ids; unknown ids fail loudly — a typoed CI
+    invocation must not pass vacuously."""
+    unknown = [rule_id for rule_id in rule_ids if rule_id not in _BY_ID]
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s) {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(_BY_ID))}")
+    return [_BY_ID[rule_id] for rule_id in rule_ids]

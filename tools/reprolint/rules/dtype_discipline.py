@@ -1,0 +1,79 @@
+"""dtype-discipline: the emulated shader path stays float32.
+
+The paper's GPU mapping stores hyperspectral data as RGBA *float32*
+textures and shades them with float4 arithmetic — the reproduction's
+three-way agreement tests (reference vs oracle vs GPU) are calibrated
+to exactly that precision.  A ``np.float64`` array or a bare
+``float(...)`` cast introduced into :mod:`repro.gpu` or
+:mod:`repro.stream` silently widens part of the texel path to double,
+making the emulation *more* accurate than the hardware it models — a
+reproducibility bug that no runtime test catches until a golden hash
+drifts.
+
+Host-side scalar plumbing that never touches texel data (vertex
+coordinates, counter aggregates, compile-time shader constants) is
+exempted line-by-line with ``# reprolint: disable=dtype-discipline``
+or path-wide via ``[tool.reprolint.allow]`` in ``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Finding, Rule, iter_nodes
+
+#: numpy attributes that name a wider-than-float32 float dtype.
+WIDE_DTYPES = frozenset({"float64", "double", "longdouble", "float128"})
+
+
+def _numpy_aliases(tree: ast.Module) -> set[str]:
+    aliases = set()
+    for node in iter_nodes(tree, ast.Import):
+        for alias in node.names:
+            if alias.name == "numpy":
+                aliases.add(alias.asname or "numpy")
+            elif alias.name.startswith("numpy."):
+                aliases.add("numpy")
+    return aliases
+
+
+class DtypeDisciplineRule(Rule):
+    rule_id = "dtype-discipline"
+    description = ("np.float64 or bare float() cast in the float32 "
+                   "emulated-shader path (repro.gpu / repro.stream)")
+    applies_to = ("src/repro/gpu", "src/repro/stream")
+
+    def visit(self, tree: ast.Module, source: str,
+              path: str) -> list[Finding]:
+        aliases = _numpy_aliases(tree)
+        findings = []
+        for node in iter_nodes(tree, ast.ImportFrom):
+            if node.module in ("numpy", "numpy.core") and node.level == 0:
+                wide = [alias.name for alias in node.names
+                        if alias.name in WIDE_DTYPES]
+                if wide:
+                    findings.append(self.finding(
+                        path, node,
+                        f"importing {', '.join(wide)} into the emulated "
+                        "shader path — RGBA texture semantics are "
+                        "float32 (use np.float32)"))
+        for node in iter_nodes(tree, ast.Attribute):
+            if (node.attr in WIDE_DTYPES
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in aliases):
+                findings.append(self.finding(
+                    path, node,
+                    f"np.{node.attr} in the emulated shader path — RGBA "
+                    "texture semantics are float32 (use np.float32, or "
+                    "suppress with a justification if this never touches "
+                    "texel data)"))
+        for node in iter_nodes(tree, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id == "float":
+                findings.append(self.finding(
+                    path, node,
+                    "bare float() cast produces a Python double in the "
+                    "float32 shader path — use np.float32, or suppress "
+                    "with a justification if this is host-side scalar "
+                    "plumbing"))
+        findings.sort(key=Finding.sort_key)
+        return findings

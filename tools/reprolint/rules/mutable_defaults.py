@@ -1,0 +1,53 @@
+"""no-mutable-defaults: default argument values must not be mutable.
+
+A ``def f(log=[])`` default is evaluated once at definition time and
+shared by every call — state leaks across calls, and in this codebase
+across *chunks* and *retries*, which is exactly the kind of hidden
+coupling the bit-identical execution guarantees cannot tolerate.
+Applies to every scanned file (library, tools, benchmarks, examples).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Finding, Rule, iter_nodes
+
+#: Constructor names whose call as a default is equally shared/mutable.
+MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set,
+                     ast.ListComp, ast.DictComp, ast.SetComp)
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in MUTABLE_CALLS)
+
+
+class MutableDefaultsRule(Rule):
+    rule_id = "no-mutable-defaults"
+    description = "mutable default argument value (list/dict/set literal)"
+    applies_to = ()  # every scanned file
+
+    def visit(self, tree: ast.Module, source: str,
+              path: str) -> list[Finding]:
+        findings = []
+        for func in iter_nodes(tree, ast.FunctionDef,
+                               ast.AsyncFunctionDef, ast.Lambda):
+            name = getattr(func, "name", "<lambda>")
+            defaults = list(func.args.defaults)
+            defaults.extend(d for d in func.args.kw_defaults
+                            if d is not None)
+            for default in defaults:
+                if _is_mutable_default(default):
+                    findings.append(self.finding(
+                        path, default,
+                        f"mutable default in {name}() is evaluated once "
+                        "and shared across calls — default to None (or "
+                        "an immutable tuple) and build the container in "
+                        "the body"))
+        return findings

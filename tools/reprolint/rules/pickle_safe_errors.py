@@ -1,0 +1,121 @@
+"""pickle-safe-errors: exception state must survive a pool result queue.
+
+Worker exceptions cross ``multiprocessing`` result queues by pickling,
+and the default exception ``__reduce__`` reconstructs from ``args``
+alone.  An exception ``__init__`` that accepts extra parameters but
+does not forward them to ``super().__init__`` therefore arrives in the
+parent either stripped of its state or not at all (a ``TypeError``
+inside the unpickler — the PR 3 ``GpuOutOfMemoryError`` bug).
+
+This rule generalizes that fix across the whole :class:`ReproError`
+hierarchy: for every class that (transitively, within its module)
+derives from ``ReproError`` and defines ``__init__``, each non-``self``
+parameter must either be forwarded to a ``super().__init__(...)`` /
+``Base.__init__(self, ...)`` call, or the class must define
+``__reduce__`` to ship the extra state explicitly.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Finding, Rule, iter_nodes
+
+#: The root of the library's exception hierarchy (``src/repro/errors.py``).
+ROOT_ERROR = "ReproError"
+
+
+def _base_names(cls: ast.ClassDef) -> set[str]:
+    names = set()
+    for base in cls.bases:
+        if isinstance(base, ast.Name):
+            names.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.add(base.attr)
+    return names
+
+
+def _error_classes(classes: list[ast.ClassDef]) -> set[str]:
+    """Transitive closure of ReproError-derived class names in one module."""
+    error_names = {ROOT_ERROR}
+    changed = True
+    while changed:
+        changed = False
+        for cls in classes:
+            if cls.name not in error_names and (_base_names(cls)
+                                                & error_names):
+                error_names.add(cls.name)
+                changed = True
+    return error_names
+
+
+def _init_params(init: ast.FunctionDef) -> list[str]:
+    """Parameter names beyond the first (``self``), including * and **."""
+    args = init.args
+    positional = [a.arg for a in args.posonlyargs + args.args]
+    names = positional[1:]
+    if args.vararg is not None:
+        names.append(args.vararg.arg)
+    names.extend(a.arg for a in args.kwonlyargs)
+    if args.kwarg is not None:
+        names.append(args.kwarg.arg)
+    return names
+
+
+def _forwarded_names(init: ast.FunctionDef) -> set[str]:
+    """Names passed (positionally, starred, or by keyword) to any
+    ``super().__init__`` / ``Base.__init__`` call inside ``init``."""
+    forwarded: set[str] = set()
+    for node in ast.walk(init):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "__init__"):
+            continue
+        for arg in node.args:
+            if isinstance(arg, ast.Name):
+                forwarded.add(arg.id)
+            elif (isinstance(arg, ast.Starred)
+                  and isinstance(arg.value, ast.Name)):
+                forwarded.add(arg.value.id)
+        for keyword in node.keywords:
+            if isinstance(keyword.value, ast.Name):
+                forwarded.add(keyword.value.id)
+    return forwarded
+
+
+class PickleSafeErrorsRule(Rule):
+    rule_id = "pickle-safe-errors"
+    description = ("ReproError subclass __init__ keeps state that neither "
+                   "super().__init__ nor __reduce__ would pickle")
+    applies_to = ("src/repro",)
+
+    def visit(self, tree: ast.Module, source: str,
+              path: str) -> list[Finding]:
+        classes = iter_nodes(tree, ast.ClassDef)
+        error_names = _error_classes(classes)
+        findings = []
+        for cls in classes:
+            if cls.name not in error_names or cls.name == ROOT_ERROR:
+                continue
+            init = next(
+                (item for item in cls.body
+                 if isinstance(item, ast.FunctionDef)
+                 and item.name == "__init__"), None)
+            if init is None:
+                continue
+            has_reduce = any(isinstance(item, ast.FunctionDef)
+                             and item.name == "__reduce__"
+                             for item in cls.body)
+            if has_reduce:
+                continue
+            missing = [name for name in _init_params(init)
+                       if name not in _forwarded_names(init)]
+            if missing:
+                findings.append(self.finding(
+                    path, init,
+                    f"{cls.name}.__init__ takes ({', '.join(missing)}) "
+                    "without forwarding to super().__init__ and the class "
+                    "defines no __reduce__ — the exception loses this "
+                    "state (or fails to unpickle) crossing a worker "
+                    "pool's result queue"))
+        return findings

@@ -1,0 +1,124 @@
+"""no-unseeded-rng: randomness flows through explicitly-seeded Generators.
+
+Bit-identical serial/parallel/recovered runs (the PR 1/3 invariant) are
+only provable when every random draw is tied to an explicit seed that
+the call site owns.  Global-state RNGs break that two ways: the legacy
+``np.random.*`` functions and the stdlib :mod:`random` module draw from
+hidden process-wide state (which forked pool workers *share the clone
+of*, silently correlating "independent" chunks), and an argumentless
+``np.random.default_rng()`` reseeds from the OS entropy pool on every
+call.
+
+Allowed: constructing seeded generators (``np.random.default_rng(seed)``)
+and naming the Generator/BitGenerator types (annotations, isinstance).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Finding, Rule, iter_nodes
+
+#: np.random attributes that are part of the explicit-Generator API.
+ALLOWED_NP_RANDOM = frozenset({
+    "Generator", "default_rng", "SeedSequence", "BitGenerator",
+    "MT19937", "PCG64", "PCG64DXSM", "Philox", "SFC64",
+})
+
+
+def _alias_tables(tree: ast.Module):
+    """(numpy aliases, numpy.random aliases, stdlib random aliases)."""
+    numpy_aliases: set[str] = set()
+    np_random_aliases: set[str] = set()
+    stdlib_random_aliases: set[str] = set()
+    for node in iter_nodes(tree, ast.Import):
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "numpy":
+                numpy_aliases.add(bound)
+            elif alias.name == "numpy.random" and alias.asname:
+                np_random_aliases.add(alias.asname)
+            elif alias.name == "numpy.random":
+                numpy_aliases.add("numpy")
+            elif alias.name == "random":
+                stdlib_random_aliases.add(bound)
+    return numpy_aliases, np_random_aliases, stdlib_random_aliases
+
+
+def _np_random_attr(node: ast.Attribute, numpy_aliases: set[str],
+                    np_random_aliases: set[str]) -> bool:
+    """Is ``node`` an ``<np>.random.<x>`` or ``<npr>.<x>`` access?"""
+    value = node.value
+    if (isinstance(value, ast.Attribute) and value.attr == "random"
+            and isinstance(value.value, ast.Name)
+            and value.value.id in numpy_aliases):
+        return True
+    return isinstance(value, ast.Name) and value.id in np_random_aliases
+
+
+class UnseededRngRule(Rule):
+    rule_id = "no-unseeded-rng"
+    description = ("legacy global-state RNG (np.random.*, stdlib random) "
+                   "or an argumentless default_rng()")
+    applies_to = ("src/repro",)
+
+    def visit(self, tree: ast.Module, source: str,
+              path: str) -> list[Finding]:
+        numpy_aliases, np_random_aliases, stdlib_aliases = \
+            _alias_tables(tree)
+        findings = []
+
+        for node in iter_nodes(tree, ast.ImportFrom):
+            if node.module == "random" and node.level == 0:
+                findings.append(self.finding(
+                    path, node,
+                    "stdlib `random` draws from hidden process-global "
+                    "state — pass an explicitly seeded "
+                    "np.random.Generator instead"))
+            elif node.module in ("numpy.random", "numpy"):
+                bad = [alias.name for alias in node.names
+                       if alias.name not in ALLOWED_NP_RANDOM
+                       and alias.name != "random"]
+                if node.module == "numpy.random" and bad:
+                    findings.append(self.finding(
+                        path, node,
+                        f"legacy numpy.random import ({', '.join(bad)}) — "
+                        "use an explicitly seeded np.random.Generator"))
+                elif node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            np_random_aliases.add(
+                                alias.asname or alias.name)
+
+        for node in iter_nodes(tree, ast.Attribute):
+            if not _np_random_attr(node, numpy_aliases, np_random_aliases):
+                continue
+            if node.attr not in ALLOWED_NP_RANDOM:
+                findings.append(self.finding(
+                    path, node,
+                    f"np.random.{node.attr} uses the legacy global RNG — "
+                    "draw from an explicitly seeded np.random.Generator "
+                    "passed in by the caller"))
+
+        for node in iter_nodes(tree, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr == "default_rng"
+                    and _np_random_attr(func, numpy_aliases,
+                                        np_random_aliases)
+                    and not node.args and not node.keywords):
+                findings.append(self.finding(
+                    path, node,
+                    "default_rng() without a seed draws fresh OS entropy "
+                    "— every run differs; pass the seed explicitly"))
+            elif (isinstance(func, ast.Attribute)
+                  and isinstance(func.value, ast.Name)
+                  and func.value.id in stdlib_aliases):
+                findings.append(self.finding(
+                    path, node,
+                    f"random.{func.attr} draws from hidden process-global "
+                    "state — pass an explicitly seeded "
+                    "np.random.Generator instead"))
+
+        findings.sort(key=Finding.sort_key)
+        return findings

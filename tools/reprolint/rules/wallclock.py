@@ -1,0 +1,102 @@
+"""no-wallclock-in-compute: deterministic kernels must not read the clock.
+
+The emulated device is a *model*: every modeled millisecond is derived
+from counted work priced by spec constants, and results must be
+bit-identical across serial, parallel and fault-recovered executions.
+A ``time.time()`` / ``perf_counter()`` / ``datetime.now()`` read inside
+compute code injects host wall-clock state into that model — the value
+differs every run, so anything derived from it is unreproducible.
+
+Host-side *measurement* is legitimate, and has a home: the profiling
+layer (``repro.profiling``) and the worker-pool timing sites
+(``repro.parallel``) are exempt.  ``time.sleep`` is not flagged —
+pausing does not feed clock values into a computation (the fault
+injector uses it to emulate stalls).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Finding, Rule, iter_nodes
+
+#: time-module attributes that read a clock.
+CLOCK_READS = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+    "thread_time", "thread_time_ns", "clock_gettime", "clock_gettime_ns",
+})
+
+#: datetime / date classmethods that read a clock.
+DATETIME_READS = frozenset({"now", "utcnow", "today"})
+
+
+def _alias_tables(tree: ast.Module):
+    time_aliases: set[str] = set()
+    clock_names: set[str] = set()          # from time import perf_counter
+    datetime_mod_aliases: set[str] = set()  # import datetime
+    datetime_cls_aliases: set[str] = set()  # from datetime import datetime
+    for node in iter_nodes(tree, ast.Import):
+        for alias in node.names:
+            if alias.name == "time":
+                time_aliases.add(alias.asname or "time")
+            elif alias.name == "datetime":
+                datetime_mod_aliases.add(alias.asname or "datetime")
+    for node in iter_nodes(tree, ast.ImportFrom):
+        if node.level != 0:
+            continue
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in CLOCK_READS:
+                    clock_names.add(alias.asname or alias.name)
+        elif node.module == "datetime":
+            for alias in node.names:
+                if alias.name in ("datetime", "date"):
+                    datetime_cls_aliases.add(alias.asname or alias.name)
+    return (time_aliases, clock_names, datetime_mod_aliases,
+            datetime_cls_aliases)
+
+
+class WallclockRule(Rule):
+    rule_id = "no-wallclock-in-compute"
+    description = ("wall-clock read (time.*, datetime.now) outside the "
+                   "profiling and parallel timing layers")
+    applies_to = ("src/repro",)
+    allowed_paths = ("src/repro/profiling", "src/repro/parallel")
+
+    def visit(self, tree: ast.Module, source: str,
+              path: str) -> list[Finding]:
+        (time_aliases, clock_names, datetime_mods,
+         datetime_classes) = _alias_tables(tree)
+        findings = []
+        for node in iter_nodes(tree, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in clock_names:
+                findings.append(self._clock_finding(path, node, func.id))
+            elif isinstance(func, ast.Attribute):
+                value = func.value
+                if (func.attr in CLOCK_READS
+                        and isinstance(value, ast.Name)
+                        and value.id in time_aliases):
+                    findings.append(
+                        self._clock_finding(path, node,
+                                            f"time.{func.attr}"))
+                elif func.attr in DATETIME_READS and (
+                        (isinstance(value, ast.Name)
+                         and value.id in datetime_classes)
+                        or (isinstance(value, ast.Attribute)
+                            and value.attr in ("datetime", "date")
+                            and isinstance(value.value, ast.Name)
+                            and value.value.id in datetime_mods)):
+                    findings.append(
+                        self._clock_finding(path, node,
+                                            f"datetime.{func.attr}"))
+        return findings
+
+    def _clock_finding(self, path: str, node: ast.AST,
+                       what: str) -> Finding:
+        return self.finding(
+            path, node,
+            f"{what}() reads the wall clock inside deterministic compute "
+            "— timing belongs in repro.profiling / repro.parallel, which "
+            "are the exempt layers")
