@@ -56,6 +56,11 @@ class MorphologyResult:
         The live device the stage ran on, when the backend keeps one
         (the GPU unmixing tail reuses it so one counter set covers the
         whole algorithm); ``None`` otherwise.
+    stats:
+        Plain-float work-counter dict for the profiler's stage records
+        (e.g. the reference backend's shift-reuse accounting — see
+        :meth:`repro.core.pairreuse.PairReuseStats.as_counters`),
+        ``None`` when the backend records none.
     """
 
     mei: np.ndarray
@@ -63,6 +68,7 @@ class MorphologyResult:
     dilation_index: np.ndarray
     accounting: Any | None = None
     device: Any | None = None
+    stats: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -83,6 +89,11 @@ class ChunkResult:
         time_by_kernel)`` for device backends, ``None`` otherwise;
         summed across chunks by
         :meth:`MorphologicalBackend.stitched_accounting`.
+    stats:
+        Plain-float work-counter dict (pickle-friendly across the pool
+        boundary), summed over chunks into the morphology stage record
+        by the chunk-parallel executor; ``None`` when the backend
+        records none.
     """
 
     mei: np.ndarray
@@ -90,6 +101,7 @@ class ChunkResult:
     dilation_index: np.ndarray
     split: tuple[float, float, float] | None = None
     accounting: tuple | None = None
+    stats: dict | None = None
 
 
 class MorphologicalBackend:
@@ -134,7 +146,8 @@ class MorphologicalBackend:
         res = self.run(bip, radius, spec=spec)
         return ChunkResult(mei=res.mei.astype(self.mei_dtype, copy=False),
                            erosion_index=res.erosion_index,
-                           dilation_index=res.dilation_index)
+                           dilation_index=res.dilation_index,
+                           stats=res.stats)
 
     def stitched_accounting(self, mei: np.ndarray, erosion: np.ndarray,
                             dilation: np.ndarray, radius: int,

@@ -20,19 +20,31 @@ from repro.backends.base import (
 
 class ReferenceBackend(MorphologicalBackend):
     """``reference`` — the vectorized float64 NumPy implementation
-    (:func:`repro.core.mei.mei_reference`), the production CPU path."""
+    (:func:`repro.core.mei.mei_reference`), the production CPU path.
+
+    Runs the shift-reuse engine by default (one SID map per unique
+    offset difference — see :mod:`repro.core.pairreuse`); construct
+    with ``method="pairs"`` to opt out into the all-pairs loop.  Both
+    are bit-identical; the reuse accounting rides along in
+    :attr:`~repro.backends.base.MorphologyResult.stats`.
+    """
 
     name = "reference"
+
+    def __init__(self, method: str = "shift") -> None:
+        self.method = method
 
     def run(self, bip, radius, *, spec=None, device=None):
         """Whole-image morphological stage via the vectorized pair
         maps."""
         from repro.core.mei import mei_reference
 
-        out = mei_reference(bip, radius)
+        out = mei_reference(bip, radius, method=self.method)
+        stats = None if out.stats is None else out.stats.as_counters()
         return MorphologyResult(mei=out.mei,
                                 erosion_index=out.erosion_index,
-                                dilation_index=out.dilation_index)
+                                dilation_index=out.dilation_index,
+                                stats=stats)
 
 
 class NaiveBackend(MorphologicalBackend):

@@ -26,6 +26,14 @@ from repro.core.mei import (
     mei_reference,
     se_offsets,
 )
+from repro.core.pairreuse import (
+    PairReuseEngine,
+    PairReuseStats,
+    gather_mei,
+    sum_reuse_counters,
+    unique_difference_offsets,
+)
+from repro.core.shifts import clamped_indices, clamped_shift
 from repro.core.metrics import (
     ClassificationReport,
     confusion_matrix,
@@ -59,7 +67,11 @@ __all__ = [
     "GpuAmcOutput",
     "GpuUnmixOutput",
     "MorphologicalOutput",
+    "PairReuseEngine",
+    "PairReuseStats",
     "amee",
+    "clamped_indices",
+    "clamped_shift",
     "classify_abundances",
     "confusion_matrix",
     "cumulative_distances",
@@ -68,6 +80,7 @@ __all__ = [
     "extended_dilate",
     "extended_erode",
     "extended_open",
+    "gather_mei",
     "gpu_morphological_stage",
     "gpu_unmix_classify",
     "kappa_score",
@@ -76,6 +89,8 @@ __all__ = [
     "run_amc",
     "se_offsets",
     "select_endmembers",
+    "sum_reuse_counters",
+    "unique_difference_offsets",
     "unmix_fcls",
     "unmix_lsu",
     "unmix_nnls",

@@ -21,11 +21,17 @@ oracle, GPU):
 * argmin/argmax break ties by the lowest neighbour index (row-major
   order of the SE).
 
-The implementation evaluates one (H, W) SID map per *unordered pair* of
-SE offsets via the cross-entropy decomposition with cached shifted
-views — ``B^2 (B^2 - 1) / 2`` maps instead of the naive per-pixel
-``O(B^4)`` loop — and reuses the pair maps again for the final MEI gather
-so nothing is computed twice.
+Two execution strategies produce bit-identical results:
+
+* ``method="shift"`` (the default) — the shift-reuse engine of
+  :mod:`repro.core.pairreuse`: one full-image SID map per *unique
+  offset difference* (``((4r+1)^2 - 1)/2`` maps), every pair map a
+  shifted view plus a recomputed border band, and a lazy MEI gather
+  over only the (erosion, dilation) pairs that occur;
+* ``method="pairs"`` — the historical all-pairs loop, one full-image
+  map per unordered SE-offset pair (``K(K-1)/2`` maps) via the
+  cross-entropy decomposition; kept as the opt-out oracle the reuse
+  path is pinned against.
 """
 
 from __future__ import annotations
@@ -35,9 +41,15 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.core.pairreuse import PairReuseEngine, PairReuseStats, gather_mei
+from repro.core.shifts import clamped_shift
 from repro.errors import ShapeError
 from repro.spectral.distances import sid_self_entropy
 from repro.spectral.normalize import normalize_image, safe_log
+
+#: Execution strategies of :func:`cumulative_distances` /
+#: :func:`mei_reference`.
+MEI_METHODS = ("shift", "pairs")
 
 
 @lru_cache(maxsize=64)
@@ -54,14 +66,10 @@ def se_offsets(radius: int) -> tuple[tuple[int, int], ...]:
                  for dx in range(-radius, radius + 1))
 
 
-def _clamped(arr: np.ndarray, dy: int, dx: int) -> np.ndarray:
-    """``out[y, x] = arr[clamp(y + dy), clamp(x + dx)]`` (replicate)."""
-    if dy == 0 and dx == 0:
-        return arr
-    h, w = arr.shape[:2]
-    rows = np.clip(np.arange(h) + dy, 0, h - 1)
-    cols = np.clip(np.arange(w) + dx, 0, w - 1)
-    return arr[np.ix_(rows, cols)]
+def _check_method(method: str) -> None:
+    if method not in MEI_METHODS:
+        raise ValueError(
+            f"method must be one of {MEI_METHODS}, got {method!r}")
 
 
 @dataclass(frozen=True)
@@ -81,6 +89,9 @@ class MorphologicalOutput:
         the ablation benches and the tests inspect them.
     radius:
         The SE radius used.
+    stats:
+        :class:`~repro.core.pairreuse.PairReuseStats` of the shift-reuse
+        engine when it ran (``method="shift"``), else ``None``.
     """
 
     mei: np.ndarray
@@ -88,6 +99,7 @@ class MorphologicalOutput:
     dilation_index: np.ndarray
     cumulative: np.ndarray
     radius: int
+    stats: PairReuseStats | None = None
 
     def erosion_offsets(self) -> np.ndarray:
         """(H, W, 2) array of (dy, dx) selected by the erosion."""
@@ -100,43 +112,15 @@ class MorphologicalOutput:
         return offs[self.dilation_index]
 
 
-def cumulative_distances(normalized: np.ndarray, radius: int = 1,
-                         *, return_pair_maps: bool = False):
-    """Cumulative SID distance of every SE neighbour at every pixel.
-
-    Parameters
-    ----------
-    normalized:
-        (H, W, N) image, pixel vectors already normalized to unit sum
-        (eq. 3-4).  Use :func:`repro.spectral.normalize.normalize_image`.
-    radius:
-        SE radius (paper: 1, i.e. a 3x3 window).
-    return_pair_maps:
-        Also return the dict of per-pair SID maps keyed by ``(ka, kb)``
-        with ``ka < kb`` — consumed by :func:`mei_reference` to avoid
-        recomputation.
-
-    Returns
-    -------
-    numpy.ndarray [, dict]
-        (H, W, K) array where slot ``k`` holds
-        ``D_B[f(x + a_k)] = sum_b SID(f(x + a_k), f(x + b))`` with all
-        coordinates clamped to the image.
-    """
-    normalized = np.asarray(normalized, dtype=np.float64)
-    if normalized.ndim != 3:
-        raise ShapeError(f"expected (H, W, N), got ndim={normalized.ndim}")
-    offsets = se_offsets(radius)
-    k_count = len(offsets)
+def _pair_maps_loop(normalized: np.ndarray, offsets, log_img: np.ndarray,
+                    entropy: np.ndarray, *, keep_maps: bool):
+    """The all-pairs loop: one cross-entropy evaluation per unordered
+    SE-offset pair, with cached shifted views."""
     h, w, _ = normalized.shape
-
-    log_img = safe_log(normalized)
-    entropy = sid_self_entropy(normalized)
-
-    # Cache shifted views of p, log p and h per SE offset.
-    shifted_p = [_clamped(normalized, dy, dx) for dy, dx in offsets]
-    shifted_l = [_clamped(log_img, dy, dx) for dy, dx in offsets]
-    shifted_h = [_clamped(entropy, dy, dx) for dy, dx in offsets]
+    k_count = len(offsets)
+    shifted_p = [clamped_shift(normalized, dy, dx) for dy, dx in offsets]
+    shifted_l = [clamped_shift(log_img, dy, dx) for dy, dx in offsets]
+    shifted_h = [clamped_shift(entropy, dy, dx) for dy, dx in offsets]
 
     cumulative = np.zeros((h, w, k_count), dtype=np.float64)
     pair_maps: dict[tuple[int, int], np.ndarray] = {}
@@ -149,15 +133,72 @@ def cumulative_distances(normalized: np.ndarray, radius: int = 1,
             sid_map = np.maximum(ha + hb - cross, 0.0)
             cumulative[:, :, ka] += sid_map
             cumulative[:, :, kb] += sid_map
-            if return_pair_maps:
+            if keep_maps:
                 pair_maps[(ka, kb)] = sid_map
+    return cumulative, pair_maps
+
+
+def cumulative_distances(normalized: np.ndarray, radius: int = 1,
+                         *, return_pair_maps: bool = False,
+                         method: str = "shift"):
+    """Cumulative SID distance of every SE neighbour at every pixel.
+
+    Parameters
+    ----------
+    normalized:
+        (H, W, N) image, pixel vectors already normalized to unit sum
+        (eq. 3-4).  Use :func:`repro.spectral.normalize.normalize_image`.
+    radius:
+        SE radius (paper: 1, i.e. a 3x3 window).
+    return_pair_maps:
+        Also return the dict of per-pair SID maps keyed by ``(ka, kb)``
+        with ``ka < kb``.  On the shift path this materializes all
+        ``K(K-1)/2`` maps (callers that only need the occurring pairs
+        should use the engine's lazy :meth:`~repro.core.pairreuse.\
+PairReuseEngine.pair_map` instead, as :func:`mei_reference` does).
+    method:
+        ``"shift"`` (default) evaluates one map per unique offset
+        difference and shifts it into every pair (bit-identical);
+        ``"pairs"`` runs the historical all-pairs loop.
+
+    Returns
+    -------
+    numpy.ndarray [, dict]
+        (H, W, K) array where slot ``k`` holds
+        ``D_B[f(x + a_k)] = sum_b SID(f(x + a_k), f(x + b))`` with all
+        coordinates clamped to the image.
+    """
+    _check_method(method)
+    normalized = np.asarray(normalized, dtype=np.float64)
+    if normalized.ndim != 3:
+        raise ShapeError(f"expected (H, W, N), got ndim={normalized.ndim}")
+    offsets = se_offsets(radius)
+
+    log_img = safe_log(normalized)
+    entropy = sid_self_entropy(normalized)
+
+    if method == "pairs":
+        cumulative, pair_maps = _pair_maps_loop(
+            normalized, offsets, log_img, entropy,
+            keep_maps=return_pair_maps)
+    else:
+        engine = PairReuseEngine(normalized, offsets, log_img=log_img,
+                                 entropy=entropy)
+        cumulative = engine.accumulate_cumulative()
+        pair_maps = {}
+        if return_pair_maps:
+            k_count = len(offsets)
+            pair_maps = {(ka, kb): engine.pair_map(ka, kb)
+                         for ka in range(k_count)
+                         for kb in range(ka + 1, k_count)}
     if return_pair_maps:
         return cumulative, pair_maps
     return cumulative
 
 
 def mei_reference(cube_bip: np.ndarray, radius: int = 1, *,
-                  prenormalized: bool = False) -> MorphologicalOutput:
+                  prenormalized: bool = False,
+                  method: str = "shift") -> MorphologicalOutput:
     """Full morphological stage on the CPU (vectorized reference).
 
     Parameters
@@ -168,34 +209,58 @@ def mei_reference(cube_bip: np.ndarray, radius: int = 1, *,
         SE radius.
     prenormalized:
         Skip eq. 3-4 normalization when the caller already applied it.
+    method:
+        ``"shift"`` (default) runs the
+        :class:`~repro.core.pairreuse.PairReuseEngine` fast path;
+        ``"pairs"`` the all-pairs loop.  Bit-identical outputs either
+        way.
 
     Returns
     -------
     MorphologicalOutput
     """
+    _check_method(method)
     cube_bip = np.asarray(cube_bip)
     if cube_bip.ndim != 3:
         raise ShapeError(f"expected (H, W, N), got ndim={cube_bip.ndim}")
     normalized = cube_bip.astype(np.float64) if prenormalized \
         else normalize_image(cube_bip)
+    # normalize_image preserves float32 inputs; the reference pair maps
+    # have always been computed in float64 (the historical cast at the
+    # cumulative_distances entry), so cast *before* taking logs.
+    normalized = np.asarray(normalized, dtype=np.float64)
 
-    cumulative, pair_maps = cumulative_distances(
-        normalized, radius, return_pair_maps=True)
+    offsets = se_offsets(radius)
+    k_count = len(offsets)
+    log_img = safe_log(normalized)
+    entropy = sid_self_entropy(normalized)
+
+    engine: PairReuseEngine | None = None
+    if method == "pairs":
+        cumulative, pair_maps = _pair_maps_loop(
+            normalized, offsets, log_img, entropy, keep_maps=True)
+
+        def pair_map(ka: int, kb: int) -> np.ndarray:
+            return pair_maps[(ka, kb)]
+    else:
+        engine = PairReuseEngine(normalized, offsets, log_img=log_img,
+                                 entropy=entropy)
+        cumulative = engine.accumulate_cumulative()
+        pair_map = engine.pair_map
+
     erosion_index = np.argmin(cumulative, axis=2)
     dilation_index = np.argmax(cumulative, axis=2)
 
     # MEI(x) = SID(f(x + a_dil), f(x + a_ero)) — exactly the pair map of
-    # the (erosion, dilation) index pair, gathered per pixel.
-    h, w, k_count = cumulative.shape
-    mei = np.zeros((h, w), dtype=np.float64)
-    lo = np.minimum(erosion_index, dilation_index)
-    hi = np.maximum(erosion_index, dilation_index)
-    for ka in range(k_count):
-        for kb in range(ka + 1, k_count):
-            mask = (lo == ka) & (hi == kb)
-            if mask.any():
-                mei[mask] = pair_maps[(ka, kb)][mask]
-    # Where erosion == dilation (flat neighbourhood), MEI is 0 already.
+    # the (erosion, dilation) index pair, gathered per pixel for the
+    # pairs that actually occur.
+    mei, gathered = gather_mei(erosion_index, dilation_index, pair_map,
+                               k_count)
+    stats = None
+    if engine is not None:
+        engine.count_mei_pairs(gathered)
+        stats = engine.stats()
     return MorphologicalOutput(mei=mei, erosion_index=erosion_index,
                                dilation_index=dilation_index,
-                               cumulative=cumulative, radius=radius)
+                               cumulative=cumulative, radius=radius,
+                               stats=stats)

@@ -1,0 +1,67 @@
+"""Shared clamp-to-edge shift addressing.
+
+Every implementation in this library — the vectorized reference, the
+CPU build models, the GPU fragment interpreter — reads neighbours with
+**clamp-to-edge** (replicate) addressing, matching the
+``GL_CLAMP_TO_EDGE`` texture mode the paper's Cg kernels rely on.  The
+clipped index vectors that implement it used to be re-derived in three
+places; this module is the single home.
+
+Index vectors are cached per ``(extent, offset)`` and returned
+read-only, so repeated fixed-offset fetches (the overwhelmingly common
+case in the AMC kernels and in the shift-reuse engine of
+:mod:`repro.core.pairreuse`) cost one fancy-indexing gather each and
+never rebuild their index arithmetic.
+
+The module sits below everything else in :mod:`repro.core` (it imports
+only NumPy), so any layer — including :mod:`repro.gpu` — can use it
+without import cycles.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+
+@lru_cache(maxsize=1024)
+def clamped_indices(extent: int, offset: int) -> np.ndarray:
+    """Index vector ``i -> clamp(i + offset, 0, extent - 1)``.
+
+    The returned array is cached and marked read-only; use it for fancy
+    indexing, never mutate it.
+    """
+    indices = np.clip(np.arange(extent) + offset, 0, extent - 1)
+    indices.setflags(write=False)
+    return indices
+
+
+def clamped_shift(arr: np.ndarray, dy: int, dx: int) -> np.ndarray:
+    """``out[y, x] = arr[clamp(y + dy), clamp(x + dx)]`` (replicate).
+
+    The zero shift returns ``arr`` itself (no copy); any other offset
+    returns a fresh C-contiguous gather.  Works on (H, W) maps and
+    (H, W, N) cubes alike — trailing axes ride along untouched.
+    """
+    if dy == 0 and dx == 0:
+        return arr
+    h, w = arr.shape[:2]
+    rows = clamped_indices(h, dy)
+    cols = clamped_indices(w, dx)
+    return arr[np.ix_(rows, cols)]
+
+
+def edge_rows(extent: int, offset: int) -> np.ndarray:
+    """Row indices where ``row + offset`` falls outside ``[0, extent)``.
+
+    These are exactly the rows on which clamp-to-edge addressing fires
+    for a shift by ``offset`` — the border band the shift-reuse engine
+    must recompute explicitly (at most ``|offset|`` rows, on the edge
+    the shift points away from).
+    """
+    if offset > 0:
+        return np.arange(max(extent - offset, 0), extent)
+    if offset < 0:
+        return np.arange(0, min(-offset, extent))
+    return np.arange(0)

@@ -23,6 +23,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.mei import MorphologicalOutput, se_offsets
+from repro.core.pairreuse import gather_mei
+from repro.core.shifts import clamped_shift
 from repro.core.workload import MorphologicalWorkload, morphological_workload
 from repro.cpu.spec import (
     CompilerModel,
@@ -48,15 +50,6 @@ class CpuAmcOutput:
     memory_time_s: float
 
 
-def _clamped(arr: np.ndarray, dy: int, dx: int) -> np.ndarray:
-    if dy == 0 and dx == 0:
-        return arr
-    h, w = arr.shape[:2]
-    rows = np.clip(np.arange(h) + dy, 0, h - 1)
-    cols = np.clip(np.arange(w) + dx, 0, w - 1)
-    return arr[np.ix_(rows, cols)]
-
-
 def _pairs_scalar(norm: np.ndarray, log_img: np.ndarray,
                   entropy: np.ndarray, offsets) -> tuple[np.ndarray, dict]:
     """Pair maps with per-band inner loops (the gcc build's structure)."""
@@ -64,9 +57,9 @@ def _pairs_scalar(norm: np.ndarray, log_img: np.ndarray,
     k_count = len(offsets)
     cumulative = np.zeros((h, w, k_count), dtype=np.float64)
     pair_maps: dict[tuple[int, int], np.ndarray] = {}
-    shifted_p = [_clamped(norm, dy, dx) for dy, dx in offsets]
-    shifted_l = [_clamped(log_img, dy, dx) for dy, dx in offsets]
-    shifted_h = [_clamped(entropy, dy, dx) for dy, dx in offsets]
+    shifted_p = [clamped_shift(norm, dy, dx) for dy, dx in offsets]
+    shifted_l = [clamped_shift(log_img, dy, dx) for dy, dx in offsets]
+    shifted_h = [clamped_shift(entropy, dy, dx) for dy, dx in offsets]
     for ka in range(k_count):
         for kb in range(ka + 1, k_count):
             cross = np.zeros((h, w), dtype=np.float64)
@@ -87,9 +80,9 @@ def _pairs_simd(norm: np.ndarray, log_img: np.ndarray,
     k_count = len(offsets)
     cumulative = np.zeros((h, w, k_count), dtype=np.float64)
     pair_maps: dict[tuple[int, int], np.ndarray] = {}
-    shifted_p = [_clamped(norm, dy, dx) for dy, dx in offsets]
-    shifted_l = [_clamped(log_img, dy, dx) for dy, dx in offsets]
-    shifted_h = [_clamped(entropy, dy, dx) for dy, dx in offsets]
+    shifted_p = [clamped_shift(norm, dy, dx) for dy, dx in offsets]
+    shifted_l = [clamped_shift(log_img, dy, dx) for dy, dx in offsets]
+    shifted_h = [clamped_shift(entropy, dy, dx) for dy, dx in offsets]
     for ka in range(k_count):
         for kb in range(ka + 1, k_count):
             cross = np.einsum("ijk,ijk->ij", shifted_p[ka], shifted_l[kb]) \
@@ -144,15 +137,9 @@ def cpu_morphological_stage(cube_bip: np.ndarray, radius: int = 1, *,
 
     erosion_index = np.argmin(cumulative, axis=2)
     dilation_index = np.argmax(cumulative, axis=2)
-    h, w, k_count = cumulative.shape
-    mei = np.zeros((h, w), dtype=np.float64)
-    lo = np.minimum(erosion_index, dilation_index)
-    hi = np.maximum(erosion_index, dilation_index)
-    for ka in range(k_count):
-        for kb in range(ka + 1, k_count):
-            mask = (lo == ka) & (hi == kb)
-            if mask.any():
-                mei[mask] = pair_maps[(ka, kb)][mask]
+    k_count = cumulative.shape[2]
+    mei, _ = gather_mei(erosion_index, dilation_index,
+                        lambda ka, kb: pair_maps[(ka, kb)], k_count)
 
     morph = MorphologicalOutput(mei=mei, erosion_index=erosion_index,
                                 dilation_index=dilation_index,

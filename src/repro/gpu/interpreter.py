@@ -17,10 +17,9 @@ mirroring the register allocation a shader compiler performs.
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 import numpy as np
 
+from repro.core.shifts import clamped_indices
 from repro.errors import ShaderError
 from repro.gpu import shaderir as ir
 from repro.gpu.shader import FragmentShader
@@ -28,20 +27,18 @@ from repro.gpu.shader import FragmentShader
 _F32 = np.float32
 
 
-@lru_cache(maxsize=512)
-def _clamped_indices(extent: int, offset: int) -> np.ndarray:
-    """Index vector i -> clamp(i + offset, 0, extent - 1)."""
-    return np.clip(np.arange(extent) + offset, 0, extent - 1)
-
-
 def _fetch_static(texture: np.ndarray, dx: int, dy: int) -> np.ndarray:
     """Clamp-to-edge fetch at constant offset; zero offset is a no-copy
-    view."""
+    view.
+
+    The clipped index vectors come from the shared, cached
+    :func:`repro.core.shifts.clamped_indices` helper — the same
+    addressing every CPU implementation uses."""
     if dx == 0 and dy == 0:
         return texture
     h, w = texture.shape[:2]
-    rows = _clamped_indices(h, dy)
-    cols = _clamped_indices(w, dx)
+    rows = clamped_indices(h, dy)
+    cols = clamped_indices(w, dx)
     return texture[np.ix_(rows, cols)]
 
 

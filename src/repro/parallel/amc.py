@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.backends import MorphologicalBackend, get_backend
 from repro.core.amc_gpu import GpuAmcOutput
+from repro.core.pairreuse import sum_reuse_counters
 from repro.errors import GpuOutOfMemoryError, ShapeError
 from repro.faults import maybe_inject
 from repro.gpu.counters import GpuCounters
@@ -79,7 +80,7 @@ def _morph_chunk(chunk):
     cores = tuple(np.ascontiguousarray(chunk.core_of(a))
                   for a in (piece.mei, piece.erosion_index,
                             piece.dilation_index))
-    return chunk.index, cores, record, piece.accounting
+    return chunk.index, cores, record, piece.accounting, piece.stats
 
 
 def combine_gpu_accounting(morph: GpuAmcOutput,
@@ -179,8 +180,9 @@ def parallel_morphological_stage(bip: np.ndarray, radius: int = 1, *,
     erosion = np.empty((lines, samples), dtype=np.int64)
     dilation = np.empty((lines, samples), dtype=np.int64)
     accountings = []
+    stats_dicts = []
     for outcome in results:
-        index, cores, record, accounting = outcome.value
+        index, cores, record, accounting, stats = outcome.value
         chunk = plan.chunks[index]
         core = slice(chunk.core_start, chunk.core_stop)
         mei[core], erosion[core], dilation[core] = cores
@@ -196,7 +198,14 @@ def parallel_morphological_stage(bip: np.ndarray, radius: int = 1, *,
             profiler.record_chunk(record)
         if accounting is not None:
             accountings.append(accounting)
+        if stats is not None:
+            stats_dicts.append(stats)
 
+    if profiler is not None and stats_dicts:
+        # Sum the per-chunk shift-reuse counters into the morphology
+        # stage record (the ratio is recomputed from the summed totals).
+        profiler.record_stage_counters("morphology",
+                                       sum_reuse_counters(stats_dicts))
     gpu_output = backend.stitched_accounting(mei, erosion, dilation,
                                              radius, accountings)
     return mei, erosion, dilation, gpu_output

@@ -84,6 +84,11 @@ class MorphologyStage(Stage):
             mei, ero, dil = (res.mei, res.erosion_index,
                              res.dilation_index)
             gpu_output, device = res.accounting, res.device
+            profiler = ctx.get("profiler")
+            if profiler is not None and res.stats is not None:
+                # Shift-reuse accounting of the morphological stage —
+                # attached to this stage's record when the span closes.
+                profiler.record_stage_counters(self.name, res.stats)
         ctx.update(mei=mei, erosion_index=ero, dilation_index=dil,
                    gpu_output=gpu_output, device=device)
 

@@ -35,10 +35,18 @@ from dataclasses import asdict, dataclass, field
 
 @dataclass(frozen=True)
 class StageRecord:
-    """One timed algorithm stage (host wall clock)."""
+    """One timed algorithm stage (host wall clock).
+
+    ``counters`` carries stage-specific work counters recorded during
+    the span with :meth:`Profiler.record_stage_counters` — e.g. the
+    morphology stage's shift-reuse accounting (``pair_maps`` served vs
+    ``difference_maps`` actually evaluated, and the resulting
+    ``reuse_ratio``); empty for stages that record none.
+    """
 
     name: str
     wall_s: float
+    counters: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -154,6 +162,11 @@ class ProfileReport:
                 share = 100.0 * s.wall_s / total if total > 0 else 0.0
                 lines.append(f"    {s.name:<{width}}  "
                              f"{s.wall_s * 1e3:9.2f} ms  {share:5.1f}%")
+                if s.counters:
+                    rendered = "  ".join(
+                        f"{key}={value:g}"
+                        for key, value in sorted(s.counters.items()))
+                    lines.append(f"    {'':<{width}}  {rendered}")
             lines.append(f"    {'total':<{width}}  {total * 1e3:9.2f} ms")
         if self.chunks:
             lines.append("  chunks (upload/compute/download as in the "
@@ -190,6 +203,10 @@ class Profiler:
     stage_records: list[StageRecord] = field(default_factory=list)
     chunk_records: list[ChunkRecord] = field(default_factory=list)
     event_records: list[EventRecord] = field(default_factory=list)
+    #: Counters recorded during an open stage span, attached to the
+    #: StageRecord when the span closes (keyed by stage name).
+    pending_counters: dict[str, dict[str, float]] = field(
+        default_factory=dict, init=False, repr=False)
 
     @contextmanager
     def stage(self, name: str):
@@ -199,7 +216,23 @@ class Profiler:
             yield self
         finally:
             self.stage_records.append(
-                StageRecord(name, time.perf_counter() - start))
+                StageRecord(name, time.perf_counter() - start,
+                            self.pending_counters.pop(name, {})))
+
+    def record_stage_counters(self, name: str,
+                              counters: dict[str, float]) -> None:
+        """Merge-add work counters onto the named stage's next record.
+
+        Called from inside a :meth:`stage` span (the executors reach the
+        profiler through the context/call chain); the accumulated dict
+        is attached to the :class:`StageRecord` when the span closes.
+        Counters recorded outside any span stay in
+        :attr:`pending_counters` (standalone executor calls), where
+        callers can still read them.
+        """
+        pending = self.pending_counters.setdefault(name, {})
+        for key, value in counters.items():
+            pending[key] = pending.get(key, 0.0) + float(value)
 
     def record_chunk(self, record: ChunkRecord) -> None:
         """Append one chunk record (workers return them to the parent)."""

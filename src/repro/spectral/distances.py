@@ -81,28 +81,44 @@ def sid_self_entropy(p: np.ndarray) -> np.ndarray:
     return (p * safe_log(p)).sum(axis=-1)
 
 
-def sid_cross_terms(p: np.ndarray, q: np.ndarray) -> np.ndarray:
+def sid_cross_terms(p: np.ndarray, q: np.ndarray,
+                    lp: np.ndarray | None = None,
+                    lq: np.ndarray | None = None) -> np.ndarray:
     """Sum of the two cross terms :math:`x(p,q) + x(q,p)`.
 
     Combined with :func:`sid_self_entropy`,
     ``sid(p, q) == sid_self_entropy(p) + sid_self_entropy(q)
     - sid_cross_terms(p, q)``.
+
+    Parameters
+    ----------
+    p, q:
+        Normalized spectra, spectral axis last.
+    lp, lq:
+        Optional precomputed ``safe_log(p)`` / ``safe_log(q)``.  Callers
+        that evaluate many cross terms against the same spectra (the
+        pair-map loops) hold the logs once instead of re-logging per
+        call.
     """
     p, q = _check_pair(p, q)
-    lp = safe_log(p)
-    lq = safe_log(q)
+    if lp is None:
+        lp = safe_log(p)
+    if lq is None:
+        lq = safe_log(q)
     return (p * lq + q * lp).sum(axis=-1)
 
 
 def sid_image(image_p: np.ndarray, image_q: np.ndarray,
               hp: np.ndarray | None = None,
-              hq: np.ndarray | None = None) -> np.ndarray:
+              hq: np.ndarray | None = None,
+              lp: np.ndarray | None = None,
+              lq: np.ndarray | None = None) -> np.ndarray:
     """SID between two aligned (H, W, N) images, pixel by pixel.
 
     This is the workhorse of the cumulative-distance stage: the caller
     passes the normalized image and a spatially shifted copy of it, plus
-    (optionally) precomputed self entropies so they are not recomputed for
-    every shift.
+    (optionally) precomputed self entropies and logs so neither is
+    recomputed for every shift.
 
     Parameters
     ----------
@@ -110,6 +126,11 @@ def sid_image(image_p: np.ndarray, image_q: np.ndarray,
         Normalized (H, W, N) cubes.
     hp, hq:
         Optional precomputed ``sid_self_entropy`` maps of shape (H, W).
+    lp, lq:
+        Optional precomputed ``safe_log`` cubes of shape (H, W, N) —
+        forwarded to :func:`sid_cross_terms` so a caller that already
+        holds the log image (every pair-map evaluator does) pays no
+        per-pair re-log.
 
     Returns
     -------
@@ -127,7 +148,7 @@ def sid_image(image_p: np.ndarray, image_q: np.ndarray,
         hp = sid_self_entropy(image_p)
     if hq is None:
         hq = sid_self_entropy(image_q)
-    cross = sid_cross_terms(image_p, image_q)
+    cross = sid_cross_terms(image_p, image_q, lp=lp, lq=lq)
     return np.maximum(hp + hq - cross, 0.0)
 
 

@@ -98,7 +98,7 @@ class TestProfileReport:
         assert set(data["chunks"][0]) == {
             "index", "core_lines", "ext_lines", "halo", "wall_s",
             "upload_s", "compute_s", "download_s", "worker", "retries"}
-        assert set(data["stages"][0]) == {"name", "wall_s"}
+        assert set(data["stages"][0]) == {"name", "wall_s", "counters"}
 
     def test_json_round_trip(self, report):
         data = json.loads(report.to_json())

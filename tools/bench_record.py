@@ -1,0 +1,82 @@
+"""Record the pair-reuse acceptance measurement to ``BENCH_morph.json``.
+
+Measures the reference-backend morphological stage (``mei_reference``)
+with the historical all-pairs loop and with the shift-reuse engine at
+radius 2, takes the best of a few repeats of each, and writes the
+speedup plus the engine's reuse accounting to ``BENCH_morph.json`` at
+the repository root.  The PR's acceptance bar is a >= 2x measured
+speedup with bit-identical output (the latter is asserted here and
+pinned by the test suite).
+
+Run from the repository root::
+
+    PYTHONPATH=src python -m tools.bench_record
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.core.mei import mei_reference
+
+LINES, SAMPLES, BANDS = 96, 96, 32
+RADIUS = 2
+REPEATS = 3
+SEED = 20060815
+
+
+def _best_of(fn, repeats: int = REPEATS):
+    best_s, out = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        out = fn()
+        best_s = min(best_s, time.perf_counter() - start)
+    return best_s, out
+
+
+def measure() -> dict:
+    """Run the measurement and return the record dict."""
+    cube = np.random.default_rng(SEED).uniform(
+        0.05, 1.0, size=(LINES, SAMPLES, BANDS))
+    pairs_s, pairs = _best_of(
+        lambda: mei_reference(cube, RADIUS, method="pairs"))
+    shift_s, shift = _best_of(
+        lambda: mei_reference(cube, RADIUS, method="shift"))
+    np.testing.assert_array_equal(shift.mei, pairs.mei)
+    np.testing.assert_array_equal(shift.cumulative, pairs.cumulative)
+
+    stats = shift.stats
+    return {
+        "bench": "morphological stage, reference backend, "
+                 "all-pairs vs shift-reuse",
+        "cube": [LINES, SAMPLES, BANDS],
+        "radius": RADIUS,
+        "repeats": REPEATS,
+        "pairs_wall_s": round(pairs_s, 6),
+        "shift_wall_s": round(shift_s, 6),
+        "speedup": round(pairs_s / shift_s, 3),
+        "bit_identical": True,
+        "reuse": stats.as_counters(),
+    }
+
+
+def main() -> None:
+    record = measure()
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    path = os.path.join(root, "BENCH_morph.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"speedup {record['speedup']}x "
+          f"(pairs {record['pairs_wall_s']}s -> "
+          f"shift {record['shift_wall_s']}s, "
+          f"reuse ratio {record['reuse']['reuse_ratio']:.2f})")
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()
