@@ -1,0 +1,57 @@
+"""Serving throughput — jobs/sec and cold vs cache-hit latency.
+
+The serving layer's pitch is that the recurrent-analysis workload (the
+same scene, re-requested as parameters are tuned) collapses to one
+pipeline execution per *distinct* request.  This bench measures that
+collapse: 1, 4 and 16 concurrent clients each submit a distinct job
+(the cold pass) and then the identical set again (the warm pass, all
+cache hits).  The recorded artefact is the throughput/latency table;
+the zero-extra-execution and bit-identity properties are asserted
+inside the measurement itself (``tools.bench_record.measure_serving``).
+
+Absolute numbers are host-dependent; the shape — cache-hit latency
+orders of magnitude under cold latency, throughput scaling with
+concurrency until the workers saturate — is the point.
+"""
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if REPO_ROOT not in sys.path:
+    sys.path.insert(0, REPO_ROOT)
+
+from repro.bench import format_table
+
+from tools.bench_record import measure_serving
+
+
+def test_serving_throughput(benchmark, report):
+    record = benchmark.pedantic(measure_serving, rounds=1, iterations=1,
+                                warmup_rounds=0)
+
+    rows = []
+    for level in record["levels"]:
+        rows.append([
+            level["clients"],
+            level["pipeline_runs"],
+            f"{level['cold_jobs_per_s']:.1f}",
+            f"{level['cold_latency_ms']:.1f}",
+            f"{level['cache_hit_jobs_per_s']:.1f}",
+            f"{level['cache_hit_latency_ms']:.2f}",
+        ])
+    rows.append([f"(cores: {os.cpu_count()})", "", "", "", "", ""])
+    report("serving_throughput", format_table(
+        "Serving throughput: cold execution vs content-addressed "
+        "cache hits (2 workers)",
+        ["clients", "executions", "cold jobs/s", "cold ms",
+         "hit jobs/s", "hit ms"],
+        rows))
+
+    assert record["zero_duplicate_executions"]
+    for level in record["levels"]:
+        # a cache hit skips the pipeline entirely; even on a noisy host
+        # it must be far faster than a cold execution
+        assert (level["cache_hit_latency_ms"]
+                < level["cold_latency_ms"] / 2)
+        assert level["pipeline_runs"] == level["clients"]

@@ -1,10 +1,12 @@
 """Command-line interface.
 
-Four subcommands cover the library's day-to-day uses::
+Six subcommands cover the library's day-to-day uses::
 
     repro generate  out.raw --lines 128 --samples 128    # synthesize a scene
     repro classify  out.raw --classes 45 --backend gpu   # run AMC
     repro classify  out.raw --workers 4 --profile        # multi-core + report
+    repro serve     --socket /tmp/amc.sock               # job server
+    repro submit    out.raw --socket /tmp/amc.sock       # client mode
     repro bench     --table 4                            # modeled tables
     repro info                                           # platform specs
 
@@ -25,6 +27,12 @@ of the parallel paths; ``classify`` accepts *multiple* cube paths (a
 batch through one pool) and ``--on-error raise|skip|collect`` decides
 whether one corrupt scene aborts, is skipped, or is reported alongside
 the successes.
+
+``serve`` runs the :mod:`repro.serving` job server on a unix socket;
+``submit`` is the matching client — it ships a cube *reference* (a
+path) plus parameters, and duplicate submissions are deduped
+server-side through in-flight coalescing and the content-addressed
+result cache (see ``docs/serving.md``).
 """
 
 from __future__ import annotations
@@ -187,6 +195,97 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the AMC job server on a unix socket until ``shutdown``."""
+    import asyncio
+
+    from repro.serving import AMCServer, UnixSocketFrontend
+
+    default_params = {"n_classes": args.classes, "se_radius": args.radius,
+                      "backend": args.backend,
+                      "max_retries": args.retries,
+                      "chunk_timeout_s": args.chunk_timeout_s,
+                      "n_workers": args.job_workers}
+
+    async def _serve() -> None:
+        server = AMCServer(workers=args.workers,
+                           queue_size=args.queue_size,
+                           cache_entries=args.cache_entries,
+                           cache_bytes=args.cache_mb << 20,
+                           default_params=default_params)
+        async with server:
+            frontend = await UnixSocketFrontend(server,
+                                                args.socket).start()
+            print(f"serving on {args.socket} "
+                  f"({args.workers} worker(s), queue {args.queue_size}, "
+                  f"cache {args.cache_entries} entries / "
+                  f"{args.cache_mb} MiB)")
+            print("stop with: repro submit --shutdown "
+                  f"--socket {args.socket}")
+            sys.stdout.flush()
+            await frontend.serve_until_shutdown()
+            stats = server.stats()
+        counters = stats["counters"]
+        cache = stats["cache"]
+        print(f"served {counters['submitted']} submission(s): "
+              f"{counters['executed']} executed, "
+              f"{counters['coalesced']} coalesced, "
+              f"{counters['cache_hits']} cache hit(s), "
+              f"{counters['rejected']} rejected "
+              f"({cache['evictions']} eviction(s))")
+
+    asyncio.run(_serve())
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Client mode: submit a cube reference to a running server."""
+    from repro.serving import request
+
+    if args.shutdown:
+        response = request(args.socket, {"op": "shutdown"})
+        if response.get("ok"):
+            print("server stopping")
+            return 0
+        print(f"error: {response.get('message')}", file=sys.stderr)
+        return 1
+
+    if args.path is None:
+        print("a cube path is required (or --shutdown)", file=sys.stderr)
+        return 2
+    params = {"n_classes": args.classes, "se_radius": args.radius,
+              "backend": args.backend, "max_retries": args.retries,
+              "chunk_timeout_s": args.chunk_timeout_s}
+    response = request(args.socket, {
+        "op": "submit", "cube": args.path, "params": params,
+        "wait": not args.no_wait, "profile": args.profile,
+        "write_outputs": args.write_outputs})
+    if not response.get("ok"):
+        message = f"{response.get('error')}: {response.get('message')}"
+        if "retry_after_s" in response:
+            message += (f" (busy — retry in "
+                        f"{response['retry_after_s']:.1f}s)")
+        print(message, file=sys.stderr)
+        return 3 if "retry_after_s" in response else 1
+    job = response["job"]
+    origin = ("cache" if job["from_cache"]
+              else f"executed (+{job['coalesced']} coalesced)")
+    print(f"job {job['job_id']}: {job['state']} [{origin}]")
+    if job.get("result_sha256"):
+        print(f"result sha256:      {job['result_sha256']}")
+    if job.get("overall_accuracy") is not None:
+        print(f"overall accuracy:   {job['overall_accuracy']:.2f}%")
+    if job.get("error"):
+        print(f"error:              {job['error']}", file=sys.stderr)
+    for kind, path in (response.get("outputs") or {}).items():
+        print(f"{kind + ':':<20}{path}")
+    if args.profile and response.get("profile"):
+        from repro.profiling import ProfileReport
+
+        print(ProfileReport.from_dict(response["profile"]).to_text())
+    return 0 if job["state"] != "failed" else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import format_table, paper_size_points, platform_matrix
     from repro.bench.scaling import speedup_summary
@@ -279,6 +378,59 @@ def build_parser() -> argparse.ArgumentParser:
                           "abort the batch, skip the cube, or report "
                           "it alongside the successes")
     cls.set_defaults(func=_cmd_classify)
+
+    def add_param_flags(cmd) -> None:
+        """The shared AMC parameter flags of serve/submit."""
+        cmd.add_argument("--classes", type=int, default=45)
+        cmd.add_argument("--radius", type=int, default=1)
+        cmd.add_argument("--backend", choices=backend_names(),
+                         default="reference")
+        cmd.add_argument("--retries", type=int, default=0, metavar="N",
+                         help="per-chunk retry budget of each job")
+        cmd.add_argument("--chunk-timeout-s", type=float, default=None,
+                         metavar="S",
+                         help="per-chunk deadline of each job")
+
+    srv = sub.add_parser(
+        "serve", help="run the AMC job server on a unix socket")
+    srv.add_argument("--socket", default="/tmp/repro-amc.sock",
+                     metavar="PATH", help="unix socket path to bind")
+    srv.add_argument("--workers", type=int, default=2, metavar="N",
+                     help="concurrent server worker threads (each owns "
+                          "a persistent pipeline)")
+    srv.add_argument("--job-workers", type=int, default=1, metavar="N",
+                     help="chunk-parallel worker processes *inside* "
+                          "each job (AMCConfig.n_workers)")
+    srv.add_argument("--queue-size", type=int, default=16, metavar="N",
+                     help="admission bound: waiting jobs beyond this "
+                          "are rejected with a retry-after hint")
+    srv.add_argument("--cache-entries", type=int, default=64, metavar="N",
+                     help="result-cache entry budget")
+    srv.add_argument("--cache-mb", type=int, default=256, metavar="MB",
+                     help="result-cache payload budget")
+    add_param_flags(srv)
+    srv.set_defaults(func=_cmd_serve)
+
+    sbm = sub.add_parser(
+        "submit", help="submit a cube to a running job server")
+    sbm.add_argument("path", nargs="?", default=None,
+                     help="path to a raw cube (with .hdr); the server "
+                          "loads it, so the path must be visible to the "
+                          "server process")
+    sbm.add_argument("--socket", default="/tmp/repro-amc.sock",
+                     metavar="PATH", help="unix socket of the server")
+    sbm.add_argument("--no-wait", action="store_true",
+                     help="return the job id immediately instead of "
+                          "waiting for completion")
+    sbm.add_argument("--profile", action="store_true",
+                     help="print the job's stage/chunk timing report")
+    sbm.add_argument("--write-outputs", action="store_true",
+                     help="server writes .mei.pgm / .classes.ppm next "
+                          "to the cube")
+    sbm.add_argument("--shutdown", action="store_true",
+                     help="ask the server to stop instead of submitting")
+    add_param_flags(sbm)
+    sbm.set_defaults(func=_cmd_submit)
 
     bench = sub.add_parser("bench", help="print a modeled paper table")
     bench.add_argument("--table", type=int, choices=(4, 5), default=4)

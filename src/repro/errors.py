@@ -97,6 +97,55 @@ class NonFiniteInputError(ReproError, ValueError):
     pixel and band."""
 
 
+class ServingError(ReproError):
+    """Base class for the job-server layer (:mod:`repro.serving`)."""
+
+
+class ServerBusyError(ServingError):
+    """The server's admission queue is full; resubmit after a delay.
+
+    Carries the backpressure hint as a structured attribute — not just
+    message text — so clients (and the socket protocol) can implement
+    retry-with-backoff without parsing strings:
+
+    ``retry_after_s``
+        Suggested delay before resubmitting, derived from the queue
+        depth and the server's per-job cost estimate.
+    """
+
+    def __init__(self, message: str = "", *,
+                 retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+    def __reduce__(self):
+        # Keyword-only attributes do not survive the default args-based
+        # exception pickling (see GpuOutOfMemoryError), so ship them as
+        # state.
+        return (self.__class__, self.args,
+                {"retry_after_s": self.retry_after_s})
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+
+
+class ServerClosedError(ServingError):
+    """A request reached a server that is not running (never started,
+    stopping, or already stopped)."""
+
+
+class JobNotFoundError(ServingError, KeyError):
+    """A job id does not exist on this server.
+
+    Subclasses :class:`KeyError` because the job table is a mapping and
+    callers that treat it as one should be able to catch the miss as a
+    plain lookup failure."""
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s the message; keep it readable.
+        return Exception.__str__(self)
+
+
 class TransientFaultError(ReproError):
     """A transient, retryable failure during task execution.
 

@@ -26,6 +26,11 @@ class Pipeline:
         self.stages = tuple(stages)
         if not self.stages:
             raise ValueError("a Pipeline needs at least one stage")
+        #: Completed executions of this instance.  Pure accounting — no
+        #: per-run state survives here — but it is the ground truth the
+        #: serving layer's dedup guarantees are verified against ("a
+        #: duplicate submission performs zero pipeline executions").
+        self.run_count = 0
 
     @property
     def stage_names(self) -> tuple[str, ...]:
@@ -45,6 +50,7 @@ class Pipeline:
         for stage in self.stages:
             with profiled_stage(profiler, stage.name):
                 stage.run(ctx)
+        self.run_count += 1
         return ctx
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

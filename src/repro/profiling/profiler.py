@@ -143,6 +143,27 @@ class ProfileReport:
         """The report as a JSON document."""
         return json.dumps(self.to_dict(), indent=indent)
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProfileReport":
+        """Rebuild a report from its :meth:`to_dict` form.
+
+        The inverse the serving layer needs: per-job reports cross the
+        socket protocol as JSON, and the client reconstructs them here
+        to reuse :meth:`to_text` instead of reimplementing rendering.
+        Unknown keys are ignored so reports stay readable across
+        protocol revisions.
+        """
+        def build(record_cls, entries):
+            names = {f for f in record_cls.__dataclass_fields__}
+            return tuple(
+                record_cls(**{k: v for k, v in entry.items() if k in names})
+                for entry in entries)
+
+        return cls(meta=dict(data.get("meta", {})),
+                   stages=build(StageRecord, data.get("stages", ())),
+                   chunks=build(ChunkRecord, data.get("chunks", ())),
+                   events=build(EventRecord, data.get("events", ())))
+
     def save(self, path: str) -> str:
         """Write the JSON report to ``path`` and return the path."""
         with open(path, "w", encoding="utf-8") as fh:

@@ -1,0 +1,65 @@
+"""AMC-as-a-service: an async job server with content-addressed caching.
+
+The paper's canonical usage pattern is *recurrent*: the same scene
+re-analyzed many times under varying parameters.  Everything below this
+package is one-shot — :func:`~repro.core.amc.run_amc` and the batch
+runner compute and exit.  This package is the serving layer that turns
+the pipeline into a system:
+
+* :class:`AMCServer` — the asyncio job server: bounded admission
+  queue with reject-with-retry-after backpressure
+  (:class:`AdmissionQueue`), in-flight request coalescing, an
+  LRU+size-bounded content-addressed result cache
+  (:class:`ResultCache`), job lifecycle tracking
+  (``queued/running/done/failed/cancelled`` — :mod:`repro.serving.jobs`),
+  and per-job profiler reports through the standard
+  :mod:`repro.profiling` path.  Execution reuses one persistent
+  :class:`~repro.pipeline.Pipeline` per worker thread and flows through
+  :mod:`repro.resilience` unchanged, so faults degrade one job, never
+  the server.
+* :func:`job_key` / :func:`canonical_params` — the content-addressing
+  discipline: ``sha256(cube bytes + canonicalized result-affecting
+  params)``; N identical submissions cost one pipeline execution.
+* :class:`UnixSocketFrontend` / :func:`request` — a stdlib JSON-lines
+  transport behind ``repro serve`` / ``repro submit``.
+
+See ``docs/serving.md`` for the architecture, the state machine, the
+cache-key derivation rules and a worked CLI session.
+"""
+
+from repro.serving.api import (
+    EXECUTION_KNOBS,
+    as_config,
+    canonical_params,
+    canonical_params_json,
+    job_key,
+    result_digest,
+    result_nbytes,
+)
+from repro.serving.cache import CacheEntry, CacheStats, ResultCache
+from repro.serving.jobs import JOB_STATES, TERMINAL_STATES, Job, JobStatus
+from repro.serving.net import UnixSocketFrontend, request
+from repro.serving.queue import AdmissionQueue
+from repro.serving.server import AMCServer, ServerCounters
+
+__all__ = [
+    "AMCServer",
+    "AdmissionQueue",
+    "CacheEntry",
+    "CacheStats",
+    "EXECUTION_KNOBS",
+    "JOB_STATES",
+    "Job",
+    "JobStatus",
+    "ResultCache",
+    "ServerCounters",
+    "TERMINAL_STATES",
+    "UnixSocketFrontend",
+    "as_config",
+    "canonical_params",
+    "canonical_params_json",
+    "job_key",
+    "request",
+    "result_digest",
+    "result_nbytes",
+]

@@ -1,0 +1,130 @@
+"""Request canonicalization and content-addressed job keys.
+
+The serving layer dedupes work by *content*, not by reference: two
+requests are the same job exactly when they would run the same bytes
+through the same algorithm parameters.  The key is therefore::
+
+    sha256( cube dtype/shape header + cube bytes (C order)
+          + ground-truth bytes (or absence marker)
+          + class names
+          + canonicalized result-affecting parameters )
+
+Canonicalization reuses the :class:`~repro.core.amc.AMCConfig`
+dataclass as the single source of truth: a parameter dict is
+instantiated into a config (so defaults are filled in and values are
+validated *before* hashing), then serialized field-by-field in sorted
+order.  Two consequences the tests pin:
+
+* permuted or defaulted parameter dicts hash equal — ``{}``,
+  ``{"backend": "reference"}`` and a fully spelled-out default config
+  are one job;
+* **execution knobs do not change the key.**  ``n_workers``,
+  ``max_retries`` and ``chunk_timeout_s`` select *how* a result is
+  computed, and the repo-wide bit-identity discipline guarantees they
+  cannot change *what* is computed — so a 4-worker request is a cache
+  hit for a result computed serially.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+
+import numpy as np
+
+from repro.core.amc import AMCConfig, AMCResult, _as_bip
+
+#: Config fields that select an execution strategy, not a result.
+#: Excluded from the cache key: every strategy is bit-identical (the
+#: chunk-stitching and resilience guarantees), so caching across them
+#: is sound.
+EXECUTION_KNOBS = frozenset({"n_workers", "max_retries", "chunk_timeout_s"})
+
+
+def as_config(params) -> AMCConfig:
+    """Coerce ``params`` (None | mapping | AMCConfig) to an AMCConfig.
+
+    A mapping is splatted into the dataclass constructor, so unknown
+    keys and invalid values fail here — at admission — rather than
+    inside a worker.
+    """
+    if params is None:
+        return AMCConfig()
+    if isinstance(params, AMCConfig):
+        return params
+    return AMCConfig(**dict(params))
+
+
+def canonical_params(params) -> dict:
+    """The result-affecting parameters of ``params``, as a plain dict.
+
+    Fields are the :class:`AMCConfig` fields minus
+    :data:`EXECUTION_KNOBS`; nested dataclasses (the GPU spec) flatten
+    to dicts, so the output is JSON-serializable and order-independent.
+    """
+    fields = asdict(as_config(params))
+    return {name: value for name, value in sorted(fields.items())
+            if name not in EXECUTION_KNOBS}
+
+
+def canonical_params_json(params) -> str:
+    """:func:`canonical_params` rendered as deterministic JSON."""
+    return json.dumps(canonical_params(params), sort_keys=True)
+
+
+def _array_token(array: np.ndarray) -> bytes:
+    """Dtype/shape header + raw bytes — the content identity of an array.
+
+    ``tobytes()`` serializes in C order regardless of the array's
+    memory layout, so BIL/BSQ views of the same scene address the same
+    cache entry as their contiguous BIP form.
+    """
+    header = f"{array.dtype.str}:{array.shape}".encode()
+    return header + b"|" + array.tobytes()
+
+
+def job_key(cube, params=None, *, ground_truth=None,
+            class_names=None) -> str:
+    """The content-addressed key of one classify request (sha256 hex).
+
+    ``cube`` is anything :func:`~repro.core.amc.run_amc` accepts (a
+    :class:`~repro.hsi.cube.HyperCube` or an (H, W, N) array); the
+    ground truth and class names participate because they change the
+    produced labels and report.
+    """
+    digest = hashlib.sha256()
+    digest.update(_array_token(_as_bip(cube)))
+    digest.update(b"|gt|")
+    if ground_truth is not None:
+        digest.update(_array_token(np.asarray(ground_truth)))
+    digest.update(b"|names|")
+    digest.update(json.dumps(
+        None if class_names is None else list(class_names)).encode())
+    digest.update(b"|params|")
+    digest.update(canonical_params_json(params).encode())
+    return digest.hexdigest()
+
+
+def result_digest(result: AMCResult) -> str:
+    """sha256 over the result's decision arrays (labels, MEI,
+    abundances) — the bit-identity fingerprint served to clients and
+    asserted by the acceptance tests."""
+    digest = hashlib.sha256()
+    for array in (result.labels, result.mei, result.abundances):
+        digest.update(_array_token(np.ascontiguousarray(array)))
+    return digest.hexdigest()
+
+
+def result_nbytes(result: AMCResult) -> int:
+    """Approximate retained size of one cached result, in bytes.
+
+    Counts the ndarray payloads (the dataclass scaffolding around them
+    is noise at cache-accounting scale).
+    """
+    arrays = [result.mei, result.erosion_index, result.dilation_index,
+              result.abundances, result.labels,
+              result.endmembers.spectra, result.endmembers.normalized]
+    if result.endmember_labels is not None:
+        arrays.append(result.endmember_labels)
+    return int(sum(np.asarray(a).nbytes for a in arrays))

@@ -1,0 +1,145 @@
+"""The content-addressed result cache: LRU, size- and entry-bounded.
+
+One entry per :func:`~repro.serving.api.job_key`; the value is the
+finished :class:`~repro.core.amc.AMCResult` plus its frozen per-job
+:class:`~repro.profiling.ProfileReport`.  Eviction is plain LRU over
+two simultaneous budgets — entry count and retained bytes (the
+ndarray payloads, measured by :func:`~repro.serving.api.result_nbytes`)
+— because hyperspectral results are wildly size-skewed: one full-scene
+result can weigh as much as a thousand thumbnails.
+
+Every lookup and eviction is counted (:class:`CacheStats`), and the
+counters flow into ``AMCServer.stats()`` so cache effectiveness is an
+observable, not a guess.  The cache itself is not locked: the server
+touches it only from the event-loop thread.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import ServingError
+from repro.serving.api import result_nbytes
+
+
+@dataclass
+class CacheStats:
+    """Lookup/eviction counters of one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    insertions: int = 0
+    #: Results too large to ever fit the byte budget; refused, not
+    #: cached (they would otherwise evict everything and still not fit).
+    oversize_skips: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain dict (for ``stats()`` reports)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions,
+                "insertions": self.insertions,
+                "oversize_skips": self.oversize_skips}
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached job outcome: the result, its size, its profile."""
+
+    result: object
+    nbytes: int
+    report: object = None
+    #: Bit-identity fingerprint of the result (computed once, at
+    #: insertion, so cache hits do not re-hash the arrays).
+    digest: str | None = None
+    #: How many times this entry has been served (diagnostic only).
+    served: int = 0
+
+
+class ResultCache:
+    """LRU mapping ``job_key -> CacheEntry`` under entry/byte budgets.
+
+    Parameters
+    ----------
+    max_entries:
+        Entry-count budget (>= 1).
+    max_bytes:
+        Retained-payload budget; results larger than this on their own
+        are refused (counted in ``stats.oversize_skips``).
+    """
+
+    def __init__(self, max_entries: int = 64,
+                 max_bytes: int = 256 << 20) -> None:
+        if max_entries < 1:
+            raise ServingError(
+                f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes < 1:
+            raise ServingError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_entries = int(max_entries)
+        self.max_bytes = int(max_bytes)
+        self.stats = CacheStats()
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        self._bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    @property
+    def current_bytes(self) -> int:
+        """Retained payload bytes across all entries."""
+        return self._bytes
+
+    def get(self, key: str) -> CacheEntry | None:
+        """The entry for ``key`` (refreshing its recency), else None.
+
+        Counts a hit or a miss either way.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._entries.move_to_end(key)
+        entry = CacheEntry(entry.result, entry.nbytes, entry.report,
+                           entry.digest, entry.served + 1)
+        self._entries[key] = entry
+        return entry
+
+    def put(self, key: str, result, report=None,
+            digest: str | None = None) -> bool:
+        """Insert a finished result; returns False when refused.
+
+        A key already present is refreshed in place (content-addressed
+        keys make the payload identical by construction).  Insertion
+        evicts least-recently-used entries until both budgets hold.
+        """
+        nbytes = result_nbytes(result)
+        if nbytes > self.max_bytes:
+            self.stats.oversize_skips += 1
+            return False
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= old.nbytes
+        while self._entries and (
+                len(self._entries) >= self.max_entries
+                or self._bytes + nbytes > self.max_bytes):
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.nbytes
+            self.stats.evictions += 1
+        self._entries[key] = CacheEntry(result, nbytes, report, digest)
+        self._bytes += nbytes
+        self.stats.insertions += 1
+        return True
+
+    def as_dict(self) -> dict[str, object]:
+        """Counters plus occupancy, for ``AMCServer.stats()``."""
+        out: dict[str, object] = dict(self.stats.as_dict())
+        out["entries"] = len(self._entries)
+        out["bytes"] = self._bytes
+        out["max_entries"] = self.max_entries
+        out["max_bytes"] = self.max_bytes
+        return out

@@ -1,0 +1,166 @@
+"""Job lifecycle: states, the mutable job record, immutable snapshots.
+
+A :class:`Job` is one unit of admitted work.  Its lifecycle is a small
+state machine::
+
+    submit ──► QUEUED ──► RUNNING ──► DONE
+                  │                └─► FAILED
+                  └──► CANCELLED
+
+plus one shortcut: a submission whose key is already cached is born
+``DONE`` (``from_cache=True``) without ever entering the queue.  A
+``RUNNING`` job cannot be cancelled — the executor owns it — and
+``DONE``/``FAILED``/``CANCELLED`` are terminal.
+
+Jobs are mutated only on the server's event-loop thread; everything a
+client sees is an immutable :class:`JobStatus` snapshot (JSON-safe via
+:meth:`JobStatus.to_dict`, which is what the socket protocol ships).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import asdict, dataclass
+
+from repro.errors import ServingError
+
+#: Lifecycle states, in nominal order.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: Every valid job state.
+JOB_STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+
+#: States a job can never leave.
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+#: Legal transitions of the state machine (from -> allowed to).
+_TRANSITIONS = {
+    QUEUED: frozenset({RUNNING, CANCELLED}),
+    RUNNING: frozenset({DONE, FAILED}),
+}
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """One immutable, JSON-safe view of a job.
+
+    Attributes
+    ----------
+    job_id / key / state:
+        Identity and lifecycle position (``key`` is the full
+        content-addressed job key).
+    from_cache:
+        The result was served from the cache — no execution happened
+        for this submission.
+    coalesced:
+        How many *extra* submissions were folded into this job while it
+        was in flight (0 = unique).
+    retries:
+        Extra execution attempts the job consumed (resilience layer).
+    error:
+        ``"Type: message"`` for FAILED jobs, else None.
+    result_sha256:
+        Bit-identity fingerprint of the decision arrays
+        (:func:`~repro.serving.api.result_digest`) for DONE jobs.
+    overall_accuracy:
+        Report accuracy (%) when the request carried a ground truth.
+    """
+
+    job_id: int
+    key: str
+    state: str
+    from_cache: bool = False
+    coalesced: int = 0
+    retries: int = 0
+    error: str | None = None
+    result_sha256: str | None = None
+    overall_accuracy: float | None = None
+
+    def to_dict(self) -> dict:
+        """Plain-data form (what the socket protocol serializes)."""
+        return asdict(self)
+
+
+class Job:
+    """The server-side record of one admitted request.
+
+    Holds the request payload (cube, params, ground truth), the
+    lifecycle state, and — after completion — the result, the per-job
+    :class:`~repro.profiling.ProfileReport` and the bit-identity
+    digest.  ``done`` is an :class:`asyncio.Event` waiters block on.
+    """
+
+    def __init__(self, job_id: int, key: str, *, bip, config,
+                 ground_truth=None, class_names=None,
+                 state: str = QUEUED) -> None:
+        self.job_id = job_id
+        self.key = key
+        self.bip = bip
+        self.config = config
+        self.ground_truth = ground_truth
+        self.class_names = class_names
+        self.state = state
+        self.from_cache = False
+        self.coalesced = 0
+        self.retries = 0
+        self.result = None
+        self.report = None          # ProfileReport | None
+        self.error: Exception | None = None
+        self.result_sha256: str | None = None
+        self.done = asyncio.Event()
+
+    def transition(self, state: str) -> None:
+        """Move to ``state``, enforcing the lifecycle machine."""
+        allowed = _TRANSITIONS.get(self.state, frozenset())
+        if state not in allowed:
+            raise ServingError(
+                f"job {self.job_id}: illegal transition "
+                f"{self.state!r} -> {state!r}")
+        self.state = state
+        if state in TERMINAL_STATES:
+            self.done.set()
+
+    def serve_from_cache(self, entry) -> None:
+        """Complete this job from a :class:`~repro.serving.cache.CacheEntry`.
+
+        The one sanctioned bypass of :meth:`transition`: a cached key
+        means the work already happened, so the job is born terminal
+        without ever being queued or run.
+        """
+        self.state = DONE
+        self.from_cache = True
+        self.result = entry.result
+        self.report = entry.report
+        self.result_sha256 = entry.digest
+        self.release_payload()
+        self.done.set()
+
+    def release_payload(self) -> None:
+        """Drop the request cube once the job is terminal — the server
+        keeps every job record for status queries, and retaining cubes
+        would grow memory with history length."""
+        self.bip = None
+        self.ground_truth = None
+
+    def status(self) -> JobStatus:
+        """The current :class:`JobStatus` snapshot."""
+        accuracy = None
+        if self.result is not None and self.result.report is not None:
+            accuracy = float(self.result.report.overall_accuracy)
+        error = None
+        if self.error is not None:
+            error = f"{type(self.error).__name__}: {self.error}"
+        return JobStatus(
+            job_id=self.job_id, key=self.key, state=self.state,
+            from_cache=self.from_cache, coalesced=self.coalesced,
+            retries=self.retries, error=error,
+            result_sha256=self.result_sha256,
+            overall_accuracy=accuracy)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Job(id={self.job_id}, state={self.state}, "
+                f"key={self.key[:12]}...)")

@@ -1,0 +1,222 @@
+"""A unix-socket front end for :class:`~repro.serving.server.AMCServer`.
+
+Transport: newline-delimited JSON over a unix domain socket — one
+request object per line, one response object per line, stdlib only.
+The cube itself never crosses the wire: requests carry a *cube
+reference* (an ENVI path the server loads, with its ``.gt.npy`` ground
+truth sidecar when present), which is the right shape for a local
+service fronting multi-hundred-MB scenes.  Content addressing happens
+server-side over the loaded bytes, so two paths to identical content
+still dedupe.
+
+Operations::
+
+    {"op": "submit", "cube": PATH, "params": {...}, "wait": true,
+     "profile": false, "write_outputs": false}
+    {"op": "status" | "wait" | "cancel", "job_id": N, "profile": false}
+    {"op": "stats"}
+    {"op": "shutdown"}
+
+Responses are ``{"ok": true, ...}`` or ``{"ok": false, "error": TYPE,
+"message": ...}`` — a full queue answers ``error="ServerBusyError"``
+with a ``retry_after_s`` hint, the wire form of backpressure.
+
+:func:`request` is the matching blocking client (used by ``repro
+submit``); it is deliberately synchronous — clients are ordinary
+processes, and only the *server* lives on an event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import socket
+
+import numpy as np
+
+from repro.errors import ReproError, ServerBusyError
+from repro.serving.server import AMCServer
+
+#: Protocol operations the front end understands.
+OPS = ("submit", "status", "wait", "cancel", "stats", "shutdown")
+
+#: Exception classes a request handler converts into error responses
+#: (anything else is a server bug and should surface loudly).
+_REQUEST_ERRORS = (ReproError, ValueError, KeyError, TypeError, OSError)
+
+
+def _error_response(exc: Exception) -> dict:
+    response = {"ok": False, "error": type(exc).__name__,
+                "message": str(exc)}
+    if isinstance(exc, ServerBusyError):
+        response["retry_after_s"] = exc.retry_after_s
+    return response
+
+
+class UnixSocketFrontend:
+    """Serve one :class:`AMCServer` on a unix domain socket.
+
+    The front end owns only transport concerns (framing, request
+    parsing, response shaping, the shutdown signal); every decision
+    about jobs belongs to the server object, which is equally usable
+    in-process without this class (see ``examples/serving_demo.py``).
+    """
+
+    def __init__(self, server: AMCServer, socket_path: str) -> None:
+        self.server = server
+        self.socket_path = socket_path
+        self._listener: asyncio.AbstractServer | None = None
+        self._shutdown = asyncio.Event()
+
+    async def start(self) -> "UnixSocketFrontend":
+        """Bind the socket and begin accepting connections."""
+        self._listener = await asyncio.start_unix_server(
+            self._handle_connection, path=self.socket_path)
+        return self
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a ``shutdown`` request arrives, then close."""
+        await self._shutdown.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Close the listener and remove the socket file."""
+        if self._listener is not None:
+            self._listener.close()
+            await self._listener.wait_closed()
+            self._listener = None
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+
+    # -- connection handling ---------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                try:
+                    payload = json.loads(line)
+                    response = await self._dispatch(payload)
+                except json.JSONDecodeError as exc:
+                    response = _error_response(exc)
+                except _REQUEST_ERRORS as exc:
+                    response = _error_response(exc)
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+        except (asyncio.CancelledError, ConnectionResetError):
+            # Loop teardown after a shutdown request cancels handlers
+            # still parked in readline(); that is a clean exit, not an
+            # error worth a traceback.
+            pass
+        finally:
+            writer.close()
+
+    async def _dispatch(self, payload: dict) -> dict:
+        op = payload.get("op")
+        if op not in OPS:
+            raise ReproError(f"unknown op {op!r}; expected one of {OPS}")
+        if op == "submit":
+            return await self._op_submit(payload)
+        if op == "stats":
+            return {"ok": True, "stats": self.server.stats()}
+        if op == "shutdown":
+            self._shutdown.set()
+            return {"ok": True, "stopping": True}
+        job_id = int(payload["job_id"])
+        if op == "wait":
+            status = await self.server.wait(job_id)
+        elif op == "cancel":
+            status = await self.server.cancel(job_id)
+        else:
+            status = self.server.status(job_id)
+        return self._job_response(job_id, status,
+                                  with_profile=payload.get("profile", False))
+
+    async def _op_submit(self, payload: dict) -> dict:
+        path = payload["cube"]
+        loop = asyncio.get_running_loop()
+        cube, ground_truth = await loop.run_in_executor(
+            None, _load_scene, path)
+        job = await self.server.submit(cube, payload.get("params"),
+                                       ground_truth=ground_truth)
+        if payload.get("wait", True):
+            await self.server.wait(job.job_id)
+        if payload.get("write_outputs", False) and job.result is not None:
+            outputs = await loop.run_in_executor(
+                None, _write_outputs, job.result, path)
+        else:
+            outputs = None
+        response = self._job_response(
+            job.job_id, job.status(),
+            with_profile=payload.get("profile", False))
+        if outputs is not None:
+            response["outputs"] = outputs
+        return response
+
+    def _job_response(self, job_id: int, status,
+                      with_profile: bool) -> dict:
+        response = {"ok": True, "job": status.to_dict()}
+        if with_profile:
+            report = self.server.job(job_id).report
+            response["profile"] = (None if report is None
+                                   else report.to_dict())
+        return response
+
+
+def _load_scene(path: str):
+    """Load an ENVI cube plus its optional ``.gt.npy`` sidecar."""
+    from repro.hsi.envi import read_cube
+
+    cube = read_cube(path)
+    try:
+        ground_truth = np.load(path + ".gt.npy")
+    except FileNotFoundError:
+        ground_truth = None
+    return cube, ground_truth
+
+
+def _write_outputs(result, path: str) -> dict:
+    """Write the MEI image and class map next to the cube (server side)."""
+    from repro.viz import write_class_map_ppm, write_pgm
+
+    return {
+        "mei": write_pgm(result.mei, path + ".mei.pgm"),
+        "classes": write_class_map_ppm(
+            result.labels, path + ".classes.ppm",
+            n_classes=int(result.labels.max())),
+    }
+
+
+# -- the blocking client -------------------------------------------------
+
+
+def request(socket_path: str, payload: dict,
+            timeout_s: float | None = None) -> dict:
+    """Send one request to a serving socket; return the response dict.
+
+    The client half of the protocol: connect, write one JSON line,
+    read one JSON line.  ``timeout_s`` bounds the whole exchange
+    (``None`` waits as long as the job runs — submit-and-wait on a
+    cold cube legitimately takes a while).
+    """
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(timeout_s)
+        sock.connect(socket_path)
+        sock.sendall(json.dumps(payload).encode() + b"\n")
+        chunks = []
+        while True:
+            chunk = sock.recv(1 << 16)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            if chunk.endswith(b"\n"):
+                break
+    raw = b"".join(chunks)
+    if not raw:
+        raise ReproError(f"server at {socket_path} closed the connection "
+                         f"without responding")
+    return json.loads(raw)

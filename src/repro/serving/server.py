@@ -1,0 +1,376 @@
+"""The AMC job server: one event loop, a persistent worker pool, a
+content-addressed cache, and the coalescer that ties them together.
+
+Architecture (see ``docs/serving.md`` for the full treatment)::
+
+    submit ──► admission (bounded queue, reject-with-retry-after)
+                  │
+                  ├── key in flight?  ──► coalesce onto the live job
+                  ├── key in cache?   ──► serve the cached result
+                  └── else ──► queue ──► worker task ──► executor thread
+                                               │
+                                               └─ persistent Pipeline
+                                                  (one per thread,
+                                                   reused for life)
+
+Every request is content-addressed (:func:`~repro.serving.api.job_key`)
+before anything else happens, which is what makes the two dedup layers
+— in-flight coalescing and the result cache — sound: N identical
+submissions cost exactly one pipeline execution, whether they arrive
+together (coalesced) or spread over time (cached).
+
+Execution rides the existing machinery unchanged: jobs run through
+:func:`~repro.pipeline.execute_amc` on a long-lived per-thread
+:class:`~repro.pipeline.Pipeline` (the ``run_amc_batch`` reuse
+discipline), wrapped in the :mod:`repro.resilience` retry loop, so a
+transient fault, a crashed worker or a GPU OOM degrades *one job* —
+never the server.  Each job carries its own
+:class:`~repro.profiling.Profiler`; the frozen per-job report travels
+with the job (and with its cache entry), so a cache hit still explains
+where its time originally went.
+
+Threading discipline: all server state (jobs table, coalescing map,
+cache, counters) is touched only from the event-loop thread; executor
+threads see nothing but their job's payload and their own pipeline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from threading import local
+
+from repro.core.amc import _as_bip
+from repro.errors import (JobNotFoundError, ServerBusyError,
+                          ServerClosedError, ServingError)
+from repro.faults import maybe_inject
+from repro.pipeline.amc import build_amc_pipeline, execute_amc
+from repro.profiling.profiler import Profiler
+from repro.resilience import RetryPolicy, run_isolated, run_with_retry
+from repro.serving import jobs as jobstates
+from repro.serving.api import as_config, job_key, result_digest
+from repro.serving.cache import ResultCache
+from repro.serving.jobs import Job, JobStatus
+from repro.serving.queue import AdmissionQueue
+
+
+@dataclass
+class ServerCounters:
+    """Request-accounting counters of one :class:`AMCServer`.
+
+    ``submitted`` counts every accepted ``submit`` call;
+    ``coalesced`` + ``cache_hits`` + ``executed`` partition it (minus
+    rejections, counted by the queue, and cancellations).  ``executed``
+    is jobs that reached a pipeline; ``completed``/``failed`` split
+    their outcomes.
+    """
+
+    submitted: int = 0
+    coalesced: int = 0
+    cache_hits: int = 0
+    rejected: int = 0
+    executed: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain dict (for ``stats()`` reports)."""
+        return {"submitted": self.submitted, "coalesced": self.coalesced,
+                "cache_hits": self.cache_hits, "rejected": self.rejected,
+                "executed": self.executed, "completed": self.completed,
+                "failed": self.failed, "cancelled": self.cancelled}
+
+
+class AMCServer:
+    """An asyncio job server for classify/detect requests.
+
+    Parameters
+    ----------
+    workers:
+        Concurrent executor threads (each owns one persistent
+        pipeline).  Per-job chunk parallelism (``params["n_workers"]``)
+        nests inside these as usual.
+    queue_size:
+        Admission bound — jobs waiting beyond the running ones before
+        submissions are rejected with a retry-after hint.
+    cache_entries / cache_bytes:
+        Result-cache budgets (see
+        :class:`~repro.serving.cache.ResultCache`).
+    default_params:
+        Parameter defaults merged under each request's params (a
+        mapping of :class:`~repro.core.amc.AMCConfig` field overrides).
+    estimated_job_s:
+        Per-job service-time estimate behind ``retry_after_s``.
+    """
+
+    def __init__(self, *, workers: int = 2, queue_size: int = 16,
+                 cache_entries: int = 64, cache_bytes: int = 256 << 20,
+                 default_params=None,
+                 estimated_job_s: float = 1.0) -> None:
+        if workers < 1:
+            raise ServingError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self.default_params = dict(default_params or {})
+        as_config(self.default_params)  # validate defaults at build time
+        self.counters = ServerCounters()
+        self.cache = ResultCache(max_entries=cache_entries,
+                                 max_bytes=cache_bytes)
+        self.queue = AdmissionQueue(maxsize=queue_size,
+                                    estimated_job_s=estimated_job_s)
+        self._jobs: dict[int, Job] = {}
+        self._inflight: dict[str, Job] = {}
+        self._next_id = 1
+        self._running = False
+        self._worker_tasks: list[asyncio.Task] = []
+        self._executor: ThreadPoolExecutor | None = None
+        self._thread_state = local()
+        #: Every pipeline any executor thread ever built — the ground
+        #: truth for the zero-duplicate-execution acceptance check.
+        self._pipelines: list = []
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """Whether the server is accepting submissions."""
+        return self._running
+
+    @property
+    def pipeline_runs(self) -> int:
+        """Total pipeline executions across every executor thread."""
+        return sum(pipeline.run_count for pipeline in self._pipelines)
+
+    async def start(self) -> "AMCServer":
+        """Spawn the worker tasks and the executor; begin accepting."""
+        if self._running:
+            raise ServingError("server is already running")
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="amc-serve")
+        self._worker_tasks = [
+            asyncio.create_task(self._worker_loop(), name=f"amc-worker-{i}")
+            for i in range(self.workers)]
+        self._running = True
+        return self
+
+    async def stop(self, *, drain: bool = True) -> None:
+        """Stop accepting, finish work, shut the executor down.
+
+        ``drain=True`` (default) completes every admitted job first;
+        ``drain=False`` cancels the still-queued ones (running jobs
+        always finish — the executor cannot abandon a thread safely).
+        """
+        if not self._running:
+            return
+        self._running = False
+        if not drain:
+            for job in self.queue.drain():
+                if job is not None and job.state == jobstates.QUEUED:
+                    self._cancel_queued(job)
+        await self.queue.join()
+        for _ in self._worker_tasks:
+            await self.queue.put_sentinel()
+        await asyncio.gather(*self._worker_tasks)
+        self._worker_tasks = []
+        self._executor.shutdown(wait=True)
+        self._executor = None
+
+    async def __aenter__(self) -> "AMCServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- the client-facing API -------------------------------------------
+
+    async def submit(self, cube, params=None, *, ground_truth=None,
+                     class_names=None) -> Job:
+        """Admit one classify request; returns its :class:`Job`.
+
+        Dedup order: an identical in-flight job coalesces (the same Job
+        object is returned, no new queue slot); an identical cached key
+        returns a job born ``done``; otherwise the request passes
+        admission control — raising
+        :class:`~repro.errors.ServerBusyError` when the queue is full —
+        and is queued.  Invalid parameters raise here, at admission.
+        """
+        if not self._running:
+            raise ServerClosedError("server is not running")
+        merged = dict(self.default_params)
+        if params is not None:
+            merged.update(dict(params))
+        config = as_config(merged)
+        bip = _as_bip(cube)
+        key = job_key(bip, config, ground_truth=ground_truth,
+                      class_names=class_names)
+
+        live = self._inflight.get(key)
+        if live is not None:
+            live.coalesced += 1
+            self.counters.submitted += 1
+            self.counters.coalesced += 1
+            return live
+
+        entry = self.cache.get(key)
+        if entry is not None:
+            job = self._new_job(key, bip=None, config=config)
+            job.serve_from_cache(entry)
+            self.counters.submitted += 1
+            self.counters.cache_hits += 1
+            return job
+
+        job = self._new_job(key, bip=bip, config=config,
+                            ground_truth=ground_truth,
+                            class_names=class_names)
+        try:
+            self.queue.admit(job)
+        except ServerBusyError:
+            del self._jobs[job.job_id]
+            self.counters.rejected += 1
+            raise
+        self._inflight[key] = job
+        self.counters.submitted += 1
+        return job
+
+    def status(self, job_id: int) -> JobStatus:
+        """The current snapshot of one job."""
+        return self._job(job_id).status()
+
+    def job(self, job_id: int) -> Job:
+        """The live :class:`Job` record (in-process callers)."""
+        return self._job(job_id)
+
+    def job_statuses(self) -> list[JobStatus]:
+        """Snapshots of every job this server has seen, by id."""
+        return [job.status() for _, job in sorted(self._jobs.items())]
+
+    async def wait(self, job_id: int) -> JobStatus:
+        """Await a job's terminal state; returns the final snapshot."""
+        job = self._job(job_id)
+        await job.done.wait()
+        return job.status()
+
+    async def cancel(self, job_id: int) -> JobStatus:
+        """Cancel a job if it is still queued.
+
+        Running jobs are not interrupted (the executor owns them) and
+        terminal jobs are left alone; either way the current snapshot
+        is returned, so callers branch on ``.state``, not on errors.
+        """
+        job = self._job(job_id)
+        if job.state == jobstates.QUEUED:
+            self._cancel_queued(job)
+        return job.status()
+
+    def stats(self) -> dict:
+        """One observable snapshot: counters, queue, cache, pipelines."""
+        return {
+            "running": self._running,
+            "workers": self.workers,
+            "jobs": len(self._jobs),
+            "queue_depth": self.queue.depth,
+            "queue_maxsize": self.queue.maxsize,
+            "pipeline_runs": self.pipeline_runs,
+            "counters": self.counters.as_dict(),
+            "cache": self.cache.as_dict(),
+        }
+
+    # -- internals -------------------------------------------------------
+
+    def _new_job(self, key: str, *, bip, config, ground_truth=None,
+                 class_names=None) -> Job:
+        job = Job(self._next_id, key, bip=bip, config=config,
+                  ground_truth=ground_truth, class_names=class_names)
+        self._jobs[job.job_id] = job
+        self._next_id += 1
+        return job
+
+    def _job(self, job_id: int) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFoundError(f"no job with id {job_id}")
+        return job
+
+    def _cancel_queued(self, job: Job) -> None:
+        job.transition(jobstates.CANCELLED)
+        self._inflight.pop(job.key, None)
+        job.release_payload()
+        self.counters.cancelled += 1
+
+    async def _worker_loop(self) -> None:
+        """One server worker: pull admitted jobs, run them off-loop."""
+        loop = asyncio.get_running_loop()
+        while True:
+            job = await self.queue.next_job()
+            try:
+                if job is None:
+                    return
+                if job.state != jobstates.QUEUED:
+                    continue  # cancelled while waiting
+                job.transition(jobstates.RUNNING)
+                self.counters.executed += 1
+                result, report, retries, error = await loop.run_in_executor(
+                    self._executor, self._execute, job)
+                self._finish(job, result, report, retries, error)
+            finally:
+                self.queue.task_done()
+
+    def _finish(self, job: Job, result, report, retries, error) -> None:
+        """Apply one execution outcome (event-loop thread only)."""
+        job.retries = retries
+        job.report = report
+        if error is None:
+            job.result = result
+            job.result_sha256 = result_digest(result)
+            job.transition(jobstates.DONE)
+            self.counters.completed += 1
+            self.cache.put(job.key, result, report, job.result_sha256)
+        else:
+            job.error = error
+            job.transition(jobstates.FAILED)
+            self.counters.failed += 1
+        self._inflight.pop(job.key, None)
+        job.release_payload()
+
+    def _thread_pipeline(self):
+        """This executor thread's persistent pipeline (built once)."""
+        pipeline = getattr(self._thread_state, "pipeline", None)
+        if pipeline is None:
+            pipeline = build_amc_pipeline()
+            self._thread_state.pipeline = pipeline
+            self._pipelines.append(pipeline)
+        return pipeline
+
+    def _execute(self, job: Job):
+        """Run one job in an executor thread; never raises.
+
+        Returns ``(result, report, retries, error)``.  Retries follow
+        the job's own parameters (``max_retries`` /
+        ``chunk_timeout_s``) through the standard
+        :mod:`repro.resilience` loop; each attempt gets a fresh
+        profiler so the surfaced report describes the successful
+        attempt only, while the retry count records what recovery cost.
+        """
+        policy = RetryPolicy(max_retries=job.config.max_retries,
+                             chunk_timeout_s=job.config.chunk_timeout_s)
+        pipeline = self._thread_pipeline()
+
+        def attempt(_):
+            profiler = Profiler(meta={
+                "job": job.job_id, "key": job.key[:12],
+                "backend": job.config.backend,
+                "workers": job.config.n_workers})
+            maybe_inject("job", index=job.job_id)
+            result = execute_amc(job.bip, job.config,
+                                 ground_truth=job.ground_truth,
+                                 class_names=job.class_names,
+                                 profiler=profiler, pipeline=pipeline)
+            return result, profiler.report()
+
+        outcome, error = run_isolated(run_with_retry, attempt, None,
+                                      index=job.job_id, policy=policy)
+        if error is not None:
+            return None, None, 0, error
+        result, report = outcome.value
+        return result, report, outcome.retries, None

@@ -1,0 +1,15 @@
+"""Blocking calls inside coroutines — every flagged line stalls the loop."""
+
+import time
+from time import sleep as snooze
+
+
+async def poll_forever(worker_pool):
+    time.sleep(0.5)
+    snooze(0.1)
+    return worker_pool.get()
+
+
+async def drain(pool):
+    pool.join()
+    return pool.map(str, [1, 2, 3])

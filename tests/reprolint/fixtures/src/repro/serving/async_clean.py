@@ -1,0 +1,24 @@
+"""Non-blocking counterparts: awaited calls, executor thunks, sync scopes."""
+
+import asyncio
+import time
+
+
+async def poll(pool_queue, loop, worker_pool):
+    await asyncio.sleep(0.5)
+    item = await pool_queue.get()
+    result = await loop.run_in_executor(None, worker_pool.get)
+    return item, result
+
+
+async def offload(loop):
+    def blocking_thunk():
+        time.sleep(0.5)
+        return 42
+
+    return await loop.run_in_executor(None, blocking_thunk)
+
+
+def sync_path(worker_pool):
+    time.sleep(0.1)
+    return worker_pool.get()

@@ -54,6 +54,9 @@ RULE_CASES = [
     ("no-mutable-defaults",
      "src/repro/core/mutable_defaults_bad.py", [4, 9, 13, 17],
      "src/repro/core/mutable_defaults_clean.py"),
+    ("no-blocking-call-in-async",
+     "src/repro/serving/async_bad.py", [8, 9, 10, 14, 15],
+     "src/repro/serving/async_clean.py"),
 ]
 
 #: (rule id, fixture inside the rule's allowed path).

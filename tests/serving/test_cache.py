@@ -1,0 +1,143 @@
+"""Content addressing and the result cache.
+
+The dedup guarantees of the serving layer rest entirely on the key:
+two requests are one job exactly when :func:`job_key` says so.  These
+tests pin the canonicalization rules (permuted/defaulted params hash
+equal, execution knobs are excluded, any byte or result-affecting
+parameter change separates keys) and the LRU/budget behaviour of
+:class:`ResultCache`.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core import AMCConfig
+from repro.serving import (
+    EXECUTION_KNOBS,
+    ResultCache,
+    canonical_params,
+    canonical_params_json,
+    job_key,
+    result_nbytes,
+)
+
+
+class TestCanonicalization:
+    def test_defaulted_forms_hash_equal(self, small_cube):
+        """None, {}, a default-valued dict and a default AMCConfig are
+        one job."""
+        reference = job_key(small_cube)
+        assert job_key(small_cube, {}) == reference
+        assert job_key(small_cube, {"backend": "reference"}) == reference
+        assert job_key(small_cube, AMCConfig()) == reference
+
+    def test_param_order_is_irrelevant(self, small_cube):
+        a = job_key(small_cube, {"n_classes": 4, "se_radius": 2})
+        b = job_key(small_cube, {"se_radius": 2, "n_classes": 4})
+        assert a == b
+
+    def test_execution_knobs_do_not_change_the_key(self, small_cube):
+        """n_workers/max_retries/chunk_timeout_s select a strategy, not
+        a result — a parallel request must hit a serially-computed
+        cache entry."""
+        base = job_key(small_cube, {"n_classes": 4})
+        assert job_key(small_cube, {"n_classes": 4,
+                                    "n_workers": 4}) == base
+        assert job_key(small_cube, {"n_classes": 4, "max_retries": 7,
+                                    "chunk_timeout_s": 2.5}) == base
+
+    def test_result_affecting_param_changes_the_key(self, small_cube):
+        base = job_key(small_cube, {"n_classes": 4})
+        assert job_key(small_cube, {"n_classes": 5}) != base
+        assert job_key(small_cube, {"n_classes": 4,
+                                    "unmixing": "lsu"}) != base
+
+    def test_cube_bytes_change_the_key(self, small_cube):
+        tweaked = small_cube.copy()
+        tweaked[0, 0, 0] += 1e-6
+        assert job_key(tweaked) != job_key(small_cube)
+
+    def test_ground_truth_and_names_participate(self, small_cube):
+        gt = np.zeros(small_cube.shape[:2], dtype=np.int32)
+        base = job_key(small_cube)
+        with_gt = job_key(small_cube, ground_truth=gt)
+        assert with_gt != base
+        assert job_key(small_cube, ground_truth=gt,
+                       class_names=["a", "b"]) != with_gt
+
+    def test_canonical_params_excludes_exactly_the_knobs(self):
+        fields = canonical_params({"n_classes": 4})
+        assert not EXECUTION_KNOBS & set(fields)
+        assert fields["n_classes"] == 4
+        assert "backend" in fields and "unmixing" in fields
+        # deterministic JSON form: independent of input ordering
+        assert (canonical_params_json({"n_classes": 4, "se_radius": 2})
+                == canonical_params_json({"se_radius": 2, "n_classes": 4}))
+
+    def test_invalid_params_fail_at_canonicalization(self):
+        with pytest.raises(TypeError):
+            canonical_params({"no_such_field": 1})
+
+
+def _result(payload_bytes: int) -> SimpleNamespace:
+    """An AMCResult-shaped stub whose retained size is controllable."""
+    one = np.zeros(1, dtype=np.uint8)
+    return SimpleNamespace(
+        mei=np.zeros(payload_bytes, dtype=np.uint8),
+        erosion_index=one, dilation_index=one, abundances=one,
+        labels=one,
+        endmembers=SimpleNamespace(spectra=one, normalized=one),
+        endmember_labels=None)
+
+
+class TestResultCache:
+    def test_hit_miss_and_served_counters(self):
+        cache = ResultCache(max_entries=4, max_bytes=1 << 20)
+        assert cache.get("k") is None
+        assert cache.put("k", _result(10), digest="d")
+        entry = cache.get("k")
+        assert entry is not None and entry.digest == "d"
+        assert cache.get("k").served == 2
+        assert cache.stats.as_dict() == {
+            "hits": 2, "misses": 1, "evictions": 0,
+            "insertions": 1, "oversize_skips": 0}
+
+    def test_entry_budget_evicts_lru(self):
+        cache = ResultCache(max_entries=2, max_bytes=1 << 20)
+        cache.put("a", _result(10))
+        cache.put("b", _result(10))
+        cache.get("a")                      # refresh: b is now LRU
+        cache.put("c", _result(10))
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_byte_budget_evicts_until_it_fits(self):
+        # each _result(n) retains n + 6 bytes (six 1-byte side arrays)
+        cache = ResultCache(max_entries=16, max_bytes=140)
+        cache.put("a", _result(50))
+        cache.put("b", _result(50))
+        cache.put("c", _result(100))        # must evict both
+        assert len(cache) == 1 and "c" in cache
+        assert cache.stats.evictions == 2
+        assert cache.current_bytes == 106
+
+    def test_oversize_results_are_refused(self):
+        cache = ResultCache(max_entries=4, max_bytes=64)
+        assert not cache.put("huge", _result(1000))
+        assert len(cache) == 0
+        assert cache.stats.oversize_skips == 1
+
+    def test_reinsert_refreshes_in_place(self):
+        cache = ResultCache(max_entries=4, max_bytes=1 << 20)
+        cache.put("k", _result(10))
+        cache.put("k", _result(10))
+        assert len(cache) == 1
+        assert cache.stats.insertions == 2
+        assert cache.stats.evictions == 0
+
+    def test_result_nbytes_counts_array_payloads(self):
+        assert result_nbytes(_result(100)) == 100 + 6

@@ -1,0 +1,113 @@
+"""Chaos acceptance for the serving layer: faults degrade one job, and
+the results that do come out are bit-identical to one-shot runs.
+
+The campaign stacks a worker crash at the job site (the serving
+executor's own retry loop recovers it) with a GPU OOM at the chunk site
+(the job runs chunk-parallel, so the degradation planner re-chunks
+inside the attempt) — under concurrent submissions, one of them a
+duplicate that must coalesce rather than re-execute.
+
+The server runs one worker: the injector's attempt counter is a
+process-wide global, so single-threaded serving keeps fault coordinates
+deterministic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import faults
+from repro.core import AMCConfig, run_amc
+from repro.faults import FaultInjector, FaultSpec
+from repro.serving import AMCServer, result_digest
+from repro.serving import jobs as jobstates
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.uninstall()
+    faults.set_attempt(0)
+    yield
+    faults.uninstall()
+    faults.set_attempt(0)
+
+
+def test_crash_and_oom_under_concurrent_submissions(small_cube):
+    """Job 1 eats a crash (job-level retry) and an OOM (chunk-level
+    degradation); job 2 runs clean; the duplicate of job 1 coalesces.
+    Every produced result matches its fault-free one-shot digest."""
+    chaotic_params = {"n_classes": 3, "n_workers": 2, "max_retries": 1,
+                      "chunk_timeout_s": 5.0}
+    clean_params = {"n_classes": 4}
+    oneshot_chaotic = result_digest(run_amc(small_cube,
+                                            AMCConfig(n_classes=3)))
+    oneshot_clean = result_digest(run_amc(small_cube,
+                                          AMCConfig(n_classes=4)))
+
+    faults.install(FaultInjector([
+        # first execution attempt of job 1 dies; the retry runs clean
+        FaultSpec(kind="worker_crash", site="job", index=1, attempt=0),
+        # any chunk wider than 5 extended lines OOMs -> the 2-worker
+        # plan (6 ext lines on a 10-line cube) must degrade-replan
+        FaultSpec(kind="gpu_oom", attempt=None, ext_lines_above=5),
+    ]))
+
+    async def scenario():
+        async with AMCServer(workers=1) as server:
+            chaotic, duplicate, clean = await asyncio.gather(
+                server.submit(small_cube, chaotic_params),
+                server.submit(small_cube, chaotic_params),
+                server.submit(small_cube, clean_params))
+            assert duplicate is chaotic
+            await asyncio.gather(server.wait(chaotic.job_id),
+                                 server.wait(clean.job_id))
+            return server, chaotic, clean
+
+    server, chaotic, clean = asyncio.run(scenario())
+
+    assert chaotic.state == jobstates.DONE
+    assert chaotic.retries == 1                  # the crash cost one retry
+    assert chaotic.coalesced == 1
+    assert chaotic.result_sha256 == oneshot_chaotic
+    # the OOM recovery is visible in the surviving attempt's report
+    assert any(e.kind == "oom_degrade" for e in chaotic.report.events)
+
+    assert clean.state == jobstates.DONE
+    assert clean.retries == 0
+    assert clean.result_sha256 == oneshot_clean
+
+    # two distinct keys -> exactly two pipeline executions, no more
+    assert server.pipeline_runs == 2
+    assert server.counters.coalesced == 1
+    assert server.counters.failed == 0
+
+
+def test_fault_exhaustion_fails_the_job_not_the_server(small_cube):
+    """Retries exhausted -> FAILED with the error recorded; the cache
+    holds nothing for that key, and a later clean run succeeds."""
+    faults.install(FaultInjector([
+        FaultSpec(kind="worker_crash", site="job", index=1, attempt=None),
+    ]))
+
+    async def scenario():
+        async with AMCServer(workers=1) as server:
+            doomed = await server.submit(
+                small_cube, {"n_classes": 3, "max_retries": 2})
+            status = await server.wait(doomed.job_id)
+            assert status.state == jobstates.FAILED
+            assert "WorkerCrashError" in status.error
+            assert doomed.key not in server.cache
+            # fault pinned to job_id 1: the resubmission executes clean
+            fresh = await server.submit(
+                small_cube, {"n_classes": 3, "max_retries": 2})
+            final = await server.wait(fresh.job_id)
+            return server, final
+
+    server, final = asyncio.run(scenario())
+    assert final.state == jobstates.DONE
+    assert final.result_sha256 == result_digest(
+        run_amc(small_cube, AMCConfig(n_classes=3)))
+    assert server.counters.failed == 1
+    assert server.counters.completed == 1

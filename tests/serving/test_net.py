@@ -1,0 +1,130 @@
+"""The unix-socket protocol: submit/status/wait/cancel/stats/shutdown
+round trips, error shaping, and the cube-reference loading path.
+
+The client half (:func:`repro.serving.request`) is blocking by design,
+so the tests drive it through ``run_in_executor`` against an in-process
+:class:`UnixSocketFrontend`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import numpy as np
+import pytest
+
+from repro.hsi import SceneParams, generate_scene
+from repro.hsi.envi import write_cube
+from repro.serving import AMCServer, UnixSocketFrontend, request
+
+PARAMS = {"n_classes": 3}
+
+
+@pytest.fixture()
+def scene_path(tmp_path):
+    """A small on-disk ENVI scene with its ground-truth sidecar."""
+    scene = generate_scene(SceneParams(lines=16, samples=16,
+                                       band_count=24, seed=11,
+                                       min_field=4))
+    path = str(tmp_path / "scene.raw")
+    write_cube(scene.cube, path)
+    np.save(path + ".gt.npy", scene.ground_truth)
+    return path
+
+
+def _roundtrip(scene_path, tmp_path, requests):
+    """Run ``requests`` (payload dicts) against a live frontend; return
+    the response list."""
+    sock = str(tmp_path / "amc.sock")
+
+    async def scenario():
+        loop = asyncio.get_running_loop()
+        async with AMCServer(workers=1) as server:
+            frontend = UnixSocketFrontend(server, sock)
+            await frontend.start()
+            try:
+                responses = []
+                for payload in requests:
+                    responses.append(await loop.run_in_executor(
+                        None, request, sock, payload))
+                return server, responses
+            finally:
+                await frontend.stop()
+
+    return asyncio.run(scenario())
+
+
+class TestProtocol:
+    def test_submit_wait_profile_and_outputs(self, scene_path, tmp_path):
+        server, (response,) = _roundtrip(scene_path, tmp_path, [
+            {"op": "submit", "cube": scene_path, "params": PARAMS,
+             "wait": True, "profile": True, "write_outputs": True},
+        ])
+        assert response["ok"]
+        job = response["job"]
+        assert job["state"] == "done"
+        assert job["result_sha256"]
+        assert job["overall_accuracy"] is not None  # the gt sidecar loaded
+        stages = [s["name"] for s in response["profile"]["stages"]]
+        assert stages == ["morphology", "endmembers", "unmixing",
+                          "classification", "evaluation"]
+        assert os.path.exists(response["outputs"]["mei"])
+        assert os.path.exists(response["outputs"]["classes"])
+
+    def test_duplicate_submission_is_served_from_cache(self, scene_path,
+                                                       tmp_path):
+        server, (first, second) = _roundtrip(scene_path, tmp_path, [
+            {"op": "submit", "cube": scene_path, "params": PARAMS},
+            {"op": "submit", "cube": scene_path, "params": PARAMS},
+        ])
+        assert not first["job"]["from_cache"]
+        assert second["job"]["from_cache"]
+        assert (second["job"]["result_sha256"]
+                == first["job"]["result_sha256"])
+        assert server.pipeline_runs == 1
+
+    def test_status_and_stats(self, scene_path, tmp_path):
+        server, (submit, status, stats) = _roundtrip(scene_path, tmp_path, [
+            {"op": "submit", "cube": scene_path, "params": PARAMS},
+            {"op": "status", "job_id": 1},
+            {"op": "stats"},
+        ])
+        assert status["job"]["state"] == "done"
+        assert stats["stats"]["counters"]["completed"] == 1
+        assert stats["stats"]["pipeline_runs"] == 1
+
+    def test_errors_come_back_shaped_not_raised(self, scene_path,
+                                                tmp_path):
+        server, responses = _roundtrip(scene_path, tmp_path, [
+            {"op": "frobnicate"},
+            {"op": "status", "job_id": 42},
+            {"op": "submit", "cube": scene_path,
+             "params": {"no_such_field": 1}},
+            {"op": "submit", "cube": str(tmp_path / "missing.raw")},
+        ])
+        unknown_op, missing_job, bad_params, missing_cube = responses
+        assert not unknown_op["ok"] and "frobnicate" in unknown_op["message"]
+        assert missing_job["error"] == "JobNotFoundError"
+        assert bad_params["error"] == "TypeError"
+        assert not missing_cube["ok"]
+
+    def test_shutdown_request_releases_the_frontend(self, scene_path,
+                                                    tmp_path):
+        sock = str(tmp_path / "amc.sock")
+
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            async with AMCServer(workers=1) as server:
+                frontend = UnixSocketFrontend(server, sock)
+                await frontend.start()
+                response = await loop.run_in_executor(
+                    None, request, sock, {"op": "shutdown"})
+                # returns promptly because the shutdown op set the event
+                await asyncio.wait_for(frontend.serve_until_shutdown(),
+                                       timeout=5.0)
+                return response
+
+        response = asyncio.run(scenario())
+        assert response["ok"] and response["stopping"]
+        assert not os.path.exists(sock)

@@ -1,0 +1,246 @@
+"""AMCServer behaviour: lifecycle, dedup, backpressure, isolation.
+
+The acceptance criterion these tests own: *a duplicate submission
+performs zero pipeline executions* — verified against the pipeline
+run counter, not timing — *and returns a bit-identical result*
+(sha256 equal to a one-shot :func:`run_amc` of the same request).
+
+Tests drive the server with ``asyncio.run`` from synchronous test
+functions (no async test plugin needed).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import faults
+from repro.core import AMCConfig, run_amc
+from repro.errors import JobNotFoundError, ServerBusyError, ServerClosedError
+from repro.faults import FaultInjector, FaultSpec
+from repro.serving import AMCServer, result_digest
+from repro.serving import jobs as jobstates
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.uninstall()
+    faults.set_attempt(0)
+    yield
+    faults.uninstall()
+    faults.set_attempt(0)
+
+
+PARAMS = {"n_classes": 3}
+
+
+async def _until_state(server, job_id, state, tries=200):
+    for _ in range(tries):
+        if server.status(job_id).state == state:
+            return
+        await asyncio.sleep(0.01)
+    raise AssertionError(
+        f"job {job_id} never reached {state!r} "
+        f"(now {server.status(job_id).state!r})")
+
+
+class TestLifecycle:
+    def test_submit_requires_running_server(self, small_cube):
+        async def scenario():
+            server = AMCServer(workers=1)
+            with pytest.raises(ServerClosedError):
+                await server.submit(small_cube, PARAMS)
+
+        asyncio.run(scenario())
+
+    def test_job_reaches_done_with_report_and_digest(self, small_cube):
+        async def scenario():
+            async with AMCServer(workers=1) as server:
+                job = await server.submit(small_cube, PARAMS)
+                status = await server.wait(job.job_id)
+            return server, status
+
+        server, status = asyncio.run(scenario())
+        assert status.state == jobstates.DONE
+        assert not status.from_cache
+        assert status.result_sha256
+        # the per-job profile went through the standard pipeline path:
+        # one record per stage, in order, with the job's identity in meta
+        job = server.job(status.job_id)
+        assert [s.name for s in job.report.stages] == [
+            "morphology", "endmembers", "unmixing",
+            "classification", "evaluation"]
+        assert job.report.meta["job"] == status.job_id
+        # terminal jobs drop their request payload
+        assert job.bip is None
+
+    def test_unknown_job_id_raises(self, small_cube):
+        async def scenario():
+            async with AMCServer(workers=1) as server:
+                with pytest.raises(JobNotFoundError):
+                    server.status(999)
+
+        asyncio.run(scenario())
+
+
+class TestDedup:
+    def test_duplicates_cost_zero_extra_executions(self, small_cube):
+        """3 concurrent identical + 1 later identical submission = one
+        pipeline run; every result is bit-identical to one-shot
+        run_amc."""
+        oneshot = result_digest(run_amc(small_cube, AMCConfig(**PARAMS)))
+
+        async def scenario():
+            async with AMCServer(workers=2) as server:
+                first = await server.submit(small_cube, PARAMS)
+                second = await server.submit(small_cube, PARAMS)
+                third = await server.submit(small_cube, PARAMS)
+                # identical in-flight submissions coalesce to one Job
+                assert second is first and third is first
+                await server.wait(first.job_id)
+                # the work is finished and cached: a fresh submission
+                # is born done without touching the queue
+                fourth = await server.submit(small_cube, PARAMS)
+                assert fourth is not first
+                assert fourth.state == jobstates.DONE
+                assert fourth.from_cache
+                return server, first, fourth
+
+        server, first, fourth = asyncio.run(scenario())
+        assert server.pipeline_runs == 1          # the acceptance gate
+        assert first.coalesced == 2
+        assert first.result_sha256 == oneshot
+        assert fourth.result_sha256 == oneshot
+        counters = server.counters
+        assert counters.submitted == 4
+        assert counters.coalesced == 2
+        assert counters.cache_hits == 1
+        assert counters.executed == 1
+
+    def test_execution_knobs_hit_the_same_cache_entry(self, small_cube):
+        """A parallel request is a cache hit for a serial result."""
+        async def scenario():
+            async with AMCServer(workers=1) as server:
+                job = await server.submit(small_cube, PARAMS)
+                await server.wait(job.job_id)
+                knobbed = await server.submit(
+                    small_cube, dict(PARAMS, n_workers=4, max_retries=5))
+                return server, job, knobbed
+
+        server, job, knobbed = asyncio.run(scenario())
+        assert knobbed.from_cache
+        assert knobbed.result_sha256 == job.result_sha256
+        assert server.pipeline_runs == 1
+
+    def test_distinct_params_do_not_dedup(self, small_cube):
+        async def scenario():
+            async with AMCServer(workers=1) as server:
+                a = await server.submit(small_cube, {"n_classes": 3})
+                b = await server.submit(small_cube, {"n_classes": 4})
+                assert b is not a
+                await server.wait(a.job_id)
+                await server.wait(b.job_id)
+                return server
+
+        server = asyncio.run(scenario())
+        assert server.pipeline_runs == 2
+
+
+class TestBackpressureAndCancel:
+    def test_full_queue_rejects_with_retry_hint(self, small_cube):
+        """One worker stalled + queue of one = the third distinct job
+        bounces with a load-proportional retry_after_s."""
+        faults.install(FaultInjector([
+            FaultSpec(kind="timeout", site="job", index=1, sleep_s=0.4),
+        ]))
+
+        async def scenario():
+            async with AMCServer(workers=1, queue_size=1,
+                                 estimated_job_s=2.0) as server:
+                stalled = await server.submit(small_cube, {"n_classes": 3})
+                await _until_state(server, stalled.job_id,
+                                   jobstates.RUNNING)
+                queued = await server.submit(small_cube, {"n_classes": 4})
+                with pytest.raises(ServerBusyError) as excinfo:
+                    await server.submit(small_cube, {"n_classes": 5})
+                # depth 1 ahead + the rejected one, at 2 s per job
+                assert excinfo.value.retry_after_s == pytest.approx(4.0)
+                # the rejected submission left no job record behind
+                assert {j.job_id for j in server.job_statuses()} == {
+                    stalled.job_id, queued.job_id}
+                await server.wait(stalled.job_id)
+                await server.wait(queued.job_id)
+                return server
+
+        server = asyncio.run(scenario())
+        assert server.counters.rejected == 1
+        assert server.queue.rejected == 1
+
+    def test_queued_job_can_be_cancelled(self, small_cube):
+        faults.install(FaultInjector([
+            FaultSpec(kind="timeout", site="job", index=1, sleep_s=0.4),
+        ]))
+
+        async def scenario():
+            async with AMCServer(workers=1, queue_size=4) as server:
+                stalled = await server.submit(small_cube, {"n_classes": 3})
+                await _until_state(server, stalled.job_id,
+                                   jobstates.RUNNING)
+                queued = await server.submit(small_cube, {"n_classes": 4})
+                status = await server.cancel(queued.job_id)
+                assert status.state == jobstates.CANCELLED
+                # cancelling a running job is a no-op, not an error
+                still = await server.cancel(stalled.job_id)
+                assert still.state == jobstates.RUNNING
+                await server.wait(stalled.job_id)
+                return server
+
+        server = asyncio.run(scenario())
+        assert server.counters.cancelled == 1
+        assert server.pipeline_runs == 1      # the cancelled job never ran
+
+    def test_failed_job_does_not_poison_the_server(self, small_cube):
+        """A job that exhausts its retries fails alone; the next
+        submission of the *same key* executes fresh (failures are not
+        cached)."""
+        faults.install(FaultInjector([
+            FaultSpec(kind="transient", site="job", index=1, attempt=None),
+        ]))
+
+        async def scenario():
+            async with AMCServer(workers=1) as server:
+                doomed = await server.submit(
+                    small_cube, dict(PARAMS, max_retries=1))
+                status = await server.wait(doomed.job_id)
+                assert status.state == jobstates.FAILED
+                assert "TransientFaultError" in status.error
+                # same key, next submission: the fault spec is pinned to
+                # job_id 1, so this one runs clean
+                retry = await server.submit(
+                    small_cube, dict(PARAMS, max_retries=1))
+                final = await server.wait(retry.job_id)
+                assert final.state == jobstates.DONE
+                return server
+
+        server = asyncio.run(scenario())
+        assert server.counters.failed == 1
+        assert server.counters.completed == 1
+
+    def test_stop_without_drain_cancels_queued_jobs(self, small_cube):
+        faults.install(FaultInjector([
+            FaultSpec(kind="timeout", site="job", index=1, sleep_s=0.4),
+        ]))
+
+        async def scenario():
+            server = await AMCServer(workers=1, queue_size=4).start()
+            stalled = await server.submit(small_cube, {"n_classes": 3})
+            await _until_state(server, stalled.job_id, jobstates.RUNNING)
+            queued = await server.submit(small_cube, {"n_classes": 4})
+            await server.stop(drain=False)
+            return server, stalled, queued
+
+        server, stalled, queued = asyncio.run(scenario())
+        assert stalled.state == jobstates.DONE       # running jobs finish
+        assert queued.state == jobstates.CANCELLED
+        assert server.pipeline_runs == 1

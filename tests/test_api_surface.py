@@ -8,7 +8,8 @@ import pytest
 PACKAGES = ["repro", "repro.spectral", "repro.hsi", "repro.stream",
             "repro.gpu", "repro.cpu", "repro.core", "repro.backends",
             "repro.pipeline", "repro.bench", "repro.viz", "repro.parallel",
-            "repro.profiling", "repro.resilience", "repro.faults"]
+            "repro.profiling", "repro.resilience", "repro.faults",
+            "repro.serving"]
 
 
 @pytest.mark.parametrize("package", PACKAGES)

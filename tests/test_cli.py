@@ -254,3 +254,59 @@ class TestRobustnessFlags:
         out = capsys.readouterr().out
         assert "on_error: skip" in out
         assert "batch_error" in out
+
+
+class TestServingCommands:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.socket == "/tmp/repro-amc.sock"
+        assert args.workers == 2 and args.queue_size == 16
+        assert args.cache_entries == 64 and args.cache_mb == 256
+
+    def test_submit_parser_defaults(self):
+        args = build_parser().parse_args(["submit", "x.raw"])
+        assert args.path == "x.raw"
+        assert not args.no_wait and not args.profile
+        assert not args.shutdown
+
+    def test_serve_submit_round_trip(self, tmp_path, capsys):
+        """The worked CLI session from docs/serving.md, in-process: a
+        cold submit executes, its duplicate is a cache hit, shutdown
+        stops the server."""
+        import threading
+        import time as _time
+
+        path = str(tmp_path / "scene.raw")
+        main(["generate", path, "--lines", "16", "--samples", "16",
+              "--bands", "24", "--seed", "41"])
+        sock = str(tmp_path / "amc.sock")
+        rc = {}
+        server = threading.Thread(
+            target=lambda: rc.update(serve=main(
+                ["serve", "--socket", sock, "--workers", "1"])))
+        server.start()
+        try:
+            for _ in range(200):
+                if os.path.exists(sock):
+                    break
+                _time.sleep(0.05)
+            capsys.readouterr()
+            assert main(["submit", path, "--socket", sock,
+                         "--classes", "4"]) == 0
+            cold = capsys.readouterr().out
+            assert "[executed" in cold
+            assert "result sha256" in cold
+            assert main(["submit", path, "--socket", sock,
+                         "--classes", "4"]) == 0
+            warm = capsys.readouterr().out
+            assert "[cache]" in warm
+        finally:
+            assert main(["submit", "--shutdown", "--socket", sock]) == 0
+            server.join(timeout=30)
+        assert rc["serve"] == 0
+        sha = [line for line in cold.splitlines() if "sha256" in line]
+        assert sha and sha[0] in warm
+
+    def test_submit_requires_path_unless_shutdown(self, capsys):
+        assert main(["submit"]) == 2
+        assert "path" in capsys.readouterr().err

@@ -86,3 +86,11 @@ def test_advanced_pipeline(capsys, tmp_path, monkeypatch):
     out = capsys.readouterr().out
     assert "virtual dimensionality" in out
     assert "Cg fragment programs" in out
+
+
+def test_serving_demo(capsys):
+    _run_example("serving_demo")
+    out = capsys.readouterr().out
+    assert "identical submissions -> one job: True" in out
+    assert "resubmission from cache: True, sha matches: True" in out
+    assert "pipeline executions for 5 submissions: 2" in out

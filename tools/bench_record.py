@@ -1,22 +1,34 @@
-"""Record the pair-reuse acceptance measurement to ``BENCH_morph.json``.
+"""Record acceptance measurements to ``BENCH_*.json`` at the repo root.
 
-Measures the reference-backend morphological stage (``mei_reference``)
-with the historical all-pairs loop and with the shift-reuse engine at
-radius 2, takes the best of a few repeats of each, and writes the
-speedup plus the engine's reuse accounting to ``BENCH_morph.json`` at
-the repository root.  The PR's acceptance bar is a >= 2x measured
-speedup with bit-identical output (the latter is asserted here and
-pinned by the test suite).
+Two targets:
+
+``morph`` (the default, preserving the historical invocation)
+    Measures the reference-backend morphological stage
+    (``mei_reference``) with the historical all-pairs loop and with the
+    shift-reuse engine at radius 2, takes the best of a few repeats of
+    each, and writes the speedup plus the engine's reuse accounting to
+    ``BENCH_morph.json``.  The acceptance bar is a >= 2x measured
+    speedup with bit-identical output (asserted here and pinned by the
+    test suite).
+
+``serving``
+    Drives an in-process :class:`~repro.serving.AMCServer` with 1, 4
+    and 16 concurrent clients, recording jobs/sec plus cold vs
+    cache-hit latency to ``BENCH_serving.json``.  The warm pass is
+    asserted to add *zero* pipeline executions with digests identical
+    to the cold pass — the serving acceptance criterion, measured.
 
 Run from the repository root::
 
-    PYTHONPATH=src python -m tools.bench_record
+    PYTHONPATH=src python -m tools.bench_record [morph|serving]
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
 import os
+import sys
 import time
 
 import numpy as np
@@ -27,6 +39,9 @@ LINES, SAMPLES, BANDS = 96, 96, 32
 RADIUS = 2
 REPEATS = 3
 SEED = 20060815
+
+#: Concurrency levels of the serving measurement.
+SERVING_CLIENTS = (1, 4, 16)
 
 
 def _best_of(fn, repeats: int = REPEATS):
@@ -64,17 +79,104 @@ def measure() -> dict:
     }
 
 
-def main() -> None:
-    record = measure()
+async def _serving_level(server, cube, clients: int) -> dict:
+    """One concurrency level: cold pass, then the identical warm pass."""
+
+    async def one_request(params):
+        start = time.perf_counter()
+        job = await server.submit(cube, params)
+        await server.wait(job.job_id)
+        return time.perf_counter() - start, job
+
+    param_sets = [{"n_classes": 3 + i} for i in range(clients)]
+
+    start = time.perf_counter()
+    cold = await asyncio.gather(*(one_request(p) for p in param_sets))
+    cold_wall = time.perf_counter() - start
+    runs_after_cold = server.pipeline_runs
+
+    start = time.perf_counter()
+    warm = await asyncio.gather(*(one_request(p) for p in param_sets))
+    warm_wall = time.perf_counter() - start
+
+    # the acceptance criterion, measured: zero extra executions and
+    # bit-identical digests on the warm pass
+    assert server.pipeline_runs == runs_after_cold
+    assert all(w.result_sha256 == c.result_sha256
+               for (_, c), (_, w) in zip(cold, warm))
+
+    def mean_ms(latencies):
+        return round(1e3 * sum(latencies) / len(latencies), 3)
+
+    return {
+        "clients": clients,
+        "cold_jobs_per_s": round(clients / cold_wall, 3),
+        "cache_hit_jobs_per_s": round(clients / warm_wall, 3),
+        "cold_latency_ms": mean_ms([s for s, _ in cold]),
+        "cache_hit_latency_ms": mean_ms([s for s, _ in warm]),
+        "pipeline_runs": runs_after_cold,
+    }
+
+
+def measure_serving() -> dict:
+    """Run the serving throughput measurement; return the record dict."""
+    from repro.hsi import SceneParams, generate_scene
+    from repro.serving import AMCServer
+
+    scene = generate_scene(SceneParams(lines=32, samples=32,
+                                       band_count=32, seed=SEED % 9973,
+                                       min_field=5))
+    cube = scene.cube
+
+    async def sweep():
+        levels = []
+        for clients in SERVING_CLIENTS:
+            async with AMCServer(workers=2,
+                                 queue_size=max(16, clients)) as server:
+                levels.append(await _serving_level(server, cube, clients))
+        return levels
+
+    return {
+        "bench": "serving throughput: jobs/sec and cold vs cache-hit "
+                 "latency under concurrent clients",
+        "cube": [32, 32, 32],
+        "workers": 2,
+        "zero_duplicate_executions": True,
+        "levels": asyncio.run(sweep()),
+    }
+
+
+def _write(record: dict, filename: str) -> str:
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    path = os.path.join(root, "BENCH_morph.json")
+    path = os.path.join(root, filename)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(record, fh, indent=2, sort_keys=True)
         fh.write("\n")
-    print(f"speedup {record['speedup']}x "
-          f"(pairs {record['pairs_wall_s']}s -> "
-          f"shift {record['shift_wall_s']}s, "
-          f"reuse ratio {record['reuse']['reuse_ratio']:.2f})")
+    return path
+
+
+def main(argv=None) -> None:
+    argv = sys.argv[1:] if argv is None else argv
+    target = argv[0] if argv else "morph"
+    if target == "morph":
+        record = measure()
+        path = _write(record, "BENCH_morph.json")
+        print(f"speedup {record['speedup']}x "
+              f"(pairs {record['pairs_wall_s']}s -> "
+              f"shift {record['shift_wall_s']}s, "
+              f"reuse ratio {record['reuse']['reuse_ratio']:.2f})")
+    elif target == "serving":
+        record = measure_serving()
+        path = _write(record, "BENCH_serving.json")
+        for level in record["levels"]:
+            print(f"{level['clients']:>2} client(s): "
+                  f"cold {level['cold_jobs_per_s']} jobs/s "
+                  f"({level['cold_latency_ms']} ms), "
+                  f"cache-hit {level['cache_hit_jobs_per_s']} jobs/s "
+                  f"({level['cache_hit_latency_ms']} ms)")
+    else:
+        raise SystemExit(f"unknown bench target {target!r}; "
+                         f"pick from: morph, serving")
     print(f"wrote {path}")
 
 

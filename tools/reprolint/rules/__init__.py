@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from .async_blocking import AsyncBlockingRule
 from .backend_dispatch import BackendDispatchRule
 from .blanket_except import BlanketExceptRule
 from .dtype_discipline import DtypeDisciplineRule
@@ -26,6 +27,7 @@ ALL_RULES = (
     WallclockRule(),
     DtypeDisciplineRule(),
     MutableDefaultsRule(),
+    AsyncBlockingRule(),
 )
 
 _BY_ID = {rule.rule_id: rule for rule in ALL_RULES}

@@ -1,0 +1,119 @@
+"""no-blocking-call-in-async: the serving event loop must never block.
+
+The serving layer (``repro.serving``) multiplexes every client and
+every job over one asyncio event loop; a single synchronous stall —
+``time.sleep``, a blocking ``pool.get`` — freezes *all* of them at
+once: admission stops answering, coalescing stops matching, and the
+backpressure contract (reject fast with ``retry_after_s``) silently
+degrades into "hang".  Blocking work belongs on the executor
+(``loop.run_in_executor``), which is exactly how :class:`AMCServer`
+runs the pipeline.
+
+What is flagged, inside ``async def`` bodies under the scoped paths:
+
+* ``time.sleep(...)`` — including ``from time import sleep`` aliases;
+  pausing a coroutine is spelled ``await asyncio.sleep(...)``.
+* ``<pool-ish>.get/.join/.map/.apply(...)`` where the receiver's name
+  contains ``pool`` and the call is *not* directly awaited — the
+  multiprocessing/result-queue idioms that block the calling thread.
+  Directly awaited calls are fine (``await queue.get()`` on an
+  ``asyncio.Queue`` is the non-blocking counterpart).
+
+Nested synchronous ``def``/``lambda`` bodies are *not* scanned: code
+handed to ``run_in_executor`` is allowed — encouraged — to block.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Finding, Rule, iter_nodes
+
+#: Method names that block the calling thread on pool-like objects.
+BLOCKING_POOL_METHODS = frozenset({"get", "join", "map", "apply"})
+
+
+def _sleep_aliases(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """(aliases of the ``time`` module, aliases of ``time.sleep``)."""
+    time_aliases: set[str] = set()
+    sleep_names: set[str] = set()
+    for node in iter_nodes(tree, ast.Import):
+        for alias in node.names:
+            if alias.name == "time":
+                time_aliases.add(alias.asname or "time")
+    for node in iter_nodes(tree, ast.ImportFrom):
+        if node.level == 0 and node.module == "time":
+            for alias in node.names:
+                if alias.name == "sleep":
+                    sleep_names.add(alias.asname or alias.name)
+    return time_aliases, sleep_names
+
+
+def _coroutine_body_nodes(func: ast.AsyncFunctionDef) -> list[ast.AST]:
+    """Nodes in ``func``'s body, excluding nested function scopes.
+
+    A nested synchronous ``def`` (or lambda) is a separate execution
+    context — typically the thunk handed to ``run_in_executor`` —
+    where blocking is the whole point, so traversal stops at any
+    function boundary.  Nested *async* defs are excluded here too;
+    they are visited in their own right as separate coroutines.
+    """
+    out: list[ast.AST] = []
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        out.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return out
+
+
+class AsyncBlockingRule(Rule):
+    rule_id = "no-blocking-call-in-async"
+    description = ("blocking call (time.sleep, pool.get/join/map/apply) "
+                   "inside an async def — stalls the whole event loop")
+    applies_to = ("src/repro/serving",)
+
+    def visit(self, tree: ast.Module, source: str,
+              path: str) -> list[Finding]:
+        time_aliases, sleep_names = _sleep_aliases(tree)
+        findings = []
+        for func in iter_nodes(tree, ast.AsyncFunctionDef):
+            body = _coroutine_body_nodes(func)
+            awaited = {id(n.value) for n in body
+                       if isinstance(n, ast.Await)}
+            for node in body:
+                if not isinstance(node, ast.Call):
+                    continue
+                what = self._blocking_call(node, time_aliases, sleep_names,
+                                           awaited)
+                if what is not None:
+                    findings.append(self.finding(
+                        path, node,
+                        f"{what} blocks the event loop inside async "
+                        f"def {func.name}() — await the async "
+                        "counterpart or move the work to "
+                        "loop.run_in_executor"))
+        findings.sort(key=Finding.sort_key)
+        return findings
+
+    def _blocking_call(self, node: ast.Call, time_aliases: set[str],
+                       sleep_names: set[str],
+                       awaited: set[int]) -> str | None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in sleep_names:
+            return f"{func.id}() (time.sleep)"
+        if not isinstance(func, ast.Attribute):
+            return None
+        value = func.value
+        if (func.attr == "sleep" and isinstance(value, ast.Name)
+                and value.id in time_aliases):
+            return "time.sleep()"
+        if (func.attr in BLOCKING_POOL_METHODS
+                and id(node) not in awaited
+                and isinstance(value, ast.Name)
+                and "pool" in value.id.lower()):
+            return f"{value.id}.{func.attr}()"
+        return None
