@@ -1,0 +1,50 @@
+"""Per-workload serving latency — cold execution vs cache hit.
+
+The workload registry's pitch is that one server (and one cache)
+serves every registered algorithm without collisions: an AMC
+classification, a SAM/CEM/RX detection and a PCA reduction of the
+*same cube* are five distinct cache keys, and a resubmission of any of
+them is a pure cache hit.  This bench measures that, one cold/warm
+pair per registered workload; the zero-extra-execution, bit-identity
+and key-distinctness properties are asserted inside the measurement
+itself (``tools.bench_record.measure_workloads``).
+
+Absolute numbers are host-dependent; the shape — cache-hit latency
+roughly constant across workloads while cold latency tracks each
+algorithm's cost, with AMC's five-stage pipeline dominating — is the
+point.
+"""
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if REPO_ROOT not in sys.path:
+    sys.path.insert(0, REPO_ROOT)
+
+from repro.bench import format_table
+
+from tools.bench_record import measure_workloads
+
+
+def test_workload_latency(benchmark, report):
+    record = benchmark.pedantic(measure_workloads, rounds=1, iterations=1,
+                                warmup_rounds=0)
+
+    rows = [[row["workload"], row["kind"],
+             f"{row['cold_ms']:.2f}", f"{row['cache_hit_ms']:.2f}"]
+            for row in record["workloads"]]
+    report("workload_latency", format_table(
+        "Registered workloads through one server: cold execution vs "
+        "content-addressed cache hit (32x32x32 cube)",
+        ["workload", "kind", "cold ms", "hit ms"],
+        rows))
+
+    assert record["zero_duplicate_executions"]
+    assert record["distinct_keys_per_workload"]
+    names = {row["workload"] for row in record["workloads"]}
+    assert {"amc", "sam", "cem", "rx", "pca"} <= names
+    for row in record["workloads"]:
+        # a cache hit skips the pipeline entirely; even on a noisy
+        # host it must undercut the cold execution
+        assert row["cache_hit_ms"] < row["cold_ms"]

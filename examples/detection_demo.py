@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Target detection through the workload registry: SAM versus RX.
+
+The same Pipeline machinery that runs AMC classification runs any
+registered workload — this demo drives two of the detection workloads
+over one scene with planted sub-pixel targets:
+
+* ``sam`` — a *matched* filter: it knows the target spectrum and scores
+  each pixel by spectral-angle similarity to it.
+* ``rx`` — an *anomaly* detector: no target knowledge at all, it scores
+  each pixel by Mahalanobis distance from the scene background.
+
+Both go through ``get_workload(name).run(...)`` with chunk-parallel
+execution, and both score maps are rendered as ASCII so the planted
+targets are visible right in the terminal.
+
+Run:  python examples/detection_demo.py
+"""
+
+import numpy as np
+
+from repro.hsi import generate_indian_pines_like
+from repro.hsi.targets import implant_targets
+from repro.viz import render_ascii
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    scene = generate_indian_pines_like(96, 96, seed=23)
+    spectrum = scene.library.get("roof_metal")
+    planted = implant_targets(scene.cube.as_bip().astype(np.float64),
+                              spectrum, count=9, abundance=0.8, rng=rng)
+    # tolerance=0: SAM and RX score per pixel, nothing smears onto
+    # neighbours (unlike the windowed MEI in target_detection.py)
+    mask = planted.mask(tolerance=0)
+    print(f"Planted {planted.count} sub-pixel targets "
+          f"({planted.abundance:.0%} abundance) in a 96x96 scene.\n")
+
+    results = {}
+    for name in ("sam", "rx"):
+        workload = get_workload(name)
+        params = {"n_workers": 2, "max_alarms": 1000}
+        if workload.requires_target:
+            params["target"] = tuple(float(v) for v in spectrum)
+        results[name] = workload.run(planted.cube, params,
+                                     ground_truth=mask)
+
+    for name, result in results.items():
+        known = ("matched filter, target spectrum known"
+                 if get_workload(name).requires_target
+                 else "anomaly detector, no target knowledge")
+        print(f"--- {name.upper()} score map ({known}) ---")
+        print(render_ascii(result.scores, max_width=48, max_height=24))
+        print(f"{name.upper()} area under detection curve: "
+              f"{result.auc:.3f}\n")
+
+    print(f"{'alarms':>8} {'SAM recall':>12} {'RX recall':>12}")
+    for budget in (50, 150, 400, 1000):
+        print(f"{budget:>8} "
+              f"{results['sam'].curve.recall_at(budget):>12.1%} "
+              f"{results['rx'].curve.recall_at(budget):>12.1%}")
+    print("\nBoth detectors nail the planted pixels — the matched "
+          "filter because it knows the target spectrum, RX because a "
+          "metal roof in a cornfield is a strong global outlier.  And "
+          "both ran through the exact same Pipeline, profiling and "
+          "retry machinery as AMC classification — detection is just "
+          "another registered workload.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,10 +1,12 @@
 """Command-line interface.
 
-Six subcommands cover the library's day-to-day uses::
+Eight subcommands cover the library's day-to-day uses::
 
     repro generate  out.raw --lines 128 --samples 128    # synthesize a scene
     repro classify  out.raw --classes 45 --backend gpu   # run AMC
     repro classify  out.raw --workers 4 --profile        # multi-core + report
+    repro detect    out.raw --algo sam --target-class 2  # target detection
+    repro reduce    out.raw --components 4               # PCA band reduction
     repro serve     --socket /tmp/amc.sock               # job server
     repro submit    out.raw --socket /tmp/amc.sock       # client mode
     repro bench     --table 4                            # modeled tables
@@ -28,11 +30,20 @@ batch through one pool) and ``--on-error raise|skip|collect`` decides
 whether one corrupt scene aborts, is skipped, or is reported alongside
 the successes.
 
+``detect`` and ``reduce`` run the non-AMC workloads of
+:mod:`repro.workloads` (see ``docs/workloads.md``): their ``--algo``
+choices come straight from the registry, so a newly registered
+detector or reducer appears in the CLI without touching this module.
+``detect --target-class K`` derives the target spectrum (mean of the
+ground-truth class-K pixels) and the evaluation mask from the
+``.gt.npy`` sidecar.
+
 ``serve`` runs the :mod:`repro.serving` job server on a unix socket;
 ``submit`` is the matching client — it ships a cube *reference* (a
-path) plus parameters, and duplicate submissions are deduped
-server-side through in-flight coalescing and the content-addressed
-result cache (see ``docs/serving.md``).
+path) plus parameters (and optionally ``--workload`` /
+``--target-class``), and duplicate submissions are deduped server-side
+through in-flight coalescing and the content-addressed result cache
+(see ``docs/serving.md``).
 """
 
 from __future__ import annotations
@@ -195,6 +206,105 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_profile(profiler, destination) -> None:
+    """Emit a finished profiler's report per the ``--profile`` flag."""
+    report = profiler.report()
+    if destination == "-":
+        print(report.to_text())
+    else:
+        print(f"profile report:     {report.save(destination)}")
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    """Run a detection workload (SAM/CEM/RX) on an ENVI cube."""
+    from repro.parallel import resolve_workers
+    from repro.viz import write_pgm
+    from repro.workloads import get_workload
+
+    cube, ground_truth = _load_scene(args.path)
+    wl = get_workload(args.algo)
+    workers = resolve_workers(args.workers)
+    params: dict = {"regularization": args.regularization,
+                    "n_workers": workers, "max_retries": args.retries,
+                    "chunk_timeout_s": args.chunk_timeout_s}
+    if args.max_alarms is not None:
+        params["max_alarms"] = args.max_alarms
+    mask = None
+    if args.target_class is not None:
+        if ground_truth is None:
+            print("--target-class needs a ground-truth sidecar "
+                  f"({args.path}.gt.npy)", file=sys.stderr)
+            return 2
+        mask = ground_truth == args.target_class
+        if not mask.any():
+            print(f"ground truth has no pixels of class "
+                  f"{args.target_class}", file=sys.stderr)
+            return 2
+        if wl.requires_target:
+            spectrum = cube.as_bip()[mask].mean(axis=0)
+            params["target"] = tuple(float(v) for v in spectrum)
+    elif wl.requires_target:
+        print(f"--algo {wl.name} needs a target spectrum: pass "
+              f"--target-class K (with a .gt.npy sidecar)",
+              file=sys.stderr)
+        return 2
+    profiler = None
+    if args.profile is not None:
+        from repro.profiling import Profiler
+
+        profiler = Profiler(meta={
+            "image": f"{cube.lines}x{cube.samples}x{cube.bands}",
+            "workload": wl.name, "workers": workers})
+    result = wl.run(cube, params, ground_truth=mask, profiler=profiler)
+    scores_path = write_pgm(result.scores, f"{args.path}.{wl.name}.pgm")
+    print(f"score map:          {scores_path}")
+    if result.auc is not None:
+        curve = result.curve
+        print(f"detection AUC:      {result.auc:.4f}  "
+              f"(recall {curve.recall[-1]:.0%} within "
+              f"{int(curve.alarms[-1])} alarms)")
+    if profiler is not None:
+        _print_profile(profiler, args.profile)
+    return 0
+
+
+def _cmd_reduce(args: argparse.Namespace) -> int:
+    """Run a band-reduction workload (PCA) on an ENVI cube."""
+    from repro.parallel import resolve_workers
+    from repro.viz import write_pgm
+    from repro.workloads import get_workload
+
+    cube, _ = _load_scene(args.path)
+    wl = get_workload(args.algo)
+    workers = resolve_workers(args.workers)
+    params = {"n_components": args.components, "n_workers": workers,
+              "max_retries": args.retries,
+              "chunk_timeout_s": args.chunk_timeout_s}
+    profiler = None
+    if args.profile is not None:
+        from repro.profiling import Profiler
+
+        profiler = Profiler(meta={
+            "image": f"{cube.lines}x{cube.samples}x{cube.bands}",
+            "workload": wl.name, "workers": workers})
+    result = wl.run(cube, params, profiler=profiler)
+    out_path = f"{args.path}.{wl.name}.npy"
+    np.save(out_path, result.transformed)
+    total = float(result.scores.sum())
+    shares = (result.scores / total if total > 0
+              else result.scores)
+    print(f"reduced cube:       {out_path} "
+          f"({cube.bands} -> {result.transformed.shape[2]} band(s))")
+    print("component variance: "
+          + ", ".join(f"{s:.1%}" for s in shares))
+    first_pc = write_pgm(result.transformed[:, :, 0],
+                         f"{args.path}.{wl.name}1.pgm")
+    print(f"first component:    {first_pc}")
+    if profiler is not None:
+        _print_profile(profiler, args.profile)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the AMC job server on a unix socket until ``shutdown``."""
     import asyncio
@@ -256,10 +366,25 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     params = {"n_classes": args.classes, "se_radius": args.radius,
               "backend": args.backend, "max_retries": args.retries,
               "chunk_timeout_s": args.chunk_timeout_s}
-    response = request(args.socket, {
+    payload = {
         "op": "submit", "cube": args.path, "params": params,
         "wait": not args.no_wait, "profile": args.profile,
-        "write_outputs": args.write_outputs})
+        "write_outputs": args.write_outputs}
+    if args.workload is not None:
+        import dataclasses
+
+        from repro.workloads import get_workload
+
+        # the AMC flag values above speak AMCConfig; keep only the
+        # fields the chosen workload's config schema actually declares
+        wl = get_workload(args.workload)
+        declared = {f.name for f in dataclasses.fields(wl.config_type)}
+        payload["params"] = {name: value for name, value in params.items()
+                             if name in declared}
+        payload["workload"] = wl.name
+    if args.target_class is not None:
+        payload["target_class"] = args.target_class
+    response = request(args.socket, payload)
     if not response.get("ok"):
         message = f"{response.get('error')}: {response.get('message')}"
         if "retry_after_s" in response:
@@ -270,7 +395,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     job = response["job"]
     origin = ("cache" if job["from_cache"]
               else f"executed (+{job['coalesced']} coalesced)")
-    print(f"job {job['job_id']}: {job['state']} [{origin}]")
+    label = job.get("workload") or "job"
+    print(f"{label} job {job['job_id']}: {job['state']} [{origin}]")
     if job.get("result_sha256"):
         print(f"result sha256:      {job['result_sha256']}")
     if job.get("overall_accuracy") is not None:
@@ -379,6 +505,57 @@ def build_parser() -> argparse.ArgumentParser:
                           "it alongside the successes")
     cls.set_defaults(func=_cmd_classify)
 
+    from repro.workloads import workload_names
+
+    def add_execution_flags(cmd) -> None:
+        """The shared chunk-parallel execution knobs."""
+        cmd.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="worker processes for the chunk-parallel "
+                              "stage (0 = all cores; results are "
+                              "identical to serial)")
+        cmd.add_argument("--retries", type=int, default=0, metavar="N",
+                         help="extra attempts per chunk before the run "
+                              "fails")
+        cmd.add_argument("--chunk-timeout-s", type=float, default=None,
+                         metavar="S", help="per-chunk deadline when "
+                                           "collecting pool results")
+        cmd.add_argument("--profile", nargs="?", const="-", default=None,
+                         metavar="PATH",
+                         help="emit a stage/chunk timing report: text "
+                              "to stdout, or JSON to PATH when given")
+
+    det = sub.add_parser(
+        "detect", help="run a detection workload on an ENVI cube")
+    det.add_argument("path", help="path to a raw cube (with .hdr)")
+    det.add_argument("--algo", choices=workload_names(kind="detection"),
+                     default="sam",
+                     help="registered detection workload")
+    det.add_argument("--target-class", type=int, default=None,
+                     metavar="K",
+                     help="ground-truth class whose mean spectrum is "
+                          "the target and whose footprint is the "
+                          "evaluation mask (needs <path>.gt.npy)")
+    det.add_argument("--regularization", type=float, default=1e-6,
+                     metavar="X",
+                     help="ridge factor on the scene second-moment "
+                          "matrix (CEM/RX)")
+    det.add_argument("--max-alarms", type=int, default=None, metavar="N",
+                     help="detection-curve horizon (default: 10%% of "
+                          "the scene)")
+    add_execution_flags(det)
+    det.set_defaults(func=_cmd_detect)
+
+    red = sub.add_parser(
+        "reduce", help="run a band-reduction workload on an ENVI cube")
+    red.add_argument("path", help="path to a raw cube (with .hdr)")
+    red.add_argument("--algo", choices=workload_names(kind="reduction"),
+                     default="pca",
+                     help="registered reduction workload")
+    red.add_argument("--components", type=int, default=3, metavar="K",
+                     help="number of leading components to keep")
+    add_execution_flags(red)
+    red.set_defaults(func=_cmd_reduce)
+
     def add_param_flags(cmd) -> None:
         """The shared AMC parameter flags of serve/submit."""
         cmd.add_argument("--classes", type=int, default=45)
@@ -429,6 +606,15 @@ def build_parser() -> argparse.ArgumentParser:
                           "to the cube")
     sbm.add_argument("--shutdown", action="store_true",
                      help="ask the server to stop instead of submitting")
+    sbm.add_argument("--workload", choices=workload_names(),
+                     default=None,
+                     help="registered workload to run (default: the "
+                          "server's default, normally amc)")
+    sbm.add_argument("--target-class", type=int, default=None,
+                     metavar="K",
+                     help="for detection workloads: derive the target "
+                          "spectrum and evaluation mask from ground-"
+                          "truth class K (server-side)")
     add_param_flags(sbm)
     sbm.set_defaults(func=_cmd_submit)
 

@@ -1,16 +1,29 @@
-"""Anomaly detection scores and detection-curve utilities.
+"""Target/anomaly detection scores and detection-curve utilities.
 
-Two detectors over the same interface (an (H, W) anomaly score map,
-higher = more anomalous), plus the curve machinery to compare them:
+Three detectors over the same interface (an (H, W) score map, higher =
+more target-like / more anomalous), plus the curve machinery to compare
+them:
 
 * :func:`mei_detector` — the paper's MEI, used as an anomaly score (a
   man-made pixel makes its neighbourhood spectrally eccentric);
 * :func:`rx_detector` — Reed-Xiaoli, the classical global benchmark:
   Mahalanobis distance of each pixel from the scene's mean spectrum
   under the scene covariance;
+* :func:`cem_detector` — the constrained energy minimization matched
+  filter: unit response on a known target spectrum, minimum output
+  energy on the scene correlation;
 * :func:`detection_curve` — recall as a function of the false-alarm
-  budget, and the area under it, for scoring either detector against
+  budget, and the area under it, for scoring any detector against
   implanted-target ground truth.
+
+Each detector is split into a *statistics* step (one global pass over
+the scene: mean/covariance or correlation, inverted once) and a
+*per-pixel kernel* that scores pixels against those fixed statistics.
+The split is what makes the detectors chunk-parallel in
+:mod:`repro.workloads`: statistics are computed once on the whole image,
+then the kernel — per-pixel-independent by construction, evaluated with
+non-optimized einsum so the reduction order is fixed — maps over line
+chunks bit-identically to the whole-image call.
 """
 
 from __future__ import annotations
@@ -28,6 +41,52 @@ def mei_detector(cube_bip: np.ndarray, radius: int = 1) -> np.ndarray:
     return mei_reference(cube_bip, radius).mei
 
 
+def _as_cube(cube_bip: np.ndarray) -> np.ndarray:
+    cube_bip = np.asarray(cube_bip, dtype=np.float64)
+    if cube_bip.ndim != 3:
+        raise ShapeError(f"expected (H, W, N), got {cube_bip.shape}")
+    return cube_bip
+
+
+def _ridge(matrix: np.ndarray, regularization: float) -> np.ndarray:
+    """Add ``regularization * mean(diag)`` to the diagonal — keeps
+    near-singular second-moment matrices invertible without visibly
+    moving well-conditioned ones."""
+    n = matrix.shape[0]
+    return matrix + np.eye(n) * (regularization * np.trace(matrix) / n
+                                 + 1e-300)
+
+
+def rx_statistics(cube_bip: np.ndarray, *,
+                  regularization: float = 1e-6
+                  ) -> tuple[np.ndarray, np.ndarray]:
+    """The RX detector's global statistics: ``(mean, inverse covariance)``.
+
+    One pass over the whole scene; the inverse is materialized (rather
+    than kept as a factorization) so the per-pixel kernel is a plain
+    quadratic form with a deterministic evaluation order.
+    """
+    cube_bip = _as_cube(cube_bip)
+    pixels = cube_bip.reshape(-1, cube_bip.shape[2])
+    mean = pixels.mean(axis=0)
+    centered = pixels - mean
+    cov = centered.T @ centered / max(pixels.shape[0] - 1, 1)
+    return mean, np.linalg.inv(_ridge(cov, regularization))
+
+
+def rx_scores(cube_bip: np.ndarray, mean: np.ndarray,
+              cov_inv: np.ndarray) -> np.ndarray:
+    """The RX per-pixel kernel: Mahalanobis distance from ``mean``.
+
+    Per-pixel independent (non-optimized einsum, fixed reduction
+    order), so any line-chunked evaluation stitches bit-identically to
+    the whole-image call.
+    """
+    centered = _as_cube(cube_bip) - mean
+    scores = np.einsum("hwn,nm,hwm->hw", centered, cov_inv, centered)
+    return np.maximum(scores, 0.0)
+
+
 def rx_detector(cube_bip: np.ndarray, *,
                 regularization: float = 1e-6) -> np.ndarray:
     """Reed-Xiaoli global anomaly score.
@@ -35,19 +94,61 @@ def rx_detector(cube_bip: np.ndarray, *,
     ``score(x) = (x - mu)^T C^{-1} (x - mu)`` with the scene mean ``mu``
     and covariance ``C`` (ridge-regularized by ``regularization`` times
     the mean diagonal so near-singular covariances stay invertible).
+    Composed from :func:`rx_statistics` + :func:`rx_scores` — the exact
+    pair the chunk-parallel RX workload runs.
     """
-    cube_bip = np.asarray(cube_bip, dtype=np.float64)
-    if cube_bip.ndim != 3:
-        raise ShapeError(f"expected (H, W, N), got {cube_bip.shape}")
-    h, w, n = cube_bip.shape
-    pixels = cube_bip.reshape(-1, n)
-    mean = pixels.mean(axis=0)
-    centered = pixels - mean
-    cov = centered.T @ centered / max(pixels.shape[0] - 1, 1)
-    cov = cov + np.eye(n) * (regularization * np.trace(cov) / n + 1e-300)
-    solved = np.linalg.solve(cov, centered.T)         # (N, P)
-    scores = np.einsum("pn,np->p", centered, solved)
-    return np.maximum(scores, 0.0).reshape(h, w)
+    cube_bip = _as_cube(cube_bip)
+    mean, cov_inv = rx_statistics(cube_bip, regularization=regularization)
+    return rx_scores(cube_bip, mean, cov_inv)
+
+
+def cem_statistics(cube_bip: np.ndarray, target: np.ndarray, *,
+                   regularization: float = 1e-6) -> np.ndarray:
+    """The CEM filter weights ``w = R^{-1} d / (d^T R^{-1} d)``.
+
+    ``R`` is the scene's (ridge-regularized) correlation matrix and
+    ``d`` the target spectrum; the filter responds with exactly 1.0 on
+    ``d`` while minimizing output energy over the scene — the classic
+    matched-filter construction of Harsanyi & Chang.
+    """
+    cube_bip = _as_cube(cube_bip)
+    target = np.asarray(target, dtype=np.float64).reshape(-1)
+    if target.shape[0] != cube_bip.shape[2]:
+        raise ShapeError(
+            f"target has {target.shape[0]} bands, cube has "
+            f"{cube_bip.shape[2]}")
+    pixels = cube_bip.reshape(-1, cube_bip.shape[2])
+    corr = pixels.T @ pixels / max(pixels.shape[0], 1)
+    solved = np.linalg.solve(_ridge(corr, regularization), target)
+    return solved / float(target @ solved)
+
+
+def cem_scores(cube_bip: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """The CEM per-pixel kernel: filter response ``w^T x``.
+
+    Per-pixel independent (non-optimized einsum), so chunked evaluation
+    is bit-identical to whole-image.
+    """
+    return np.einsum("hwn,n->hw", _as_cube(cube_bip), weights)
+
+
+def cem_detector(cube_bip: np.ndarray, target: np.ndarray, *,
+                 regularization: float = 1e-6) -> np.ndarray:
+    """Constrained energy minimization target score.
+
+    Parameters
+    ----------
+    cube_bip:
+        (H, W, N) radiance cube.
+    target:
+        (N,) spectrum of the material to detect.
+    regularization:
+        Ridge factor on the scene correlation matrix.
+    """
+    cube_bip = _as_cube(cube_bip)
+    weights = cem_statistics(cube_bip, target,
+                             regularization=regularization)
+    return cem_scores(cube_bip, weights)
 
 
 @dataclass(frozen=True)

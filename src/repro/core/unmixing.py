@@ -3,7 +3,7 @@
 
 The linear mixture model writes every pixel as a non-negative combination
 of endmember spectra: ``x = E^T a + n`` with ``E`` the (c, N) endmember
-matrix.  Four estimators are provided, in increasing order of constraint
+matrix.  Five estimators are provided, in increasing order of constraint
 (and cost):
 
 * :func:`unmix_lsu` — unconstrained least squares (one pseudo-inverse for
@@ -14,7 +14,11 @@ matrix.  Four estimators are provided, in increasing order of constraint
 * :func:`unmix_nnls` — non-negativity constrained (active-set NNLS per
   pixel, CPU only);
 * :func:`unmix_fcls` — fully constrained (non-negative + sum-to-one),
-  implemented as NNLS on the augmented system, the standard FCLS trick.
+  implemented as NNLS on the augmented system, the standard FCLS trick;
+* :func:`~repro.core.fnnls.unmix_fnnls` — the fast NNLS reformulation
+  of Bro & De Jong (registered here as ``"fnnls"``): same constraint
+  set as ``nnls``, but the active set runs on the precomputed c x c
+  Gram system, removing the band dimension from the per-pixel cost.
 
 Classification assigns each pixel the index of its largest abundance
 (paper step 4).
@@ -148,3 +152,13 @@ UNMIXERS = {
     "nnls": unmix_nnls,
     "fcls": unmix_fcls,
 }
+
+# FNNLS lives in its own module (the algorithm is independent of the
+# estimators above) but registers here so AMCConfig validation, the
+# unmixing stage and the CLI pick it up like any other estimator.  The
+# import sits below UNMIXERS because repro.core.fnnls defers its import
+# of this module's _check — bottom placement keeps either import order
+# working.
+from repro.core.fnnls import unmix_fnnls  # noqa: E402
+
+UNMIXERS["fnnls"] = unmix_fnnls

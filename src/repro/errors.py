@@ -82,6 +82,16 @@ class UnknownBackendError(StreamError, ValueError):
     problem).  The message always lists the registered names."""
 
 
+class UnknownWorkloadError(StreamError, ValueError):
+    """A workload name is not in the registry.
+
+    The workload-registry counterpart of :class:`UnknownBackendError`,
+    with the same dual inheritance: :class:`StreamError` because
+    workloads are stage compositions of the stream decomposition,
+    :class:`ValueError` so configuration validators catch it as a plain
+    value problem.  The message always lists the registered names."""
+
+
 class EnviFormatError(ReproError, ValueError):
     """An ENVI-style header could not be parsed or describes an unsupported
     interleave/dtype combination."""

@@ -13,6 +13,9 @@ worker pool, producing results bit-identical to serial execution:
   per worker for ``backend="gpu"``), wired into
   :func:`repro.core.amc.run_amc` via ``AMCConfig(n_workers=...)`` and
   the CLI via ``repro classify --workers N``;
+* :func:`parallel_pixel_map` — the generic chunk-parallel per-pixel
+  map every non-morphological workload stage (SAM / CEM / RX scoring,
+  PCA projection — see :mod:`repro.workloads`) runs through;
 * :func:`resolve_workers` / :func:`run_tasks` — the shared pool
   machinery (0 = all cores; serial in-process fallback when the pool is
   unavailable or pointless).
@@ -25,6 +28,7 @@ from repro.parallel.amc import (
     combine_gpu_accounting,
     parallel_morphological_stage,
 )
+from repro.parallel.map import parallel_pixel_map
 from repro.parallel.pool import (
     resolve_workers,
     run_chunked_parallel,
@@ -34,6 +38,7 @@ from repro.parallel.pool import (
 __all__ = [
     "combine_gpu_accounting",
     "parallel_morphological_stage",
+    "parallel_pixel_map",
     "resolve_workers",
     "run_chunked_parallel",
     "run_tasks",

@@ -1,18 +1,20 @@
-"""The standard AMC pipeline and its executor.
+"""The standard AMC pipeline and its executor facade.
 
 :func:`build_amc_pipeline` composes the five canonical stages;
-:func:`execute_amc` runs one image through a pipeline and assembles the
-:class:`~repro.core.amc.AMCResult`.  :func:`repro.core.amc.run_amc` is
-a thin façade over this module — same signature, same results, but the
-stage list is now data a caller can recompose (drop the evaluation
-stage, insert a custom one, reuse one pipeline across a batch).
+:func:`execute_amc` — historically the executor body, now a thin
+facade over ``get_workload("amc").run(...)`` (see
+:class:`repro.workloads.AMCWorkload`, where the body lives) — runs one
+image through a pipeline and assembles the
+:class:`~repro.core.amc.AMCResult`.  :func:`repro.core.amc.run_amc`
+delegates here; both keep their exact historical signatures and
+bit-identical results (golden-pinned by the pipeline suite), so
+callers never notice the execution core went workload-generic.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.backends import get_backend
 from repro.core.amc import AMCConfig, AMCResult
 from repro.errors import NonFiniteInputError
 from repro.pipeline.runner import Pipeline
@@ -73,22 +75,11 @@ def execute_amc(bip, config: AMCConfig, *,
     customized — pipeline, e.g. to amortize construction across a
     batch.
     """
-    if pipeline is None:
-        pipeline = build_amc_pipeline()
-    bip = check_finite_cube(bip)
-    ctx = {
-        "bip": bip,
-        "config": config,
-        "backend": get_backend(config.backend),
-        "ground_truth": ground_truth,
-        "class_names": class_names,
-    }
-    pipeline.run(ctx, profiler=profiler)
-    return AMCResult(config=config, mei=ctx["mei"],
-                     erosion_index=ctx["erosion_index"],
-                     dilation_index=ctx["dilation_index"],
-                     endmembers=ctx["endmembers"],
-                     abundances=ctx["abundances"],
-                     endmember_labels=ctx["endmember_labels"],
-                     labels=ctx["labels"], report=ctx["report"],
-                     gpu_output=ctx["gpu_output"])
+    # import deferred: repro.workloads composes this module (it needs
+    # build_amc_pipeline and check_finite_cube), so the facade resolves
+    # its registry entry lazily.
+    from repro.workloads import get_workload
+
+    return get_workload("amc").run(bip, config, ground_truth=ground_truth,
+                                   class_names=class_names,
+                                   profiler=profiler, pipeline=pipeline)

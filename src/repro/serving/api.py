@@ -2,18 +2,20 @@
 
 The serving layer dedupes work by *content*, not by reference: two
 requests are the same job exactly when they would run the same bytes
-through the same algorithm parameters.  The key is therefore::
+through the same algorithm and parameters.  The key is therefore::
 
     sha256( cube dtype/shape header + cube bytes (C order)
           + ground-truth bytes (or absence marker)
           + class names
+          + workload name
           + canonicalized result-affecting parameters )
 
-Canonicalization reuses the :class:`~repro.core.amc.AMCConfig`
-dataclass as the single source of truth: a parameter dict is
-instantiated into a config (so defaults are filled in and values are
-validated *before* hashing), then serialized field-by-field in sorted
-order.  Two consequences the tests pin:
+Canonicalization delegates to the workload's declared parameter list
+(:meth:`repro.workloads.Workload.canonical_params`): a parameter dict
+is instantiated into the workload's config dataclass (so defaults are
+filled in and values are validated *before* hashing), then serialized
+field-by-field in sorted order minus the workload's declared execution
+knobs.  Three consequences the tests pin:
 
 * permuted or defaulted parameter dicts hash equal — ``{}``,
   ``{"backend": "reference"}`` and a fully spelled-out default config
@@ -22,55 +24,60 @@ order.  Two consequences the tests pin:
   ``max_retries`` and ``chunk_timeout_s`` select *how* a result is
   computed, and the repo-wide bit-identity discipline guarantees they
   cannot change *what* is computed — so a 4-worker request is a cache
-  hit for a result computed serially.
+  hit for a result computed serially;
+* **distinct workloads never collide.**  The workload name is a key
+  section of its own, so ``rx`` and ``amc`` on the same cube are two
+  jobs even where their parameter dicts render identically.
+
+Every function takes ``workload=`` (name or instance, default
+``"amc"`` for the historical call sites) and resolves it through
+:func:`repro.workloads.get_workload` — never by comparing names.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict
 
 import numpy as np
 
-from repro.core.amc import AMCConfig, AMCResult, _as_bip
+from repro.core.amc import _as_bip
+from repro.workloads import DEFAULT_EXECUTION_KNOBS, get_workload
 
 #: Config fields that select an execution strategy, not a result.
 #: Excluded from the cache key: every strategy is bit-identical (the
 #: chunk-stitching and resilience guarantees), so caching across them
-#: is sound.
-EXECUTION_KNOBS = frozenset({"n_workers", "max_retries", "chunk_timeout_s"})
+#: is sound.  (Alias of the workloads-layer constant; individual
+#: workloads may declare more via ``Workload.execution_knobs``.)
+EXECUTION_KNOBS = DEFAULT_EXECUTION_KNOBS
 
 
-def as_config(params) -> AMCConfig:
-    """Coerce ``params`` (None | mapping | AMCConfig) to an AMCConfig.
+def as_config(params, *, workload="amc"):
+    """Coerce ``params`` (None | mapping | config) to the workload's
+    config dataclass.
 
     A mapping is splatted into the dataclass constructor, so unknown
     keys and invalid values fail here — at admission — rather than
     inside a worker.
     """
-    if params is None:
-        return AMCConfig()
-    if isinstance(params, AMCConfig):
-        return params
-    return AMCConfig(**dict(params))
+    return get_workload(workload).as_config(params)
 
 
-def canonical_params(params) -> dict:
+def canonical_params(params, *, workload="amc") -> dict:
     """The result-affecting parameters of ``params``, as a plain dict.
 
-    Fields are the :class:`AMCConfig` fields minus
-    :data:`EXECUTION_KNOBS`; nested dataclasses (the GPU spec) flatten
-    to dicts, so the output is JSON-serializable and order-independent.
+    Fields are the workload's config fields minus its declared
+    execution knobs; nested dataclasses (e.g. the AMC GPU spec)
+    flatten to dicts, so the output is JSON-serializable and
+    order-independent.
     """
-    fields = asdict(as_config(params))
-    return {name: value for name, value in sorted(fields.items())
-            if name not in EXECUTION_KNOBS}
+    return get_workload(workload).canonical_params(params)
 
 
-def canonical_params_json(params) -> str:
+def canonical_params_json(params, *, workload="amc") -> str:
     """:func:`canonical_params` rendered as deterministic JSON."""
-    return json.dumps(canonical_params(params), sort_keys=True)
+    return json.dumps(canonical_params(params, workload=workload),
+                      sort_keys=True)
 
 
 def _array_token(array: np.ndarray) -> bytes:
@@ -85,14 +92,17 @@ def _array_token(array: np.ndarray) -> bytes:
 
 
 def job_key(cube, params=None, *, ground_truth=None,
-            class_names=None) -> str:
-    """The content-addressed key of one classify request (sha256 hex).
+            class_names=None, workload="amc") -> str:
+    """The content-addressed key of one request (sha256 hex).
 
     ``cube`` is anything :func:`~repro.core.amc.run_amc` accepts (a
     :class:`~repro.hsi.cube.HyperCube` or an (H, W, N) array); the
     ground truth and class names participate because they change the
-    produced labels and report.
+    produced labels/curves and report; the workload name separates
+    algorithms, and ``params`` reaches the hash only through the
+    workload's declared parameter list.
     """
+    wl = get_workload(workload)
     digest = hashlib.sha256()
     digest.update(_array_token(_as_bip(cube)))
     digest.update(b"|gt|")
@@ -101,30 +111,28 @@ def job_key(cube, params=None, *, ground_truth=None,
     digest.update(b"|names|")
     digest.update(json.dumps(
         None if class_names is None else list(class_names)).encode())
+    digest.update(b"|workload|")
+    digest.update(wl.name.encode())
     digest.update(b"|params|")
-    digest.update(canonical_params_json(params).encode())
+    digest.update(canonical_params_json(params, workload=wl).encode())
     return digest.hexdigest()
 
 
-def result_digest(result: AMCResult) -> str:
-    """sha256 over the result's decision arrays (labels, MEI,
-    abundances) — the bit-identity fingerprint served to clients and
-    asserted by the acceptance tests."""
+def result_digest(result, *, workload="amc") -> str:
+    """sha256 over the result's decision arrays (the workload's
+    :meth:`~repro.workloads.Workload.result_arrays`, e.g. labels, MEI
+    and abundances for AMC) — the bit-identity fingerprint served to
+    clients and asserted by the acceptance tests."""
     digest = hashlib.sha256()
-    for array in (result.labels, result.mei, result.abundances):
+    for array in get_workload(workload).result_arrays(result):
         digest.update(_array_token(np.ascontiguousarray(array)))
     return digest.hexdigest()
 
 
-def result_nbytes(result: AMCResult) -> int:
+def result_nbytes(result, *, workload="amc") -> int:
     """Approximate retained size of one cached result, in bytes.
 
-    Counts the ndarray payloads (the dataclass scaffolding around them
-    is noise at cache-accounting scale).
+    Counts the ndarray payloads the workload declares (the dataclass
+    scaffolding around them is noise at cache-accounting scale).
     """
-    arrays = [result.mei, result.erosion_index, result.dilation_index,
-              result.abundances, result.labels,
-              result.endmembers.spectra, result.endmembers.normalized]
-    if result.endmember_labels is not None:
-        arrays.append(result.endmember_labels)
-    return int(sum(np.asarray(a).nbytes for a in arrays))
+    return get_workload(workload).result_nbytes(result)

@@ -110,14 +110,19 @@ class ResultCache:
         return entry
 
     def put(self, key: str, result, report=None,
-            digest: str | None = None) -> bool:
+            digest: str | None = None,
+            nbytes: int | None = None) -> bool:
         """Insert a finished result; returns False when refused.
 
         A key already present is refreshed in place (content-addressed
         keys make the payload identical by construction).  Insertion
         evicts least-recently-used entries until both budgets hold.
+        ``nbytes`` is the result's retained size per its workload's
+        accounting; when omitted it is measured with the default (AMC)
+        rule, which keeps historical call sites working.
         """
-        nbytes = result_nbytes(result)
+        if nbytes is None:
+            nbytes = result_nbytes(result)
         if nbytes > self.max_bytes:
             self.stats.oversize_skips += 1
             return False

@@ -67,7 +67,11 @@ class JobStatus:
         Bit-identity fingerprint of the decision arrays
         (:func:`~repro.serving.api.result_digest`) for DONE jobs.
     overall_accuracy:
-        Report accuracy (%) when the request carried a ground truth.
+        Report accuracy (%) when a classify request carried a ground
+        truth (detection/reduction jobs leave it None).
+    workload:
+        Registry name of the algorithm this job runs
+        (:mod:`repro.workloads`).
     """
 
     job_id: int
@@ -79,6 +83,7 @@ class JobStatus:
     error: str | None = None
     result_sha256: str | None = None
     overall_accuracy: float | None = None
+    workload: str | None = None
 
     def to_dict(self) -> dict:
         """Plain-data form (what the socket protocol serializes)."""
@@ -96,11 +101,12 @@ class Job:
 
     def __init__(self, job_id: int, key: str, *, bip, config,
                  ground_truth=None, class_names=None,
-                 state: str = QUEUED) -> None:
+                 workload=None, state: str = QUEUED) -> None:
         self.job_id = job_id
         self.key = key
         self.bip = bip
         self.config = config
+        self.workload = workload    # Workload instance | None
         self.ground_truth = ground_truth
         self.class_names = class_names
         self.state = state
@@ -149,8 +155,11 @@ class Job:
     def status(self) -> JobStatus:
         """The current :class:`JobStatus` snapshot."""
         accuracy = None
-        if self.result is not None and self.result.report is not None:
-            accuracy = float(self.result.report.overall_accuracy)
+        # not every workload's result carries a classification report
+        # (detection and reduction results do not)
+        report = getattr(self.result, "report", None)
+        if report is not None:
+            accuracy = float(report.overall_accuracy)
         error = None
         if self.error is not None:
             error = f"{type(self.error).__name__}: {self.error}"
@@ -159,7 +168,8 @@ class Job:
             from_cache=self.from_cache, coalesced=self.coalesced,
             retries=self.retries, error=error,
             result_sha256=self.result_sha256,
-            overall_accuracy=accuracy)
+            overall_accuracy=accuracy,
+            workload=None if self.workload is None else self.workload.name)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"Job(id={self.job_id}, state={self.state}, "

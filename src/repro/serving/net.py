@@ -12,10 +12,19 @@ still dedupe.
 Operations::
 
     {"op": "submit", "cube": PATH, "params": {...}, "wait": true,
+     "workload": "amc", "target_class": null,
      "profile": false, "write_outputs": false}
     {"op": "status" | "wait" | "cancel", "job_id": N, "profile": false}
     {"op": "stats"}
     {"op": "shutdown"}
+
+``workload`` names any registered algorithm (default: the server's
+default workload).  ``target_class`` adapts the label-map sidecar to
+detection: the target spectrum (for workloads that require one)
+becomes the mean of that class's pixels, and the evaluation mask
+becomes that class's footprint.  Without ``target_class``, the sidecar
+is forwarded only to classify workloads — a label map is not a
+detection mask.
 
 Responses are ``{"ok": true, ...}`` or ``{"ok": false, "error": TYPE,
 "message": ...}`` — a full queue answers ``error="ServerBusyError"``
@@ -37,6 +46,7 @@ import numpy as np
 
 from repro.errors import ReproError, ServerBusyError
 from repro.serving.server import AMCServer
+from repro.workloads import get_workload
 
 #: Protocol operations the front end understands.
 OPS = ("submit", "status", "wait", "cancel", "stats", "shutdown")
@@ -141,11 +151,19 @@ class UnixSocketFrontend:
         loop = asyncio.get_running_loop()
         cube, ground_truth = await loop.run_in_executor(
             None, _load_scene, path)
-        job = await self.server.submit(cube, payload.get("params"),
+        workload = payload.get("workload")
+        wl = (self.server.default_workload if workload is None
+              else get_workload(workload))
+        params, ground_truth = _adapt_request(
+            wl, cube, ground_truth, payload.get("params"),
+            payload.get("target_class"))
+        job = await self.server.submit(cube, params, workload=wl,
                                        ground_truth=ground_truth)
         if payload.get("wait", True):
             await self.server.wait(job.job_id)
-        if payload.get("write_outputs", False) and job.result is not None:
+        if (payload.get("write_outputs", False)
+                and job.result is not None
+                and hasattr(job.result, "labels")):
             outputs = await loop.run_in_executor(
                 None, _write_outputs, job.result, path)
         else:
@@ -165,6 +183,37 @@ class UnixSocketFrontend:
             response["profile"] = (None if report is None
                                    else report.to_dict())
         return response
+
+
+def _adapt_request(workload, cube, ground_truth, params, target_class):
+    """Shape a wire request's sidecar for its workload.
+
+    ``target_class`` turns the label-map sidecar into detection
+    inputs: the class's mean spectrum becomes the target parameter
+    (when the workload requires one) and its footprint becomes the
+    evaluation mask.  Without it, the sidecar is forwarded only to
+    classify workloads — every other kind interprets ground truth
+    differently (or not at all), and a label map is neither.
+    """
+    if target_class is None:
+        if ground_truth is not None and workload.kind != "classify":
+            ground_truth = None
+        return params, ground_truth
+    if ground_truth is None:
+        raise ReproError(
+            f"target_class={target_class} needs a ground-truth sidecar "
+            f"(<cube>.gt.npy) to derive the target from")
+    from repro.core.amc import _as_bip
+
+    mask = np.asarray(ground_truth) == int(target_class)
+    if not mask.any():
+        raise ReproError(f"ground truth has no pixels of class "
+                         f"{int(target_class)}")
+    if workload.requires_target:
+        params = dict(params or {})
+        spectrum = _as_bip(cube)[mask].mean(axis=0)
+        params.setdefault("target", tuple(float(v) for v in spectrum))
+    return params, mask
 
 
 def _load_scene(path: str):

@@ -1,5 +1,6 @@
-"""The AMC job server: one event loop, a persistent worker pool, a
-content-addressed cache, and the coalescer that ties them together.
+"""The hyperspectral job server: one event loop, a persistent worker
+pool, a content-addressed cache, and the coalescer that ties them
+together.
 
 Architecture (see ``docs/serving.md`` for the full treatment)::
 
@@ -10,8 +11,9 @@ Architecture (see ``docs/serving.md`` for the full treatment)::
                   └── else ──► queue ──► worker task ──► executor thread
                                                │
                                                └─ persistent Pipeline
-                                                  (one per thread,
-                                                   reused for life)
+                                                  (one per thread and
+                                                   workload, reused
+                                                   for life)
 
 Every request is content-addressed (:func:`~repro.serving.api.job_key`)
 before anything else happens, which is what makes the two dedup layers
@@ -19,19 +21,25 @@ before anything else happens, which is what makes the two dedup layers
 submissions cost exactly one pipeline execution, whether they arrive
 together (coalesced) or spread over time (cached).
 
+The server is workload-generic: each submission names a registered
+:class:`~repro.workloads.Workload` (default ``"amc"``), which supplies
+the config schema (invalid parameters fail at admission), the input
+validation (a non-finite cube is rejected at submit time, before it
+occupies a queue slot), the cache-key parameter list, the pipeline the
+executor threads keep warm, and the result digest/size accounting.
 Execution rides the existing machinery unchanged: jobs run through
-:func:`~repro.pipeline.execute_amc` on a long-lived per-thread
+``workload.run(...)`` on a long-lived per-(thread, workload)
 :class:`~repro.pipeline.Pipeline` (the ``run_amc_batch`` reuse
 discipline), wrapped in the :mod:`repro.resilience` retry loop, so a
 transient fault, a crashed worker or a GPU OOM degrades *one job* —
 never the server.  Each job carries its own
-:class:`~repro.profiling.Profiler`; the frozen per-job report travels
-with the job (and with its cache entry), so a cache hit still explains
-where its time originally went.
+:class:`~repro.profiling.Profiler` tagged with its workload name; the
+frozen per-job report travels with the job (and with its cache entry),
+so a cache hit still explains where its time originally went.
 
 Threading discipline: all server state (jobs table, coalescing map,
 cache, counters) is touched only from the event-loop thread; executor
-threads see nothing but their job's payload and their own pipeline.
+threads see nothing but their job's payload and their own pipelines.
 """
 
 from __future__ import annotations
@@ -41,18 +49,17 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from threading import local
 
-from repro.core.amc import _as_bip
 from repro.errors import (JobNotFoundError, ServerBusyError,
                           ServerClosedError, ServingError)
 from repro.faults import maybe_inject
-from repro.pipeline.amc import build_amc_pipeline, execute_amc
 from repro.profiling.profiler import Profiler
 from repro.resilience import RetryPolicy, run_isolated, run_with_retry
 from repro.serving import jobs as jobstates
-from repro.serving.api import as_config, job_key, result_digest
+from repro.serving.api import job_key, result_digest
 from repro.serving.cache import ResultCache
 from repro.serving.jobs import Job, JobStatus
 from repro.serving.queue import AdmissionQueue
+from repro.workloads import get_workload
 
 
 @dataclass
@@ -98,22 +105,30 @@ class AMCServer:
     cache_entries / cache_bytes:
         Result-cache budgets (see
         :class:`~repro.serving.cache.ResultCache`).
+    default_workload:
+        The workload submissions run when they name none — a
+        :mod:`repro.workloads` registry name or instance (default
+        ``"amc"``).
     default_params:
-        Parameter defaults merged under each request's params (a
-        mapping of :class:`~repro.core.amc.AMCConfig` field overrides).
+        Parameter defaults merged under each request's params *for the
+        default workload* (a mapping of its config field overrides;
+        requests naming a different workload take their params as-is —
+        field names are not portable across config schemas).
     estimated_job_s:
         Per-job service-time estimate behind ``retry_after_s``.
     """
 
     def __init__(self, *, workers: int = 2, queue_size: int = 16,
                  cache_entries: int = 64, cache_bytes: int = 256 << 20,
-                 default_params=None,
+                 default_workload="amc", default_params=None,
                  estimated_job_s: float = 1.0) -> None:
         if workers < 1:
             raise ServingError(f"workers must be >= 1, got {workers}")
         self.workers = int(workers)
+        self.default_workload = get_workload(default_workload)
         self.default_params = dict(default_params or {})
-        as_config(self.default_params)  # validate defaults at build time
+        # validate defaults at build time, against the right schema
+        self.default_workload.as_config(self.default_params)
         self.counters = ServerCounters()
         self.cache = ResultCache(max_entries=cache_entries,
                                  max_bytes=cache_bytes)
@@ -184,26 +199,36 @@ class AMCServer:
 
     # -- the client-facing API -------------------------------------------
 
-    async def submit(self, cube, params=None, *, ground_truth=None,
-                     class_names=None) -> Job:
-        """Admit one classify request; returns its :class:`Job`.
+    async def submit(self, cube, params=None, *, workload=None,
+                     ground_truth=None, class_names=None) -> Job:
+        """Admit one request; returns its :class:`Job`.
 
-        Dedup order: an identical in-flight job coalesces (the same Job
-        object is returned, no new queue slot); an identical cached key
-        returns a job born ``done``; otherwise the request passes
-        admission control — raising
-        :class:`~repro.errors.ServerBusyError` when the queue is full —
-        and is queued.  Invalid parameters raise here, at admission.
+        ``workload`` names the algorithm (registry name or instance;
+        None = the server's default).  Dedup order: an identical
+        in-flight job coalesces (the same Job object is returned, no
+        new queue slot); an identical cached key returns a job born
+        ``done``; otherwise the request passes admission control —
+        raising :class:`~repro.errors.ServerBusyError` when the queue
+        is full — and is queued.  Invalid parameters and non-finite
+        cubes raise here, at admission, through the workload's own
+        config schema and input validation.
         """
         if not self._running:
             raise ServerClosedError("server is not running")
-        merged = dict(self.default_params)
-        if params is not None:
-            merged.update(dict(params))
-        config = as_config(merged)
-        bip = _as_bip(cube)
+        wl = (self.default_workload if workload is None
+              else get_workload(workload))
+        if wl is self.default_workload:
+            merged = dict(self.default_params)
+            if params is not None:
+                merged.update(dict(params))
+        else:
+            # default_params speak the default workload's schema; a
+            # request for another workload supplies its params whole
+            merged = dict(params or {})
+        config = wl.as_config(merged)
+        bip = wl.check_inputs(cube)
         key = job_key(bip, config, ground_truth=ground_truth,
-                      class_names=class_names)
+                      class_names=class_names, workload=wl)
 
         live = self._inflight.get(key)
         if live is not None:
@@ -214,13 +239,13 @@ class AMCServer:
 
         entry = self.cache.get(key)
         if entry is not None:
-            job = self._new_job(key, bip=None, config=config)
+            job = self._new_job(key, bip=None, config=config, workload=wl)
             job.serve_from_cache(entry)
             self.counters.submitted += 1
             self.counters.cache_hits += 1
             return job
 
-        job = self._new_job(key, bip=bip, config=config,
+        job = self._new_job(key, bip=bip, config=config, workload=wl,
                             ground_truth=ground_truth,
                             class_names=class_names)
         try:
@@ -278,10 +303,11 @@ class AMCServer:
 
     # -- internals -------------------------------------------------------
 
-    def _new_job(self, key: str, *, bip, config, ground_truth=None,
-                 class_names=None) -> Job:
+    def _new_job(self, key: str, *, bip, config, workload,
+                 ground_truth=None, class_names=None) -> Job:
         job = Job(self._next_id, key, bip=bip, config=config,
-                  ground_truth=ground_truth, class_names=class_names)
+                  workload=workload, ground_truth=ground_truth,
+                  class_names=class_names)
         self._jobs[job.job_id] = job
         self._next_id += 1
         return job
@@ -322,10 +348,11 @@ class AMCServer:
         job.report = report
         if error is None:
             job.result = result
-            job.result_sha256 = result_digest(result)
+            job.result_sha256 = result_digest(result, workload=job.workload)
             job.transition(jobstates.DONE)
             self.counters.completed += 1
-            self.cache.put(job.key, result, report, job.result_sha256)
+            self.cache.put(job.key, result, report, job.result_sha256,
+                           nbytes=job.workload.result_nbytes(result))
         else:
             job.error = error
             job.transition(jobstates.FAILED)
@@ -333,12 +360,17 @@ class AMCServer:
         self._inflight.pop(job.key, None)
         job.release_payload()
 
-    def _thread_pipeline(self):
-        """This executor thread's persistent pipeline (built once)."""
-        pipeline = getattr(self._thread_state, "pipeline", None)
+    def _thread_pipeline(self, workload):
+        """This executor thread's persistent pipeline for ``workload``
+        (built once per thread and workload)."""
+        pipelines = getattr(self._thread_state, "pipelines", None)
+        if pipelines is None:
+            pipelines = {}
+            self._thread_state.pipelines = pipelines
+        pipeline = pipelines.get(workload.name)
         if pipeline is None:
-            pipeline = build_amc_pipeline()
-            self._thread_state.pipeline = pipeline
+            pipeline = workload.build_pipeline()
+            pipelines[workload.name] = pipeline
             self._pipelines.append(pipeline)
         return pipeline
 
@@ -354,18 +386,22 @@ class AMCServer:
         """
         policy = RetryPolicy(max_retries=job.config.max_retries,
                              chunk_timeout_s=job.config.chunk_timeout_s)
-        pipeline = self._thread_pipeline()
+        workload = job.workload
+        pipeline = self._thread_pipeline(workload)
 
         def attempt(_):
-            profiler = Profiler(meta={
-                "job": job.job_id, "key": job.key[:12],
-                "backend": job.config.backend,
-                "workers": job.config.n_workers})
+            meta = {"job": job.job_id, "key": job.key[:12],
+                    "workload": workload.name,
+                    "workers": job.config.n_workers}
+            backend = getattr(job.config, "backend", None)
+            if backend is not None:
+                meta["backend"] = backend
+            profiler = Profiler(meta=meta)
             maybe_inject("job", index=job.job_id)
-            result = execute_amc(job.bip, job.config,
-                                 ground_truth=job.ground_truth,
-                                 class_names=job.class_names,
-                                 profiler=profiler, pipeline=pipeline)
+            result = workload.run(job.bip, job.config,
+                                  ground_truth=job.ground_truth,
+                                  class_names=job.class_names,
+                                  profiler=profiler, pipeline=pipeline)
             return result, profiler.report()
 
         outcome, error = run_isolated(run_with_retry, attempt, None,

@@ -1,0 +1,73 @@
+"""The workload registry: one place that maps names to algorithms.
+
+The exact mirror of :mod:`repro.backends.registry`, one level up the
+stack: where the backend registry de-stringified *how the morphological
+kernel runs*, this registry de-stringifies *which algorithm a request
+is*.  Every layer that would otherwise compare workload names — the
+serving layer's submit path, the CLI's ``detect``/``reduce`` dispatch,
+the cache-key derivation — resolves through :func:`get_workload`
+instead, so adding an algorithm is a single :func:`register_workload`
+call (the ``workload-dispatch`` reprolint rule keeps it that way).
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnknownWorkloadError
+from repro.workloads.base import Workload
+
+_REGISTRY: dict[str, Workload] = {}
+
+
+def register_workload(workload: Workload, *,
+                      replace: bool = False) -> Workload:
+    """Register a workload under its :attr:`~Workload.name`.
+
+    Returns the workload (so the call composes as a decorator-ish
+    one-liner).  Re-registering a taken name is an error unless
+    ``replace=True`` — silent shadowing of ``amc`` would be a debugging
+    nightmare.
+    """
+    if not isinstance(workload, Workload):
+        raise TypeError(f"expected a Workload instance, got "
+                        f"{type(workload).__name__}")
+    if not workload.name:
+        raise ValueError("workload.name must be a non-empty string")
+    if workload.name in _REGISTRY and not replace:
+        raise ValueError(
+            f"workload {workload.name!r} is already registered; pass "
+            f"replace=True to override it")
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def unregister_workload(name: str) -> None:
+    """Remove a workload from the registry (no-op for unknown names)."""
+    _REGISTRY.pop(name, None)
+
+
+def workload_names(kind: str | None = None) -> tuple[str, ...]:
+    """The registered workload names, sorted.
+
+    ``kind`` filters to one family (``"detection"``, ``"reduction"``,
+    ``"classify"``) — the source of the CLI's per-subcommand ``--algo``
+    choices.
+    """
+    return tuple(sorted(
+        name for name, workload in _REGISTRY.items()
+        if kind is None or workload.kind == kind))
+
+
+def get_workload(workload) -> Workload:
+    """Resolve a workload name (or pass an instance through).
+
+    Raises :class:`~repro.errors.UnknownWorkloadError` — listing the
+    registered names — for anything not in the registry.
+    """
+    if isinstance(workload, Workload):
+        return workload
+    try:
+        return _REGISTRY[workload]
+    except KeyError:
+        raise UnknownWorkloadError(
+            f"unknown workload {workload!r}; registered workloads: "
+            f"{workload_names()}") from None

@@ -1,0 +1,176 @@
+"""Property tests for FNNLS (Bro & De Jong) and its AMC integration.
+
+FNNLS solves the same constrained problem as classic NNLS, so its
+correctness is pinned by optimality *properties*, not by golden
+vectors: non-negativity, the KKT conditions of the NNLS optimum (a
+scipy-free oracle), never losing to the clamped unconstrained solution,
+and exact agreement with the scipy active-set solver on full-rank
+problems (where the optimum is unique).  All problems are seeded.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import faults
+from repro.core import AMCConfig, run_amc, unmix_nnls
+from repro.core.fnnls import fnnls, unmix_fnnls
+from repro.errors import ShapeError
+from repro.faults import FaultInjector, FaultSpec
+
+
+def _random_problem(seed: int, n: int = 12, c: int = 4,
+                    negative_rate: float = 0.5):
+    """One seeded (E, x) pair in normal-equation form.
+
+    With probability ``negative_rate`` the target is pushed away from
+    the feasible cone, so the active set actually activates.
+    """
+    rng = np.random.default_rng(seed)
+    endmembers = rng.uniform(0.1, 1.0, size=(c, n))
+    coeffs = rng.uniform(0.0, 1.0, size=c)
+    if rng.uniform() < negative_rate:
+        coeffs = coeffs - 0.7      # some true coefficients negative
+    target = coeffs @ endmembers + rng.normal(0.0, 0.01, size=n)
+    ata = endmembers @ endmembers.T
+    atb = endmembers @ target
+    return endmembers, target, ata, atb
+
+
+def _residual(endmembers, target, x):
+    return float(np.linalg.norm(x @ endmembers - target))
+
+
+class TestFnnlsProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_non_negative(self, seed):
+        _, _, ata, atb = _random_problem(seed)
+        x = fnnls(ata, atb)
+        assert (x >= 0.0).all()
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_kkt_conditions(self, seed):
+        """The scipy-free optimality oracle.
+
+        At the NNLS optimum the dual ``w = Atb - AtA x`` satisfies
+        ``w_i ~ 0`` where ``x_i > 0`` (interior: gradient vanishes) and
+        ``w_i <= 0`` where ``x_i = 0`` (boundary: no descent into the
+        cone).  Any vector passing both IS the optimum of this convex
+        problem — no reference solver needed.
+        """
+        _, _, ata, atb = _random_problem(seed)
+        x = fnnls(ata, atb)
+        dual = atb - ata @ x
+        scale = max(float(np.abs(atb).max()), 1.0)
+        tol = 1e-8 * scale
+        passive = x > 0
+        assert np.all(np.abs(dual[passive]) <= tol)
+        assert np.all(dual[~passive] <= tol)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_residual_beats_clamped_lstsq(self, seed):
+        """Clamping the unconstrained solution to >= 0 is the naive
+        fix; the true constrained optimum can never do worse."""
+        endmembers, target, ata, atb = _random_problem(seed)
+        x = fnnls(ata, atb)
+        clamped = np.maximum(
+            np.linalg.lstsq(endmembers.T, target, rcond=None)[0], 0.0)
+        assert (_residual(endmembers, target, x)
+                <= _residual(endmembers, target, clamped) + 1e-10)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_agrees_with_scipy_active_set(self, seed):
+        """Full-rank Gram => unique optimum => both solvers land on it."""
+        endmembers, target, ata, atb = _random_problem(seed)
+        ours = fnnls(ata, atb)
+        reference = unmix_nnls(target[None, :], endmembers)[0]
+        np.testing.assert_allclose(ours, reference, atol=1e-10)
+
+    def test_feasible_target_recovered_exactly(self, rng):
+        """A noise-free non-negative mixture is its own optimum."""
+        endmembers = rng.uniform(0.1, 1.0, size=(3, 10))
+        coeffs = np.array([0.2, 0.0, 1.3])
+        target = coeffs @ endmembers
+        x = fnnls(endmembers @ endmembers.T, endmembers @ target)
+        np.testing.assert_allclose(x, coeffs, atol=1e-10)
+
+    def test_shape_errors(self):
+        with pytest.raises(ShapeError):
+            fnnls(np.eye(3), np.zeros(2))
+        with pytest.raises(ShapeError):
+            fnnls(np.zeros((3, 2)), np.zeros(2))
+
+    def test_invalid_knobs(self):
+        with pytest.raises(ValueError):
+            fnnls(np.eye(2), np.zeros(2), max_iter=0)
+        with pytest.raises(ValueError):
+            fnnls(np.eye(2), np.zeros(2), tolerance=-1.0)
+
+
+class TestUnmixFnnls:
+    def test_matches_per_pixel_nnls(self, rng):
+        endmembers = rng.uniform(0.1, 1.0, size=(4, 16))
+        pixels = rng.uniform(0.0, 1.0, size=(50, 16))
+        np.testing.assert_allclose(unmix_fnnls(pixels, endmembers),
+                                   unmix_nnls(pixels, endmembers),
+                                   atol=1e-10)
+
+    def test_preserves_leading_shape(self, rng):
+        endmembers = rng.uniform(0.1, 1.0, size=(3, 8))
+        cube = rng.uniform(0.0, 1.0, size=(5, 4, 8))
+        out = unmix_fnnls(cube, endmembers)
+        assert out.shape == (5, 4, 3)
+        assert (out >= 0.0).all()
+
+    def test_registered_as_amc_estimator(self):
+        from repro.core.unmixing import UNMIXERS
+
+        assert UNMIXERS["fnnls"] is unmix_fnnls
+        assert AMCConfig(unmixing="fnnls").unmixing == "fnnls"
+
+
+@pytest.fixture()
+def _clean_faults():
+    faults.uninstall()
+    faults.set_attempt(0)
+    yield
+    faults.uninstall()
+    faults.set_attempt(0)
+
+
+class TestFnnlsThroughAMC:
+    """AMC with ``unmixing="fnnls"`` keeps the bit-identity discipline."""
+
+    @pytest.fixture()
+    def scene_cube(self, session_scene):
+        return session_scene.cube.as_bip()
+
+    def test_chunked_equals_serial(self, scene_cube):
+        serial = run_amc(scene_cube, AMCConfig(n_classes=4,
+                                               unmixing="fnnls"))
+        chunked = run_amc(scene_cube, AMCConfig(n_classes=4,
+                                                unmixing="fnnls",
+                                                n_workers=2))
+        np.testing.assert_array_equal(serial.abundances,
+                                      chunked.abundances)
+        np.testing.assert_array_equal(serial.labels, chunked.labels)
+
+    def test_chunked_equals_serial_under_faults(self, scene_cube,
+                                                _clean_faults):
+        serial = run_amc(scene_cube, AMCConfig(n_classes=4,
+                                               unmixing="fnnls"))
+        faults.install(FaultInjector(
+            [FaultSpec(kind="transient", index=0, attempt=0)]))
+        chunked = run_amc(scene_cube, AMCConfig(n_classes=4,
+                                                unmixing="fnnls",
+                                                n_workers=2,
+                                                max_retries=1))
+        np.testing.assert_array_equal(serial.abundances,
+                                      chunked.abundances)
+        np.testing.assert_array_equal(serial.labels, chunked.labels)
+        np.testing.assert_array_equal(serial.mei, chunked.mei)

@@ -1,0 +1,11 @@
+"""Fixture: workload string dispatch must fire (3 findings)."""
+
+
+def pick(job, workload, args):
+    if job.workload == "amc":
+        return 1
+    if workload != "rx":
+        return 2
+    if args.algo == "sam":
+        return 3
+    return 0

@@ -1,0 +1,16 @@
+"""Fixture: workload-dispatch false-positive traps.
+
+Historical note: code here once did ``workload == "amc"`` — mentioning
+that in a docstring must not fire now that the check reads the AST.
+"""
+
+LEGEND = 'resolved via the registry, never algo == "sam" chains'
+# workload != "rx" in a comment alone is fine
+
+
+def pick(workload, kind, default_workload):
+    if workload is default_workload:  # identity is fine, not a name test
+        return 1
+    if kind == "detection":  # capability fields may be compared
+        return 2
+    return 0

@@ -1,0 +1,8 @@
+"""Fixture: the workloads registry may compare names (0 findings)."""
+
+
+def resolve(registry, workload):
+    for name in registry:
+        if name == workload:
+            return registry[name]
+    raise KeyError(workload)

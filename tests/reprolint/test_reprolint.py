@@ -39,6 +39,9 @@ RULE_CASES = [
     ("backend-dispatch",
      "src/repro/core/dispatch_bad.py", [5, 7],
      "src/repro/core/dispatch_clean.py"),
+    ("workload-dispatch",
+     "src/repro/core/workload_dispatch_bad.py", [5, 7, 9],
+     "src/repro/core/workload_dispatch_clean.py"),
     ("pickle-safe-errors",
      "src/repro/core/pickle_bad.py", [11],
      "src/repro/core/pickle_clean.py"),
@@ -63,6 +66,8 @@ RULE_CASES = [
 ALLOWED_CASES = [
     ("blanket-except", "src/repro/resilience/blanket_allowed.py"),
     ("backend-dispatch", "src/repro/backends/dispatch_allowed.py"),
+    ("workload-dispatch",
+     "src/repro/workloads/workload_dispatch_allowed.py"),
     ("no-wallclock-in-compute",
      "src/repro/profiling/wallclock_allowed.py"),
 ]

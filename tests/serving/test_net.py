@@ -128,3 +128,86 @@ class TestProtocol:
         response = asyncio.run(scenario())
         assert response["ok"] and response["stopping"]
         assert not os.path.exists(sock)
+
+
+class TestWorkloadRequests:
+    """The ``workload`` and ``target_class`` wire fields."""
+
+    def _a_label(self, scene_path):
+        labels = np.load(scene_path + ".gt.npy")
+        values, counts = np.unique(labels[labels != 0],
+                                   return_counts=True)
+        return int(values[counts.argmax()])
+
+    def test_detection_submit_via_target_class(self, scene_path,
+                                               tmp_path):
+        """`target_class` turns the gt sidecar into a SAM request: the
+        class mean becomes the target, its footprint the eval mask."""
+        label = self._a_label(scene_path)
+        server, (response,) = _roundtrip(scene_path, tmp_path, [
+            {"op": "submit", "cube": scene_path, "workload": "sam",
+             "target_class": label, "profile": True},
+        ])
+        job = response["job"]
+        assert job["state"] == "done"
+        assert job["workload"] == "sam"
+        stages = [s["name"] for s in response["profile"]["stages"]]
+        assert stages == ["statistics", "scores", "evaluation"]
+        assert response["profile"]["meta"]["workload"] == "sam"
+
+    def test_rx_needs_no_target_and_drops_label_sidecar(self, scene_path,
+                                                        tmp_path):
+        """An anomaly detector takes no target; the label-map sidecar
+        must not leak into its evaluation."""
+        server, (response,) = _roundtrip(scene_path, tmp_path, [
+            {"op": "submit", "cube": scene_path, "workload": "rx"},
+        ])
+        assert response["job"]["state"] == "done"
+        assert response["job"]["workload"] == "rx"
+        result = server.job(response["job"]["job_id"]).result
+        assert result.curve is None
+
+    def test_distinct_workloads_distinct_cache_entries(self, scene_path,
+                                                       tmp_path):
+        server, (rx, pca) = _roundtrip(scene_path, tmp_path, [
+            {"op": "submit", "cube": scene_path, "workload": "rx"},
+            {"op": "submit", "cube": scene_path, "workload": "pca"},
+        ])
+        assert not rx["job"]["from_cache"]
+        assert not pca["job"]["from_cache"]
+        assert rx["job"]["result_sha256"] != pca["job"]["result_sha256"]
+        assert server.pipeline_runs == 2
+
+    def test_write_outputs_skipped_for_label_free_results(self, scene_path,
+                                                          tmp_path):
+        """Detection results carry no class map; the submit op must not
+        try to render one."""
+        server, (response,) = _roundtrip(scene_path, tmp_path, [
+            {"op": "submit", "cube": scene_path, "workload": "rx",
+             "write_outputs": True},
+        ])
+        assert response["job"]["state"] == "done"
+        assert "outputs" not in response
+
+    def test_target_class_errors_are_shaped(self, scene_path, tmp_path):
+        """Missing sidecar / empty class come back as error responses."""
+        bare = str(tmp_path / "bare.raw")
+        scene = generate_scene(SceneParams(lines=12, samples=12,
+                                           band_count=24, seed=5,
+                                           min_field=4))
+        write_cube(scene.cube, bare)   # no .gt.npy sidecar
+        server, (no_sidecar, empty_class, unknown) = _roundtrip(
+            scene_path, tmp_path, [
+                {"op": "submit", "cube": bare, "workload": "sam",
+                 "target_class": 1},
+                {"op": "submit", "cube": scene_path, "workload": "sam",
+                 "target_class": 9999},
+                {"op": "submit", "cube": scene_path,
+                 "workload": "kmeans"},
+            ])
+        assert not no_sidecar["ok"]
+        assert "sidecar" in no_sidecar["message"]
+        assert not empty_class["ok"]
+        assert "9999" in empty_class["message"]
+        assert not unknown["ok"]
+        assert unknown["error"] == "UnknownWorkloadError"

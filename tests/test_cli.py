@@ -310,3 +310,107 @@ class TestServingCommands:
     def test_submit_requires_path_unless_shutdown(self, capsys):
         assert main(["submit"]) == 2
         assert "path" in capsys.readouterr().err
+
+
+class TestDetectReduceCommands:
+    """The registry-sourced ``detect`` and ``reduce`` subcommands."""
+
+    @pytest.fixture()
+    def scene_path(self, tmp_path):
+        path = str(tmp_path / "scene.raw")
+        assert main(["generate", path, "--lines", "20", "--samples", "20",
+                     "--bands", "24", "--seed", "17"]) == 0
+        return path
+
+    @staticmethod
+    def _a_label(path):
+        labels = np.load(path + ".gt.npy")
+        values, counts = np.unique(labels[labels != 0],
+                                   return_counts=True)
+        return int(values[counts.argmax()])
+
+    def test_algo_choices_come_from_registry(self):
+        from repro.workloads import workload_names
+
+        detect = build_parser().parse_args(["detect", "x.raw"])
+        assert detect.algo == "sam"
+        reduce_ = build_parser().parse_args(["reduce", "x.raw"])
+        assert reduce_.algo == "pca"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["detect", "x.raw",
+                                       "--algo", "pca"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reduce", "x.raw",
+                                       "--algo", "sam"])
+        assert set(workload_names(kind="detection")) == {
+            "sam", "cem", "rx"}
+
+    def test_detect_sam_with_target_class(self, scene_path, capsys):
+        label = self._a_label(scene_path)
+        assert main(["detect", scene_path, "--algo", "sam",
+                     "--target-class", str(label)]) == 0
+        out = capsys.readouterr().out
+        assert "score map" in out
+        assert "detection AUC" in out
+        assert os.path.exists(scene_path + ".sam.pgm")
+
+    def test_detect_rx_needs_no_target(self, scene_path, capsys):
+        assert main(["detect", scene_path, "--algo", "rx"]) == 0
+        out = capsys.readouterr().out
+        assert "score map" in out
+        assert "detection AUC" not in out   # no mask, no curve
+        assert os.path.exists(scene_path + ".rx.pgm")
+
+    def test_detect_profile_labeled_by_workload(self, scene_path, capsys):
+        label = self._a_label(scene_path)
+        assert main(["detect", scene_path, "--algo", "cem",
+                     "--target-class", str(label),
+                     "--workers", "2", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "workload: cem" in out
+        assert "statistics" in out and "scores" in out
+
+    def test_detect_matched_filter_requires_target_class(self, scene_path,
+                                                         capsys):
+        assert main(["detect", scene_path, "--algo", "sam"]) == 2
+        assert "--target-class" in capsys.readouterr().err
+
+    def test_detect_missing_sidecar_is_an_error(self, tmp_path, capsys):
+        bare = str(tmp_path / "bare.raw")
+        main(["generate", bare, "--lines", "12", "--samples", "12",
+              "--bands", "24", "--seed", "9"])
+        os.remove(bare + ".gt.npy")
+        capsys.readouterr()
+        assert main(["detect", bare, "--algo", "sam",
+                     "--target-class", "1"]) == 2
+        assert "sidecar" in capsys.readouterr().err
+
+    def test_detect_empty_class_is_an_error(self, scene_path, capsys):
+        assert main(["detect", scene_path, "--algo", "sam",
+                     "--target-class", "9999"]) == 2
+        assert "9999" in capsys.readouterr().err
+
+    def test_reduce_writes_components(self, scene_path, capsys):
+        assert main(["reduce", scene_path, "--components", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "reduced cube" in out and "-> 4 band(s)" in out
+        assert "component variance" in out
+        transformed = np.load(scene_path + ".pca.npy")
+        assert transformed.shape == (20, 20, 4)
+        assert os.path.exists(scene_path + ".pca1.pgm")
+
+    def test_reduce_chunked_matches_serial(self, scene_path, capsys):
+        assert main(["reduce", scene_path, "--components", "3"]) == 0
+        serial = np.load(scene_path + ".pca.npy")
+        assert main(["reduce", scene_path, "--components", "3",
+                     "--workers", "2"]) == 0
+        np.testing.assert_array_equal(serial,
+                                      np.load(scene_path + ".pca.npy"))
+
+    def test_submit_workload_flag_filters_params(self):
+        args = build_parser().parse_args(
+            ["submit", "x.raw", "--workload", "rx"])
+        assert args.workload == "rx"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "x.raw",
+                                       "--workload", "kmeans"])

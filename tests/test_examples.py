@@ -94,3 +94,11 @@ def test_serving_demo(capsys):
     assert "identical submissions -> one job: True" in out
     assert "resubmission from cache: True, sha matches: True" in out
     assert "pipeline executions for 5 submissions: 2" in out
+
+
+def test_detection_demo(capsys):
+    _run_example("detection_demo")
+    out = capsys.readouterr().out
+    assert "SAM score map" in out and "RX score map" in out
+    assert "area under detection curve" in out
+    assert "registered workload" in out

@@ -1,0 +1,249 @@
+"""End-to-end tests of the non-AMC workloads through the Pipeline.
+
+The contracts under test: every workload runs its declared stages with
+profiling records; the chunk-parallel path is bit-identical to serial
+— with and without injected faults; and each workload's math agrees
+with the library functions it is built from
+(:mod:`repro.core.detection`, :mod:`repro.spectral`).
+"""
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.core.detection import cem_detector, rx_detector
+from repro.errors import NonFiniteInputError, ShapeError
+from repro.faults import FaultInjector, FaultSpec
+from repro.profiling import Profiler
+from repro.spectral import pca, sam
+from repro.workloads import get_workload, workload_names
+
+
+@pytest.fixture(scope="module")
+def scene():
+    from repro.hsi import SceneParams, generate_scene
+
+    return generate_scene(SceneParams(lines=40, samples=32, band_count=24,
+                                      seed=424, min_field=5))
+
+
+@pytest.fixture(scope="module")
+def cube(scene):
+    return scene.cube.as_bip()
+
+
+@pytest.fixture(scope="module")
+def target_class(scene):
+    labels, counts = np.unique(scene.ground_truth, return_counts=True)
+    present = [(int(label), int(count))
+               for label, count in zip(labels, counts) if label != 0]
+    return min(present, key=lambda pair: pair[1])[0]   # rarest class
+
+
+@pytest.fixture(scope="module")
+def target_mask(scene, target_class):
+    return scene.ground_truth == target_class
+
+
+@pytest.fixture(scope="module")
+def target(cube, target_mask):
+    return tuple(float(v) for v in cube[target_mask].mean(axis=0))
+
+
+def _detection_params(name, target):
+    return {"target": target} if get_workload(name).requires_target else {}
+
+
+@pytest.fixture()
+def _clean_faults():
+    faults.uninstall()
+    faults.set_attempt(0)
+    yield
+    faults.uninstall()
+    faults.set_attempt(0)
+
+
+class TestDetectionWorkloads:
+    @pytest.mark.parametrize("name", ("sam", "cem", "rx"))
+    def test_stage_records_and_result(self, name, cube, target,
+                                      target_mask):
+        profiler = Profiler()
+        result = get_workload(name).run(
+            cube, _detection_params(name, target),
+            ground_truth=target_mask, profiler=profiler)
+        assert [r.name for r in profiler.stage_records] == [
+            "statistics", "scores", "evaluation"]
+        assert result.workload == name
+        assert result.scores.shape == cube.shape[:2]
+        assert result.curve is not None
+        assert result.auc == result.curve.auc
+
+    @pytest.mark.parametrize("name", ("sam", "cem", "rx"))
+    def test_detects_the_target(self, name, cube, target, target_mask):
+        """The implanted class must rank far above chance."""
+        result = get_workload(name).run(
+            cube, _detection_params(name, target), ground_truth=target_mask)
+        assert result.auc > 0.7
+
+    @pytest.mark.parametrize("name", ("sam", "cem", "rx"))
+    def test_chunked_bit_identical_to_serial(self, name, cube, target):
+        params = _detection_params(name, target)
+        serial = get_workload(name).run(cube, params)
+        chunked = get_workload(name).run(
+            cube, dict(params, n_workers=2))
+        np.testing.assert_array_equal(serial.scores, chunked.scores)
+
+    @pytest.mark.parametrize("name", ("sam", "cem", "rx"))
+    def test_chunked_bit_identical_under_faults(self, name, cube, target,
+                                                _clean_faults):
+        params = _detection_params(name, target)
+        serial = get_workload(name).run(cube, params)
+        faults.install(FaultInjector(
+            [FaultSpec(kind="transient", index=0, attempt=0)]))
+        profiler = Profiler()
+        chunked = get_workload(name).run(
+            cube, dict(params, n_workers=2, max_retries=1),
+            profiler=profiler)
+        np.testing.assert_array_equal(serial.scores, chunked.scores)
+        retried = [r for r in profiler.chunk_records if r.index == 0]
+        assert retried and retried[0].retries >= 1
+
+    def test_sam_agrees_with_spectral_sam(self, cube, target):
+        result = get_workload("sam").run(cube, {"target": target})
+        np.testing.assert_array_equal(
+            result.scores, -sam(np.asarray(cube, dtype=np.float64),
+                                np.asarray(target)))
+
+    def test_cem_agrees_with_library_detector(self, cube, target):
+        result = get_workload("cem").run(cube, {"target": target})
+        np.testing.assert_allclose(
+            result.scores,
+            cem_detector(cube, np.asarray(target)), atol=1e-12)
+
+    def test_rx_agrees_with_library_detector(self, cube):
+        result = get_workload("rx").run(cube, {})
+        np.testing.assert_array_equal(result.scores, rx_detector(cube))
+
+    def test_matched_filters_require_target(self, cube):
+        for name in ("sam", "cem"):
+            with pytest.raises(ValueError, match="target"):
+                get_workload(name).run(cube, {})
+
+    def test_no_mask_means_no_curve(self, cube):
+        result = get_workload("rx").run(cube)
+        assert result.curve is None
+        assert result.auc is None
+
+    def test_non_finite_cube_rejected(self, cube):
+        bad = np.array(cube, dtype=np.float64)
+        bad[1, 2, 3] = np.inf
+        with pytest.raises(NonFiniteInputError):
+            get_workload("rx").run(bad)
+
+    def test_non_3d_rejected(self):
+        with pytest.raises(ShapeError):
+            get_workload("rx").run(np.zeros((4, 5)))
+
+
+class TestPcaWorkload:
+    def test_stage_records_and_result(self, cube):
+        profiler = Profiler()
+        result = get_workload("pca").run(cube, {"n_components": 5},
+                                         profiler=profiler)
+        assert [r.name for r in profiler.stage_records] == [
+            "statistics", "project"]
+        assert result.transformed.shape == (*cube.shape[:2], 5)
+        assert result.components.shape == (5, cube.shape[2])
+        assert result.scores.shape == (5,)
+        assert result.workload == "pca"
+
+    def test_agrees_with_spectral_pca(self, cube):
+        result = get_workload("pca").run(cube, {"n_components": 4})
+        projection = pca(cube, 4)
+        np.testing.assert_array_equal(result.components,
+                                      projection.components)
+        np.testing.assert_array_equal(result.mean, projection.mean)
+        np.testing.assert_allclose(result.transformed,
+                                   projection.transformed, atol=1e-9)
+
+    def test_chunked_bit_identical_to_serial(self, cube):
+        serial = get_workload("pca").run(cube, {"n_components": 3})
+        chunked = get_workload("pca").run(
+            cube, {"n_components": 3, "n_workers": 3})
+        np.testing.assert_array_equal(serial.transformed,
+                                      chunked.transformed)
+
+    def test_chunked_bit_identical_under_faults(self, cube, _clean_faults):
+        serial = get_workload("pca").run(cube, {"n_components": 3})
+        faults.install(FaultInjector(
+            [FaultSpec(kind="transient", index=1, attempt=0)]))
+        chunked = get_workload("pca").run(
+            cube, {"n_components": 3, "n_workers": 2, "max_retries": 1})
+        np.testing.assert_array_equal(serial.transformed,
+                                      chunked.transformed)
+
+    def test_variance_ordering(self, cube):
+        result = get_workload("pca").run(cube, {"n_components": 6})
+        assert (np.diff(result.scores) <= 1e-12).all()
+
+
+class TestResultAccounting:
+    """result_arrays/result_nbytes back the serving digests and cache."""
+
+    def test_detection_accounting(self, cube, target):
+        wl = get_workload("sam")
+        result = wl.run(cube, {"target": target})
+        (scores,) = wl.result_arrays(result)
+        assert scores is result.scores
+        assert wl.result_nbytes(result) == result.scores.nbytes
+
+    def test_reduction_accounting(self, cube):
+        wl = get_workload("pca")
+        result = wl.run(cube, {"n_components": 2})
+        arrays = wl.result_arrays(result)
+        assert arrays[0] is result.transformed
+        assert wl.result_nbytes(result) == sum(a.nbytes for a in arrays)
+
+    def test_amc_digest_arrays_order(self, cube):
+        wl = get_workload("amc")
+        result = wl.run(cube, {"n_classes": 4})
+        labels, mei, abundances = wl.result_arrays(result)
+        assert labels is result.labels
+        assert mei is result.mei
+        assert abundances is result.abundances
+
+
+class TestFacades:
+    """The historical entry points are thin shells over the registry."""
+
+    def test_execute_amc_delegates_to_registry(self, cube):
+        from repro.core import AMCConfig, run_amc
+        from repro.pipeline import execute_amc
+
+        config = AMCConfig(n_classes=4)
+        via_facade = execute_amc(cube, config)
+        via_run_amc = run_amc(cube, config)
+        via_workload = get_workload("amc").run(cube, config)
+        for a, b in ((via_facade, via_workload),
+                     (via_run_amc, via_workload)):
+            np.testing.assert_array_equal(a.labels, b.labels)
+            np.testing.assert_array_equal(a.mei, b.mei)
+            np.testing.assert_array_equal(a.abundances, b.abundances)
+
+    def test_every_builtin_runs_through_generic_pipeline(self, cube,
+                                                         target):
+        """One loop over the registry — no name special-casing."""
+        import dataclasses
+
+        for name in workload_names():
+            wl = get_workload(name)
+            fields = {f.name for f in dataclasses.fields(wl.config_type)}
+            params = {}
+            if wl.requires_target:
+                params["target"] = target
+            if "n_classes" in fields:   # classify configs must fit the cube
+                params["n_classes"] = 4
+            pipeline = wl.build_pipeline()
+            result = wl.run(cube, params, pipeline=pipeline)
+            assert result is not None
+            assert pipeline.run_count == 1

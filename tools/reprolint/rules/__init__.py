@@ -18,10 +18,12 @@ from .mutable_defaults import MutableDefaultsRule
 from .pickle_safe_errors import PickleSafeErrorsRule
 from .unseeded_rng import UnseededRngRule
 from .wallclock import WallclockRule
+from .workload_dispatch import WorkloadDispatchRule
 
 ALL_RULES = (
     BlanketExceptRule(),
     BackendDispatchRule(),
+    WorkloadDispatchRule(),
     PickleSafeErrorsRule(),
     UnseededRngRule(),
     WallclockRule(),

@@ -1,0 +1,55 @@
+"""workload-dispatch: workload name resolution stays in the registry.
+
+The workload-level mirror of ``backend-dispatch``.  Flags any ``==`` /
+``!=`` comparison whose operand is a name or attribute called
+``workload`` or ``algo`` (``workload``, ``job.workload``,
+``args.algo``, ...) — the if/elif dispatch idiom the
+:mod:`repro.workloads` registry replaced.  Resolve through
+``get_workload()`` and branch on capabilities the workload object
+declares (``kind``, ``requires_target``, ``halo()``) or on object
+identity, never on its name.  The registry package itself is exempt —
+something has to own the name-to-object mapping.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Finding, Rule, iter_nodes
+
+#: Identifier spellings that mean "which algorithm" at call sites.
+_WORKLOAD_NAMES = frozenset({"workload", "algo"})
+
+
+def _is_workload_operand(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in _WORKLOAD_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _WORKLOAD_NAMES
+    return False
+
+
+class WorkloadDispatchRule(Rule):
+    rule_id = "workload-dispatch"
+    description = ("`workload == ...` string dispatch outside the "
+                   "repro.workloads registry")
+    applies_to = ("src/repro",)
+    allowed_paths = ("src/repro/workloads",)
+
+    def visit(self, tree: ast.Module, source: str,
+              path: str) -> list[Finding]:
+        findings = []
+        for compare in iter_nodes(tree, ast.Compare):
+            operands = [compare.left, *compare.comparators]
+            for index, op in enumerate(compare.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if (_is_workload_operand(operands[index])
+                        or _is_workload_operand(operands[index + 1])):
+                    findings.append(self.finding(
+                        path, compare,
+                        "workload name comparison outside repro/workloads/ "
+                        "— resolve through repro.workloads.get_workload() "
+                        "and branch on workload capabilities, not names"))
+                    break
+        return findings
