@@ -43,7 +43,12 @@ ground-truth class-K pixels) and the evaluation mask from the
 path) plus parameters (and optionally ``--workload`` /
 ``--target-class``), and duplicate submissions are deduped server-side
 through in-flight coalescing and the content-addressed result cache
-(see ``docs/serving.md``).
+(see ``docs/serving.md``).  ``serve --state-dir DIR`` turns on the
+durable tier (crash-safe job journal + disk result cache; interrupted
+jobs replay on restart) and ``--watchdog-deadline-s`` the stuck-job
+watchdog; ``submit --retry-budget-s`` rides through busy rejections
+and restarts with exponential backoff, and ``submit --health`` prints
+the server's self-diagnosis snapshot (see ``docs/robustness.md``).
 """
 
 from __future__ import annotations
@@ -322,14 +327,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                            queue_size=args.queue_size,
                            cache_entries=args.cache_entries,
                            cache_bytes=args.cache_mb << 20,
+                           state_dir=args.state_dir,
+                           watchdog_deadline_s=args.watchdog_deadline_s,
                            default_params=default_params)
         async with server:
             frontend = await UnixSocketFrontend(server,
                                                 args.socket).start()
+            durable = ("" if args.state_dir is None
+                       else f", durable state in {args.state_dir}")
             print(f"serving on {args.socket} "
                   f"({args.workers} worker(s), queue {args.queue_size}, "
                   f"cache {args.cache_entries} entries / "
-                  f"{args.cache_mb} MiB)")
+                  f"{args.cache_mb} MiB{durable})")
+            recovered = server.counters.recovered
+            if recovered:
+                print(f"journal replay re-enqueued {recovered} "
+                      f"interrupted job(s)")
             print("stop with: repro submit --shutdown "
                   f"--socket {args.socket}")
             sys.stdout.flush()
@@ -350,7 +363,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_submit(args: argparse.Namespace) -> int:
     """Client mode: submit a cube reference to a running server."""
-    from repro.serving import request
+    import json
+    import os
+
+    from repro.serving import request, submit_with_retry
 
     if args.shutdown:
         response = request(args.socket, {"op": "shutdown"})
@@ -360,8 +376,17 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         print(f"error: {response.get('message')}", file=sys.stderr)
         return 1
 
+    if args.health:
+        response = request(args.socket, {"op": "health"})
+        if not response.get("ok"):
+            print(f"error: {response.get('message')}", file=sys.stderr)
+            return 1
+        print(json.dumps(response["health"], indent=2, sort_keys=True))
+        return 0
+
     if args.path is None:
-        print("a cube path is required (or --shutdown)", file=sys.stderr)
+        print("a cube path is required (or --shutdown/--health)",
+              file=sys.stderr)
         return 2
     params = {"n_classes": args.classes, "se_radius": args.radius,
               "backend": args.backend, "max_retries": args.retries,
@@ -384,7 +409,11 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         payload["workload"] = wl.name
     if args.target_class is not None:
         payload["target_class"] = args.target_class
-    response = request(args.socket, payload)
+    # pid-seeded jitter: deterministic per process, decorrelated
+    # across the concurrent clients that matter for herd avoidance
+    response = submit_with_retry(args.socket, payload,
+                                 retry_budget_s=args.retry_budget_s,
+                                 jitter_seed=os.getpid())
     if not response.get("ok"):
         message = f"{response.get('error')}: {response.get('message')}"
         if "retry_after_s" in response:
@@ -585,6 +614,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="result-cache entry budget")
     srv.add_argument("--cache-mb", type=int, default=256, metavar="MB",
                      help="result-cache payload budget")
+    srv.add_argument("--state-dir", default=None, metavar="DIR",
+                     help="enable the durable tier: write-ahead job "
+                          "journal + disk result cache here; on "
+                          "restart the journal replays (interrupted "
+                          "jobs re-enqueue, finished ones are not "
+                          "re-executed)")
+    srv.add_argument("--watchdog-deadline-s", type=float, default=None,
+                     metavar="S",
+                     help="enable the stuck-job watchdog: running jobs "
+                          "whose executor heartbeat is older than this "
+                          "are requeued under their retry budget")
     add_param_flags(srv)
     srv.set_defaults(func=_cmd_serve)
 
@@ -606,6 +646,17 @@ def build_parser() -> argparse.ArgumentParser:
                           "to the cube")
     sbm.add_argument("--shutdown", action="store_true",
                      help="ask the server to stop instead of submitting")
+    sbm.add_argument("--health", action="store_true",
+                     help="print the server's health snapshot (queue, "
+                          "caches, journal, watchdog) instead of "
+                          "submitting")
+    sbm.add_argument("--retry-budget-s", type=float, default=0.0,
+                     metavar="S",
+                     help="retry busy rejections and connection "
+                          "failures with exponential backoff + jitter "
+                          "for up to this many seconds (0 = single "
+                          "attempt, the historical exit-3-on-busy "
+                          "behavior)")
     sbm.add_argument("--workload", choices=workload_names(),
                      default=None,
                      help="registered workload to run (default: the "

@@ -107,6 +107,18 @@ class NonFiniteInputError(ReproError, ValueError):
     pixel and band."""
 
 
+class InvalidCubeError(ReproError, ValueError):
+    """An input cube is structurally unusable (e.g. a zero-sized
+    dimension).
+
+    Raised at the same admission points as
+    :class:`NonFiniteInputError` — before any stage runs and before a
+    serving request occupies a queue slot: an empty cube has no pixels
+    to classify, no spectra to normalize, and would otherwise surface
+    as an obscure shape error deep inside a worker.  The message names
+    the offending shape."""
+
+
 class ServingError(ReproError):
     """Base class for the job-server layer (:mod:`repro.serving`)."""
 
@@ -142,6 +154,25 @@ class ServerBusyError(ServingError):
 class ServerClosedError(ServingError):
     """A request reached a server that is not running (never started,
     stopping, or already stopped)."""
+
+
+class StuckJobError(ServingError):
+    """The watchdog gave up on a job whose executor stopped heartbeating.
+
+    Raised (as the job's recorded failure — never thrown across the
+    event loop) when a running job's heartbeat age exceeded its
+    deadline more times than its retry budget allows.  The message
+    carries the heartbeat age and the deadline that condemned it."""
+
+
+class JournalCorruptError(ServingError):
+    """A job-journal record could not be parsed during replay.
+
+    Only raised for corruption *before* the final record: a truncated
+    trailing line is the expected signature of a crash mid-append and
+    is skipped silently (and counted), but garbage in the middle of
+    the journal means the file was externally damaged and recovery
+    cannot be trusted."""
 
 
 class JobNotFoundError(ServingError, KeyError):

@@ -3,8 +3,12 @@
 A :class:`FaultInjector` holds an ordered list of :class:`FaultSpec`
 rules; execution sites (the per-chunk worker functions of
 :mod:`repro.parallel`, the per-cube batch worker of
-:mod:`repro.pipeline.batch`) call :func:`maybe_inject` at their entry,
-and any matching spec fires its fault.  Determinism is structural, not
+:mod:`repro.pipeline.batch`, and the serving layer's durability
+seams — ``"job"`` at each execution attempt, ``"heartbeat_stall"``
+just before it, ``"journal_write"`` in the journal's append/spill
+paths, ``"cache_disk"`` in the disk cache tier's load/store paths)
+call :func:`maybe_inject` at their entry, and any matching spec fires
+its fault.  Determinism is structural, not
 stateful: a spec matches on the *coordinates* of an execution — site
 name, task index, retry attempt, chunk geometry — so the same plan
 produces the same faults regardless of worker scheduling, and a fault
@@ -86,9 +90,11 @@ class FaultSpec:
     kind:
         One of :data:`KINDS`.
     site:
-        Execution site name — ``"chunk"`` (the per-chunk workers) or
-        ``"cube"`` (the per-cube batch worker); custom sites may call
-        :func:`maybe_inject` with their own names.
+        Execution site name — ``"chunk"`` (the per-chunk workers),
+        ``"cube"`` (the per-cube batch worker), or one of the serving
+        seams (``"job"``, ``"heartbeat_stall"``, ``"journal_write"``,
+        ``"cache_disk"``); custom sites may call :func:`maybe_inject`
+        with their own names.
     index:
         Task index the fault is pinned to (``None`` matches any).
     attempt:

@@ -103,7 +103,8 @@ class EventRecord:
         recomputed in-process), ``"oom_degrade"`` (chunked execution
         re-planned with smaller chunks after a GPU OOM),
         ``"batch_error"`` (a batch cube failed under a non-raise
-        ``on_error`` policy).
+        ``on_error`` policy), ``"watchdog"`` (the serving watchdog
+        requeued or failed a job whose heartbeat went stale).
     detail:
         Human-readable context (exception text, old/new chunk sizes...).
     chunk_index:

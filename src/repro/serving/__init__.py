@@ -22,9 +22,19 @@ the pipeline into a system:
   params)``; N identical submissions cost one pipeline execution.
 * :class:`UnixSocketFrontend` / :func:`request` — a stdlib JSON-lines
   transport behind ``repro serve`` / ``repro submit``.
+* The durable tier (``state_dir``): a crash-safe write-ahead journal
+  (:class:`JobJournal`) that replays on restart — interrupted jobs
+  re-enqueue, finished ones are not re-executed — plus a sha-verified
+  disk result cache (:class:`DiskCacheTier`) behind the memory tier.
+* Self-healing: executor :class:`Heartbeat` timestamps watched by the
+  :class:`Watchdog`, which requeues stuck jobs under their retry
+  budget or fails them with ``StuckJobError``; and
+  :func:`submit_with_retry`, the client-side backoff loop that rides
+  through busy rejections and server restarts.
 
 See ``docs/serving.md`` for the architecture, the state machine, the
-cache-key derivation rules and a worked CLI session.
+cache-key derivation rules and a worked CLI session, and
+``docs/robustness.md`` for the durability and recovery model.
 """
 
 from repro.serving.api import (
@@ -37,29 +47,42 @@ from repro.serving.api import (
     result_nbytes,
 )
 from repro.serving.cache import CacheEntry, CacheStats, ResultCache
+from repro.serving.client import backoff_delays, submit_with_retry
+from repro.serving.diskcache import DiskCacheStats, DiskCacheTier
 from repro.serving.jobs import JOB_STATES, TERMINAL_STATES, Job, JobStatus
+from repro.serving.journal import JobJournal, ReplayedJob, ReplayReport
 from repro.serving.net import UnixSocketFrontend, request
 from repro.serving.queue import AdmissionQueue
 from repro.serving.server import AMCServer, ServerCounters
+from repro.serving.watchdog import Heartbeat, Watchdog
 
 __all__ = [
     "AMCServer",
     "AdmissionQueue",
     "CacheEntry",
     "CacheStats",
+    "DiskCacheStats",
+    "DiskCacheTier",
     "EXECUTION_KNOBS",
+    "Heartbeat",
     "JOB_STATES",
     "Job",
+    "JobJournal",
     "JobStatus",
+    "ReplayReport",
+    "ReplayedJob",
     "ResultCache",
     "ServerCounters",
     "TERMINAL_STATES",
     "UnixSocketFrontend",
+    "Watchdog",
     "as_config",
+    "backoff_delays",
     "canonical_params",
     "canonical_params_json",
     "job_key",
     "request",
     "result_digest",
     "result_nbytes",
+    "submit_with_retry",
 ]

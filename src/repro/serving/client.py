@@ -1,0 +1,138 @@
+"""Client-side resilience: retry with exponential backoff and jitter.
+
+The serving layer rejects at admission (``ServerBusyError`` +
+``retry_after_s``) instead of queueing unboundedly — which moves the
+waiting to the *client*, where it belongs.  This module is the client
+half of that contract: :func:`submit_with_retry` wraps the blocking
+:func:`~repro.serving.net.request` in the standard backoff loop,
+
+* honoring the server's ``retry_after_s`` hint as a *floor* (the
+  server knows its own queue depth; sleeping less just burns a
+  connection on another rejection),
+* growing an exponential delay above it (``base_delay_s * 2^attempt``,
+  capped at ``max_delay_s``) so a persistently busy server sees
+  geometrically thinning traffic,
+* multiplying by deterministic jitter from a seeded
+  ``np.random.Generator`` (uniform in [0.5, 1.0]) so a burst of
+  rejected clients does not re-arrive in lockstep — the classic
+  thundering-herd fix — while staying reproducible under the repo's
+  no-unseeded-rng rule,
+* bounding the whole affair by ``retry_budget_s`` of *monotonic* time
+  (never the wall clock): when the budget cannot cover the next sleep,
+  the last response (or connection error) is returned/raised as-is.
+
+Connection errors (``OSError``: refused, socket file missing) are
+retried under the same budget — that is exactly what a restarting
+server looks like from outside, and riding through a restart is the
+point of the durable serving tier.  Resubmission after a restart is
+idempotent end to end: the journal replays interrupted jobs, the job
+key is content-addressed, and a completed result is served from the
+disk cache without re-execution.
+
+``retry_budget_s=0`` (the default) performs exactly one attempt —
+bit-for-bit the historical single-shot behavior.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.serving.net import request
+
+#: Jitter multiplier bounds: delays are scaled into [LOW, HIGH].
+_JITTER_LOW = 0.5
+_JITTER_HIGH = 1.0
+
+
+def backoff_delays(*, base_delay_s: float, max_delay_s: float,
+                   jitter_seed: int, attempts: int) -> list[float]:
+    """The first ``attempts`` backoff delays, jittered, in seconds.
+
+    Exposed for tests and docs: the exact sleep sequence a
+    :func:`submit_with_retry` call with the same knobs would use
+    against a server that never supplies a ``retry_after_s`` hint.
+    """
+    rng = np.random.default_rng(jitter_seed)
+    delays = []
+    for attempt in range(attempts):
+        delay = min(max_delay_s, base_delay_s * (2.0 ** attempt))
+        jitter = rng.uniform(_JITTER_LOW, _JITTER_HIGH)
+        delays.append(delay * jitter)
+    return delays
+
+
+def submit_with_retry(socket_path: str, payload: dict, *,
+                      retry_budget_s: float = 0.0,
+                      base_delay_s: float = 0.25,
+                      max_delay_s: float = 10.0,
+                      jitter_seed: int = 0,
+                      timeout_s: float | None = None,
+                      request_fn=request, sleep=time.sleep,
+                      clock=time.monotonic) -> dict:
+    """Send ``payload`` with busy/connection retries under a time budget.
+
+    Parameters
+    ----------
+    socket_path / payload / timeout_s:
+        Forwarded to :func:`~repro.serving.net.request` per attempt.
+    retry_budget_s:
+        Total monotonic seconds the loop may spend (sleeps included).
+        0 disables retrying entirely — one attempt, the historical
+        behavior.
+    base_delay_s / max_delay_s:
+        The exponential schedule: attempt *n* waits
+        ``min(max_delay_s, base_delay_s * 2^n)``, floored by the
+        server's ``retry_after_s`` hint when one was sent, then
+        jittered into [0.5, 1.0] of itself.
+    jitter_seed:
+        Seed of the jitter Generator — explicit, per the repo's
+        determinism discipline; callers wanting decorrelated clients
+        pass distinct seeds (the CLI uses the process id).
+    request_fn / sleep / clock:
+        Injection points for tests (a fake server, a recording sleep,
+        a virtual clock).  Defaults are the real thing.
+
+    Returns the first conclusive response: any success, or any error
+    response that is neither busy nor a connection failure (a
+    ``ShapeError`` will not get better on attempt two).  On budget
+    exhaustion the last busy response is returned (so callers keep
+    their exit-code branch on ``retry_after_s``) or the last connection
+    error is re-raised.
+    """
+    if retry_budget_s < 0:
+        raise ValueError(
+            f"retry_budget_s must be >= 0, got {retry_budget_s}")
+    rng = np.random.default_rng(jitter_seed)
+    deadline = clock() + retry_budget_s
+    attempt = 0
+    while True:
+        last_error = None
+        try:
+            response = request_fn(socket_path, payload,
+                                  timeout_s=timeout_s)
+        except OSError as exc:
+            # connection refused / socket missing: the server is down
+            # or restarting — retryable, with no hint to honor
+            if retry_budget_s == 0:
+                raise
+            last_error, hint = exc, 0.0
+        else:
+            if response.get("ok", False):
+                return response
+            hint = response.get("retry_after_s")
+            if hint is None:
+                return response     # a real error, not backpressure
+            if retry_budget_s == 0:
+                return response
+        delay = min(max_delay_s, base_delay_s * (2.0 ** attempt))
+        delay = max(delay, float(hint))
+        delay *= rng.uniform(_JITTER_LOW, _JITTER_HIGH)
+        if clock() + delay > deadline:
+            # budget spent: surface the last outcome unchanged
+            if last_error is not None:
+                raise last_error
+            return response
+        sleep(delay)
+        attempt += 1

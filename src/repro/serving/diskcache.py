@@ -1,0 +1,260 @@
+"""The persistent result-cache tier: spilled entries that survive a
+server restart, sha-verified before they are ever served.
+
+A :class:`DiskCacheTier` is the second tier behind the in-memory
+:class:`~repro.serving.cache.ResultCache`: completed results are
+written through to disk (one pickle file per content-addressed job
+key, atomically via :mod:`repro.serving.durable`), and a memory miss
+falls back here before anything executes.  Two disciplines make the
+tier safe to trust after a crash:
+
+* **Verification before service.**  Every entry carries the result
+  digest from its workload contract
+  (:func:`~repro.serving.api.result_digest`); on load the digest is
+  *recomputed from the loaded arrays* and compared.  A mismatch — bit
+  rot, a partial write that somehow survived the atomic protocol, a
+  tampered file — is treated as a miss.
+* **Quarantine, never deletion-and-hope.**  Corrupt or truncated
+  files are renamed into ``quarantine/`` (keeping the evidence for a
+  post-mortem) and dropped from the index; they are never served and
+  never retried.
+
+Eviction is oldest-first by insertion sequence under a byte budget;
+the sequence lives in ``index.json`` (atomically rewritten per
+mutation) so ordering survives restarts without reading file mtimes.
+Disk failures never fail a job: a write error skips the spill
+(counted), a read error is a miss.  The ``cache_disk`` fault site at
+the top of both paths makes that claim chaos-testable.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+from dataclasses import dataclass
+
+from repro.errors import ServingError, TransientFaultError
+from repro.faults import maybe_inject
+from repro.serving import durable
+from repro.serving.cache import CacheEntry
+from repro.workloads import get_workload
+
+#: File name of the persisted eviction-order index.
+INDEX_FILE = "index.json"
+
+#: Subdirectory corrupt entries are moved into.
+QUARANTINE_DIR = "quarantine"
+
+#: Entry file suffix.
+ENTRY_SUFFIX = ".res"
+
+
+@dataclass
+class DiskCacheStats:
+    """Counters of one :class:`DiskCacheTier`."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    oversize_skips: int = 0
+    #: Entries that failed verification on load and were quarantined.
+    quarantined: int = 0
+    #: Spills skipped because the disk write failed (jobs unaffected).
+    write_errors: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain dict (for ``health()`` reports)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "insertions": self.insertions,
+                "evictions": self.evictions,
+                "oversize_skips": self.oversize_skips,
+                "quarantined": self.quarantined,
+                "write_errors": self.write_errors}
+
+
+class DiskCacheTier:
+    """Persistent ``job_key -> result`` store under a byte budget.
+
+    Parameters
+    ----------
+    directory:
+        Where entries, the index and the quarantine live (created on
+        demand).
+    max_bytes:
+        Retained-payload budget (the workload-accounted result bytes,
+        same accounting as the memory tier).
+    """
+
+    def __init__(self, directory: str, max_bytes: int = 1 << 30) -> None:
+        if max_bytes < 1:
+            raise ServingError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.directory = durable.ensure_dir(directory)
+        self.quarantine_dir = durable.ensure_dir(
+            os.path.join(directory, QUARANTINE_DIR))
+        self.max_bytes = int(max_bytes)
+        self.stats = DiskCacheStats()
+        self._index_path = os.path.join(directory, INDEX_FILE)
+        self._index: dict[str, dict] = {}
+        self._next_seq = 1
+        self._load_index()
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    @property
+    def current_bytes(self) -> int:
+        """Accounted payload bytes across all indexed entries."""
+        return sum(entry["nbytes"] for entry in self._index.values())
+
+    # -- the tier API -----------------------------------------------------
+
+    def put(self, key: str, result, report=None,
+            digest: str | None = None, nbytes: int | None = None,
+            workload: str = "amc") -> bool:
+        """Spill one finished result; returns False when refused.
+
+        Never raises for I/O or injected disk faults — a job must not
+        fail because its spill did (the result is already served from
+        memory); the skip is counted in ``stats.write_errors``.
+        """
+        wl = get_workload(workload)
+        if nbytes is None:
+            nbytes = wl.result_nbytes(result)
+        if nbytes > self.max_bytes:
+            self.stats.oversize_skips += 1
+            return False
+        payload = {"v": 1, "workload": wl.name, "digest": digest,
+                   "nbytes": int(nbytes), "result": result,
+                   "report": report}
+        try:
+            maybe_inject("cache_disk", index=None)
+            durable.atomic_write_bytes(
+                self._entry_path(key),
+                pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+        except (OSError, TransientFaultError):
+            self.stats.write_errors += 1
+            return False
+        self._index[key] = {"nbytes": int(nbytes), "seq": self._next_seq,
+                            "workload": wl.name, "digest": digest}
+        self._next_seq += 1
+        self._evict_to_budget()
+        self._write_index()
+        self.stats.insertions += 1
+        return True
+
+    def get(self, key: str) -> CacheEntry | None:
+        """Load, verify and return one entry; None on miss/corruption.
+
+        The digest is recomputed from the loaded decision arrays via
+        the entry's own workload contract — a corrupt or truncated
+        file is quarantined and can never be served.
+        """
+        meta = self._index.get(key)
+        if meta is None:
+            self.stats.misses += 1
+            return None
+        path = self._entry_path(key)
+        try:
+            maybe_inject("cache_disk", index=None)
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+            workload = payload["workload"]
+            digest = payload["digest"]
+            from repro.serving.api import result_digest
+
+            recomputed = result_digest(payload["result"],
+                                       workload=workload)
+            if digest is not None and recomputed != digest:
+                raise ValueError(
+                    f"digest mismatch: recorded {digest[:12]}..., "
+                    f"recomputed {recomputed[:12]}...")
+        except FileNotFoundError:
+            self._forget(key)
+            self.stats.misses += 1
+            return None
+        except TransientFaultError:
+            self.stats.misses += 1
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, ValueError,
+                KeyError, AttributeError, TypeError) as exc:
+            self._quarantine(key, path, exc)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return CacheEntry(payload["result"], payload["nbytes"],
+                          payload.get("report"), recomputed)
+
+    def as_dict(self) -> dict[str, object]:
+        """Counters plus occupancy, for ``health()`` reports."""
+        out: dict[str, object] = dict(self.stats.as_dict())
+        out["entries"] = len(self._index)
+        out["bytes"] = self.current_bytes
+        out["max_bytes"] = self.max_bytes
+        return out
+
+    # -- internals --------------------------------------------------------
+
+    def _entry_path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}{ENTRY_SUFFIX}")
+
+    def _quarantine(self, key: str, path: str, exc: Exception) -> None:
+        """Move a bad entry out of service, keeping the evidence."""
+        try:
+            durable.rename(path, os.path.join(
+                self.quarantine_dir, os.path.basename(path)))
+        except OSError:
+            pass
+        self._forget(key)
+        self.stats.quarantined += 1
+
+    def _forget(self, key: str) -> None:
+        if self._index.pop(key, None) is not None:
+            self._write_index()
+
+    def _evict_to_budget(self) -> None:
+        while len(self._index) > 1 and self.current_bytes > self.max_bytes:
+            oldest = min(self._index, key=lambda k: self._index[k]["seq"])
+            self._index.pop(oldest)
+            durable.remove(self._entry_path(oldest))
+            self.stats.evictions += 1
+
+    def _write_index(self) -> None:
+        try:
+            durable.atomic_write_json(
+                self._index_path,
+                {"v": 1, "next_seq": self._next_seq,
+                 "entries": self._index})
+        except OSError:
+            self.stats.write_errors += 1
+
+    def _load_index(self) -> None:
+        """Rebuild the index from disk; entries without files are
+        dropped, files without entries are quarantined (their ordering
+        is unknown, so they cannot be trusted into the budget)."""
+        try:
+            with open(self._index_path, "rb") as fh:
+                import json
+
+                data = json.loads(fh.read())
+            self._next_seq = int(data.get("next_seq", 1))
+            entries = data.get("entries", {})
+        except (OSError, ValueError):
+            self._next_seq = 1
+            entries = {}
+        self._index = {
+            key: meta for key, meta in entries.items()
+            if os.path.exists(self._entry_path(key))}
+        for name in sorted(os.listdir(self.directory)):
+            if not name.endswith(ENTRY_SUFFIX):
+                continue
+            key = name[:-len(ENTRY_SUFFIX)]
+            if key not in self._index:
+                durable.rename(
+                    os.path.join(self.directory, name),
+                    os.path.join(self.quarantine_dir, name))
+                self.stats.quarantined += 1

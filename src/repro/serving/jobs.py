@@ -4,12 +4,18 @@ A :class:`Job` is one unit of admitted work.  Its lifecycle is a small
 state machine::
 
     submit ──► QUEUED ──► RUNNING ──► DONE
-                  │                └─► FAILED
-                  └──► CANCELLED
+                  ▲  │        │   └─► FAILED
+                  │  │        └─(watchdog requeue)─► QUEUED
+                  │  └──► CANCELLED
+            (journal replay re-enqueues queued/running jobs here)
 
 plus one shortcut: a submission whose key is already cached is born
 ``DONE`` (``from_cache=True``) without ever entering the queue.  A
-``RUNNING`` job cannot be cancelled — the executor owns it — and
+``RUNNING`` job cannot be cancelled by clients — the executor owns it
+— but the *watchdog* may return it to ``QUEUED`` when its heartbeat
+goes stale (the zombie attempt's eventual outcome is dropped by the
+``generation`` guard), and the journal replay at startup re-enqueues
+jobs that were queued or running when the process died.
 ``DONE``/``FAILED``/``CANCELLED`` are terminal.
 
 Jobs are mutated only on the server's event-loop thread; everything a
@@ -38,9 +44,11 @@ JOB_STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
 TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
 
 #: Legal transitions of the state machine (from -> allowed to).
+#: RUNNING -> QUEUED is the watchdog's requeue edge: a stuck job goes
+#: back to the queue under a fresh generation.
 _TRANSITIONS = {
     QUEUED: frozenset({RUNNING, CANCELLED}),
-    RUNNING: frozenset({DONE, FAILED}),
+    RUNNING: frozenset({DONE, FAILED, QUEUED}),
 }
 
 
@@ -72,6 +80,12 @@ class JobStatus:
     workload:
         Registry name of the algorithm this job runs
         (:mod:`repro.workloads`).
+    watchdog_requeues:
+        How many times the watchdog rescued this job from a stalled
+        executor (0 on the healthy path).
+    recovered:
+        The job was re-enqueued (or recreated terminal) by journal
+        replay after a restart — it survived a process death.
     """
 
     job_id: int
@@ -84,6 +98,8 @@ class JobStatus:
     result_sha256: str | None = None
     overall_accuracy: float | None = None
     workload: str | None = None
+    watchdog_requeues: int = 0
+    recovered: bool = False
 
     def to_dict(self) -> dict:
         """Plain-data form (what the socket protocol serializes)."""
@@ -115,9 +131,21 @@ class Job:
         self.retries = 0
         self.result = None
         self.report = None          # ProfileReport | None
-        self.error: Exception | None = None
+        self.error: Exception | str | None = None
         self.result_sha256: str | None = None
         self.done = asyncio.Event()
+        #: Execution generation: bumped on every watchdog requeue, so
+        #: a zombie attempt's late outcome is recognized as stale.
+        self.generation = 0
+        self.watchdog_requeues = 0
+        #: Journal replay recreated/re-enqueued this job after a crash.
+        self.recovered = False
+        #: Liveness timestamp of the current attempt (set by the
+        #: executor; None until the job first runs).
+        self.heartbeat = None
+        #: Watchdog EventRecords concerning this job, merged into its
+        #: final profile report.
+        self.events: list = []
 
     def transition(self, state: str) -> None:
         """Move to ``state``, enforcing the lifecycle machine."""
@@ -161,7 +189,11 @@ class Job:
         if report is not None:
             accuracy = float(report.overall_accuracy)
         error = None
-        if self.error is not None:
+        if isinstance(self.error, str):
+            # journal replay recreates failed jobs from the recorded
+            # "Type: message" text — the exception object is gone
+            error = self.error
+        elif self.error is not None:
             error = f"{type(self.error).__name__}: {self.error}"
         return JobStatus(
             job_id=self.job_id, key=self.key, state=self.state,
@@ -169,7 +201,9 @@ class Job:
             retries=self.retries, error=error,
             result_sha256=self.result_sha256,
             overall_accuracy=accuracy,
-            workload=None if self.workload is None else self.workload.name)
+            workload=None if self.workload is None else self.workload.name,
+            watchdog_requeues=self.watchdog_requeues,
+            recovered=self.recovered)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"Job(id={self.job_id}, state={self.state}, "

@@ -16,6 +16,7 @@ Operations::
      "profile": false, "write_outputs": false}
     {"op": "status" | "wait" | "cancel", "job_id": N, "profile": false}
     {"op": "stats"}
+    {"op": "health"}
     {"op": "shutdown"}
 
 ``workload`` names any registered algorithm (default: the server's
@@ -49,7 +50,8 @@ from repro.serving.server import AMCServer
 from repro.workloads import get_workload
 
 #: Protocol operations the front end understands.
-OPS = ("submit", "status", "wait", "cancel", "stats", "shutdown")
+OPS = ("submit", "status", "wait", "cancel", "stats", "health",
+       "shutdown")
 
 #: Exception classes a request handler converts into error responses
 #: (anything else is a server bug and should surface loudly).
@@ -133,6 +135,8 @@ class UnixSocketFrontend:
             return await self._op_submit(payload)
         if op == "stats":
             return {"ok": True, "stats": self.server.stats()}
+        if op == "health":
+            return {"ok": True, "health": self.server.health()}
         if op == "shutdown":
             self._shutdown.set()
             return {"ok": True, "stopping": True}

@@ -77,6 +77,17 @@ class AdmissionQueue:
                 f"retry in ~{hint:.1f}s",
                 retry_after_s=hint) from None
 
+    async def readmit(self, job) -> None:
+        """Re-enqueue a job bypassing admission control.
+
+        The watchdog-requeue and journal-replay paths: the job was
+        *already admitted* once (and counted against the bound then),
+        so bouncing it now would turn a rescue into a loss.  Awaits a
+        free slot instead of rejecting — both callers run where a brief
+        wait is acceptable (startup replay, the monitor task).
+        """
+        await self._queue.put(job)
+
     async def next_job(self):
         """Await the next admitted job (worker side)."""
         return await self._queue.get()

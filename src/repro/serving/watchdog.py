@@ -1,0 +1,167 @@
+"""The stuck-job watchdog: heartbeats from executor threads, a monitor
+task that notices when they stop, and requeue-or-fail recovery.
+
+The resilience layer (PR 3) detects *dead* workers — a crashed pool
+process surfaces as a lost task within one chunk deadline.  What it
+cannot see is a *wedged* executor thread: a job stuck in an
+uninterruptible call never returns, never raises, and silently eats
+one of the server's worker slots forever.  The watchdog closes that
+gap with the standard liveness idiom:
+
+* every execution attempt owns a :class:`Heartbeat` — a thread-safe
+  monotonic timestamp the executor thread refreshes at attempt
+  boundaries (``time.monotonic``, never the wall clock: only *ages*
+  are compared, so clock jumps cannot condemn a healthy job);
+* the :class:`Watchdog` coroutine wakes every ``poll_s`` on the event
+  loop and measures each RUNNING job's heartbeat age against its
+  deadline (per-workload via
+  :attr:`~repro.workloads.Workload.watchdog_deadline_s`, else the
+  server default);
+* a stuck job is **requeued** under its existing retry budget
+  (``max_retries``) — its generation counter is bumped so the zombie
+  attempt's eventual result is recognized as stale and dropped — or
+  **failed** with :class:`~repro.errors.StuckJobError` once the budget
+  is exhausted.  Either way a ``watchdog`` EventRecord lands in the
+  profiler stream (merged into the job's final report and counted in
+  ``health()``), so a rescue is visible, never silent.
+
+Requeueing is safe for the same reason every other retry in this repo
+is safe: execution is bit-identical across attempts, so a rescued
+job's result is indistinguishable from a first-try one.  The
+``heartbeat_stall`` fault site at the top of every attempt makes the
+whole machine chaos-testable: a ``timeout`` fault there stalls the
+executor *without* beating, which is exactly what a wedge looks like.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+from repro.errors import ServingError
+from repro.profiling.profiler import EventRecord
+
+
+class Heartbeat:
+    """A thread-safe liveness timestamp for one execution attempt.
+
+    The executor thread calls :meth:`beat`; the event-loop watchdog
+    calls :meth:`age`.  Monotonic time only — ages, not instants, are
+    the observable.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._last = time.monotonic()
+
+    def beat(self) -> None:
+        """Refresh the timestamp (executor thread)."""
+        with self._lock:
+            self._last = time.monotonic()
+
+    def age(self) -> float:
+        """Seconds since the last beat (event-loop thread)."""
+        with self._lock:
+            return time.monotonic() - self._last
+
+
+class Watchdog:
+    """The monitor task over one server's RUNNING jobs.
+
+    Parameters
+    ----------
+    server:
+        The owning :class:`~repro.serving.server.AMCServer`; the
+        watchdog reads its jobs table and calls back into
+        ``server._rescue_stuck`` for the actual state surgery (all on
+        the event-loop thread).
+    deadline_s:
+        Default heartbeat-age limit; a workload's
+        ``watchdog_deadline_s`` attribute overrides it per job.
+    poll_s:
+        Monitor wake interval.
+    """
+
+    def __init__(self, server, *, deadline_s: float = 30.0,
+                 poll_s: float = 0.5) -> None:
+        if deadline_s <= 0:
+            raise ServingError(
+                f"deadline_s must be positive, got {deadline_s}")
+        if poll_s <= 0:
+            raise ServingError(f"poll_s must be positive, got {poll_s}")
+        self.server = server
+        self.deadline_s = float(deadline_s)
+        self.poll_s = float(poll_s)
+        self.requeued = 0
+        self.failed = 0
+        self.events: list[EventRecord] = []
+        self._task: asyncio.Task | None = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the monitor coroutine on the running loop."""
+        self._task = asyncio.create_task(self._monitor_loop(),
+                                         name="serving-watchdog")
+
+    async def stop(self) -> None:
+        """Cancel and await the monitor coroutine."""
+        if self._task is None:
+            return
+        self._task.cancel()
+        try:
+            await self._task
+        except asyncio.CancelledError:
+            pass
+        self._task = None
+
+    # -- the monitor ------------------------------------------------------
+
+    def deadline_for(self, job) -> float:
+        """The heartbeat-age limit of one job (workload override wins)."""
+        override = getattr(job.workload, "watchdog_deadline_s", None)
+        return self.deadline_s if override is None else float(override)
+
+    async def _monitor_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.poll_s)
+            self.check_now()
+
+    def check_now(self) -> list:
+        """One monitor sweep (also callable directly from tests).
+
+        Returns the jobs acted on this sweep.
+        """
+        rescued = []
+        from repro.serving import jobs as jobstates
+
+        for job in list(self.server._jobs.values()):
+            if job.state != jobstates.RUNNING or job.heartbeat is None:
+                continue
+            age = job.heartbeat.age()
+            deadline = self.deadline_for(job)
+            if age <= deadline:
+                continue
+            requeued = self.server._rescue_stuck(job, age=age,
+                                                 deadline=deadline)
+            kind_detail = (
+                f"job {job.job_id} heartbeat age {age:.2f}s exceeded "
+                f"deadline {deadline:.2f}s; "
+                + ("requeued" if requeued else "retry budget exhausted"))
+            event = EventRecord(kind="watchdog", detail=kind_detail,
+                                chunk_index=-1)
+            self.events.append(event)
+            job.events.append(event)
+            if requeued:
+                self.requeued += 1
+            else:
+                self.failed += 1
+            rescued.append(job)
+        return rescued
+
+    def as_dict(self) -> dict[str, object]:
+        """Monitor state for ``health()`` reports."""
+        return {"enabled": True, "deadline_s": self.deadline_s,
+                "poll_s": self.poll_s, "requeued": self.requeued,
+                "failed": self.failed, "events": len(self.events)}

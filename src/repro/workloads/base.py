@@ -99,6 +99,12 @@ class Workload:
     #: workload names.
     requires_target: bool = False
 
+    #: Heartbeat-age limit (seconds) before the serving watchdog deems
+    #: a running job of this workload stuck; None defers to the
+    #: server-wide default.  Override for workloads whose healthy
+    #: attempts legitimately run long between heartbeats.
+    watchdog_deadline_s: float | None = None
+
     def build_pipeline(self) -> Pipeline:
         """A fresh pipeline of this workload's stages (reusable across
         runs — the serving layer keeps one per executor thread)."""
@@ -144,7 +150,9 @@ class Workload:
         BIP array.
 
         Accepts a :class:`~repro.hsi.cube.HyperCube` or any 3-D array.
-        The default rejects non-finite cubes
+        The default rejects empty cubes — any zero-sized dimension —
+        with :class:`~repro.errors.InvalidCubeError` naming the shape,
+        and non-finite cubes
         (:class:`~repro.errors.NonFiniteInputError` naming the first
         bad pixel/band) — the serving layer calls this at submit time,
         so a poisoned cube never occupies a queue slot.
@@ -152,9 +160,15 @@ class Workload:
         # imports deferred: repro.core/.pipeline sit beside/above this
         # package and import it back through the AMC facade
         from repro.core.amc import _as_bip
+        from repro.errors import InvalidCubeError
         from repro.pipeline.amc import check_finite_cube
 
-        return check_finite_cube(_as_bip(bip))
+        bip = _as_bip(bip)
+        if bip.size == 0:
+            raise InvalidCubeError(
+                f"cube has a zero-sized dimension (shape "
+                f"{tuple(bip.shape)}); nothing to process")
+        return check_finite_cube(bip)
 
     def result_arrays(self, result) -> tuple[np.ndarray, ...]:
         """The result's decision arrays, in digest order.

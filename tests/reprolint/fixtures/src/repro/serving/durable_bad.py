@@ -1,0 +1,27 @@
+"""Fixture: raw filesystem mutation in the serving state layer."""
+
+import os
+import shutil
+from os import unlink
+
+
+def torn_journal_append(path, line):
+    with open(path, "a") as fh:
+        fh.write(line)
+
+
+def torn_index_write(path, text, mode):
+    open(path, mode="w").write(text)
+    open(path, mode).write(text)
+
+
+def bare_cleanup(path):
+    os.unlink(path)
+    os.replace(path, path + ".bak")
+    unlink(path + ".old")
+    shutil.rmtree(path + ".dir")
+
+
+def read_only_is_fine(path):
+    with open(path) as fh:
+        return fh.read()

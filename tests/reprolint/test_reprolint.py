@@ -60,6 +60,9 @@ RULE_CASES = [
     ("no-blocking-call-in-async",
      "src/repro/serving/async_bad.py", [8, 9, 10, 14, 15],
      "src/repro/serving/async_clean.py"),
+    ("durable-write",
+     "src/repro/serving/durable_bad.py", [9, 14, 15, 19, 20, 21, 22],
+     "src/repro/serving/durable_clean.py"),
 ]
 
 #: (rule id, fixture inside the rule's allowed path).
@@ -70,6 +73,7 @@ ALLOWED_CASES = [
      "src/repro/workloads/workload_dispatch_allowed.py"),
     ("no-wallclock-in-compute",
      "src/repro/profiling/wallclock_allowed.py"),
+    ("durable-write", "src/repro/serving/net.py"),
 ]
 
 

@@ -1,0 +1,170 @@
+"""The full crash drill: SIGKILL a real server process mid-job, restart
+it on the same state directory, and hold it to the durability promises —
+the interrupted job completes with a result sha256-identical to a
+crash-free run, and the journal's execution ledger shows zero duplicate
+pipeline executions.
+
+Unlike ``test_recovery.py`` (which simulates crashes in-process), this
+suite kills an actual ``repro serve`` subprocess with SIGKILL — no
+atexit handlers, no flush, no goodbye — which is the strongest claim
+the journal's fsync discipline can be tested against.  The in-flight
+job is wedged deterministically with a ``REPRO_FAULTS`` timeout at the
+``job`` site (60 s, far beyond the test), so the kill always lands
+while the execution claim is journaled but unfinished.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.faults import FaultInjector, FaultSpec
+from repro.hsi import SceneParams, generate_scene
+from repro.hsi.envi import write_cube
+from repro.serving import JobJournal, request
+from repro.serving import jobs as jobstates
+
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+SRC = os.path.join(REPO_ROOT, "src")
+
+#: One wedged first execution: the fault stalls job 1 inside the
+#: executor long enough that SIGKILL always wins the race.
+WEDGE = FaultInjector([FaultSpec(kind="timeout", site="job", index=1,
+                                 attempt=None, sleep_s=60.0)])
+
+SERVE_FLAGS = ["--workers", "1", "--classes", "3"]
+
+
+@pytest.fixture()
+def scene_path(tmp_path):
+    scene = generate_scene(SceneParams(lines=16, samples=16,
+                                       band_count=24, seed=11,
+                                       min_field=4))
+    path = str(tmp_path / "scene.raw")
+    write_cube(scene.cube, path)
+    return path
+
+
+def _spawn_server(sock, state_dir=None, *, faults_json=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_FAULTS", None)
+    if faults_json is not None:
+        env["REPRO_FAULTS"] = faults_json
+    argv = ["serve", "--socket", sock, *SERVE_FLAGS]
+    if state_dir is not None:
+        argv += ["--state-dir", state_dir]
+    code = ("import sys\nfrom repro.cli import main\n"
+            f"sys.exit(main({argv!r}))\n")
+    return subprocess.Popen([sys.executable, "-c", code], env=env,
+                            stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT)
+
+
+def _request_when_up(sock, payload, *, budget_s=30.0):
+    """One request, retrying connection errors while the server boots."""
+    deadline = time.monotonic() + budget_s
+    while True:
+        try:
+            return request(sock, payload, timeout_s=10.0)
+        except OSError:
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.1)
+
+
+def _wait_for_state(sock, job_id, states, *, budget_s=60.0):
+    deadline = time.monotonic() + budget_s
+    while True:
+        response = _request_when_up(sock, {"op": "status",
+                                           "job_id": job_id})
+        if response.get("ok") and response["job"]["state"] in states:
+            return response["job"]
+        assert time.monotonic() < deadline, (
+            f"job {job_id} never reached {states}: {response}")
+        time.sleep(0.1)
+
+
+def _shutdown(proc, sock):
+    if proc.poll() is None:
+        try:
+            request(sock, {"op": "shutdown"}, timeout_s=10.0)
+        except OSError:
+            proc.kill()
+        proc.wait(timeout=30.0)
+
+
+class TestSigkillRecovery:
+    def test_killed_server_recovers_without_duplicate_execution(
+            self, scene_path, tmp_path):
+        state = str(tmp_path / "state")
+        sock = str(tmp_path / "amc.sock")
+        submit = {"op": "submit", "cube": scene_path, "params": {},
+                  "wait": False}
+
+        # -- life 1: wedge job 1, journal it, SIGKILL mid-execution ----
+        wedged = _spawn_server(sock, state, faults_json=WEDGE.to_json())
+        try:
+            response = _request_when_up(sock, submit)
+            assert response["ok"] and response["job"]["job_id"] == 1
+            _wait_for_state(sock, 1, {jobstates.RUNNING})
+            os.kill(wedged.pid, signal.SIGKILL)
+            wedged.wait(timeout=30.0)
+        finally:
+            if wedged.poll() is None:
+                wedged.kill()
+                wedged.wait(timeout=30.0)
+
+        # the crash left an unfinished execution claim behind
+        crash_report = JobJournal(state).replay()
+        assert crash_report.jobs[1].state == jobstates.RUNNING
+        assert crash_report.jobs[1].executions == 1
+
+        # -- life 2: clean restart on the same state dir ---------------
+        revived = _spawn_server(sock, state)
+        try:
+            job = _wait_for_state(sock, 1, {jobstates.DONE,
+                                            jobstates.FAILED})
+            assert job["state"] == jobstates.DONE
+            assert job["recovered"]
+            recovered_digest = job["result_sha256"]
+
+            # resubmission is pure cache: same digest, no new execution
+            duplicate = _request_when_up(
+                sock, dict(submit, wait=True))["job"]
+            assert duplicate["from_cache"]
+            assert duplicate["result_sha256"] == recovered_digest
+            assert duplicate["job_id"] == 2
+
+            health = _request_when_up(sock, {"op": "health"})["health"]
+            assert health["counters"]["recovered"] == 1
+            assert health["pipeline_runs"] == 1
+            assert health["journal"]["appended"] >= 2
+        finally:
+            _shutdown(revived, sock)
+
+        # -- the durable run-count ledger ------------------------------
+        # one claim died with the crash (compacted), one ran to DONE;
+        # the cache-served resubmission added nothing
+        final_report = JobJournal(state).replay()
+        assert final_report.jobs[1].state == jobstates.DONE
+        assert final_report.jobs[1].executions == 2
+        assert 2 not in final_report.jobs      # job 2 never re-executed
+
+        # -- the oracle: a crash-free server on a fresh state dir ------
+        pristine_sock = str(tmp_path / "pristine.sock")
+        pristine = _spawn_server(pristine_sock,
+                                 str(tmp_path / "pristine-state"))
+        try:
+            oracle = _request_when_up(
+                pristine_sock, dict(submit, wait=True))["job"]
+            assert oracle["state"] == jobstates.DONE
+        finally:
+            _shutdown(pristine, pristine_sock)
+        assert oracle["result_sha256"] == recovered_digest

@@ -1,0 +1,173 @@
+"""Client-side backoff: the retry loop around ``request``, driven by a
+fake server, a recording sleep, and a virtual monotonic clock — no real
+sockets and no real time.
+
+The contract under test: busy responses and connection errors retry
+with exponentially growing, hint-floored, jittered delays until the
+monotonic budget cannot cover the next sleep; conclusive responses
+(success or real errors) return immediately; budget 0 is bit-for-bit
+the historical single-attempt behavior.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving import backoff_delays, submit_with_retry
+
+BUSY = {"ok": False, "error": "ServerBusyError", "message": "queue full",
+        "retry_after_s": 0.5}
+OK = {"ok": True, "job_id": 1}
+SHAPE_ERROR = {"ok": False, "error": "ShapeError", "message": "not 3-D"}
+
+
+class FakeServer:
+    """Scripted responses; an exception instance in the script raises."""
+
+    def __init__(self, *script):
+        self.script = list(script)
+        self.calls = 0
+
+    def __call__(self, socket_path, payload, *, timeout_s=None):
+        self.calls += 1
+        outcome = self.script.pop(0) if self.script else OK
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+
+class VirtualTime:
+    """A monotonic clock that only sleep() advances."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def clock(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+def _submit(server, vt, **kw):
+    return submit_with_retry("/none", {"op": "submit"},
+                             request_fn=server, sleep=vt.sleep,
+                             clock=vt.clock, **kw)
+
+
+class TestConclusiveResponses:
+    def test_success_returns_without_sleeping(self):
+        server, vt = FakeServer(OK), VirtualTime()
+        assert _submit(server, vt, retry_budget_s=60.0) == OK
+        assert server.calls == 1
+        assert vt.sleeps == []
+
+    def test_real_errors_are_not_retried(self):
+        """A ShapeError will not get better on attempt two."""
+        server, vt = FakeServer(SHAPE_ERROR), VirtualTime()
+        assert _submit(server, vt, retry_budget_s=60.0) == SHAPE_ERROR
+        assert server.calls == 1
+        assert vt.sleeps == []
+
+
+class TestBudgetZero:
+    def test_busy_returns_immediately(self):
+        server, vt = FakeServer(BUSY), VirtualTime()
+        response = _submit(server, vt)              # default budget 0
+        assert response["retry_after_s"] == 0.5
+        assert server.calls == 1 and vt.sleeps == []
+
+    def test_connection_error_raises_immediately(self):
+        server = FakeServer(ConnectionRefusedError("refused"))
+        with pytest.raises(ConnectionRefusedError):
+            _submit(server, VirtualTime())
+        assert server.calls == 1
+
+    def test_negative_budget_is_rejected(self):
+        with pytest.raises(ValueError, match="retry_budget_s"):
+            _submit(FakeServer(), VirtualTime(), retry_budget_s=-1.0)
+
+
+class TestRetrying:
+    def test_busy_then_ok_with_hint_floor(self):
+        """One busy rejection: the single sleep sits at or above the
+        server's hint, at or below the hint (jitter never exceeds 1)."""
+        server, vt = FakeServer(BUSY, OK), VirtualTime()
+        response = _submit(server, vt, retry_budget_s=60.0,
+                           base_delay_s=0.25, jitter_seed=7)
+        assert response == OK
+        assert server.calls == 2
+        [delay] = vt.sleeps
+        # exponential term is 0.25 but the hint (0.5) floors it; jitter
+        # then scales into [0.5, 1.0] of that
+        assert 0.25 <= delay <= 0.5
+
+    def test_restarting_server_is_ridden_out(self):
+        """Connection errors retry under the same budget — a restart
+        looks like refused connections until the socket re-binds."""
+        server = FakeServer(ConnectionRefusedError("down"),
+                            FileNotFoundError("no socket"), OK)
+        vt = VirtualTime()
+        response = _submit(server, vt, retry_budget_s=60.0,
+                           jitter_seed=3)
+        assert response == OK
+        assert server.calls == 3
+        assert len(vt.sleeps) == 2
+        assert vt.sleeps[1] > vt.sleeps[0] * 0.5   # schedule still grows
+
+    def test_budget_exhaustion_returns_last_busy_response(self):
+        server, vt = FakeServer(BUSY, BUSY, BUSY, BUSY), VirtualTime()
+        response = _submit(server, vt, retry_budget_s=1.0,
+                           base_delay_s=0.4, jitter_seed=1)
+        assert response["error"] == "ServerBusyError"
+        # every sleep taken fit inside the budget
+        assert sum(vt.sleeps) <= 1.0
+        assert server.calls == len(vt.sleeps) + 1
+
+    def test_budget_exhaustion_reraises_last_connection_error(self):
+        server = FakeServer(*[ConnectionRefusedError(f"try {i}")
+                              for i in range(10)])
+        vt = VirtualTime()
+        with pytest.raises(ConnectionRefusedError, match="try"):
+            _submit(server, vt, retry_budget_s=1.0, base_delay_s=0.4,
+                    jitter_seed=1)
+        assert sum(vt.sleeps) <= 1.0
+
+    def test_delays_grow_exponentially_and_cap(self):
+        server = FakeServer(*([BUSY] * 8), OK)
+        vt = VirtualTime()
+        no_hint = dict(BUSY, retry_after_s=0.0)
+        server.script = [no_hint] * 8 + [OK]
+        _submit(server, vt, retry_budget_s=1000.0, base_delay_s=0.25,
+                max_delay_s=2.0, jitter_seed=5)
+        raw = [0.25 * 2.0 ** n for n in range(8)]
+        for slept, expected in zip(vt.sleeps, raw):
+            capped = min(expected, 2.0)
+            assert capped * 0.5 <= slept <= capped
+
+
+class TestBackoffDelays:
+    def test_same_seed_same_schedule(self):
+        kw = dict(base_delay_s=0.25, max_delay_s=10.0, attempts=6)
+        first = backoff_delays(jitter_seed=42, **kw)
+        second = backoff_delays(jitter_seed=42, **kw)
+        assert first == second
+        assert backoff_delays(jitter_seed=43, **kw) != first
+
+    def test_schedule_matches_the_live_loop(self):
+        """backoff_delays is the documented oracle for what a hintless
+        retry loop sleeps."""
+        server = FakeServer(*([dict(BUSY, retry_after_s=0.0)] * 4), OK)
+        vt = VirtualTime()
+        _submit(server, vt, retry_budget_s=1000.0, base_delay_s=0.25,
+                max_delay_s=10.0, jitter_seed=42)
+        assert vt.sleeps == backoff_delays(
+            base_delay_s=0.25, max_delay_s=10.0, jitter_seed=42,
+            attempts=4)
+
+    def test_jitter_bounds(self):
+        delays = backoff_delays(base_delay_s=1.0, max_delay_s=1.0,
+                                jitter_seed=0, attempts=100)
+        assert all(0.5 <= d <= 1.0 for d in delays)

@@ -1,0 +1,146 @@
+"""The disk cache tier: sha-verified service, quarantine of damaged
+entries, seq-ordered eviction, index persistence, and fault containment.
+
+The tier's promise is that nothing corrupt is ever served: every load
+recomputes the result digest from the loaded arrays through the
+workload contract, and any mismatch/unpicklable/orphaned file lands in
+``quarantine/`` (evidence kept) rather than being retried or deleted.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import faults
+from repro.core import AMCConfig, run_amc
+from repro.faults import FaultInjector, FaultSpec
+from repro.serving import DiskCacheTier, result_digest
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.uninstall()
+    faults.set_attempt(0)
+    yield
+    faults.uninstall()
+    faults.set_attempt(0)
+
+
+@pytest.fixture(scope="module")
+def amc_result():
+    import numpy as np
+
+    cube = np.random.default_rng(12345).uniform(
+        0.05, 1.0, size=(6, 5, 6))
+    return run_amc(cube, AMCConfig(n_classes=3))
+
+
+@pytest.fixture()
+def tier(tmp_path):
+    return DiskCacheTier(str(tmp_path / "cache"))
+
+
+class TestRoundTrip:
+    def test_put_get_verifies_digest(self, tier, amc_result):
+        digest = result_digest(amc_result)
+        assert tier.put("k1", amc_result, digest=digest)
+        entry = tier.get("k1")
+        assert entry is not None
+        assert entry.digest == digest
+        assert result_digest(entry.result) == digest
+        assert tier.stats.hits == 1
+
+    def test_unknown_key_is_a_plain_miss(self, tier):
+        assert tier.get("nope") is None
+        assert tier.stats.misses == 1
+        assert tier.stats.quarantined == 0
+
+    def test_index_survives_a_new_instance(self, tier, tmp_path,
+                                           amc_result):
+        tier.put("k1", amc_result, digest=result_digest(amc_result))
+        reopened = DiskCacheTier(str(tmp_path / "cache"))
+        assert "k1" in reopened
+        entry = reopened.get("k1")
+        assert entry is not None
+        assert result_digest(entry.result) == result_digest(amc_result)
+
+
+class TestQuarantine:
+    def _entry_file(self, tier, key):
+        return os.path.join(tier.directory, f"{key}.res")
+
+    def test_digest_mismatch_is_quarantined_never_served(self, tier,
+                                                         amc_result):
+        # store under a digest the arrays cannot reproduce — the load
+        # path must recompute, notice, and refuse to serve
+        tier.put("k1", amc_result, digest="0" * 64)
+        path = self._entry_file(tier, "k1")
+        assert tier.get("k1") is None
+        assert tier.stats.quarantined == 1
+        assert not os.path.exists(path)
+        assert os.path.exists(os.path.join(tier.quarantine_dir, "k1.res"))
+        # quarantined means forgotten: the next lookup is a plain miss
+        assert tier.get("k1") is None
+        assert tier.stats.quarantined == 1
+
+    def test_truncated_entry_is_quarantined(self, tier, amc_result):
+        tier.put("k1", amc_result, digest=result_digest(amc_result))
+        path = self._entry_file(tier, "k1")
+        data = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(data[: len(data) // 3])
+        assert tier.get("k1") is None
+        assert tier.stats.quarantined == 1
+
+    def test_orphan_files_are_quarantined_on_load(self, tier, tmp_path,
+                                                  amc_result):
+        with open(self._entry_file(tier, "orphan"), "wb") as fh:
+            fh.write(b"no index entry owns me")
+        reopened = DiskCacheTier(str(tmp_path / "cache"))
+        assert "orphan" not in reopened
+        assert reopened.stats.quarantined == 1
+
+
+class TestBudget:
+    def test_eviction_is_oldest_insertion_first(self, tmp_path,
+                                                amc_result):
+        tier = DiskCacheTier(str(tmp_path / "cache"), max_bytes=250)
+        tier.put("k1", amc_result, digest=result_digest(amc_result),
+                 nbytes=100)
+        tier.put("k2", amc_result, digest=result_digest(amc_result),
+                 nbytes=100)
+        tier.put("k3", amc_result, digest=result_digest(amc_result),
+                 nbytes=100)
+        assert "k1" not in tier
+        assert "k2" in tier and "k3" in tier
+        assert tier.stats.evictions == 1
+
+    def test_oversize_results_are_refused(self, tmp_path, amc_result):
+        tier = DiskCacheTier(str(tmp_path / "cache"), max_bytes=10)
+        assert not tier.put("k1", amc_result, nbytes=100)
+        assert tier.stats.oversize_skips == 1
+        assert len(tier) == 0
+
+
+class TestFaultContainment:
+    def test_disk_write_fault_is_counted_not_raised(self, tier,
+                                                    amc_result):
+        faults.install(FaultInjector([
+            FaultSpec(kind="transient", site="cache_disk", index=None,
+                      attempt=None)]))
+        assert not tier.put("k1", amc_result)
+        assert tier.stats.write_errors == 1
+        assert "k1" not in tier
+
+    def test_disk_read_fault_is_a_miss_not_quarantine(self, tier,
+                                                      amc_result):
+        tier.put("k1", amc_result, digest=result_digest(amc_result))
+        faults.install(FaultInjector([
+            FaultSpec(kind="transient", site="cache_disk", index=None,
+                      attempt=None)]))
+        assert tier.get("k1") is None
+        assert tier.stats.quarantined == 0
+        faults.uninstall()
+        assert tier.get("k1") is not None    # the entry itself is fine

@@ -1,0 +1,163 @@
+"""The write-ahead job journal: append/replay round trips, the torn-tail
+crash signature, corruption refusal, compaction, and the payload spill.
+
+The journal's contract is narrow and checkable: once ``append`` returns
+the record is on disk; replay folds latest-state-wins per job; a torn
+*final* line is the expected crash-mid-append signature (discarded,
+flagged), while garbage earlier in the file is external damage and
+refuses recovery loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import faults
+from repro.core import AMCConfig
+from repro.errors import JournalCorruptError, TransientFaultError
+from repro.faults import FaultInjector, FaultSpec
+from repro.serving import JobJournal
+from repro.serving import jobs as jobstates
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.uninstall()
+    faults.set_attempt(0)
+    yield
+    faults.uninstall()
+    faults.set_attempt(0)
+
+
+@pytest.fixture()
+def journal(tmp_path):
+    return JobJournal(str(tmp_path / "state"))
+
+
+def _lifecycle(journal, job_id, key, *states, **kw):
+    for state in states:
+        journal.append(state, job_id=job_id, key=key, workload="amc", **kw)
+
+
+class TestReplay:
+    def test_latest_state_wins_and_executions_are_counted(self, journal):
+        _lifecycle(journal, 1, "k1", "queued", "running", "done")
+        _lifecycle(journal, 2, "k2", "queued", "running")
+        journal.append("queued", job_id=2, key="k2")   # watchdog requeue
+        journal.append("running", job_id=2, key="k2", generation=1)
+        journal.close()
+
+        report = journal.replay()
+        assert not report.torn_tail
+        assert report.records == 7
+        assert report.max_job_id == 2
+        assert report.jobs[1].state == jobstates.DONE
+        assert report.jobs[1].executions == 1
+        assert report.jobs[2].state == jobstates.RUNNING
+        assert report.jobs[2].executions == 2      # the durable ledger
+        assert report.jobs[2].generation == 1
+        assert report.by_state(jobstates.RUNNING) == [report.jobs[2]]
+
+    def test_digest_and_error_round_trip(self, journal):
+        journal.append("done", job_id=1, key="k1", digest="abc123")
+        journal.append("failed", job_id=2, key="k2",
+                       error="StuckJobError: no heartbeat")
+        journal.close()
+        report = journal.replay()
+        assert report.jobs[1].digest == "abc123"
+        assert report.jobs[2].error == "StuckJobError: no heartbeat"
+
+    def test_empty_and_missing_journals_replay_clean(self, journal):
+        assert journal.replay().jobs == {}
+
+    def test_torn_final_line_is_discarded_not_fatal(self, journal):
+        _lifecycle(journal, 1, "k1", "queued", "running")
+        journal.close()
+        with open(journal.path, "ab") as fh:     # simulate a torn append
+            fh.write(b'{"v": 1, "seq": 3, "job_id": 1, "key": "k1", "sta')
+        report = journal.replay()
+        assert report.torn_tail
+        assert report.jobs[1].state == jobstates.RUNNING
+
+    def test_mid_file_garbage_refuses_recovery(self, journal):
+        _lifecycle(journal, 1, "k1", "queued", "running", "done")
+        journal.close()
+        lines = open(journal.path, "rb").read().splitlines()
+        lines[1] = b"!! not json !!"
+        with open(journal.path, "wb") as fh:
+            fh.write(b"\n".join(lines) + b"\n")
+        with pytest.raises(JournalCorruptError, match="externally damaged"):
+            journal.replay()
+
+    def test_unknown_state_in_tail_counts_as_torn(self, journal):
+        journal.append("queued", job_id=1, key="k1")
+        journal.close()
+        with open(journal.path, "ab") as fh:
+            fh.write(json.dumps({"v": 1, "seq": 2, "job_id": 1,
+                                 "key": "k1", "state": "zombie"}).encode()
+                     + b"\n")
+        report = journal.replay()
+        assert report.torn_tail
+        assert report.jobs[1].state == jobstates.QUEUED
+
+
+class TestCompaction:
+    def test_compact_folds_to_one_record_per_job(self, journal):
+        _lifecycle(journal, 1, "k1", "queued", "running", "done")
+        _lifecycle(journal, 2, "k2", "queued", "running")
+        journal.close()
+        report = journal.replay()
+        assert journal.compact(report) == 2
+        lines = open(journal.path, "rb").read().splitlines()
+        assert len(lines) == 2
+        compacted = journal.replay()
+        assert {j.job_id: j.state for j in compacted.jobs.values()} == {
+            1: jobstates.DONE, 2: jobstates.RUNNING}
+
+    def test_appends_continue_after_compaction(self, journal):
+        _lifecycle(journal, 1, "k1", "queued", "running", "done")
+        journal.compact(journal.replay())
+        journal.append("queued", job_id=2, key="k2")
+        journal.close()
+        report = journal.replay()
+        assert set(report.jobs) == {1, 2}
+
+
+class TestPayloadSpill:
+    def test_spill_load_drop_round_trip(self, journal, small_cube):
+        config = AMCConfig(n_classes=3)
+        journal.spill_payload("k1", bip=small_cube, config=config,
+                              workload="amc", class_names=("a", "b"))
+        payload = journal.load_payload("k1")
+        assert payload["workload"] == "amc"
+        assert payload["config"] == config
+        assert payload["class_names"] == ("a", "b")
+        assert (payload["bip"] == small_cube).all()
+        assert journal.stats()["spilled_payloads"] == 1
+        assert journal.drop_payload("k1")
+        assert journal.load_payload("k1") is None
+        assert not journal.drop_payload("k1")
+
+    def test_corrupt_payload_is_quarantined_not_trusted(self, journal):
+        path = journal._payload_path("bad")
+        with open(path, "wb") as fh:
+            fh.write(b"\x80\x05 truncated garbage")
+        assert journal.load_payload("bad") is None
+        assert os.path.exists(path + ".quarantined")
+        assert not os.path.exists(path)
+
+
+class TestFaultSite:
+    def test_journal_write_fault_surfaces_as_transient(self, journal):
+        faults.install(FaultInjector([
+            FaultSpec(kind="transient", site="journal_write", index=7,
+                      attempt=None)]))
+        with pytest.raises(TransientFaultError):
+            journal.append("queued", job_id=7, key="k7")
+        # other job ids are untouched
+        journal.append("queued", job_id=8, key="k8")
+        journal.close()
+        assert set(journal.replay().jobs) == {8}

@@ -109,6 +109,24 @@ class TestProtocol:
         assert bad_params["error"] == "TypeError"
         assert not missing_cube["ok"]
 
+    def test_health_reports_every_subsystem(self, scene_path, tmp_path):
+        server, (submit, health) = _roundtrip(scene_path, tmp_path, [
+            {"op": "submit", "cube": scene_path, "params": PARAMS,
+             "wait": True},
+            {"op": "health"},
+        ])
+        assert submit["ok"] and health["ok"]
+        snapshot = health["health"]
+        assert snapshot["running"]
+        assert snapshot["workers"] == 1
+        assert snapshot["queue"]["depth"] == 0
+        assert snapshot["counters"]["completed"] == 1
+        assert snapshot["pipeline_runs"] == 1
+        # no state_dir / watchdog on this server: reported, not omitted
+        assert snapshot["journal"] is None
+        assert snapshot["cache"]["disk"] is None
+        assert snapshot["watchdog"] == {"enabled": False}
+
     def test_shutdown_request_releases_the_frontend(self, scene_path,
                                                     tmp_path):
         sock = str(tmp_path / "amc.sock")

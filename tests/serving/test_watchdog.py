@@ -1,0 +1,161 @@
+"""The stuck-job watchdog: heartbeat plumbing, per-workload deadlines,
+rescue-by-requeue under the retry budget, and honest failure past it.
+
+A wedge is simulated with a ``timeout`` fault at the
+``heartbeat_stall`` site: the executor thread sleeps *between* its
+heartbeat and the pipeline run, which is exactly what a stuck
+uninterruptible call looks like from the event loop.  The generation
+guard is what makes the rescue sound — the zombie attempt eventually
+wakes up and reports, and its late outcome must be dropped, not
+allowed to overwrite the rescued run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import faults
+from repro.core import AMCConfig, run_amc
+from repro.errors import ServingError, StuckJobError
+from repro.faults import FaultInjector, FaultSpec
+from repro.serving import AMCServer, Heartbeat, Watchdog, result_digest
+from repro.serving import jobs as jobstates
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.uninstall()
+    faults.set_attempt(0)
+    yield
+    faults.uninstall()
+    faults.set_attempt(0)
+
+
+def _stall(job_id, *, attempt, sleep_s=1.0):
+    """Install a wedge: the executor stalls without beating."""
+    faults.install(FaultInjector([
+        FaultSpec(kind="timeout", site="heartbeat_stall", index=job_id,
+                  attempt=attempt, sleep_s=sleep_s)]))
+
+
+class TestHeartbeat:
+    def test_beat_resets_the_age(self):
+        heartbeat = Heartbeat()
+        assert heartbeat.age() < 0.5
+        heartbeat._last -= 10.0          # pretend 10 s of silence
+        assert heartbeat.age() > 9.0
+        heartbeat.beat()
+        assert heartbeat.age() < 0.5
+
+    def test_invalid_watchdog_parameters_are_rejected(self):
+        with pytest.raises(ServingError, match="deadline_s"):
+            Watchdog(None, deadline_s=0.0)
+        with pytest.raises(ServingError, match="poll_s"):
+            Watchdog(None, deadline_s=1.0, poll_s=-1.0)
+
+    def test_workload_deadline_overrides_the_default(self):
+        class _Workload:
+            watchdog_deadline_s = 2.5
+
+        class _Job:
+            workload = _Workload()
+
+        watchdog = Watchdog(None, deadline_s=30.0)
+        assert watchdog.deadline_for(_Job()) == 2.5
+        _Workload.watchdog_deadline_s = None
+        assert watchdog.deadline_for(_Job()) == 30.0
+
+
+class TestRescue:
+    def test_stalled_job_is_requeued_and_completes(self, small_cube):
+        """A wedge on generation 0 with one retry in the budget: the
+        watchdog requeues, the rescue runs clean (attempt numbering is
+        generation-disjoint, so the fault does not re-fire), and the
+        zombie's late outcome is stale-dropped."""
+        _stall(1, attempt=0, sleep_s=1.0)
+        oneshot = result_digest(
+            run_amc(small_cube, AMCConfig(n_classes=3)))
+
+        async def scenario():
+            async with AMCServer(workers=1, watchdog_deadline_s=0.15,
+                                 watchdog_poll_s=0.05) as server:
+                job = await server.submit(
+                    small_cube, {"n_classes": 3, "max_retries": 1})
+                status = await server.wait(job.job_id)
+                # give the zombie attempt time to wake up and be dropped
+                await asyncio.sleep(1.2)
+                return server, job, status
+
+        server, job, status = asyncio.run(scenario())
+        assert status.state == jobstates.DONE
+        assert status.result_sha256 == oneshot     # bit-identical rescue
+        assert job.watchdog_requeues == 1
+        assert job.generation == 1
+        assert server.watchdog.requeued == 1
+        assert server.watchdog.failed == 0
+        assert server.counters.stale_drops == 1    # the zombie's outcome
+        assert server.counters.completed == 1
+        # the rescue is visible: a watchdog event rode into the report
+        kinds = [e.kind for e in job.report.events]
+        assert "watchdog" in kinds
+
+    def test_budget_exhaustion_fails_with_stuck_job_error(self,
+                                                          small_cube):
+        """No retries in the budget: the watchdog must not loop — it
+        fails the job with a diagnosis instead."""
+        _stall(1, attempt=None, sleep_s=1.0)       # every attempt wedges
+
+        async def scenario():
+            async with AMCServer(workers=1, watchdog_deadline_s=0.15,
+                                 watchdog_poll_s=0.05) as server:
+                job = await server.submit(
+                    small_cube, {"n_classes": 3, "max_retries": 0})
+                status = await server.wait(job.job_id)
+                await asyncio.sleep(1.2)
+                return server, job, status
+
+        server, job, status = asyncio.run(scenario())
+        assert status.state == jobstates.FAILED
+        assert isinstance(job.error, StuckJobError)
+        assert "retry budget" in status.error
+        assert server.watchdog.failed == 1
+        assert server.watchdog.requeued == 0
+        assert server.counters.failed == 1
+        assert server.counters.stale_drops == 1
+
+    def test_healthy_jobs_are_never_condemned(self, small_cube):
+        """A generous deadline with a fast job: the watchdog polls but
+        touches nothing."""
+        async def scenario():
+            async with AMCServer(workers=1, watchdog_deadline_s=30.0,
+                                 watchdog_poll_s=0.01) as server:
+                job = await server.submit(small_cube, {"n_classes": 3})
+                status = await server.wait(job.job_id)
+                return server, status
+
+        server, status = asyncio.run(scenario())
+        assert status.state == jobstates.DONE
+        assert server.watchdog.requeued == 0
+        assert server.watchdog.failed == 0
+        assert server.counters.stale_drops == 0
+
+    def test_watchdog_state_in_health(self, small_cube):
+        _stall(1, attempt=0, sleep_s=1.0)
+
+        async def scenario():
+            async with AMCServer(workers=1, watchdog_deadline_s=0.15,
+                                 watchdog_poll_s=0.05) as server:
+                job = await server.submit(
+                    small_cube, {"n_classes": 3, "max_retries": 1})
+                await server.wait(job.job_id)
+                await asyncio.sleep(1.2)
+                return server.health()
+
+        health = asyncio.run(scenario())
+        watchdog = health["watchdog"]
+        assert watchdog["enabled"]
+        assert watchdog["deadline_s"] == 0.15
+        assert watchdog["requeued"] == 1
+        assert watchdog["events"] == 1

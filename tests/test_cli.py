@@ -311,6 +311,91 @@ class TestServingCommands:
         assert main(["submit"]) == 2
         assert "path" in capsys.readouterr().err
 
+    def test_durability_parser_defaults(self):
+        serve = build_parser().parse_args(["serve"])
+        assert serve.state_dir is None
+        assert serve.watchdog_deadline_s is None
+        submit = build_parser().parse_args(["submit", "x.raw"])
+        assert submit.retry_budget_s == 0.0
+        assert not submit.health
+        serve = build_parser().parse_args(
+            ["serve", "--state-dir", "/tmp/s",
+             "--watchdog-deadline-s", "5"])
+        assert serve.state_dir == "/tmp/s"
+        assert serve.watchdog_deadline_s == 5.0
+        submit = build_parser().parse_args(
+            ["submit", "--health", "--retry-budget-s", "30"])
+        assert submit.health and submit.retry_budget_s == 30.0
+
+    def test_serve_durable_restart_and_health(self, tmp_path, capsys):
+        """The crash-recovery walkthrough from docs/robustness.md,
+        in-process: a durable server survives a restart (clean here;
+        the SIGKILL variant is tests/serving/test_chaos_recovery.py),
+        serves the old result from the disk tier, and answers
+        --health with a JSON snapshot.  The late-started second server
+        also exercises --retry-budget-s riding through connection
+        errors."""
+        import json as _json
+        import threading
+        import time as _time
+
+        path = str(tmp_path / "scene.raw")
+        main(["generate", path, "--lines", "16", "--samples", "16",
+              "--bands", "24", "--seed", "41"])
+        sock = str(tmp_path / "amc.sock")
+        state = str(tmp_path / "state")
+
+        def serve_in_thread():
+            rc = {}
+            thread = threading.Thread(
+                target=lambda: rc.update(serve=main(
+                    ["serve", "--socket", sock, "--workers", "1",
+                     "--state-dir", state])))
+            thread.start()
+            for _ in range(200):
+                if os.path.exists(sock):
+                    break
+                _time.sleep(0.05)
+            return thread, rc
+
+        server, rc = serve_in_thread()
+        try:
+            capsys.readouterr()
+            assert main(["submit", path, "--socket", sock,
+                         "--classes", "4"]) == 0
+            cold = capsys.readouterr().out
+            assert "[executed" in cold
+            assert main(["submit", "--health", "--socket", sock]) == 0
+            health = _json.loads(capsys.readouterr().out)
+            assert health["journal"]["appended"] == 3
+            assert health["cache"]["disk"]["insertions"] == 1
+        finally:
+            assert main(["submit", "--shutdown", "--socket", sock]) == 0
+            server.join(timeout=30)
+        assert rc["serve"] == 0
+
+        # restart on the same state dir; the client outlives the gap
+        # because its retry budget covers the connection errors
+        submit_rc = {}
+        client = threading.Thread(
+            target=lambda: submit_rc.update(rc=main(
+                ["submit", path, "--socket", sock, "--classes", "4",
+                 "--retry-budget-s", "30"])))
+        client.start()
+        _time.sleep(0.3)                    # client retries into the void
+        server, rc = serve_in_thread()
+        try:
+            client.join(timeout=30)
+            assert submit_rc["rc"] == 0
+        finally:
+            assert main(["submit", "--shutdown", "--socket", sock]) == 0
+            server.join(timeout=30)
+        out = capsys.readouterr().out
+        assert "[cache]" in out             # served from the disk tier
+        sha_cold = [line for line in cold.splitlines()
+                    if "sha256" in line]
+        assert sha_cold and sha_cold[0] in out
+
 
 class TestDetectReduceCommands:
     """The registry-sourced ``detect`` and ``reduce`` subcommands."""

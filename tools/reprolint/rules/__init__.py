@@ -14,6 +14,7 @@ from .async_blocking import AsyncBlockingRule
 from .backend_dispatch import BackendDispatchRule
 from .blanket_except import BlanketExceptRule
 from .dtype_discipline import DtypeDisciplineRule
+from .durable_write import DurableWriteRule
 from .mutable_defaults import MutableDefaultsRule
 from .pickle_safe_errors import PickleSafeErrorsRule
 from .unseeded_rng import UnseededRngRule
@@ -30,6 +31,7 @@ ALL_RULES = (
     DtypeDisciplineRule(),
     MutableDefaultsRule(),
     AsyncBlockingRule(),
+    DurableWriteRule(),
 )
 
 _BY_ID = {rule.rule_id: rule for rule in ALL_RULES}

@@ -1,0 +1,130 @@
+"""durable-write: serving state mutations go through the atomic helpers.
+
+The durable serving tier (PR 8) makes one promise: a reader after a
+crash sees either the old bytes or the new bytes of any state file —
+never a torn one.  That promise holds only because *every* mutation of
+the journal/cache directories routes through
+``repro.serving.durable`` (tmp + fsync + ``os.replace`` for whole
+files, flush + fsync for appends, directory fsyncs for deletes and
+renames).  One bare ``open(..., "w")`` in the serving package and the
+protocol has a hole a crash will eventually find.
+
+This rule therefore bans raw filesystem *mutation* anywhere under
+``src/repro/serving`` outside the helper module itself:
+
+* ``open()`` / ``os.fdopen()`` with a write-capable mode (``w``, ``a``,
+  ``x`` or ``+``) — or a mode the rule cannot prove read-only;
+* ``os.open()`` (the fd-level escape hatch around the same check);
+* the mutating ``os`` calls (``unlink``, ``remove``, ``replace``,
+  ``rename`` and friends) and everything in ``shutil``.
+
+Read-mode opens are untouched — loading state is not mutating it.
+``durable.py`` is exempt (it *is* the protocol) and so is ``net.py``
+(its one ``os.unlink`` removes the listening socket, which is
+kernel-owned transport state, not durable job state).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Finding, Rule, iter_nodes
+
+#: ``os`` functions that mutate the filesystem.
+OS_MUTATORS = frozenset({
+    "unlink", "remove", "replace", "rename", "renames", "rmdir",
+    "removedirs", "truncate", "link", "symlink", "open", "fdopen",
+})
+
+#: open() mode characters that permit writing.
+WRITE_MODE_CHARS = frozenset("wax+")
+
+
+def _alias_tables(tree: ast.Module):
+    """(os aliases, shutil aliases, names bound from os/shutil)."""
+    os_aliases: set[str] = set()
+    shutil_aliases: set[str] = set()
+    bound_names: set[str] = set()
+    for node in iter_nodes(tree, ast.Import):
+        for alias in node.names:
+            if alias.name == "os":
+                os_aliases.add(alias.asname or "os")
+            elif alias.name == "os.path":
+                os_aliases.add("os")
+            elif alias.name == "shutil":
+                shutil_aliases.add(alias.asname or "shutil")
+    for node in iter_nodes(tree, ast.ImportFrom):
+        if node.level != 0:
+            continue
+        if node.module == "os":
+            for alias in node.names:
+                if alias.name in OS_MUTATORS:
+                    bound_names.add(alias.asname or alias.name)
+        elif node.module == "shutil":
+            for alias in node.names:
+                bound_names.add(alias.asname or alias.name)
+    return os_aliases, shutil_aliases, bound_names
+
+
+def _mode_argument(node: ast.Call) -> ast.expr | None:
+    """The mode argument of an ``open``-style call, if supplied."""
+    if len(node.args) >= 2:
+        return node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            return keyword.value
+    return None
+
+
+def _writes(mode: ast.expr | None) -> bool:
+    """Whether a mode argument permits (or cannot exclude) writing."""
+    if mode is None:
+        return False    # default "r": read-only
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return bool(WRITE_MODE_CHARS & set(mode.value))
+    return True         # dynamic mode: cannot prove read-only
+
+
+class DurableWriteRule(Rule):
+    rule_id = "durable-write"
+    description = ("raw filesystem mutation in the serving package — "
+                   "state writes must go through repro.serving.durable")
+    applies_to = ("src/repro/serving",)
+    allowed_paths = ("src/repro/serving/durable.py",
+                     "src/repro/serving/net.py")
+
+    def visit(self, tree: ast.Module, source: str,
+              path: str) -> list[Finding]:
+        os_aliases, shutil_aliases, bound_names = _alias_tables(tree)
+        findings = []
+        for node in iter_nodes(tree, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id == "open" and _writes(_mode_argument(node)):
+                    findings.append(self._mutation(
+                        path, node, "open() with a write-capable mode"))
+                elif func.id in bound_names:
+                    findings.append(self._mutation(
+                        path, node, f"{func.id}()"))
+            elif isinstance(func, ast.Attribute):
+                value = func.value
+                if not isinstance(value, ast.Name):
+                    continue
+                if value.id in os_aliases and func.attr in OS_MUTATORS:
+                    if (func.attr == "fdopen"
+                            and not _writes(_mode_argument(node))):
+                        continue
+                    findings.append(self._mutation(
+                        path, node, f"os.{func.attr}()"))
+                elif value.id in shutil_aliases:
+                    findings.append(self._mutation(
+                        path, node, f"shutil.{func.attr}()"))
+        findings.sort(key=Finding.sort_key)
+        return findings
+
+    def _mutation(self, path: str, node: ast.AST, what: str) -> Finding:
+        return self.finding(
+            path, node,
+            f"{what} mutates the filesystem outside the atomic-write "
+            "protocol — route serving state changes through "
+            "repro.serving.durable so a crash can never tear them")
