@@ -8,7 +8,8 @@ one implementation of the morphological stage to a common contract, a
 registry maps names to adapters, and every consumer —
 :func:`repro.core.amc.run_amc`, the chunk-parallel executor, ``amee``,
 the CLI — resolves through :func:`get_backend` instead of
-string-comparing backend names (``tools/check_dispatch.py`` enforces
+string-comparing backend names (reprolint's ``backend-dispatch`` rule
+— ``python -m tools.reprolint --rules backend-dispatch`` — enforces
 that this stays the *only* dispatch point).
 
 Built-ins: ``reference`` (vectorized float64 CPU), ``naive`` (per-pixel

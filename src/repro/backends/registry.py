@@ -5,13 +5,14 @@ through :func:`get_backend`, so adding an execution substrate is a
 single :func:`register_backend` call — the algorithm driver, the
 chunk-parallel executor, ``AMCConfig`` validation and the CLI's
 ``--backend`` choices all pick it up without modification
-(``tools/check_dispatch.py`` keeps it that way).
+(reprolint's ``backend-dispatch`` rule keeps it that way).
 """
 
 from __future__ import annotations
 
 from repro.backends.base import MorphologicalBackend
-from repro.errors import UnknownBackendError
+from repro.errors import (RegistryTypeError, UnknownBackendError,
+                          ValidationError)
 
 _REGISTRY: dict[str, MorphologicalBackend] = {}
 
@@ -26,12 +27,12 @@ def register_backend(backend: MorphologicalBackend, *,
     debugging nightmare.
     """
     if not isinstance(backend, MorphologicalBackend):
-        raise TypeError(f"expected a MorphologicalBackend instance, got "
+        raise RegistryTypeError(f"expected a MorphologicalBackend instance, got "
                         f"{type(backend).__name__}")
     if not backend.name:
-        raise ValueError("backend.name must be a non-empty string")
+        raise ValidationError("backend.name must be a non-empty string")
     if backend.name in _REGISTRY and not replace:
-        raise ValueError(
+        raise ValidationError(
             f"backend {backend.name!r} is already registered; pass "
             f"replace=True to override it")
     _REGISTRY[backend.name] = backend

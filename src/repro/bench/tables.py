@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro.errors import ValidationError
+
 
 def format_table(title: str, headers: Sequence[str],
                  rows: Sequence[Sequence[object]], *,
@@ -26,7 +28,7 @@ def format_table(title: str, headers: Sequence[str],
 
     for row in rows:
         if len(row) != len(headers):
-            raise ValueError(
+            raise ValidationError(
                 f"row has {len(row)} cells for {len(headers)} headers")
     rendered = [[cell(v) for v in row] for row in rows]
     widths = [max(col_width, len(h) + 2,
@@ -51,7 +53,7 @@ def format_series(title: str, x_label: str, x_values: Sequence[object],
     """
     lengths = {name: len(vals) for name, vals in series.items()}
     if any(n != len(x_values) for n in lengths.values()):
-        raise ValueError(
+        raise ValidationError(
             f"series lengths {lengths} do not match {len(x_values)} x values")
     width = max(len(x_label), *(len(str(x)) for x in x_values)) + 2
     name_width = max(len(n) for n in series) + 2

@@ -32,7 +32,7 @@ from repro.core.amc_gpu import GpuAmcOutput
 from repro.core.endmembers import EndmemberSet
 from repro.core.metrics import ClassificationReport
 from repro.core.unmixing import UNMIXERS
-from repro.errors import ShapeError
+from repro.errors import ShapeError, ValidationError
 from repro.gpu.spec import GEFORCE_7800GTX, GpuSpec
 from repro.hsi.cube import HyperCube
 from repro.profiling.profiler import Profiler
@@ -114,11 +114,11 @@ class AMCConfig:
 
     def __post_init__(self) -> None:
         if self.endmember_source not in ("dilation", "center"):
-            raise ValueError(
+            raise ValidationError(
                 f"endmember_source must be 'dilation' or 'center', got "
                 f"{self.endmember_source!r}")
         if self.label_mapping not in ("majority", "position"):
-            raise ValueError(
+            raise ValidationError(
                 f"label_mapping must be 'majority' or 'position', got "
                 f"{self.label_mapping!r}")
         # deferred import: repro.backends defers its implementation
@@ -128,20 +128,20 @@ class AMCConfig:
 
         get_backend(self.backend)
         if self.unmixing not in UNMIXERS:
-            raise ValueError(
+            raise ValidationError(
                 f"unknown unmixing {self.unmixing!r}; pick from "
                 f"{sorted(UNMIXERS)}")
         if self.n_classes < 1:
-            raise ValueError("n_classes must be >= 1")
+            raise ValidationError("n_classes must be >= 1")
         if self.se_radius < 1:
-            raise ValueError("se_radius must be >= 1")
+            raise ValidationError("se_radius must be >= 1")
         if self.n_workers < 0:
-            raise ValueError("n_workers must be >= 0 (0 = all cores)")
+            raise ValidationError("n_workers must be >= 0 (0 = all cores)")
         if self.max_retries < 0:
-            raise ValueError(
+            raise ValidationError(
                 f"max_retries must be >= 0, got {self.max_retries}")
         if self.chunk_timeout_s is not None and self.chunk_timeout_s <= 0:
-            raise ValueError(
+            raise ValidationError(
                 f"chunk_timeout_s must be positive, got "
                 f"{self.chunk_timeout_s}")
 

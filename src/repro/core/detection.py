@@ -33,7 +33,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.mei import mei_reference
-from repro.errors import ShapeError
+from repro.errors import ShapeError, ValidationError
 
 
 def mei_detector(cube_bip: np.ndarray, radius: int = 1) -> np.ndarray:
@@ -190,7 +190,7 @@ def detection_curve(scores: np.ndarray, target_mask: np.ndarray, *,
             f"equal 2-D shapes")
     total_targets = int(target_mask.sum())
     if total_targets == 0:
-        raise ValueError("target mask is empty; nothing to detect")
+        raise ValidationError("target mask is empty; nothing to detect")
     if max_alarms is None:
         max_alarms = max(scores.size // 10, 1)
     max_alarms = min(max_alarms, scores.size)

@@ -23,7 +23,7 @@ import numpy as np
 
 from scipy.ndimage import uniform_filter
 
-from repro.errors import ShapeError
+from repro.errors import ShapeError, ValidationError
 from repro.spectral.distances import sid
 from repro.spectral.normalize import normalize_spectra
 
@@ -40,7 +40,7 @@ def smooth_cube(cube_bip: np.ndarray, radius: int = 1) -> np.ndarray:
     if cube_bip.ndim != 3:
         raise ShapeError(f"cube must be (H, W, N), got {cube_bip.shape}")
     if radius < 0:
-        raise ValueError(f"radius must be >= 0, got {radius}")
+        raise ValidationError(f"radius must be >= 0, got {radius}")
     if radius == 0:
         return cube_bip
     size = 2 * radius + 1
@@ -179,7 +179,7 @@ def select_endmembers(cube_bip: np.ndarray, mei: np.ndarray, count: int, *,
             f"MEI shape {mei.shape} does not match cube {cube_bip.shape[:2]}")
     h, w, _ = cube_bip.shape
     if count < 1 or count > h * w:
-        raise ValueError(f"count must be in [1, {h * w}], got {count}")
+        raise ValidationError(f"count must be in [1, {h * w}], got {count}")
 
     if border is None:
         border = smooth_radius + 1
@@ -219,7 +219,7 @@ def select_endmembers(cube_bip: np.ndarray, mei: np.ndarray, count: int, *,
         chosen = _select_sid_walk(order, coords, normalized, count, w,
                                   min_sid, min_spatial, relax_factor)
     else:
-        raise ValueError(f"unknown strategy {strategy!r}; "
+        raise ValidationError(f"unknown strategy {strategy!r}; "
                          f"pick 'atgp' or 'sid'")
 
     idx = np.asarray(chosen)
@@ -240,7 +240,7 @@ def _select_atgp(spectra: np.ndarray, count: int) -> list[int]:
     """
     m = spectra.shape[0]
     if count > m:
-        raise ValueError(f"pool of {m} candidates cannot supply {count} "
+        raise ValidationError(f"pool of {m} candidates cannot supply {count} "
                          f"endmembers")
     chosen = [0]
     residual = spectra.copy()
@@ -293,7 +293,7 @@ def _select_sid_walk(order: np.ndarray, coords: np.ndarray,
         if sid_guard == 0.0 and spatial_guard == 0:
             # Guards fully relaxed and still short: the pool has fewer
             # distinct pixels than requested endmembers.
-            raise ValueError(
+            raise ValidationError(
                 f"could not find {count} endmembers even with guards "
                 f"disabled (found {len(chosen)})")
         sid_guard = sid_guard * relax_factor if sid_guard > 1e-12 else 0.0

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ShapeError
+from repro.errors import ShapeError, ValidationError
 
 
 def fnnls(AtA: np.ndarray, Atb: np.ndarray, *,
@@ -57,12 +57,12 @@ def fnnls(AtA: np.ndarray, Atb: np.ndarray, *,
     if max_iter is None:
         max_iter = 30 * c
     elif max_iter < 1:
-        raise ValueError(f"max_iter must be >= 1, got {max_iter}")
+        raise ValidationError(f"max_iter must be >= 1, got {max_iter}")
     if tolerance is None:
         tolerance = 10 * np.finfo(np.float64).eps * \
             float(np.abs(AtA).sum(axis=0).max()) * c
     elif tolerance < 0:
-        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+        raise ValidationError(f"tolerance must be >= 0, got {tolerance}")
 
     passive = np.zeros(c, dtype=bool)     # the P set of Lawson-Hanson
     x = np.zeros(c)

@@ -43,7 +43,7 @@ import numpy as np
 
 from repro.core.pairreuse import PairReuseEngine, PairReuseStats, gather_mei
 from repro.core.shifts import clamped_shift
-from repro.errors import ShapeError
+from repro.errors import ShapeError, ValidationError
 from repro.spectral.distances import sid_self_entropy
 from repro.spectral.normalize import normalize_image, safe_log
 
@@ -60,7 +60,7 @@ def se_offsets(radius: int) -> tuple[tuple[int, int], ...]:
     erosion/dilation maps of every implementation.
     """
     if radius < 0:
-        raise ValueError(f"SE radius must be >= 0, got {radius}")
+        raise ValidationError(f"SE radius must be >= 0, got {radius}")
     return tuple((dy, dx)
                  for dy in range(-radius, radius + 1)
                  for dx in range(-radius, radius + 1))
@@ -68,7 +68,7 @@ def se_offsets(radius: int) -> tuple[tuple[int, int], ...]:
 
 def _check_method(method: str) -> None:
     if method not in MEI_METHODS:
-        raise ValueError(
+        raise ValidationError(
             f"method must be one of {MEI_METHODS}, got {method!r}")
 
 

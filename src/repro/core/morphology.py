@@ -22,7 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.mei import mei_reference, se_offsets
-from repro.errors import ShapeError
+from repro.errors import ShapeError, ValidationError
 
 
 def _gather(cube_bip: np.ndarray, index_map: np.ndarray,
@@ -129,7 +129,7 @@ def amee(cube_bip: np.ndarray, radius: int = 1, iterations: int = 3, *,
     if cube_bip.ndim != 3:
         raise ShapeError(f"expected (H, W, N), got {cube_bip.shape}")
     if iterations < 1:
-        raise ValueError(f"iterations must be >= 1, got {iterations}")
+        raise ValidationError(f"iterations must be >= 1, got {iterations}")
     # deferred import keeps this module's import graph identical to the
     # pre-registry layering (backends defers core imports in turn)
     from repro.backends import get_backend

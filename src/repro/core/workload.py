@@ -12,6 +12,7 @@ formula.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from repro.errors import ValidationError
 
 
 @dataclass(frozen=True)
@@ -54,9 +55,9 @@ def morphological_workload(lines: int, samples: int, bands: int,
     8 N-float passes for normalization/log/entropy/MEI.
     """
     if lines < 1 or samples < 1 or bands < 1:
-        raise ValueError("lines, samples and bands must be >= 1")
+        raise ValidationError("lines, samples and bands must be >= 1")
     if radius < 0:
-        raise ValueError("radius must be >= 0")
+        raise ValidationError("radius must be >= 0")
     k = (2 * radius + 1) ** 2
     pairs = k * (k - 1) // 2
     pixels = lines * samples

@@ -33,7 +33,7 @@ from repro.cpu.spec import (
     PENTIUM4_NORTHWOOD,
     cpu_time_model,
 )
-from repro.errors import ShapeError
+from repro.errors import ShapeError, ValidationError
 from repro.spectral.normalize import normalize_image, safe_log
 
 
@@ -123,7 +123,7 @@ def cpu_morphological_stage(cube_bip: np.ndarray, radius: int = 1, *,
     if implementation is None:
         implementation = "simd" if compiler.vectorized else "scalar"
     if implementation not in ("scalar", "simd"):
-        raise ValueError(
+        raise ValidationError(
             f"implementation must be 'scalar' or 'simd', got "
             f"{implementation!r}")
 

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.errors import DeviceError
+from repro.errors import DeviceError, ValidationError
 
 
 @dataclass(frozen=True)
@@ -133,7 +133,7 @@ def cpu_time_model(flops: float, traffic_bytes: float, spec: CpuSpec,
     (= max of the two; the NetBurst prefetchers overlap the streams).
     """
     if flops < 0 or traffic_bytes < 0:
-        raise ValueError("flops and traffic_bytes must be >= 0")
+        raise ValidationError("flops and traffic_bytes must be >= 0")
     compute_s = flops / (spec.clock_hz * compiler.flops_per_cycle(spec))
     bandwidth = spec.fsb_bandwidth * spec.bandwidth_efficiency \
         * compiler.prefetch_gain

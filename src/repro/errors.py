@@ -13,8 +13,46 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
+class ValidationError(ReproError, ValueError):
+    """An argument or configuration value is out of range or unrecognized.
+
+    The library-wide replacement for a bare ``raise ValueError``: every
+    raise under :mod:`repro` must derive from :class:`ReproError` (the
+    ``raise-contract`` lint enforces it), and subclassing
+    :class:`ValueError` keeps callers that validate configuration
+    catching the failure as a plain value problem."""
+
+
 class ShapeError(ReproError, ValueError):
     """An array argument has the wrong number of dimensions or extents."""
+
+
+class RegistryTypeError(ReproError, TypeError):
+    """An object offered to a registry (backends, workloads) is not an
+    instance of the contract class.
+
+    Subclasses :class:`TypeError` because the failure is a wrong-type
+    argument in the plain Python sense; deriving from
+    :class:`ReproError` keeps the raise-contract intact."""
+
+
+class MaterialNotFoundError(ReproError, KeyError):
+    """A material name is not in the spectral library.
+
+    Subclasses :class:`KeyError` because the library is a mapping and
+    callers that treat it as one should catch the miss as a plain
+    lookup failure."""
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s the message; keep it readable.
+        return Exception.__str__(self)
+
+
+class BandRangeError(ReproError, IndexError):
+    """A band index is outside a cube's spectral extent.
+
+    Subclasses :class:`IndexError` so sequence-style band access keeps
+    its native out-of-range semantics."""
 
 
 class LayoutError(ReproError, ValueError):
@@ -71,6 +109,18 @@ class StreamError(ReproError):
 
 class DeviceError(ReproError):
     """A virtual device (GPU or CPU model) was configured inconsistently."""
+
+
+class UnknownHandleError(DeviceError, KeyError):
+    """A texture/buffer handle does not name a live device allocation.
+
+    Subclasses :class:`KeyError` because the allocator is a mapping
+    from handles to allocations and callers should be able to catch
+    the miss as a plain lookup failure."""
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s the message; keep it readable.
+        return Exception.__str__(self)
 
 
 class UnknownBackendError(StreamError, ValueError):

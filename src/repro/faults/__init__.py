@@ -10,6 +10,7 @@ model, and ``docs/robustness.md`` for the cookbook.
 from repro.faults.injector import (
     CRASH_EXIT_CODE,
     ENV_VAR,
+    FAULT_SITES,
     KINDS,
     FaultInjector,
     FaultSpec,
@@ -24,6 +25,7 @@ from repro.faults.injector import (
 __all__ = [
     "CRASH_EXIT_CODE",
     "ENV_VAR",
+    "FAULT_SITES",
     "FaultInjector",
     "FaultSpec",
     "KINDS",

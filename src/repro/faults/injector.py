@@ -80,6 +80,23 @@ KINDS = ("transient", "worker_crash", "timeout", "gpu_oom")
 #: post-mortems, never conflated with a Python traceback exit).
 CRASH_EXIT_CODE = 13
 
+#: Registry of every :func:`maybe_inject` call site in the library,
+#: mapping site name to where (and at what granularity) the fault
+#: fires.  This is the single source of truth the ``fault-site-registry``
+#: lint checks the code and ``docs/robustness.md`` against: adding a
+#: ``maybe_inject("new_site")`` call without registering and
+#: documenting the site — or letting a registered site go dead — fails
+#: ``python -m tools.reprolint``.
+FAULT_SITES = {
+    "chunk": "per-chunk worker entry (repro.parallel pool/amc/map)",
+    "cube": "per-cube batch worker entry (repro.pipeline.batch)",
+    "job": "serving executor, once per job execution attempt",
+    "heartbeat_stall": "serving executor, just before the attempt's "
+                       "first heartbeat",
+    "journal_write": "job-journal append/spill paths",
+    "cache_disk": "disk result-cache load/store paths",
+}
+
 
 @dataclass(frozen=True)
 class FaultSpec:

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ValidationError
 from repro.gpu import shaderir as ir
 from repro.gpu.shader import FragmentShader
 from repro.gpu.spec import GpuSpec
@@ -124,5 +125,5 @@ class CostModel:
     def transfer_time(self, nbytes: int) -> float:
         """Modeled host<->device transfer time for ``nbytes``."""
         if nbytes < 0:
-            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+            raise ValidationError(f"nbytes must be >= 0, got {nbytes}")
         return self.spec.transfer_latency_s + nbytes / self.spec.bus_bandwidth

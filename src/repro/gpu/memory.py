@@ -17,7 +17,8 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
-from repro.errors import GpuOutOfMemoryError
+from repro.errors import (GpuOutOfMemoryError, UnknownHandleError,
+                          ValidationError)
 
 
 @dataclass
@@ -31,7 +32,7 @@ class VramAllocator:
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
-            raise ValueError(f"capacity must be positive, got {self.capacity}")
+            raise ValidationError(f"capacity must be positive, got {self.capacity}")
 
     @property
     def used(self) -> int:
@@ -57,7 +58,7 @@ class VramAllocator:
             If the request exceeds the remaining capacity.
         """
         if nbytes <= 0:
-            raise ValueError(f"allocation must be positive, got {nbytes}")
+            raise ValidationError(f"allocation must be positive, got {nbytes}")
         if nbytes > self.free:
             raise GpuOutOfMemoryError(
                 f"cannot allocate {nbytes} bytes{f' for {label}' if label else ''}: "
@@ -74,7 +75,7 @@ class VramAllocator:
         try:
             del self._allocations[handle]
         except KeyError:
-            raise KeyError(f"handle {handle} is not a live allocation") from None
+            raise UnknownHandleError(f"handle {handle} is not a live allocation") from None
 
     def release_all(self) -> None:
         """Free everything (end of a chunk's lifetime)."""

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from repro.errors import ValidationError
 
 #: Full AVIRIS channel count.
 AVIRIS_BAND_COUNT: int = 224
@@ -56,9 +57,9 @@ class BandSet:
         fwhm = np.asarray(self.fwhm_nm, dtype=np.float64)
         good = np.asarray(self.good, dtype=bool)
         if not (centers.shape == fwhm.shape == good.shape) or centers.ndim != 1:
-            raise ValueError("centers_nm, fwhm_nm and good must be 1-D and aligned")
+            raise ValidationError("centers_nm, fwhm_nm and good must be 1-D and aligned")
         if centers.size >= 2 and not np.all(np.diff(centers) > 0):
-            raise ValueError("band centres must be strictly ascending")
+            raise ValidationError("band centres must be strictly ascending")
         object.__setattr__(self, "centers_nm", centers)
         object.__setattr__(self, "fwhm_nm", fwhm)
         object.__setattr__(self, "good", good)
@@ -99,7 +100,7 @@ def aviris_bands(count: int = AVIRIS_BAND_COUNT) -> BandSet:
         absorption-window structure.
     """
     if count < 2:
-        raise ValueError(f"a sensor needs at least 2 bands, got {count}")
+        raise ValidationError(f"a sensor needs at least 2 bands, got {count}")
     lo, hi = AVIRIS_RANGE_NM
     centers = np.linspace(lo, hi, count)
     spacing = (hi - lo) / (count - 1)

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import LayoutError, ShapeError
+from repro.errors import BandRangeError, LayoutError, ShapeError
 
 
 class Interleave(enum.Enum):
@@ -178,7 +178,7 @@ class HyperCube:
     def band(self, index: int) -> np.ndarray:
         """Return one spectral band as a (lines, samples) view."""
         if not 0 <= index < self.bands:
-            raise IndexError(f"band {index} out of range [0, {self.bands})")
+            raise BandRangeError(f"band {index} out of range [0, {self.bands})")
         return self.as_bip()[:, :, index]
 
     def band_at_wavelength(self, wavelength_nm: float) -> tuple[int, np.ndarray]:

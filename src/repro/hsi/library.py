@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.errors import MaterialNotFoundError, ValidationError
 from repro.hsi.bands import BandSet
 
 
@@ -42,7 +43,7 @@ class AbsorptionFeature:
     def transmission(self, wavelengths_nm: np.ndarray) -> np.ndarray:
         """1 - depth * gaussian, evaluated per wavelength."""
         if not 0.0 <= self.depth < 1.0:
-            raise ValueError(f"depth must be in [0, 1), got {self.depth}")
+            raise ValidationError(f"depth must be in [0, 1), got {self.depth}")
         g = np.exp(-0.5 * ((wavelengths_nm - self.center_nm) / self.width_nm) ** 2)
         return 1.0 - self.depth * g
 
@@ -138,11 +139,11 @@ class SpectralLibrary:
     def __post_init__(self) -> None:
         spectra = np.asarray(self.spectra, dtype=np.float64)
         if spectra.shape != (len(self.names), self.bands.count):
-            raise ValueError(
+            raise ValidationError(
                 f"spectra shape {spectra.shape} inconsistent with "
                 f"{len(self.names)} names x {self.bands.count} bands")
         if np.any(spectra <= 0):
-            raise ValueError("library spectra must be strictly positive")
+            raise ValidationError("library spectra must be strictly positive")
         object.__setattr__(self, "spectra", spectra)
         self._index.update({n: i for i, n in enumerate(self.names)})
 
@@ -157,7 +158,7 @@ class SpectralLibrary:
         try:
             return self.spectra[self._index[name]]
         except KeyError:
-            raise KeyError(f"no material {name!r} in library "
+            raise MaterialNotFoundError(f"no material {name!r} in library "
                            f"(have {sorted(self._index)})") from None
 
     def subset_bands(self, indices: np.ndarray) -> "SpectralLibrary":

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import ValidationError
 from repro.hsi.bands import BandSet
 
 
@@ -45,9 +46,9 @@ class NoiseModel:
 
     def __post_init__(self) -> None:
         if self.peak_snr <= 0 or self.edge_snr <= 0:
-            raise ValueError("SNR values must be positive")
+            raise ValidationError("SNR values must be positive")
         if not 0.0 <= self.absorption_transmission <= 1.0:
-            raise ValueError("absorption_transmission must lie in [0, 1]")
+            raise ValidationError("absorption_transmission must lie in [0, 1]")
 
     def snr_profile(self, bands: BandSet) -> np.ndarray:
         """Per-band SNR: a smooth bump peaking near 800 nm."""
@@ -69,7 +70,7 @@ class NoiseModel:
         """
         cube = np.asarray(cube, dtype=np.float64)
         if cube.ndim != 3 or cube.shape[2] != bands.count:
-            raise ValueError(
+            raise ValidationError(
                 f"cube shape {cube.shape} does not match {bands.count} bands")
         out = cube.copy()
         bad = ~bands.good

@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ShapeError
+from repro.errors import ShapeError, ValidationError
 from repro.hsi.bands import BandSet, aviris_bands
 from repro.hsi.cube import HyperCube, Interleave
 from repro.hsi.library import SpectralLibrary, build_default_library
@@ -170,7 +170,7 @@ class SceneParams:
         if self.band_count < 8:
             raise ShapeError("scene needs at least 8 spectral bands")
         if not self.classes:
-            raise ValueError("at least one class is required")
+            raise ValidationError("at least one class is required")
 
 
 @dataclass(frozen=True)
@@ -310,7 +310,7 @@ def _build_class_map(params: SceneParams,
                 ww = int(rng.integers(3, max(min(10, samples - lc), 4)))
                 mask[lr:lr + hh, lc:lc + ww] = True
         else:  # pragma: no cover - guarded by ClassSpec construction
-            raise ValueError(f"unknown structure {spec.structure!r}")
+            raise ValidationError(f"unknown structure {spec.structure!r}")
         labels[mask] = i + 1
 
     assert labels.min() >= 1, "class map must label every pixel"

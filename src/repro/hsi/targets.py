@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ShapeError
+from repro.errors import ShapeError, ValidationError
 
 
 @dataclass(frozen=True)
@@ -86,12 +86,12 @@ def implant_targets(cube: np.ndarray, spectrum: np.ndarray, *,
             f"spectrum must have {cube.shape[2]} bands, got "
             f"{spectrum.shape}")
     if not 0.0 < abundance <= 1.0:
-        raise ValueError(f"abundance must be in (0, 1], got {abundance}")
+        raise ValidationError(f"abundance must be in (0, 1], got {abundance}")
     if count < 1:
-        raise ValueError(f"count must be >= 1, got {count}")
+        raise ValidationError(f"count must be >= 1, got {count}")
     h, w, _ = cube.shape
     if h <= 2 * border or w <= 2 * border:
-        raise ValueError(f"image {h}x{w} too small for border {border}")
+        raise ValidationError(f"image {h}x{w} too small for border {border}")
 
     out = cube.copy()
     positions: list[tuple[int, int]] = []
@@ -100,7 +100,7 @@ def implant_targets(cube: np.ndarray, spectrum: np.ndarray, *,
     while len(positions) < count:
         attempts += 1
         if attempts > max_attempts:
-            raise ValueError(
+            raise ValidationError(
                 f"could not place {count} targets with separation "
                 f"{min_separation} in a {h}x{w} image "
                 f"(placed {len(positions)})")

@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.core.amc import AMCConfig, AMCResult, _as_bip
+from repro.errors import ValidationError
 from repro.faults import maybe_inject
 from repro.pipeline.amc import build_amc_pipeline, execute_amc
 from repro.profiling.profiler import Profiler
@@ -162,7 +163,7 @@ def run_amc_batch(cubes, config: AMCConfig = AMCConfig(), *,
     :class:`BatchItemError` entries (``"collect"``).
     """
     if on_error not in ON_ERROR_POLICIES:
-        raise ValueError(f"on_error must be one of {ON_ERROR_POLICIES}, "
+        raise ValidationError(f"on_error must be one of {ON_ERROR_POLICIES}, "
                          f"got {on_error!r}")
     cubes = list(cubes)
     if ground_truths is None:
@@ -170,7 +171,7 @@ def run_amc_batch(cubes, config: AMCConfig = AMCConfig(), *,
     else:
         ground_truths = list(ground_truths)
         if len(ground_truths) != len(cubes):
-            raise ValueError(
+            raise ValidationError(
                 f"got {len(cubes)} cubes but {len(ground_truths)} ground "
                 f"truths")
     bips = [_as_bip(cube) for cube in cubes]

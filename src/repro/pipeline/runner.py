@@ -11,6 +11,7 @@ record on the device-unmixing path).
 
 from __future__ import annotations
 
+from repro.errors import ValidationError
 from repro.profiling.profiler import Profiler, profiled_stage
 
 
@@ -25,7 +26,7 @@ class Pipeline:
     def __init__(self, stages) -> None:
         self.stages = tuple(stages)
         if not self.stages:
-            raise ValueError("a Pipeline needs at least one stage")
+            raise ValidationError("a Pipeline needs at least one stage")
         #: Completed executions of this instance.  Pure accounting — no
         #: per-run state survives here — but it is the ground truth the
         #: serving layer's dedup guarantees are verified against ("a

@@ -7,7 +7,8 @@ halo) is what makes re-running one task safe, and the stitching layer's
 bit-identical guarantee is what makes it *correct*.
 
 This package is also the only place in the codebase allowed to contain
-blanket ``except`` clauses (``tools/check_excepts.py`` enforces it):
+blanket ``except`` clauses (reprolint's ``blanket-except`` rule —
+``python -m tools.reprolint --rules blanket-except`` — enforces it):
 swallowing arbitrary exceptions is exactly the resilience layer's job
 and nobody else's.
 """

@@ -39,6 +39,7 @@ import time
 
 import numpy as np
 
+from repro.errors import ValidationError
 from repro.serving.net import request
 
 #: Jitter multiplier bounds: delays are scaled into [LOW, HIGH].
@@ -102,7 +103,7 @@ def submit_with_retry(socket_path: str, payload: dict, *,
     error is re-raised.
     """
     if retry_budget_s < 0:
-        raise ValueError(
+        raise ValidationError(
             f"retry_budget_s must be >= 0, got {retry_budget_s}")
     rng = np.random.default_rng(jitter_seed)
     deadline = clock() + retry_budget_s

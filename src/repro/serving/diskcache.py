@@ -34,7 +34,7 @@ import pickle
 
 from dataclasses import dataclass
 
-from repro.errors import ServingError, TransientFaultError
+from repro.errors import ServingError, TransientFaultError, ValidationError
 from repro.faults import maybe_inject
 from repro.serving import durable
 from repro.serving.cache import CacheEntry
@@ -170,7 +170,7 @@ class DiskCacheTier:
             recomputed = result_digest(payload["result"],
                                        workload=workload)
             if digest is not None and recomputed != digest:
-                raise ValueError(
+                raise ValidationError(
                     f"digest mismatch: recorded {digest[:12]}..., "
                     f"recomputed {recomputed[:12]}...")
         except FileNotFoundError:

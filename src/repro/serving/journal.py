@@ -43,7 +43,7 @@ import os
 import pickle
 from dataclasses import dataclass, field
 
-from repro.errors import JournalCorruptError
+from repro.errors import JournalCorruptError, ValidationError
 from repro.faults import maybe_inject
 from repro.serving import durable
 from repro.serving import jobs as jobstates
@@ -164,7 +164,7 @@ class JobJournal:
                 job_id = int(record["job_id"])
                 state = record["state"]
                 if state not in jobstates.JOB_STATES:
-                    raise ValueError(f"unknown state {state!r}")
+                    raise ValidationError(f"unknown state {state!r}")
             except (ValueError, KeyError, TypeError) as exc:
                 if lineno == len(lines):
                     report.torn_tail = True

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ShapeError
+from repro.errors import ShapeError, ValidationError
 
 #: Default clamp applied before logarithms.  Chosen well above float32
 #: denormals so the GPU (float32) and CPU (float64) paths agree, yet far
@@ -49,7 +49,7 @@ class SpectralEpsilon:
         """Set the clamp.  ``value`` must be a positive finite float."""
         value = float(value)
         if not np.isfinite(value) or value <= 0.0:
-            raise ValueError(f"epsilon must be positive and finite, got {value!r}")
+            raise ValidationError(f"epsilon must be positive and finite, got {value!r}")
         cls._value = value
 
     @classmethod
@@ -90,14 +90,14 @@ def normalize_spectra(spectra: np.ndarray, *, axis: int = -1,
     if spectra.shape == () or spectra.shape[axis] == 0:
         raise ShapeError("spectra must have a non-empty spectral axis")
     if np.any(spectra < 0):
-        raise ValueError("spectra must be non-negative to be normalized "
+        raise ValidationError("spectra must be non-negative to be normalized "
                          "as probability distributions (paper eq. 3)")
     eps = SpectralEpsilon.get() if epsilon is None else float(epsilon)
     out_dtype = spectra.dtype if spectra.dtype == np.float32 else np.float64
     spectra = spectra.astype(out_dtype, copy=False)
     total = spectra.sum(axis=axis, keepdims=True)
     if np.any(total == 0):
-        raise ValueError("at least one spectrum sums to zero and cannot be "
+        raise ValidationError("at least one spectrum sums to zero and cannot be "
                          "normalized; mask empty pixels before calling")
     out = spectra / total
     np.clip(out, eps, None, out=out)

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.linalg
 
-from repro.errors import ShapeError
+from repro.errors import ShapeError, ValidationError
 
 
 def _as_pixels(data: np.ndarray) -> tuple[np.ndarray, tuple[int, ...]]:
@@ -77,7 +77,7 @@ def pca(data: np.ndarray, n_components: int) -> Projection:
     pixels, leading = _as_pixels(data)
     n = pixels.shape[1]
     if not 1 <= n_components <= n:
-        raise ValueError(f"n_components must be in [1, {n}], got "
+        raise ValidationError(f"n_components must be in [1, {n}], got "
                          f"{n_components}")
     mean = pixels.mean(axis=0)
     centered = pixels - mean
@@ -121,7 +121,7 @@ def mnf(cube: np.ndarray, n_components: int) -> Projection:
         raise ShapeError(f"expected (H, W, N), got {cube.shape}")
     n = cube.shape[2]
     if not 1 <= n_components <= n:
-        raise ValueError(f"n_components must be in [1, {n}], got "
+        raise ValidationError(f"n_components must be in [1, {n}], got "
                          f"{n_components}")
     pixels = cube.reshape(-1, n)
     mean = pixels.mean(axis=0)
@@ -157,7 +157,7 @@ def virtual_dimensionality(cube: np.ndarray, *,
     if p < 2:
         raise ShapeError("need at least 2 pixels")
     if not 0.0 < false_alarm_rate < 0.5:
-        raise ValueError("false_alarm_rate must be in (0, 0.5)")
+        raise ValidationError("false_alarm_rate must be in (0, 0.5)")
     corr = pixels.T @ pixels / p
     mean = pixels.mean(axis=0)
     cov = corr - np.outer(mean, mean)

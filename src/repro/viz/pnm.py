@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ShapeError
+from repro.errors import ShapeError, ValidationError
 
 
 def _normalize_to_u8(image: np.ndarray, *, percentile_clip: float = 2.0) -> np.ndarray:
@@ -61,7 +61,7 @@ def class_palette(n_classes: int) -> np.ndarray:
     brightness levels so adjacent indices contrast.
     """
     if n_classes < 1:
-        raise ValueError(f"need at least one class, got {n_classes}")
+        raise ValidationError(f"need at least one class, got {n_classes}")
     palette = np.zeros((n_classes + 1, 3), dtype=np.uint8)
     for k in range(1, n_classes + 1):
         hue = (k * 0.61803398875) % 1.0
@@ -87,7 +87,7 @@ def write_class_map_ppm(labels: np.ndarray, path: str, *,
     if n_classes is None:
         n_classes = int(labels.max())
     if np.any(labels < 0) or np.any(labels > n_classes):
-        raise ValueError(
+        raise ValidationError(
             f"labels outside [0, {n_classes}] cannot be colour-mapped")
     palette = class_palette(max(n_classes, 1))
     return write_ppm(palette[labels], path)

@@ -33,6 +33,7 @@ from repro.core.detection import (
     rx_scores,
     rx_statistics,
 )
+from repro.errors import ValidationError
 from repro.pipeline.runner import Pipeline
 from repro.pipeline.stages import Stage
 from repro.profiling.profiler import Profiler
@@ -77,18 +78,18 @@ class DetectionConfig:
                                                          dtype=np.float64))
             object.__setattr__(self, "target", coerced)
         if self.regularization <= 0:
-            raise ValueError(f"regularization must be positive, got "
+            raise ValidationError(f"regularization must be positive, got "
                              f"{self.regularization}")
         if self.max_alarms is not None and self.max_alarms < 1:
-            raise ValueError(f"max_alarms must be >= 1, got "
+            raise ValidationError(f"max_alarms must be >= 1, got "
                              f"{self.max_alarms}")
         if self.n_workers < 0:
-            raise ValueError("n_workers must be >= 0 (0 = all cores)")
+            raise ValidationError("n_workers must be >= 0 (0 = all cores)")
         if self.max_retries < 0:
-            raise ValueError(
+            raise ValidationError(
                 f"max_retries must be >= 0, got {self.max_retries}")
         if self.chunk_timeout_s is not None and self.chunk_timeout_s <= 0:
-            raise ValueError(
+            raise ValidationError(
                 f"chunk_timeout_s must be positive, got "
                 f"{self.chunk_timeout_s}")
 
@@ -202,7 +203,7 @@ class DetectionWorkload(Workload):
         """
         config = self.as_config(config)
         if self.requires_target and config.target is None:
-            raise ValueError(
+            raise ValidationError(
                 f"workload {self.name!r} needs a target spectrum: pass "
                 f"target=(...) in its parameters")
         if pipeline is None:

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import ValidationError
 from repro.pipeline.runner import Pipeline
 from repro.pipeline.stages import Stage
 from repro.profiling.profiler import Profiler
@@ -51,15 +52,15 @@ class ReductionConfig:
 
     def __post_init__(self) -> None:
         if self.n_components < 1:
-            raise ValueError(
+            raise ValidationError(
                 f"n_components must be >= 1, got {self.n_components}")
         if self.n_workers < 0:
-            raise ValueError("n_workers must be >= 0 (0 = all cores)")
+            raise ValidationError("n_workers must be >= 0 (0 = all cores)")
         if self.max_retries < 0:
-            raise ValueError(
+            raise ValidationError(
                 f"max_retries must be >= 0, got {self.max_retries}")
         if self.chunk_timeout_s is not None and self.chunk_timeout_s <= 0:
-            raise ValueError(
+            raise ValidationError(
                 f"chunk_timeout_s must be positive, got "
                 f"{self.chunk_timeout_s}")
 

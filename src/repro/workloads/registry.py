@@ -12,7 +12,8 @@ call (the ``workload-dispatch`` reprolint rule keeps it that way).
 
 from __future__ import annotations
 
-from repro.errors import UnknownWorkloadError
+from repro.errors import (RegistryTypeError, UnknownWorkloadError,
+                          ValidationError)
 from repro.workloads.base import Workload
 
 _REGISTRY: dict[str, Workload] = {}
@@ -28,12 +29,12 @@ def register_workload(workload: Workload, *,
     nightmare.
     """
     if not isinstance(workload, Workload):
-        raise TypeError(f"expected a Workload instance, got "
+        raise RegistryTypeError(f"expected a Workload instance, got "
                         f"{type(workload).__name__}")
     if not workload.name:
-        raise ValueError("workload.name must be a non-empty string")
+        raise ValidationError("workload.name must be a non-empty string")
     if workload.name in _REGISTRY and not replace:
-        raise ValueError(
+        raise ValidationError(
             f"workload {workload.name!r} is already registered; pass "
             f"replace=True to override it")
     _REGISTRY[workload.name] = workload

@@ -1,0 +1,12 @@
+"""Fixture config schema, one package away from its workload."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FooConfig:
+    alpha: float = 1.0
+    # the drift under test: a result-affecting field added to the
+    # schema that the hand-written canonical_params never keys
+    gamma: float = 0.5
+    n_workers: int = 1

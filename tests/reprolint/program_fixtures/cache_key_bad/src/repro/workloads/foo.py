@@ -1,0 +1,15 @@
+"""Fixture workload with an unsound hand-written cache key."""
+
+from repro.core.config import FooConfig
+from repro.workloads.base import Workload
+
+
+class FooWorkload(Workload):
+    name = "foo"
+    config_type = FooConfig
+    # "turbo" is neither on the declared exclusion list nor a field
+    execution_knobs = frozenset({"n_workers", "turbo"})
+
+    def canonical_params(self, params):
+        config = self.as_config(params)
+        return {"alpha": config.alpha}  # gamma never keyed

@@ -1,0 +1,10 @@
+"""Fixture config schema, one package away from its workloads."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FooConfig:
+    alpha: float = 1.0
+    gamma: float = 0.5
+    n_workers: int = 1

@@ -1,0 +1,21 @@
+"""Fixture workload contract (mirrors repro.workloads.base)."""
+
+from dataclasses import asdict
+
+DEFAULT_EXECUTION_KNOBS = frozenset({"n_workers"})
+
+
+class Workload:
+    name = ""
+    config_type = None
+    execution_knobs = DEFAULT_EXECUTION_KNOBS
+
+    def as_config(self, params):
+        if params is None:
+            return self.config_type()
+        return self.config_type(**dict(params))
+
+    def canonical_params(self, params):
+        fields = asdict(self.as_config(params))
+        return {name: value for name, value in sorted(fields.items())
+                if name not in self.execution_knobs}

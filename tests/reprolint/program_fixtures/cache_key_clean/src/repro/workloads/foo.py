@@ -1,0 +1,21 @@
+"""Fixture workloads whose cache keys are sound both ways: an explicit
+override that keys every result-affecting field, and the inherited
+asdict-based canonicalization (sound by construction)."""
+
+from repro.core.config import FooConfig
+from repro.workloads.base import Workload
+
+
+class FooWorkload(Workload):
+    name = "foo"
+    config_type = FooConfig
+
+    def canonical_params(self, params):
+        config = self.as_config(params)
+        return {"alpha": config.alpha, "gamma": config.gamma}
+
+
+class BarWorkload(Workload):
+    name = "bar"
+    config_type = FooConfig
+    # inherits the asdict-based canonical_params from Workload

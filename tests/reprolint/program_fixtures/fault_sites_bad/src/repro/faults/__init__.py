@@ -1,0 +1,3 @@
+from repro.faults.injector import FAULT_SITES, maybe_inject
+
+__all__ = ["FAULT_SITES", "maybe_inject"]

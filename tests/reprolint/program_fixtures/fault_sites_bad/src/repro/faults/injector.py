@@ -1,0 +1,11 @@
+"""Fixture injector: a registry with one healthy and one rotten site."""
+
+FAULT_SITES = {
+    "chunk": "per-chunk worker entry",
+    # "ghost" has no surviving call, no docs mention, and no test
+    "ghost": "a site that rotted in the registry",
+}
+
+
+def maybe_inject(site, *, index=None):
+    pass

@@ -1,0 +1,11 @@
+"""Fixture execution path with two bad maybe_inject calls."""
+
+from repro.faults import maybe_inject
+
+SITE = "computed"
+
+
+def run_chunk(index):
+    maybe_inject("chunk", index=index)
+    maybe_inject("rogue", index=index)  # never registered
+    maybe_inject(SITE, index=index)  # not statically auditable

@@ -1,0 +1,4 @@
+"""Fixture test file (not collected by pytest: no test_ prefix): only
+the chunk site is ever exercised."""
+
+SPEC = dict(kind="transient", site="chunk", index=0)

@@ -1,0 +1,7 @@
+"""Fixture execution path: one registered, documented, tested site."""
+
+from repro.faults import maybe_inject
+
+
+def run_chunk(index):
+    maybe_inject("chunk", index=index)

@@ -1,0 +1,3 @@
+"""Fixture test file (not collected by pytest: no test_ prefix)."""
+
+SPEC = dict(kind="transient", site="chunk", index=0)

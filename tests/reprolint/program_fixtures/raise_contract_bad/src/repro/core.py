@@ -1,0 +1,36 @@
+"""Fixture raise sites: one of each contract violation."""
+
+from repro.errors import GoodError
+from repro.other import LocalError
+from repro.shady import HiddenError
+
+
+def builtin_raise(x):
+    if x < 0:
+        raise ValueError("negative")  # builtin, not on the allowlist
+
+
+def off_contract(x):
+    if x < 0:
+        raise LocalError("not a ReproError")
+
+
+def unexported(x):
+    if x < 0:
+        raise HiddenError("fine class, wrong home")
+
+
+def suppressed(x):
+    if x < 0:
+        raise TypeError("waived")  # reprolint: disable=raise-contract
+
+
+def fine(x):
+    if x < 0:
+        raise GoodError("on contract")
+    if x == 0:
+        raise NotImplementedError  # allowlisted builtin
+
+
+def reraise(error):
+    raise error  # bound-name re-raise: out of scope

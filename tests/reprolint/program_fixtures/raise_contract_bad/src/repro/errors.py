@@ -1,0 +1,9 @@
+"""Fixture error hierarchy."""
+
+
+class ReproError(Exception):
+    pass
+
+
+class GoodError(ReproError):
+    pass

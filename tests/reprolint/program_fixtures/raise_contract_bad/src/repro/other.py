@@ -1,0 +1,5 @@
+"""Fixture module with an off-contract exception class."""
+
+
+class LocalError(Exception):
+    pass

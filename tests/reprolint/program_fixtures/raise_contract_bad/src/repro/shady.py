@@ -1,0 +1,10 @@
+"""Fixture module defining a ReproError subclass outside the errors
+module — cross-module lineage the per-file pickle rule cannot see."""
+
+from repro.errors import ReproError
+
+
+class HiddenError(ReproError):
+    def __init__(self, message, *, detail=None):
+        super().__init__(message)
+        self.detail = detail  # never pickled: not forwarded, no __reduce__

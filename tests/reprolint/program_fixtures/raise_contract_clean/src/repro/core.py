@@ -1,0 +1,15 @@
+"""Fixture raise sites: all on contract."""
+
+from repro.errors import GoodError, ReproError
+
+
+def fine(x):
+    if x < 0:
+        raise GoodError("on contract", detail=x)
+    if x == 0:
+        raise ReproError("the base itself is on contract")
+    raise NotImplementedError  # allowlisted builtin
+
+
+def reraise(error):
+    raise error  # bound-name re-raise: out of scope

@@ -1,0 +1,11 @@
+"""Fixture error hierarchy: everything defined (or re-exported) here."""
+
+
+class ReproError(Exception):
+    pass
+
+
+class GoodError(ReproError):
+    def __init__(self, message, *, detail=None):
+        super().__init__(message, detail)
+        self.detail = detail

@@ -1,0 +1,21 @@
+"""Fixture server: the job table is written from both sides, bare."""
+
+import asyncio
+
+
+class Server:
+    def __init__(self):
+        self._jobs = {}
+        self._executor = None
+
+    async def submit(self, job):
+        self._jobs[job] = "queued"  # loop-side write
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor,
+                                          self._execute, job)
+
+    def _execute(self, job):
+        self._record(job)
+
+    def _record(self, job):
+        self._jobs[job] = "done"  # thread-side write, same attribute

@@ -1,0 +1,27 @@
+"""Fixture server: shared writes are lock-guarded, the rest stays on
+one side of the loop/executor boundary."""
+
+import asyncio
+import threading
+
+
+class Server:
+    def __init__(self):
+        self._jobs = {}
+        self._log = []
+        self._counter = 0
+        self._lock = threading.Lock()
+        self._executor = None
+
+    async def submit(self, job):
+        with self._lock:
+            self._jobs[job] = "queued"  # guarded loop-side write
+        self._counter += 1  # loop-side only: no lock needed
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor,
+                                          self._execute, job)
+
+    def _execute(self, job):
+        self._log.append(job)  # thread-side only: no lock needed
+        with self._lock:
+            self._jobs[job] = "done"  # guarded thread-side write

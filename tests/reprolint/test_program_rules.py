@@ -1,0 +1,233 @@
+"""The whole-program tier gate: each cross-module rule fires on its
+bad mini-repo, stays quiet on its clean twin, attributes findings (and
+suppressions) to the reported file/line, and the two-tier run stays
+inside the <10 s budget on the real repo.
+
+Each case under ``tests/reprolint/program_fixtures/<case>/`` is a
+self-contained checkout — its own ``src/repro`` tree (some with their
+own ``pyproject.toml``, ``docs/``, ``tests/``) — so import-chain
+resolution, the pyproject option tables, and the docs/tests
+cross-checks are exercised exactly as in production.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import time
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+if REPO_ROOT not in sys.path:
+    sys.path.insert(0, REPO_ROOT)
+
+from tools.reprolint import all_rules, render_json, run  # noqa: E402
+from tools.reprolint.program import get_index  # noqa: E402
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "program_fixtures")
+
+PROGRAM_RULE_IDS = ("cache-key-soundness", "fault-site-registry",
+                    "async-thread-shared-state", "raise-contract")
+
+#: rule id -> (bad case, expected (path, line) findings, clean case).
+PROGRAM_CASES = {
+    "cache-key-soundness": (
+        "cache_key_bad",
+        [("src/repro/core/config.py", 11),
+         ("src/repro/workloads/foo.py", 11),
+         ("src/repro/workloads/foo.py", 11)],
+        "cache_key_clean"),
+    "fault-site-registry": (
+        "fault_sites_bad",
+        [("src/repro/faults/injector.py", 6),
+         ("src/repro/faults/injector.py", 6),
+         ("src/repro/faults/injector.py", 6),
+         ("src/repro/pipeline.py", 10),
+         ("src/repro/pipeline.py", 11)],
+        "fault_sites_clean"),
+    "async-thread-shared-state": (
+        "shared_state_bad",
+        [("src/repro/serving/server.py", 12),
+         ("src/repro/serving/server.py", 21)],
+        "shared_state_clean"),
+    "raise-contract": (
+        "raise_contract_bad",
+        [("src/repro/core.py", 10),
+         ("src/repro/core.py", 15),
+         ("src/repro/core.py", 20),
+         ("src/repro/shady.py", 8)],
+        "raise_contract_clean"),
+}
+
+
+def lint_case(case, rule_id):
+    return run(root=os.path.join(FIXTURES, case), rules=[rule_id])
+
+
+# --------------------------------------------------------------------------
+# Per-rule gates
+
+
+@pytest.mark.parametrize("rule_id", PROGRAM_RULE_IDS)
+def test_program_rule_fires_on_bad_fixture(rule_id):
+    bad, expected, _ = PROGRAM_CASES[rule_id]
+    result = lint_case(bad, rule_id)
+    assert [(f.path, f.line) for f in result.findings] == expected
+    assert all(f.rule_id == rule_id for f in result.findings)
+
+
+@pytest.mark.parametrize("rule_id", PROGRAM_RULE_IDS)
+def test_program_rule_quiet_on_clean_fixture(rule_id):
+    _, _, clean = PROGRAM_CASES[rule_id]
+    result = lint_case(clean, rule_id)
+    assert result.findings == []
+
+
+def test_findings_attribute_across_modules():
+    """The unkeyed-field finding anchors at the *config schema* line,
+    one package away from the workload whose canonicalization drops
+    it — cross-module findings point where the fix goes."""
+    result = lint_case("cache_key_bad", "cache-key-soundness")
+    gamma = [f for f in result.findings if "'gamma'" in f.message]
+    assert len(gamma) == 1
+    assert gamma[0].path == "src/repro/core/config.py"
+    assert "workloads/foo.py" in gamma[0].message  # names the consumer
+
+
+def test_unkeyed_field_end_to_end(tmp_path):
+    """The acceptance demo: take the clean mini-repo, add one
+    result-affecting config field without keying it, and the lint
+    fails on exactly that field."""
+    root = tmp_path / "checkout"
+    shutil.copytree(os.path.join(FIXTURES, "cache_key_clean"), root)
+    config = root / "src" / "repro" / "core" / "config.py"
+    config.write_text(config.read_text()
+                      + "    smoothing: int = 2\n")
+    result = run(root=str(root), rules=["cache-key-soundness"])
+    assert [(f.path, "'smoothing'" in f.message)
+            for f in result.findings] == [("src/repro/core/config.py",
+                                           True)]
+
+
+def test_execution_knob_exclusion_list_is_enforced():
+    """A knob excluded in code but absent from the pyproject list is a
+    finding; so is a knob that names no real field."""
+    result = lint_case("cache_key_bad", "cache-key-soundness")
+    messages = [f.message for f in result.findings]
+    assert any("not on the declared exclusion list" in m
+               for m in messages)
+    assert any("no such field" in m for m in messages)
+
+
+def test_fault_site_findings_name_each_surface():
+    result = lint_case("fault_sites_bad", "fault-site-registry")
+    messages = "\n".join(f.message for f in result.findings)
+    assert "'rogue' is not registered" in messages
+    assert "not a string literal" in messages
+    assert "'ghost' has no surviving maybe_inject call" in messages
+    assert "'ghost' is not mentioned in docs/robustness.md" in messages
+    assert "no test under tests/ exercises fault site 'ghost'" in messages
+
+
+def test_shared_state_accepts_locks_and_single_side():
+    """The clean server mutates the shared table only under a lock and
+    keeps the rest one-sided; the bad one differs only in the lock."""
+    bad = lint_case("shared_state_bad", "async-thread-shared-state")
+    assert all("_jobs" in f.message for f in bad.findings)
+    clean = lint_case("shared_state_clean", "async-thread-shared-state")
+    assert clean.findings == []
+
+
+def test_shared_state_waiver_option(tmp_path):
+    """A ``waive = ["Class.attr"]`` pyproject entry silences the rule
+    for exactly that attribute."""
+    root = tmp_path / "checkout"
+    shutil.copytree(os.path.join(FIXTURES, "shared_state_bad"), root)
+    (root / "pyproject.toml").write_text(
+        '[tool.reprolint.rule.async-thread-shared-state]\n'
+        'waive = ["Server._jobs"]\n')
+    result = run(root=str(root), rules=["async-thread-shared-state"])
+    assert result.findings == []
+
+
+# --------------------------------------------------------------------------
+# Suppression accounting and the JSON reporter under the program tier
+
+
+def test_program_suppression_attributes_to_reported_line():
+    """An inline disable on the *reported* line of a cross-module
+    finding suppresses it — and it is counted, not dropped."""
+    result = lint_case("raise_contract_bad", "raise-contract")
+    assert [(f.rule_id, f.path, f.line, f.suppressed)
+            for f in result.suppressed] == [
+        ("raise-contract", "src/repro/core.py", 25, True)]
+    # the suppressed finding is absent from the active list
+    assert all(f.line != 25 for f in result.findings)
+
+
+def test_program_findings_in_json_report():
+    result = lint_case("raise_contract_bad", "raise-contract")
+    document = json.loads(render_json(result))
+    assert document["suppressed_count"] == 1
+    assert [e["rule"] for e in document["suppressed"]] == [
+        "raise-contract"]
+    assert {e["rule"] for e in document["findings"]} == {
+        "raise-contract"}
+    assert {e["path"] for e in document["findings"]} == {
+        "src/repro/core.py", "src/repro/shady.py"}
+    assert set(document["findings"][0]) == {
+        "rule", "path", "line", "col", "message", "suppressed"}
+
+
+def test_cli_program_tier(tmp_path):
+    proc = subprocess.run(
+        [sys.executable, "-m", "tools.reprolint",
+         "--root", os.path.join(FIXTURES, "raise_contract_bad"),
+         "--rules", "raise-contract", "--json"],
+        cwd=REPO_ROOT, capture_output=True, text=True)
+    assert proc.returncode == 1
+    document = json.loads(proc.stdout)
+    assert len(document["findings"]) == 4
+    assert document["suppressed_count"] == 1
+
+
+# --------------------------------------------------------------------------
+# Registry, scoping, budget
+
+
+def test_program_rules_registered():
+    by_id = {rule.rule_id: rule for rule in all_rules()}
+    for rule_id in PROGRAM_RULE_IDS:
+        assert rule_id in by_id
+        assert by_id[rule_id].tier == "program"
+
+
+def test_program_findings_respect_requested_paths():
+    """Linting only tools/ must not surface src/-anchored program
+    findings (the index still covers the whole program)."""
+    root = os.path.join(FIXTURES, "raise_contract_bad")
+    result = run(paths=["src/repro/shady.py"], root=root,
+                 rules=["raise-contract"])
+    assert [f.path for f in result.findings] == ["src/repro/shady.py"]
+
+
+def test_index_is_memoized():
+    root = os.path.join(FIXTURES, "raise_contract_bad")
+    assert get_index(root) is get_index(root)
+
+
+def test_two_tier_repo_run_within_budget():
+    """The acceptance budget: per-file + whole-program tiers clean on
+    the real repo in under 10 s."""
+    start = time.perf_counter()
+    result = run(root=REPO_ROOT)
+    elapsed = time.perf_counter() - start
+    assert result.findings == [], "\n".join(
+        f"{f.rule_id} {f.path}:{f.line}" for f in result.findings)
+    assert elapsed < 10.0

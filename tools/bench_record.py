@@ -40,9 +40,17 @@ Two targets:
     is `is None` checks), which keeps ``BENCH_serving.json`` the
     regression reference for the historical path.
 
+``lint``
+    Times the reprolint analyzer itself on the real repository: the
+    per-file tier alone, the whole-program tier cold (index built from
+    scratch) and warm (memoized index), and the full two-tier run that
+    CI gates on.  Asserts inside the measurement that every pass comes
+    back clean and that the two-tier run fits the 10-second acceptance
+    budget.  Written to ``BENCH_LINT.json``.
+
 Run from the repository root::
 
-    PYTHONPATH=src python -m tools.bench_record [morph|serving|workloads|recovery]
+    PYTHONPATH=src python -m tools.bench_record [morph|serving|workloads|recovery|lint]
 """
 
 from __future__ import annotations
@@ -341,6 +349,62 @@ def measure_recovery() -> dict:
     }
 
 
+#: The whole-program acceptance budget, seconds (see ISSUE gate and
+#: ``tests/reprolint/test_program_rules.py``).
+LINT_BUDGET_S = 10.0
+
+
+def measure_lint() -> dict:
+    """Time the analyzer tiers on the repo; return the record dict."""
+    from tools.reprolint import all_rules, run
+    from tools.reprolint.program import _INDEX_CACHE
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    file_ids = [r.rule_id for r in all_rules() if r.tier == "file"]
+    program_ids = [r.rule_id for r in all_rules() if r.tier == "program"]
+
+    def clean(result):
+        assert result.findings == [], [
+            f"{f.rule_id} {f.path}:{f.line}" for f in result.findings]
+        return result
+
+    per_file_s, per_file = _best_of(
+        lambda: clean(run(root=root, rules=file_ids)))
+
+    def program_cold():
+        _INDEX_CACHE.clear()
+        return clean(run(root=root, rules=program_ids))
+
+    program_cold_s, _ = _best_of(program_cold)
+    # warm: the memoized index is reused, only the rules re-run
+    program_warm_s, _ = _best_of(
+        lambda: clean(run(root=root, rules=program_ids)))
+
+    def two_tier():
+        _INDEX_CACHE.clear()
+        return clean(run(root=root))
+
+    two_tier_s, _ = _best_of(two_tier)
+    assert two_tier_s < LINT_BUDGET_S
+
+    return {
+        "bench": "reprolint analyzer: per-file tier vs whole-program "
+                 "tier (cold and memoized index) vs the gated "
+                 "two-tier run, on the real repository",
+        "files_scanned": per_file.files_scanned,
+        "file_rules": len(file_ids),
+        "program_rules": len(program_ids),
+        "repeats": REPEATS,
+        "per_file_wall_s": round(per_file_s, 6),
+        "program_cold_wall_s": round(program_cold_s, 6),
+        "program_warm_wall_s": round(program_warm_s, 6),
+        "two_tier_wall_s": round(two_tier_s, 6),
+        "budget_s": LINT_BUDGET_S,
+        "within_budget": True,
+        "clean": True,
+    }
+
+
 def _write(record: dict, filename: str) -> str:
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     path = os.path.join(root, filename)
@@ -386,10 +450,19 @@ def main(argv=None) -> None:
         for row in record["replay"]:
             print(f"replay {row['records']:>5} records: "
                   f"{row['replay_ms']} ms")
+    elif target == "lint":
+        record = measure_lint()
+        path = _write(record, "BENCH_LINT.json")
+        print(f"per-file tier {record['per_file_wall_s']}s, "
+              f"program tier cold {record['program_cold_wall_s']}s / "
+              f"warm {record['program_warm_wall_s']}s, "
+              f"two-tier {record['two_tier_wall_s']}s "
+              f"(budget {record['budget_s']}s) over "
+              f"{record['files_scanned']} files")
     else:
         raise SystemExit(f"unknown bench target {target!r}; "
                          f"pick from: morph, serving, workloads, "
-                         f"recovery")
+                         f"recovery, lint")
     print(f"wrote {path}")
 
 

@@ -1,14 +1,13 @@
 #!/usr/bin/env python
-"""Dispatch lint — backend string dispatch must not re-fragment.
+"""DEPRECATED — use ``python -m tools.reprolint --rules backend-dispatch``.
 
 Thin wrapper over reprolint's AST-accurate ``backend-dispatch`` rule
-(``tools/reprolint/rules/backend_dispatch.py``).  The original regex
-scanner this file used to be could false-positive on ``backend ==``
-text inside strings and docstrings; matching ``ast.Compare`` nodes
-cannot.  The wrapper (and its ``scan()`` API) is kept so documented
-invocations stay valid::
+(``tools/reprolint/rules/backend_dispatch.py``).  The wrapper (and its
+``scan()`` API) is kept one more release so old invocations keep
+working, but the canonical entry point is now reprolint itself, which
+also runs the whole-program tier this wrapper cannot::
 
-    python tools/check_dispatch.py
+    python -m tools.reprolint --rules backend-dispatch
 """
 
 from __future__ import annotations
@@ -44,6 +43,9 @@ def scan(root: str = REPO_ROOT) -> list[str]:
 
 
 def main() -> int:
+    print("note: tools/check_dispatch.py is deprecated; run "
+          "`python -m tools.reprolint --rules backend-dispatch` instead",
+          file=sys.stderr)
     problems = scan()
     for problem in problems:
         print(f"FAIL: backend string dispatch outside repro/backends/ — "

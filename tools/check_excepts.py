@@ -1,14 +1,13 @@
 #!/usr/bin/env python
-"""Except lint — blanket exception handling stays in the resilience layer.
+"""DEPRECATED — use ``python -m tools.reprolint --rules blanket-except``.
 
 Thin wrapper over reprolint's AST-accurate ``blanket-except`` rule
-(``tools/reprolint/rules/blanket_except.py``).  The original regex
-scanner this file used to be could false-positive on ``except
-Exception:`` text inside strings and docstrings; matching
-``ast.ExceptHandler`` nodes cannot.  The wrapper (and its ``scan()``
-API) is kept so documented invocations stay valid::
+(``tools/reprolint/rules/blanket_except.py``).  The wrapper (and its
+``scan()`` API) is kept one more release so old invocations keep
+working, but the canonical entry point is now reprolint itself, which
+also runs the whole-program tier this wrapper cannot::
 
-    python tools/check_excepts.py
+    python -m tools.reprolint --rules blanket-except
 """
 
 from __future__ import annotations
@@ -44,6 +43,9 @@ def scan(root: str = REPO_ROOT) -> list[str]:
 
 
 def main() -> int:
+    print("note: tools/check_excepts.py is deprecated; run "
+          "`python -m tools.reprolint --rules blanket-except` instead",
+          file=sys.stderr)
     problems = scan()
     for problem in problems:
         print(f"FAIL: blanket except outside repro/resilience/ — "

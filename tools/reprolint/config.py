@@ -8,11 +8,17 @@ Configuration lives in ``pyproject.toml`` under ``[tool.reprolint]``::
     [tool.reprolint.allow]
     dtype-discipline = ["src/repro/gpu/counters.py"]
 
+    [tool.reprolint.rule.cache-key-soundness]
+    execution-knobs = ["n_workers", "max_retries", "chunk_timeout_s"]
+
 ``roots`` are the directories scanned when no explicit paths are given
 (tests are deliberately absent: fixture files under
 ``tests/reprolint/fixtures/`` violate rules on purpose).  ``allow``
 maps a rule id to extra exempt path prefixes, merged with the rule's
-built-in ``allowed_paths``.
+built-in ``allowed_paths``.  ``rule.<id>`` tables hold per-rule
+options for the whole-program tier — most importantly the explicit
+execution-knob exclusion list the ``cache-key-soundness`` rule audits
+code-side knob declarations against.
 
 When ``root`` has no ``pyproject.toml`` (the unit tests lint synthetic
 trees under ``tmp_path``) or the interpreter predates :mod:`tomllib`,
@@ -40,6 +46,10 @@ DEFAULT_ROOTS: tuple[str, ...] = (
 class Config:
     roots: tuple[str, ...] = DEFAULT_ROOTS
     allow: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
+    #: Per-rule option tables from ``[tool.reprolint.rule.<id>]`` —
+    #: the program-tier rules read their knobs (e.g. the declared
+    #: execution-knob exclusion list of ``cache-key-soundness``) here.
+    options: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
 
 
 def load_config(root: str) -> Config:
@@ -56,4 +66,6 @@ def load_config(root: str) -> Config:
     roots = tuple(table.get("roots", DEFAULT_ROOTS))
     allow = {rule_id: tuple(prefixes)
              for rule_id, prefixes in table.get("allow", {}).items()}
-    return Config(roots=roots, allow=allow)
+    options = {rule_id: dict(opts)
+               for rule_id, opts in table.get("rule", {}).items()}
+    return Config(roots=roots, allow=allow, options=options)

@@ -76,12 +76,46 @@ class Rule:
 
     rule_id: str = ""
     description: str = ""
+    #: ``"file"`` rules get each file via :meth:`visit`; ``"program"``
+    #: rules get the whole :class:`~tools.reprolint.program.ProgramIndex`
+    #: once via :meth:`ProgramRule.visit_program`.
+    tier: str = "file"
     applies_to: tuple[str, ...] = ()
     allowed_paths: tuple[str, ...] = ()
 
     def finding(self, path: str, node: ast.AST, message: str) -> Finding:
         return Finding(self.rule_id, path, getattr(node, "lineno", 1),
                        getattr(node, "col_offset", 0), message)
+
+
+class ProgramRule(Rule):
+    """Base for whole-program rules.
+
+    A program rule runs once per lint run against the project index
+    (built over ``<root>/src`` regardless of which paths were passed —
+    cross-module resolution needs the whole program).  Its findings are
+    then filtered exactly like per-file findings: restricted to the
+    requested paths, exempted by ``allowed_paths`` / pyproject
+    ``allow`` prefixes, and suppressible with an inline
+    ``# reprolint: disable=<rule>`` comment *on the reported line* —
+    a cross-module finding attributes to one concrete file/line and
+    that is where the suppression lives.
+
+    Per-rule options come from ``[tool.reprolint.rule.<id>]`` in
+    pyproject (see :mod:`tools.reprolint.config`).
+    """
+
+    tier = "program"
+
+    def visit(self, tree: ast.Module, source: str,
+              path: str) -> list[Finding]:  # pragma: no cover - not called
+        return []
+
+    def visit_program(self, index, options: dict) -> list[Finding]:
+        """Findings across the whole program.  ``index`` is a
+        :class:`~tools.reprolint.program.ProgramIndex`; ``options`` the
+        rule's pyproject table (may be empty)."""
+        raise NotImplementedError
 
 
 # --------------------------------------------------------------------------
@@ -236,6 +270,10 @@ def run(paths: Sequence[str] | None = None, root: str = REPO_ROOT,
     cfg = config if config is not None else load_config(root)
     selected = all_rules() if rules is None else resolve_rules(rules)
     scan_paths = list(paths) if paths is not None else list(cfg.roots)
+    file_rules = [r for r in selected
+                  if getattr(r, "tier", "file") == "file"]
+    program_rules = [r for r in selected
+                     if getattr(r, "tier", "file") == "program"]
 
     cache = AstCache()
     active: list[Finding] = []
@@ -245,7 +283,7 @@ def run(paths: Sequence[str] | None = None, root: str = REPO_ROOT,
         for abspath in files:
             rel = os.path.relpath(abspath, root).replace(os.sep, "/")
             applicable = [
-                rule for rule in selected
+                rule for rule in file_rules
                 if (not rule.applies_to
                     or path_matches(rel, rule.applies_to))
                 and not path_matches(
@@ -269,8 +307,52 @@ def run(paths: Sequence[str] | None = None, root: str = REPO_ROOT,
                         suppressed.append(replace(finding, suppressed=True))
                     else:
                         active.append(finding)
+        if program_rules:
+            _run_program_tier(program_rules, root, scan_paths, cfg,
+                              active, suppressed)
     finally:
         _WALK_CACHE.clear()
     active.sort(key=Finding.sort_key)
     suppressed.sort(key=Finding.sort_key)
     return RunResult(active, suppressed, len(files))
+
+
+def _run_program_tier(program_rules, root: str, scan_paths: Sequence[str],
+                      cfg, active: list[Finding],
+                      suppressed: list[Finding]) -> None:
+    """Run the whole-program rules and merge their findings.
+
+    The index always covers ``<root>/src`` (cross-module resolution
+    needs the whole program); findings are then filtered to the paths
+    the caller actually asked about, so ``reprolint tools/`` does not
+    fail on ``src/`` debt.  Suppressions attribute to the *reported*
+    file/line — the one place a cross-module finding is anchored.
+    """
+    from .program import get_index
+
+    index = get_index(root)
+    rel_scan = []
+    for path in scan_paths:
+        abspath = path if os.path.isabs(path) else os.path.join(root, path)
+        rel_scan.append(
+            os.path.relpath(abspath, root).replace(os.sep, "/"))
+    suppress_cache: dict[str, dict[int, frozenset[str]]] = {}
+    for rule in program_rules:
+        options = dict(cfg.options.get(rule.rule_id, {}))
+        exempt = tuple(rule.allowed_paths) + tuple(
+            cfg.allow.get(rule.rule_id, ()))
+        for finding in rule.visit_program(index, options):
+            if not path_matches(finding.path, rel_scan):
+                continue
+            if path_matches(finding.path, exempt):
+                continue
+            disabled = suppress_cache.get(finding.path)
+            if disabled is None:
+                info = index.by_path.get(finding.path)
+                source = info.source if info is not None else ""
+                disabled = suppressions(source)
+                suppress_cache[finding.path] = disabled
+            if rule.rule_id in disabled.get(finding.line, ()):
+                suppressed.append(replace(finding, suppressed=True))
+            else:
+                active.append(finding)

@@ -1,0 +1,467 @@
+"""Whole-program analysis tier: symbol table, import graph, call graph.
+
+The per-file tier (one parse, one walk, many rules) cannot see that a
+config field never reaches the cache key, that a ``maybe_inject`` site
+is undocumented, or that an attribute is mutated from both sides of the
+asyncio/executor boundary — those are *cross-module* properties.  This
+module builds the project-wide view the program-tier rules
+(:mod:`tools.reprolint.rules.cache_key` and friends) query:
+
+:class:`ModuleInfo`
+    One parsed module: its dotted name, tree, top-level classes /
+    functions / assignments, and resolved imports.
+:class:`ProgramIndex`
+    All modules under ``<root>/src`` keyed by dotted name, with
+
+    * a symbol resolver (:meth:`ProgramIndex.resolve_symbol`) that
+      follows import chains — including re-exports through package
+      ``__init__`` modules — to the defining module,
+    * a cross-module class-hierarchy walk (:meth:`ProgramIndex.derives_from`),
+    * an approximate call graph (:meth:`ProgramIndex.call_graph`):
+      nodes are ``module:qualname`` strings; an edge is either resolved
+      (``self.m()`` to the same class, bare/dotted names through the
+      symbol table) or a name-match (``other.m()`` recorded as ``~m``,
+      expandable via :meth:`ProgramIndex.named_callees`).
+
+Like the per-file AST cache, the index is memoized: :func:`get_index`
+rebuilds only when a source file's mtime set changes, so repeated
+``run()`` calls (the test-suite pattern) parse the program once.
+
+Everything here is *approximate by design* — attribute calls on
+non-``self`` receivers resolve by method name, dynamic dispatch is
+invisible — which is the right trade for a lint tier: the rules built
+on top treat unresolvable constructs conservatively and every verdict
+is waivable in ``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import os
+from dataclasses import dataclass, field
+
+from .engine import collect_files, iter_nodes
+
+#: Builtin exception names; used by resolution clients to tell
+#: "unresolved because builtin" from "unresolved because dynamic".
+BUILTIN_EXCEPTIONS = frozenset(
+    name for name in dir(builtins)
+    if isinstance(getattr(builtins, name), type)
+    and issubclass(getattr(builtins, name), BaseException))
+
+
+def module_name_for(relpath: str) -> str | None:
+    """Dotted module name for a root-relative ``src/`` path, or None."""
+    if not relpath.startswith("src/") or not relpath.endswith(".py"):
+        return None
+    parts = relpath[len("src/"):-len(".py")].split("/")
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else None
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module and its top-level symbol table."""
+
+    name: str
+    path: str                      # root-relative, posix separators
+    tree: ast.Module
+    source: str
+    is_package: bool
+    classes: dict[str, ast.ClassDef] = field(default_factory=dict)
+    functions: dict[str, ast.AST] = field(default_factory=dict)
+    assigns: dict[str, ast.AST] = field(default_factory=dict)
+    assign_nodes: dict[str, ast.AST] = field(default_factory=dict)
+    imports: dict[str, str] = field(default_factory=dict)  # local -> fq
+    imported_modules: set[str] = field(default_factory=set)
+
+    def collect(self) -> None:
+        for node in self.tree.body:
+            if isinstance(node, ast.ClassDef):
+                self.classes[node.name] = node
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[node.name] = node
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.assigns[target.id] = node.value
+                        self.assign_nodes[target.id] = node
+            elif (isinstance(node, ast.AnnAssign) and node.value is not None
+                  and isinstance(node.target, ast.Name)):
+                self.assigns[node.target.id] = node.value
+                self.assign_nodes[node.target.id] = node
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.imports[alias.asname] = alias.name
+                    else:
+                        top = alias.name.split(".")[0]
+                        self.imports[top] = top
+                    self.imported_modules.add(alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                base = self._from_base(node)
+                if base is None:
+                    continue
+                self.imported_modules.add(base)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.imports[local] = (base + "." + alias.name
+                                           if base else alias.name)
+
+    def _from_base(self, node: ast.ImportFrom) -> str | None:
+        """Absolute module a ``from X import ...`` refers to."""
+        if node.level == 0:
+            return node.module
+        # relative: resolve against this module's package
+        pkg_parts = self.name.split(".")
+        if not self.is_package:
+            pkg_parts = pkg_parts[:-1]
+        drop = node.level - 1
+        if drop > len(pkg_parts):
+            return None
+        base_parts = pkg_parts[:len(pkg_parts) - drop]
+        if node.module:
+            base_parts.append(node.module)
+        return ".".join(base_parts)
+
+
+class ProgramIndex:
+    """The project-wide symbol table / import graph / call graph."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.modules: dict[str, ModuleInfo] = {}
+        self.by_path: dict[str, ModuleInfo] = {}
+        self._call_graph: dict[str, set[str]] | None = None
+        self._defs_by_name: dict[str, set[str]] | None = None
+        self._fn_nodes: dict[str, ast.AST] = {}
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def build(cls, root: str, files: list[str]) -> "ProgramIndex":
+        index = cls(root)
+        for abspath in files:
+            rel = os.path.relpath(abspath, root).replace(os.sep, "/")
+            name = module_name_for(rel)
+            if name is None:
+                continue
+            try:
+                with open(abspath, encoding="utf-8") as fh:
+                    source = fh.read()
+                tree = ast.parse(source, filename=abspath)
+            except (SyntaxError, ValueError, UnicodeDecodeError):
+                continue  # the per-file tier reports the syntax error
+            info = ModuleInfo(name=name, path=rel, tree=tree, source=source,
+                              is_package=rel.endswith("/__init__.py"))
+            info.collect()
+            index.modules[name] = info
+            index.by_path[rel] = info
+        return index
+
+    # -- symbol resolution -----------------------------------------------
+
+    def resolve_symbol(self, module: str, dotted: str,
+                       _seen: frozenset = frozenset()
+                       ) -> tuple[str, str] | None:
+        """Follow ``dotted`` from ``module`` to ``(defining_module, name)``.
+
+        Chases import aliases and package re-exports; returns None for
+        externals (stdlib, numpy), builtins, and anything dynamic.
+        """
+        info = self.modules.get(module)
+        if info is None or (module, dotted) in _seen:
+            return None
+        _seen = _seen | {(module, dotted)}
+        head, _, rest = dotted.partition(".")
+        if head in info.imports:
+            return self._resolve_fq(info.imports[head], rest, _seen)
+        if not rest:
+            if (head in info.classes or head in info.functions
+                    or head in info.assigns):
+                return (module, head)
+        elif info.is_package and module + "." + head in self.modules:
+            return self.resolve_symbol(module + "." + head, rest, _seen)
+        return None
+
+    def _resolve_fq(self, fq: str, rest: str,
+                    _seen: frozenset) -> tuple[str, str] | None:
+        """Resolve a fully-qualified target plus a trailing attribute
+        path; ``fq`` may name a module or a symbol inside one."""
+        if fq in self.modules:
+            if not rest:
+                return None  # a bare module is not a symbol
+            return self.resolve_symbol(fq, rest, _seen)
+        mod, _, sym = fq.rpartition(".")
+        if mod and mod in self.modules:
+            dotted = sym + ("." + rest if rest else "")
+            return self.resolve_symbol(mod, dotted, _seen)
+        return None
+
+    def lookup_class(self, module: str,
+                     dotted: str) -> tuple[str, ast.ClassDef] | None:
+        """Resolve ``dotted`` to a ClassDef, or None."""
+        resolved = self.resolve_symbol(module, dotted)
+        if resolved is None:
+            return None
+        mod, name = resolved
+        node = self.modules[mod].classes.get(name)
+        return (mod, node) if node is not None else None
+
+    # -- class hierarchy -------------------------------------------------
+
+    def derives_from(self, module: str, cls: ast.ClassDef,
+                     target: str, _seen: frozenset = frozenset()) -> bool:
+        """True when ``cls`` (defined in ``module``) has ``target``
+        (``"pkg.mod.Class"``) anywhere in its resolvable base chain."""
+        key = (module, cls.name)
+        if key in _seen:
+            return False
+        _seen = _seen | {key}
+        target_mod, _, target_name = target.rpartition(".")
+        for base in cls.bases:
+            name = dotted_name(base)
+            if name is None:
+                continue
+            resolved = self.resolve_symbol(module, name)
+            if resolved is None:
+                continue
+            if resolved == (target_mod, target_name):
+                return True
+            base_cls = self.modules[resolved[0]].classes.get(resolved[1])
+            if base_cls is not None and self.derives_from(
+                    resolved[0], base_cls, target, _seen):
+                return True
+        return False
+
+    def mro_classes(self, module: str, cls: ast.ClassDef
+                    ) -> list[tuple[str, ast.ClassDef]]:
+        """``cls`` and its resolvable ancestors, nearest first
+        (approximate linearization: depth-first, deduplicated)."""
+        out: list[tuple[str, ast.ClassDef]] = []
+        seen: set[tuple[str, str]] = set()
+
+        def walk(mod: str, node: ast.ClassDef) -> None:
+            key = (mod, node.name)
+            if key in seen:
+                return
+            seen.add(key)
+            out.append((mod, node))
+            for base in node.bases:
+                name = dotted_name(base)
+                if name is None:
+                    continue
+                found = self.lookup_class(mod, name)
+                if found is not None:
+                    walk(*found)
+
+        walk(module, cls)
+        return out
+
+    def class_attr(self, module: str, cls: ast.ClassDef,
+                   attr: str) -> tuple[str, ast.AST] | None:
+        """First class-body assignment of ``attr`` along the MRO:
+        ``(defining_module, value_expr)``."""
+        for mod, node in self.mro_classes(module, cls):
+            for stmt in node.body:
+                if isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name) and target.id == attr:
+                            return (mod, stmt.value)
+                elif (isinstance(stmt, ast.AnnAssign)
+                      and isinstance(stmt.target, ast.Name)
+                      and stmt.target.id == attr
+                      and stmt.value is not None):
+                    return (mod, stmt.value)
+        return None
+
+    def class_method(self, module: str, cls: ast.ClassDef,
+                     name: str) -> tuple[str, ast.AST] | None:
+        """First def of ``name`` along the MRO: ``(defining_module, def)``."""
+        for mod, node in self.mro_classes(module, cls):
+            for stmt in node.body:
+                if (isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and stmt.name == name):
+                    return (mod, stmt)
+        return None
+
+    # -- constant evaluation ---------------------------------------------
+
+    def eval_string_set(self, module: str, node: ast.AST,
+                        _seen: frozenset = frozenset()) -> frozenset | None:
+        """Evaluate an expression to a frozenset of strings, following
+        name references and ``|`` unions; None when not statically a
+        string set."""
+        if isinstance(node, (ast.Set, ast.List, ast.Tuple)):
+            out = []
+            for elt in node.elts:
+                if (isinstance(elt, ast.Constant)
+                        and isinstance(elt.value, str)):
+                    out.append(elt.value)
+                else:
+                    return None
+            return frozenset(out)
+        if (isinstance(node, ast.Call)
+                and dotted_name(node.func) in ("frozenset", "set")
+                and len(node.args) <= 1 and not node.keywords):
+            if not node.args:
+                return frozenset()
+            return self.eval_string_set(module, node.args[0], _seen)
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            left = self.eval_string_set(module, node.left, _seen)
+            right = self.eval_string_set(module, node.right, _seen)
+            if left is None or right is None:
+                return None
+            return left | right
+        name = dotted_name(node)
+        if name is not None:
+            if (module, name) in _seen:
+                return None
+            resolved = self.resolve_symbol(module, name)
+            if resolved is None:
+                return None
+            mod, sym = resolved
+            value = self.modules[mod].assigns.get(sym)
+            if value is None:
+                return None
+            return self.eval_string_set(mod, value,
+                                        _seen | {(module, name)})
+        return None
+
+    # -- approximate call graph ------------------------------------------
+
+    def _build_call_graph(self) -> None:
+        """Nodes ``module:qualname``; edges to resolved nodes or to
+        ``~name`` name-match placeholders."""
+        graph: dict[str, set[str]] = {}
+        defs_by_name: dict[str, set[str]] = {}
+
+        def register(fq: str, node: ast.AST) -> None:
+            self._fn_nodes[fq] = node
+            short = fq.rsplit(".", 1)[-1].rsplit(":", 1)[-1]
+            defs_by_name.setdefault(short, set()).add(fq)
+
+        def visit_fn(module: ModuleInfo, fq: str, fn: ast.AST,
+                     cls: ast.ClassDef | None) -> None:
+            register(fq, fn)
+            edges = graph.setdefault(fq, set())
+            method_names = set()
+            if cls is not None:
+                method_names = {
+                    s.name for s in cls.body
+                    if isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef))}
+
+            def scan(node: ast.AST) -> None:
+                for child in ast.iter_child_nodes(node):
+                    if isinstance(child, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef)):
+                        visit_fn(module, fq + "." + child.name, child, None)
+                        continue
+                    if isinstance(child, ast.Call):
+                        self._add_call_edge(module, child, cls, method_names,
+                                            edges)
+                    scan(child)
+
+            scan(fn)
+
+        for module in self.modules.values():
+            for fname, fn in module.functions.items():
+                visit_fn(module, f"{module.name}:{fname}", fn, None)
+            for cname, cls in module.classes.items():
+                for stmt in cls.body:
+                    if isinstance(stmt, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        visit_fn(module, f"{module.name}:{cname}.{stmt.name}",
+                                 stmt, cls)
+        self._call_graph = graph
+        self._defs_by_name = defs_by_name
+
+    def _add_call_edge(self, module: ModuleInfo, call: ast.Call,
+                       cls: ast.ClassDef | None, method_names: set,
+                       edges: set[str]) -> None:
+        func = call.func
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self" and cls is not None):
+            if func.attr in method_names:
+                edges.add(f"{module.name}:{cls.name}.{func.attr}")
+            else:
+                edges.add("~" + func.attr)  # inherited or dynamic
+            return
+        name = dotted_name(func)
+        if name is not None:
+            resolved = self.resolve_symbol(module.name, name)
+            if resolved is not None:
+                mod, sym = resolved
+                if sym in self.modules[mod].functions:
+                    edges.add(f"{mod}:{sym}")
+                    return
+                if sym in self.modules[mod].classes:
+                    return  # constructor: not a call-graph edge
+            if "." not in name and name in module.functions:
+                edges.add(f"{module.name}:{name}")
+                return
+        if isinstance(func, ast.Attribute):
+            edges.add("~" + func.attr)
+
+    @property
+    def call_graph(self) -> dict[str, set[str]]:
+        if self._call_graph is None:
+            self._build_call_graph()
+        return self._call_graph
+
+    def fn_node(self, fq: str) -> ast.AST | None:
+        """The def node of a call-graph node id."""
+        self.call_graph  # noqa: B018 - force build
+        return self._fn_nodes.get(fq)
+
+    def named_callees(self, name: str) -> set[str]:
+        """Every def whose bare name matches a ``~name`` edge."""
+        self.call_graph  # noqa: B018 - force build
+        return set(self._defs_by_name.get(name, ()))
+
+    def walk_module(self, info: ModuleInfo, *types: type) -> list[ast.AST]:
+        """Memoized walk of an indexed module (shares the engine's
+        per-tree walk cache with the per-file rules)."""
+        return iter_nodes(info.tree, *types)
+
+
+# --------------------------------------------------------------------------
+# Cross-run memoization
+
+_INDEX_CACHE: dict[str, tuple[frozenset, ProgramIndex]] = {}
+
+
+def get_index(root: str) -> ProgramIndex:
+    """The program index for ``root``, rebuilt only when the ``src/``
+    file set (paths + mtimes) changes — the cross-file analogue of the
+    per-file :class:`~tools.reprolint.engine.AstCache`."""
+    files = collect_files(["src"], root)
+    try:
+        key = frozenset(
+            (path, os.path.getmtime(path)) for path in files)
+    except OSError:
+        key = None
+    cached = _INDEX_CACHE.get(root)
+    if cached is not None and key is not None and cached[0] == key:
+        return cached[1]
+    index = ProgramIndex.build(root, files)
+    if key is not None:
+        _INDEX_CACHE[root] = (key, index)
+    return index

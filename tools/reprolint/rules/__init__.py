@@ -13,10 +13,14 @@ from typing import Sequence
 from .async_blocking import AsyncBlockingRule
 from .backend_dispatch import BackendDispatchRule
 from .blanket_except import BlanketExceptRule
+from .cache_key import CacheKeySoundnessRule
 from .dtype_discipline import DtypeDisciplineRule
 from .durable_write import DurableWriteRule
+from .fault_sites import FaultSiteRegistryRule
 from .mutable_defaults import MutableDefaultsRule
 from .pickle_safe_errors import PickleSafeErrorsRule
+from .raise_contract import RaiseContractRule
+from .shared_state import SharedStateRule
 from .unseeded_rng import UnseededRngRule
 from .wallclock import WallclockRule
 from .workload_dispatch import WorkloadDispatchRule
@@ -32,6 +36,11 @@ ALL_RULES = (
     MutableDefaultsRule(),
     AsyncBlockingRule(),
     DurableWriteRule(),
+    # whole-program tier (tools/reprolint/program.py)
+    CacheKeySoundnessRule(),
+    FaultSiteRegistryRule(),
+    SharedStateRule(),
+    RaiseContractRule(),
 )
 
 _BY_ID = {rule.rule_id: rule for rule in ALL_RULES}

@@ -1,0 +1,174 @@
+"""cache-key-soundness: every result-affecting config field is keyed.
+
+The serving cache (PR 6) is only sound because of a convention: a
+workload's ``canonical_params`` must key *every* field of its config
+schema except the declared execution knobs (``n_workers`` and friends,
+which select a strategy, never a result — sound under the repo-wide
+bit-identity discipline).  The convention drifts in exactly two ways,
+and each is silent at runtime:
+
+* a new config field is added but a hand-written ``canonical_params``
+  override never keys it — two requests differing only in that field
+  now collide in the cache and one of them is served the wrong result;
+* a field is quietly excluded as an "execution knob" without the
+  shared review that the exclusion list in ``pyproject.toml``
+  (``[tool.reprolint.rule.cache-key-soundness] execution-knobs``)
+  represents.
+
+This whole-program rule resolves, for every class deriving from the
+workload contract, the cross-module chain ``Workload subclass →
+config_type dataclass → fields`` and checks:
+
+1. every knob the code excludes (``execution_knobs``) appears on the
+   pyproject exclusion list, and names a real config field;
+2. every non-excluded field reaches the canonicalization — trivially
+   true for the inherited ``asdict``-based ``canonical_params``;
+   an override that does not call ``asdict`` must mention each field
+   name as a string literal.
+
+Findings anchor to the most actionable line: an unkeyed field points
+at the field's declaration, an undeclared knob at the
+``execution_knobs`` assignment.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Finding, ProgramRule
+from ..program import ProgramIndex, dotted_name
+
+#: Where the workload contract lives (override per-repo with the
+#: ``workload-base`` option — the fixture mini-repos carry their own).
+DEFAULT_WORKLOAD_BASE = "repro.workloads.base.Workload"
+
+
+def _annotation_is_classvar(node: ast.AST | None) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    name = dotted_name(node)
+    return name is not None and name.split(".")[-1] == "ClassVar"
+
+
+def _config_fields(index: ProgramIndex, module: str,
+                   cls: ast.ClassDef) -> dict[str, tuple[str, ast.AST]]:
+    """Dataclass field name -> (module, AnnAssign node), across the
+    resolvable base chain (nearest definition wins)."""
+    fields: dict[str, tuple[str, ast.AST]] = {}
+    for mod, node in index.mro_classes(module, cls):
+        for stmt in node.body:
+            if (isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                    and not _annotation_is_classvar(stmt.annotation)):
+                fields.setdefault(stmt.target.id, (mod, stmt))
+    return fields
+
+
+def _calls_asdict(fn: ast.AST) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is not None and name.split(".")[-1] == "asdict":
+                return True
+    return False
+
+
+def _string_literals(fn: ast.AST) -> set[str]:
+    return {node.value for node in ast.walk(fn)
+            if isinstance(node, ast.Constant)
+            and isinstance(node.value, str)}
+
+
+class CacheKeySoundnessRule(ProgramRule):
+    rule_id = "cache-key-soundness"
+    description = ("a result-affecting config field never reaches the "
+                   "serving cache-key canonicalization, or an execution "
+                   "knob is excluded without being declared")
+
+    def visit_program(self, index: ProgramIndex,
+                      options: dict) -> list[Finding]:
+        declared = frozenset(options.get("execution-knobs", ()))
+        base = str(options.get("workload-base", DEFAULT_WORKLOAD_BASE))
+        findings: set[Finding] = set()
+        for module in list(index.modules.values()):
+            for cls in module.classes.values():
+                if not index.derives_from(module.name, cls, base):
+                    continue
+                findings.update(self._check_workload(
+                    index, module.name, cls, declared))
+        return list(findings)
+
+    def _check_workload(self, index: ProgramIndex, module: str,
+                        cls: ast.ClassDef,
+                        declared: frozenset) -> list[Finding]:
+        info = index.modules[module]
+        config_attr = index.class_attr(module, cls, "config_type")
+        if config_attr is None:
+            return []
+        cfg_mod, cfg_expr = config_attr
+        if isinstance(cfg_expr, ast.Constant) and cfg_expr.value is None:
+            return []  # abstract: no schema to key
+        name = dotted_name(cfg_expr)
+        resolved = (index.lookup_class(cfg_mod, name)
+                    if name is not None else None)
+        if resolved is None:
+            return [self.finding(
+                info.path, cls,
+                f"workload {cls.name}: config_type "
+                f"{ast.unparse(cfg_expr)!r} does not resolve to a class "
+                "in the program — the cache-key audit cannot see its "
+                "fields")]
+        config_module, config_cls = resolved
+        fields = _config_fields(index, config_module, config_cls)
+
+        findings: list[Finding] = []
+        knob_attr = index.class_attr(module, cls, "execution_knobs")
+        knobs: frozenset = frozenset()
+        if knob_attr is not None:
+            knob_mod, knob_expr = knob_attr
+            evaluated = index.eval_string_set(knob_mod, knob_expr)
+            if evaluated is None:
+                findings.append(self.finding(
+                    index.modules[knob_mod].path, knob_expr,
+                    f"workload {cls.name}: execution_knobs is not a "
+                    "statically evaluable set of field-name strings, so "
+                    "the exclusion list cannot be audited"))
+            else:
+                knobs = evaluated
+                for knob in sorted(knobs - declared):
+                    findings.append(self.finding(
+                        index.modules[knob_mod].path, knob_expr,
+                        f"workload {cls.name} excludes {knob!r} from the "
+                        "cache key but the knob is not on the declared "
+                        "exclusion list ([tool.reprolint.rule."
+                        "cache-key-soundness] execution-knobs)"))
+                for knob in sorted(knobs - set(fields)):
+                    findings.append(self.finding(
+                        index.modules[knob_mod].path, knob_expr,
+                        f"workload {cls.name} excludes {knob!r} from the "
+                        f"cache key but {config_cls.name} has no such "
+                        "field — a typoed knob silently keys nothing"))
+
+        canonical = index.class_method(module, cls, "canonical_params")
+        if canonical is None:
+            findings.append(self.finding(
+                info.path, cls,
+                f"workload {cls.name} has no reachable canonical_params "
+                "— its requests cannot be cache-keyed"))
+            return findings
+        can_mod, can_fn = canonical
+        if _calls_asdict(can_fn):
+            return findings  # asdict keys every field by construction
+        keyed = _string_literals(can_fn)
+        for field in sorted(set(fields) - knobs - keyed):
+            field_mod, field_node = fields[field]
+            findings.append(self.finding(
+                index.modules[field_mod].path, field_node,
+                f"result-affecting field {field!r} of {config_cls.name} "
+                f"never reaches canonical_params of workload {cls.name} "
+                f"({index.modules[can_mod].path}:{can_fn.lineno}) — two "
+                "requests differing only in this field would collide in "
+                "the serving cache"))
+        return findings

@@ -1,0 +1,197 @@
+"""fault-site-registry: every fault site is registered, documented, tested.
+
+The fault injector's whole value is *coverage you can trust*: a chaos
+campaign configures sites by name, so a ``maybe_inject("new_site")``
+call that is not in the :data:`repro.faults.FAULT_SITES` registry is
+invisible to every existing campaign, a registered site with no
+surviving call is a campaign that silently tests nothing, and a site
+no test exercises is a recovery path that has never actually run.
+
+This whole-program rule cross-checks four surfaces:
+
+1. **code** — every call that resolves to the injector's
+   ``maybe_inject`` passes a string-literal site name (a computed name
+   cannot be audited) that is registered;
+2. **registry** — every registered site still has at least one call
+   (no dead registry entries);
+3. **docs** — every registered site appears in the robustness
+   documentation (``docs`` option, default ``docs/robustness.md``);
+4. **tests** — every registered site is exercised somewhere under the
+   test tree (``tests`` option, default ``tests``): a ``site="name"``
+   spec kwarg or a literal ``maybe_inject("name")`` call.  Fixture
+   directories are skipped — deliberately-broken lint fixtures must
+   not vouch for real coverage.
+
+Registry/docs/tests findings anchor to the registry entry (or the
+registry assignment), call-site findings to the call.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+
+from ..engine import Finding, ProgramRule
+from ..program import ProgramIndex, dotted_name
+
+#: Defaults; each is overridable via ``[tool.reprolint.rule.fault-site-registry]``.
+DEFAULT_REGISTRY = "repro.faults.injector.FAULT_SITES"
+DEFAULT_INJECT = "repro.faults.injector.maybe_inject"
+DEFAULT_DOCS = "docs/robustness.md"
+DEFAULT_TESTS = "tests"
+
+#: Test-tree directories never scanned for site coverage.
+_SKIP_TEST_DIRS = frozenset({"fixtures", "program_fixtures", "__pycache__"})
+
+
+def _test_sources(root: str, tests_rel: str):
+    base = os.path.join(root, tests_rel)
+    for dirpath, dirnames, filenames in os.walk(base):
+        dirnames[:] = sorted(d for d in dirnames
+                             if d not in _SKIP_TEST_DIRS
+                             and not d.startswith("."))
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                try:
+                    with open(os.path.join(dirpath, filename),
+                              encoding="utf-8") as fh:
+                        yield fh.read()
+                except OSError:
+                    continue
+
+
+class FaultSiteRegistryRule(ProgramRule):
+    rule_id = "fault-site-registry"
+    description = ("a maybe_inject fault site is unregistered, "
+                   "undocumented, dead, or exercised by no test")
+
+    def visit_program(self, index: ProgramIndex,
+                      options: dict) -> list[Finding]:
+        registry_fq = str(options.get("registry", DEFAULT_REGISTRY))
+        inject_fq = str(options.get("inject-function", DEFAULT_INJECT))
+        docs_rel = str(options.get("docs", DEFAULT_DOCS))
+        tests_rel = str(options.get("tests", DEFAULT_TESTS))
+
+        inject_mod, _, inject_name = inject_fq.rpartition(".")
+        calls = self._inject_calls(index, inject_mod, inject_name)
+
+        reg_mod, _, reg_name = registry_fq.rpartition(".")
+        reg_info = index.modules.get(reg_mod)
+        reg_value = (reg_info.assigns.get(reg_name)
+                     if reg_info is not None else None)
+        findings: list[Finding] = []
+        if reg_value is None:
+            anchor_info, anchor_node = self._registry_anchor(index, calls)
+            if anchor_info is not None:
+                findings.append(self.finding(
+                    anchor_info.path, anchor_node,
+                    f"no fault-site registry found at {registry_fq} — "
+                    "every maybe_inject site must be enumerated there"))
+            return findings
+
+        registered: dict[str, ast.AST] = {}
+        if isinstance(reg_value, ast.Dict):
+            for key in reg_value.keys:
+                if (isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)):
+                    registered[key.value] = key
+                elif key is not None:
+                    findings.append(self.finding(
+                        reg_info.path, key,
+                        f"{reg_name} key is not a string literal — the "
+                        "registry must be statically enumerable"))
+        else:
+            findings.append(self.finding(
+                reg_info.path, reg_value,
+                f"{reg_name} is not a literal dict — the registry must "
+                "be statically enumerable"))
+            return findings
+
+        used: set[str] = set()
+        for info, call in calls:
+            site = self._literal_site(call)
+            if site is None:
+                findings.append(self.finding(
+                    info.path, call,
+                    "maybe_inject site is not a string literal — the "
+                    "site cannot be audited or targeted by a campaign"))
+                continue
+            used.add(site)
+            if site not in registered:
+                findings.append(self.finding(
+                    info.path, call,
+                    f"fault site {site!r} is not registered in "
+                    f"{registry_fq} — chaos campaigns cannot discover "
+                    "it"))
+
+        docs_path = os.path.join(index.root, docs_rel)
+        docs_text = ""
+        docs_exist = os.path.isfile(docs_path)
+        if docs_exist:
+            with open(docs_path, encoding="utf-8") as fh:
+                docs_text = fh.read()
+        else:
+            findings.append(self.finding(
+                reg_info.path, reg_value,
+                f"fault-site documentation {docs_rel!r} not found — "
+                "registered sites must be documented"))
+
+        tested_text = "\n".join(_test_sources(index.root, tests_rel))
+
+        for site in sorted(registered):
+            anchor = registered[site]
+            if site not in used:
+                findings.append(self.finding(
+                    reg_info.path, anchor,
+                    f"registered fault site {site!r} has no surviving "
+                    "maybe_inject call — a campaign targeting it "
+                    "silently tests nothing"))
+            if docs_exist and not re.search(
+                    rf"\b{re.escape(site)}\b", docs_text):
+                findings.append(self.finding(
+                    reg_info.path, anchor,
+                    f"registered fault site {site!r} is not mentioned "
+                    f"in {docs_rel}"))
+            if not re.search(
+                    rf"""site\s*=\s*['"]{re.escape(site)}['"]"""
+                    rf"""|maybe_inject\(\s*['"]{re.escape(site)}['"]""",
+                    tested_text):
+                findings.append(self.finding(
+                    reg_info.path, anchor,
+                    f"no test under {tests_rel}/ exercises fault site "
+                    f"{site!r} (no site=\"{site}\" spec and no literal "
+                    "maybe_inject call) — its recovery path has never "
+                    "run"))
+        return findings
+
+    # -- helpers ---------------------------------------------------------
+
+    def _inject_calls(self, index: ProgramIndex, inject_mod: str,
+                      inject_name: str):
+        calls = []
+        target = (inject_mod, inject_name)
+        for info in index.modules.values():
+            for call in index.walk_module(info, ast.Call):
+                name = dotted_name(call.func)
+                if name is None or name.split(".")[-1] != inject_name:
+                    continue
+                if index.resolve_symbol(info.name, name) == target:
+                    calls.append((info, call))
+        return calls
+
+    def _literal_site(self, call: ast.Call) -> str | None:
+        if call.args and isinstance(call.args[0], ast.Constant) \
+                and isinstance(call.args[0].value, str):
+            return call.args[0].value
+        for keyword in call.keywords:
+            if keyword.arg == "site" and isinstance(
+                    keyword.value, ast.Constant) and isinstance(
+                    keyword.value.value, str):
+                return keyword.value.value
+        return None
+
+    def _registry_anchor(self, index: ProgramIndex, calls):
+        if calls:
+            return calls[0]
+        return (None, None)

@@ -1,0 +1,135 @@
+"""raise-contract: everything raised under ``src/repro`` is a ReproError.
+
+The library's public promise — "catch :class:`repro.errors.ReproError`
+and you have caught everything this package raises" — plus the
+pool-crossing constraint that worker exceptions must survive pickling
+are conventions a per-file rule cannot check: the raise lives in one
+module, the class in another, its bases in a third.
+
+Interprocedurally, this rule checks every ``raise`` under the indexed
+program:
+
+1. the raised expression resolves to a class that (cross-module)
+   derives from :class:`ReproError` (``base`` option, default
+   ``repro.errors.ReproError``).  Builtins are findings unless
+   allowlisted (``allow-builtins`` option; default permits the
+   control-flow builtins such as ``NotImplementedError`` and
+   ``StopIteration``).  ``raise name`` of a plain bound variable (the
+   re-raise idiom) and dynamic constructs are skipped — they are
+   re-surfacing an error, not originating one;
+2. the class is reachable via the errors module itself (defined or
+   re-exported there), so callers have one import point;
+3. pickle-safety holds *interprocedurally*: a ReproError subclass
+   defined outside the errors module (lineage the per-file
+   ``pickle-safe-errors`` rule cannot see) keeps ``__init__`` state
+   only if it forwards to ``super().__init__`` or ships a
+   ``__reduce__``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Finding, ProgramRule
+from ..program import BUILTIN_EXCEPTIONS, ProgramIndex, dotted_name
+from .pickle_safe_errors import (_forwarded_names, _init_params)
+
+DEFAULT_BASE = "repro.errors.ReproError"
+
+#: Builtins that are control flow or contract markers, not error
+#: reporting — always acceptable to raise.
+DEFAULT_ALLOWED_BUILTINS = (
+    "NotImplementedError", "KeyboardInterrupt", "SystemExit",
+    "StopIteration", "StopAsyncIteration")
+
+
+class RaiseContractRule(ProgramRule):
+    rule_id = "raise-contract"
+    description = ("a raise under src/repro does not resolve to a "
+                   "pickle-safe ReproError subclass exported via "
+                   "repro.errors")
+
+    def visit_program(self, index: ProgramIndex,
+                      options: dict) -> list[Finding]:
+        base = str(options.get("base", DEFAULT_BASE))
+        errors_mod = base.rpartition(".")[0]
+        allowed = frozenset(options.get("allow-builtins",
+                                        DEFAULT_ALLOWED_BUILTINS))
+        findings: list[Finding] = []
+        for info in index.modules.values():
+            for node in index.walk_module(info, ast.Raise):
+                findings.extend(self._check_raise(
+                    index, info, node, base, errors_mod, allowed))
+        for info in index.modules.values():
+            if info.name == errors_mod:
+                continue  # same-module lineage: pickle-safe-errors' job
+            for cls in info.classes.values():
+                if index.derives_from(info.name, cls, base):
+                    findings.extend(
+                        self._check_pickle_safety(info, cls))
+        return findings
+
+    def _check_raise(self, index: ProgramIndex, info, node: ast.Raise,
+                     base: str, errors_mod: str,
+                     allowed: frozenset) -> list[Finding]:
+        exc = node.exc
+        if exc is None:
+            return []  # bare re-raise
+        target = exc.func if isinstance(exc, ast.Call) else exc
+        name = dotted_name(target)
+        if name is None:
+            return []  # dynamic (raise type(e)(...)): out of scope
+        resolved = index.resolve_symbol(info.name, name)
+        if resolved is None:
+            if name in BUILTIN_EXCEPTIONS:
+                if name in allowed:
+                    return []
+                return [self.finding(
+                    info.path, node,
+                    f"raises builtin {name} — everything raised under "
+                    "the library must derive from ReproError so "
+                    f"`except {base.rsplit('.', 1)[-1]}` catches it "
+                    "(see repro.errors for dual-inheriting classes "
+                    "like ValidationError)")]
+            return []  # bound local (re-raise idiom) or external class
+        mod, sym = resolved
+        cls = index.modules[mod].classes.get(sym)
+        if cls is None:
+            return []  # a function or value: factory/re-raise, skip
+        if resolved != tuple(base.rsplit(".", 1)) and \
+                not index.derives_from(mod, cls, base):
+            return [self.finding(
+                info.path, node,
+                f"raises {sym} ({index.modules[mod].path}) which does "
+                f"not derive from {base} — callers cannot catch it via "
+                "the library's exception contract")]
+        if mod != errors_mod and index.resolve_symbol(
+                errors_mod, sym) != resolved:
+            return [self.finding(
+                info.path, node,
+                f"raises {sym}, defined in {mod} but not reachable via "
+                f"{errors_mod} — error classes must be importable from "
+                "the errors module so callers have one import point")]
+        return []
+
+    def _check_pickle_safety(self, info, cls: ast.ClassDef
+                             ) -> list[Finding]:
+        init = next((item for item in cls.body
+                     if isinstance(item, ast.FunctionDef)
+                     and item.name == "__init__"), None)
+        if init is None:
+            return []
+        if any(isinstance(item, ast.FunctionDef)
+               and item.name == "__reduce__" for item in cls.body):
+            return []
+        missing = [p for p in _init_params(init)
+                   if p not in _forwarded_names(init)]
+        if not missing:
+            return []
+        return [self.finding(
+            info.path, init,
+            f"{cls.name} derives (cross-module) from ReproError but "
+            f"__init__ keeps ({', '.join(missing)}) without forwarding "
+            "to super().__init__ and without __reduce__ — the "
+            "exception loses this state crossing a worker pool's "
+            "result queue")]

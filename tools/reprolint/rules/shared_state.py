@@ -1,0 +1,224 @@
+"""async-thread-shared-state: the loop/executor boundary needs locks.
+
+PR 8 made the serving layer stateful across a real concurrency
+boundary: ``AMCServer`` methods run on the asyncio event loop, but the
+job executor (``loop.run_in_executor``) calls into the same objects
+from worker threads.  The repo's discipline — documented in
+``docs/serving.md`` — is that any attribute mutated on *both* sides
+must be guarded by a lock (the ``Heartbeat._last`` pattern) or kept
+strictly on one side.  Nothing enforced that; this rule does.
+
+Per class in the scoped modules (``modules`` option, default
+``repro.serving``), the rule:
+
+1. finds **thread-side roots** — methods passed by reference into a
+   dispatch call (``run_in_executor`` / ``submit`` / ``Thread``);
+2. finds **loop-side roots** — ``async def`` methods;
+3. propagates both sides over the approximate call graph (``self.m()``
+   edges plus name-matched attribute calls within the class);
+4. collects every ``self.<attr>`` **mutation** — assignment,
+   augmented assignment, deletion, subscript store, or a mutating
+   method call (``.append``, ``.pop``, ...) — together with whether it
+   happens inside a ``with <...lock...>:`` block
+   (``__init__``/``__post_init__`` are construction, not sharing, and
+   are exempt);
+5. flags each unguarded mutation of an attribute that is mutated from
+   both sides.
+
+A justified single-side-by-design attribute can be waived with the
+``waive`` option (``["ClassName.attr"]``) or an inline suppression on
+the reported mutation line.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Finding, ProgramRule
+from ..program import ProgramIndex, dotted_name
+
+#: Call names that move a function reference onto a thread.
+DISPATCH_NAMES = frozenset({"run_in_executor", "submit", "Thread"})
+
+#: Method names that mutate their receiver in place.
+MUTATOR_NAMES = frozenset({
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "add", "discard", "update", "setdefault", "appendleft", "popleft",
+    "sort", "reverse"})
+
+#: Methods whose mutations are construction, not cross-side sharing.
+CONSTRUCTOR_METHODS = frozenset({"__init__", "__post_init__", "__new__"})
+
+
+def _is_lockish(expr: ast.AST) -> bool:
+    """Heuristic: a with-context that names anything lock-like."""
+    name = dotted_name(expr)
+    if name is None and isinstance(expr, ast.Call):
+        name = dotted_name(expr.func)
+    return name is not None and "lock" in name.lower()
+
+
+def _self_attr_of_target(node: ast.AST) -> str | None:
+    """The attribute A for stores into ``self.A``, ``self.A[...]``,
+    ``self.A.b...`` — the first attribute above ``self``."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        parent = node.value
+        if (isinstance(node, ast.Attribute)
+                and isinstance(parent, ast.Name) and parent.id == "self"):
+            return node.attr
+        node = parent
+    return None
+
+
+class _MutationScanner:
+    """Collect (attr, node, guarded) mutations of ``self`` inside one
+    method, tracking lock-guard depth lexically."""
+
+    def __init__(self) -> None:
+        self.mutations: list[tuple[str, ast.AST, bool]] = []
+
+    def scan(self, fn: ast.AST) -> "_MutationScanner":
+        for stmt in ast.iter_child_nodes(fn):
+            self._visit(stmt, guarded=False)
+        return self
+
+    def _visit(self, node: ast.AST, guarded: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            return  # nested defs run when called, not here
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = guarded or any(_is_lockish(item.context_expr)
+                                   for item in node.items)
+            for child in ast.iter_child_nodes(node):
+                self._visit(child, inner)
+            return
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                attr = _self_attr_of_target(target)
+                if attr is not None:
+                    self.mutations.append((attr, node, guarded))
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                attr = _self_attr_of_target(target)
+                if attr is not None:
+                    self.mutations.append((attr, node, guarded))
+        elif (isinstance(node, ast.Call)
+              and isinstance(node.func, ast.Attribute)
+              and node.func.attr in MUTATOR_NAMES):
+            attr = _self_attr_of_target(node.func.value)
+            if attr is not None:
+                self.mutations.append((attr, node, guarded))
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, guarded)
+
+
+class SharedStateRule(ProgramRule):
+    rule_id = "async-thread-shared-state"
+    description = ("a serving-class attribute is mutated from both the "
+                   "event loop and executor threads without a lock")
+
+    def visit_program(self, index: ProgramIndex,
+                      options: dict) -> list[Finding]:
+        scopes = tuple(options.get("modules", ("repro.serving",)))
+        waived = frozenset(options.get("waive", ()))
+        findings: list[Finding] = []
+        for info in index.modules.values():
+            if not any(info.name == s or info.name.startswith(s + ".")
+                       for s in scopes):
+                continue
+            for cls in info.classes.values():
+                findings.extend(
+                    self._check_class(index, info, cls, waived))
+        return findings
+
+    def _check_class(self, index: ProgramIndex, info, cls: ast.ClassDef,
+                     waived: frozenset) -> list[Finding]:
+        methods = {stmt.name: stmt for stmt in cls.body
+                   if isinstance(stmt, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef))}
+        if not methods:
+            return []
+        thread_roots = self._thread_roots(index, info, methods)
+        loop_roots = {name for name, fn in methods.items()
+                      if isinstance(fn, ast.AsyncFunctionDef)}
+        if not thread_roots or not loop_roots:
+            return []
+        thread_side = self._reachable(index, info, cls, methods,
+                                      thread_roots)
+        loop_side = self._reachable(index, info, cls, methods, loop_roots)
+
+        by_attr: dict[str, list[tuple[str, ast.AST, bool]]] = {}
+        for name, fn in methods.items():
+            if name in CONSTRUCTOR_METHODS:
+                continue
+            sides = (("thread",) if name in thread_side else ()) + (
+                ("loop",) if name in loop_side else ())
+            if not sides:
+                continue
+            for attr, node, guarded in _MutationScanner().scan(fn).mutations:
+                for side in sides:
+                    by_attr.setdefault(attr, []).append(
+                        (side, node, guarded))
+
+        findings = []
+        for attr, mutations in sorted(by_attr.items()):
+            sides = {side for side, _, _ in mutations}
+            if sides != {"thread", "loop"}:
+                continue
+            if f"{cls.name}.{attr}" in waived:
+                continue
+            seen_lines = set()
+            for side, node, guarded in mutations:
+                if guarded or node.lineno in seen_lines:
+                    continue
+                seen_lines.add(node.lineno)
+                findings.append(self.finding(
+                    info.path, node,
+                    f"{cls.name}.{attr} is mutated from both the event "
+                    "loop and executor threads; this mutation "
+                    f"(reached from the {side} side) is not inside a "
+                    "lock guard — wrap it in `with <lock>:` or waive "
+                    f"{cls.name}.{attr} in [tool.reprolint.rule."
+                    "async-thread-shared-state]"))
+        return findings
+
+    def _thread_roots(self, index: ProgramIndex, info,
+                      methods: dict) -> set[str]:
+        """Methods of this class passed by reference into a thread
+        dispatch call anywhere in the defining module."""
+        roots: set[str] = set()
+        for call in index.walk_module(info, ast.Call):
+            name = dotted_name(call.func)
+            if name is None or name.split(".")[-1] not in DISPATCH_NAMES:
+                continue
+            candidates = list(call.args) + [kw.value
+                                            for kw in call.keywords]
+            for arg in candidates:
+                if (isinstance(arg, ast.Attribute)
+                        and arg.attr in methods):
+                    roots.add(arg.attr)
+        return roots
+
+    def _reachable(self, index: ProgramIndex, info, cls: ast.ClassDef,
+                   methods: dict, roots: set[str]) -> set[str]:
+        """Closure of ``roots`` over same-class call-graph edges."""
+        prefix = f"{info.name}:{cls.name}."
+        reached = set(roots)
+        stack = list(roots)
+        graph = index.call_graph
+        while stack:
+            current = stack.pop()
+            for edge in graph.get(prefix + current, ()):
+                if edge.startswith("~"):
+                    callee = edge[1:]
+                elif edge.startswith(prefix):
+                    callee = edge[len(prefix):]
+                else:
+                    continue
+                if ("." not in callee and callee in methods
+                        and callee not in reached):
+                    reached.add(callee)
+                    stack.append(callee)
+        return reached
