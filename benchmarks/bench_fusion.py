@@ -1,0 +1,142 @@
+"""Pass-fusion compiler — launches, modeled time and wall clock.
+
+The stream compiler (:func:`repro.stream.optimize.fuse_elementwise`)
+folds chains of single-consumer kernel applications into composite
+passes: intermediates read at zero offset are inlined into the
+consumer's body, fixed-offset reads become in-launch parts, and the
+whole group costs one render-target write and one launch overhead.
+
+This bench runs the Fig. 4 normalization graph through the *actual
+simulator* unfused and fused, and an elementwise post-processing chain
+at several fusion depths — verifying bit-identical outputs while
+launches and modeled time fall.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table
+from repro.gpu import GEFORCE_7800GTX, VirtualGPU
+from repro.gpu import shaderir as ir
+from repro.stream import (
+    GpuExecutor,
+    StageGraph,
+    Step,
+    Stream,
+    StreamKernel,
+    fuse_elementwise,
+    optimize,
+)
+from repro.stream.amc_stages import build_normalization_graph, group_streams
+
+LINES, SAMPLES, BANDS = 64, 64, 32
+SEED = 20060815
+
+#: max_group depths of the chain sweep (1 = fusion off).
+DEPTHS = (1, 2, 4, 8)
+CHAIN_LEN = 8
+
+
+def _chain_graph():
+    """An 8-step elementwise chain (scale, clamp-log, exp, blends)."""
+    steps = []
+    prev = "x"
+    for index in range(CHAIN_LEN):
+        if index % 3 == 0:
+            body = ir.add(ir.mul(ir.TexFetch("a"), 1.25), 0.01)
+        elif index % 3 == 1:
+            body = ir.log(ir.max_(ir.TexFetch("a"), 1e-6))
+        else:
+            body = ir.exp(ir.mul(ir.TexFetch("a"), 0.5))
+        kernel = StreamKernel.from_expression(f"k{index}", body,
+                                              inputs=("a",))
+        out = f"t{index}"
+        steps.append(Step(kernel, {"a": prev}, out))
+        prev = out
+    return StageGraph("chain", inputs=("x",), steps=tuple(steps),
+                      outputs=(prev,))
+
+
+def _run(graph, inputs):
+    device = VirtualGPU(GEFORCE_7800GTX)
+    out = GpuExecutor(device).run(graph, {k: s.copy() for k, s in
+                                          inputs.items()})
+    return device, out
+
+
+def test_fusion_normalization_graph(benchmark, report):
+    """The real Fig. 4 stage-2 graph: unfused vs compiled."""
+    rng = np.random.default_rng(SEED)
+    cube = rng.uniform(0.05, 1.0, size=(LINES, SAMPLES, BANDS))
+    graph = build_normalization_graph(BANDS)
+    inputs = group_streams(cube)
+    inputs["zero"] = Stream.zeros("zero", LINES, SAMPLES)
+    unfused = optimize(graph, fuse=False)
+    fused = optimize(graph)
+
+    def sweep():
+        return _run(unfused, inputs), _run(fused, inputs)
+
+    ((dev_u, out_u), (dev_f, out_f)) = benchmark.pedantic(
+        sweep, rounds=1, iterations=1, warmup_rounds=0)
+
+    for name in graph.outputs:
+        np.testing.assert_array_equal(out_f[name].data, out_u[name].data)
+    assert dev_f.counters.kernel_launch_count \
+        < dev_u.counters.kernel_launch_count
+    assert dev_f.counters.total_time_s < dev_u.counters.total_time_s
+    assert dev_f.counters.passes_fused > 0
+
+    report("fusion_normalization", format_table(
+        f"Pass fusion — Fig. 4 normalization graph "
+        f"({LINES}x{SAMPLES}x{BANDS} cube, 7800 GTX)",
+        ["pipeline", "steps", "launches", "passes fused", "modeled ms"],
+        [["unfused", unfused.step_count(),
+          dev_u.counters.kernel_launch_count, 0,
+          dev_u.counters.total_time_s * 1e3],
+         ["fused", fused.step_count(),
+          dev_f.counters.kernel_launch_count,
+          dev_f.counters.passes_fused,
+          dev_f.counters.total_time_s * 1e3]]))
+
+
+def test_fusion_depth_sweep(benchmark, report):
+    """Launches and modeled time fall monotonically with max_group."""
+    rng = np.random.default_rng(SEED)
+    x = Stream.from_scalar("x", rng.uniform(0.05, 1.0,
+                                            size=(LINES, SAMPLES)))
+    graph = _chain_graph()
+
+    def sweep():
+        results = {}
+        for depth in DEPTHS:
+            fused = graph if depth == 1 \
+                else fuse_elementwise(graph, max_group=depth)
+            results[depth] = _run(fused, {"x": x})
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1,
+                                 warmup_rounds=0)
+
+    base_dev, base_out = results[DEPTHS[0]]
+    out_name = graph.outputs[0]
+    rows = []
+    for depth in DEPTHS:
+        device, out = results[depth]
+        np.testing.assert_array_equal(out[out_name].data,
+                                      base_out[out_name].data)
+        rows.append([depth, device.counters.kernel_launch_count,
+                     device.counters.passes_fused,
+                     device.counters.total_time_s * 1e3])
+    report("fusion_depth", format_table(
+        f"Pass fusion — {CHAIN_LEN}-step elementwise chain vs max_group "
+        f"({LINES}x{SAMPLES} stream, 7800 GTX)",
+        ["max_group", "launches", "passes fused", "modeled ms"], rows))
+
+    launches = [results[d][0].counters.kernel_launch_count for d in DEPTHS]
+    times = [results[d][0].counters.total_time_s for d in DEPTHS]
+    assert launches == sorted(launches, reverse=True)
+    assert times == sorted(times, reverse=True)
+    # Full fusion: 8 passes -> 1 launch, overhead amortized 8x.
+    assert launches[-1] == 1
+    assert times[0] / times[-1] > 1.5

@@ -30,21 +30,51 @@ class ReferenceBackend(MorphologicalBackend):
     """
 
     name = "reference"
+    accepts_halo_margins = True
 
-    def __init__(self, method: str = "shift") -> None:
+    def __init__(self, method: str = "shift",
+                 optimize: str = "fuse") -> None:
         self.method = method
+        self.optimize = optimize
+
+    def configured(self, *, optimize: str = "fuse"):
+        """Same method, requested ``optimize`` mode."""
+        return ReferenceBackend(method=self.method, optimize=optimize)
 
     def run(self, bip, radius, *, spec=None, device=None):
         """Whole-image morphological stage via the vectorized pair
         maps."""
         from repro.core.mei import mei_reference
 
-        out = mei_reference(bip, radius, method=self.method)
+        out = mei_reference(bip, radius, method=self.method,
+                            optimize=self.optimize)
         stats = None if out.stats is None else out.stats.as_counters()
         return MorphologyResult(mei=out.mei,
                                 erosion_index=out.erosion_index,
                                 dilation_index=out.dilation_index,
                                 stats=stats)
+
+    def run_chunk(self, bip, radius, *, spec=None,
+                  halo_margins=(0, 0)):
+        """One halo-extended chunk, with cross-chunk shift-reuse.
+
+        ``halo_margins`` names the extended-region rows the stitcher
+        will discard (a neighbouring chunk owns them); the fused engine
+        skips border corrections confined to those rows and counts them
+        as ``border_pixels_shared``.  Core rows are bit-identical
+        either way.
+        """
+        from repro.core.mei import mei_reference
+
+        out = mei_reference(bip, radius, method=self.method,
+                            optimize=self.optimize,
+                            halo_margins=halo_margins
+                            if self.optimize == "fuse" else (0, 0))
+        stats = None if out.stats is None else out.stats.as_counters()
+        return ChunkResult(mei=out.mei.astype(self.mei_dtype, copy=False),
+                           erosion_index=out.erosion_index,
+                           dilation_index=out.dilation_index,
+                           stats=stats)
 
 
 class NaiveBackend(MorphologicalBackend):
@@ -72,13 +102,22 @@ class GpuBackend(MorphologicalBackend):
     supports_device_unmixing = True
     supports_trace = True
 
+    def __init__(self, optimize: str = "fuse") -> None:
+        self.optimize = optimize
+
+    def configured(self, *, optimize: str = "fuse"):
+        """A backend whose boards run in the requested ``optimize``
+        mode."""
+        return GpuBackend(optimize=optimize)
+
     def _resolve_device(self, spec, device):
         if device is not None:
             return device
         from repro.gpu.device import VirtualGPU
         from repro.gpu.spec import GEFORCE_7800GTX
 
-        return VirtualGPU(GEFORCE_7800GTX if spec is None else spec)
+        return VirtualGPU(GEFORCE_7800GTX if spec is None else spec,
+                          optimize=self.optimize)
 
     def run(self, bip, radius, *, spec=None, device=None):
         """Whole-image stream pipeline on one virtual board.

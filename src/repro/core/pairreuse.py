@@ -61,12 +61,28 @@ from typing import Callable, Iterable, Mapping
 
 import numpy as np
 
-from repro.core.shifts import clamped_indices, clamped_shift
-from repro.errors import ShapeError
+from repro.core.shifts import clamped_indices, clamped_shift, shifted_copy
+from repro.errors import ShapeError, ValidationError
 from repro.spectral.distances import sid_self_entropy
 from repro.spectral.normalize import safe_log
 
 Offset = tuple[int, int]
+
+#: Optimization levels shared by every layer that exposes the knob
+#: (engine, :func:`repro.core.mei.mei_reference`, the workload configs):
+#: ``"fuse"`` (default) enables the fused fast paths — strided shifted
+#: copies, region-wise accumulation without per-pair map
+#: materialization, the sorted MEI gather, and cross-chunk border
+#: sharing; ``"none"`` is the bit-identical oracle that executes the
+#: historical (post-shift-reuse) code paths unchanged.
+OPTIMIZE_MODES = ("fuse", "none")
+
+
+def check_optimize(optimize: str) -> None:
+    """Validate an ``optimize`` knob value (shared by all layers)."""
+    if optimize not in OPTIMIZE_MODES:
+        raise ValidationError(
+            f"optimize must be one of {OPTIMIZE_MODES}, got {optimize!r}")
 
 
 def unique_difference_offsets(
@@ -113,6 +129,11 @@ class PairReuseStats:
     mei_pairs_gathered:
         Distinct (erosion, dilation) pairs the lazy MEI gather
         materialized (the mask loop would have scanned all pairs).
+    border_pixels_shared:
+        Border-band pixels whose recomputation was *elided* because the
+        band lies entirely inside a declared halo margin — rows a
+        neighbouring chunk owns, whose values the stitcher discards.
+        Zero outside chunk-parallel runs.
     """
 
     pair_maps: int
@@ -121,6 +142,7 @@ class PairReuseStats:
     total_pixels: int
     mei_pairs_gathered: int = 0
     direct_pairs: int = 0
+    border_pixels_shared: int = 0
 
     @property
     def reuse_ratio(self) -> float:
@@ -136,6 +158,7 @@ class PairReuseStats:
             "difference_maps": float(self.difference_maps),
             "direct_pairs": float(self.direct_pairs),
             "border_pixels": float(self.border_pixels),
+            "border_pixels_shared": float(self.border_pixels_shared),
             "mei_pairs_gathered": float(self.mei_pairs_gathered),
             "reuse_ratio": self.reuse_ratio,
         }
@@ -172,6 +195,21 @@ class PairReuseEngine:
         Optional precomputed ``safe_log(normalized)`` and
         ``sid_self_entropy(normalized)`` so callers that already hold
         them (the reference, the CPU build models) pay no re-log.
+    optimize:
+        ``"fuse"`` (default) routes :meth:`accumulate_cumulative`
+        through the fused fast path — strided shifted copies, region
+        adds that never materialize a per-pair map, a shared
+        border-band cache — and enables :meth:`gather_mei_fast`;
+        ``"none"`` executes the historical shift-reuse paths unchanged
+        (the bit-identity oracle).  Both produce byte-identical output.
+    halo_margins:
+        ``(top, bottom)`` image rows that belong to a neighbouring
+        chunk's core (this chunk's discarded halo).  Border bands that
+        lie entirely inside a margin are skipped on the fused path —
+        the neighbour computes those pixels once, inside its own
+        interior — and counted as ``border_pixels_shared``.  The
+        cumulative values of margin rows are then partial; callers must
+        discard them (the chunk stitcher does).
 
     The engine caches one difference map per unique offset difference;
     :meth:`pair_map` then costs one (H, W) gather plus a border band.
@@ -182,7 +220,10 @@ class PairReuseEngine:
 
     def __init__(self, normalized: np.ndarray, offsets: Iterable[Offset],
                  *, log_img: np.ndarray | None = None,
-                 entropy: np.ndarray | None = None) -> None:
+                 entropy: np.ndarray | None = None,
+                 optimize: str = "fuse",
+                 halo_margins: tuple[int, int] = (0, 0)) -> None:
+        check_optimize(optimize)
         normalized = np.asarray(normalized, dtype=np.float64)
         if normalized.ndim != 3:
             raise ShapeError(
@@ -203,12 +244,19 @@ class PairReuseEngine:
         self._zero_reusable = (self._p is self._p_raw
                                and self._l is self._l_raw)
         self.offsets = tuple(offsets)
+        self.optimize = optimize
+        top_m, bottom_m = halo_margins
+        if top_m < 0 or bottom_m < 0:
+            raise ValidationError(
+                f"halo_margins must be non-negative, got {halo_margins}")
+        self._halo_margins = (int(top_m), int(bottom_m))
         h, w, _ = normalized.shape
         self._shape = (h, w)
         self._diff: dict[Offset, np.ndarray] = {}
         self._direct: dict[tuple[int, int], np.ndarray] = {}
         self._raw_shifted: dict[int, tuple] = {}
         self._bands: dict[tuple, tuple] = {}
+        self._sid_bands: dict[tuple, np.ndarray] = {}
         # Cross-term scratch, reused across every difference map so the
         # inner loop allocates nothing but results.
         self._cross_a = np.empty((h, w), dtype=np.float64)
@@ -217,6 +265,7 @@ class PairReuseEngine:
         self._difference_maps = 0
         self._direct_pairs = 0
         self._border_pixels = 0
+        self._border_shared = 0
         self._mei_pairs = 0
 
     def difference_map(self, d: Offset) -> np.ndarray:
@@ -226,9 +275,13 @@ class PairReuseEngine:
         if cached is not None:
             return cached
         dy, dx = d
-        p_d = clamped_shift(self._p, dy, dx)
-        l_d = clamped_shift(self._l, dy, dx)
-        h_d = clamped_shift(self._h, dy, dx)
+        # shifted_copy produces byte-identical values in byte-identical
+        # layout (fresh C-contiguous), just without the fancy-indexing
+        # gather; the oracle keeps the historical gather.
+        shift = shifted_copy if self.optimize == "fuse" else clamped_shift
+        p_d = shift(self._p, dy, dx)
+        l_d = shift(self._l, dy, dx)
+        h_d = shift(self._h, dy, dx)
         # Same arithmetic as the all-pairs reference with a = 0, b = d:
         # cross = (p_a . l_b) + (p_b . l_a); sid = max(h_a + h_b -
         # cross, 0).
@@ -281,6 +334,71 @@ class PairReuseEngine:
         else:
             pair_map[:, lo:hi] = sid_band
         self._border_pixels += sid_band.size
+
+    def _sid_band(self, ka: int, kb: int, axis: int, lo: int,
+                  hi: int) -> np.ndarray:
+        """Cached SID values of one border band of pair ``(ka, kb)`` —
+        the same arithmetic :meth:`_recompute_band` applies, kept as an
+        array so the fused accumulate and the fused MEI gather share
+        one evaluation per band."""
+        key = (ka, kb, axis, lo, hi)
+        cached = self._sid_bands.get(key)
+        if cached is not None:
+            return cached
+        pa, la, ha = self._band(ka, axis, lo, hi)
+        pb, lb, hb = self._band(kb, axis, lo, hi)
+        cross = np.einsum("ijk,ijk->ij", pa, lb) \
+            + np.einsum("ijk,ijk->ij", pb, la)
+        sid_band = np.maximum(ha + hb - cross, 0.0)
+        self._sid_bands[key] = sid_band
+        self._border_pixels += sid_band.size
+        return sid_band
+
+    def _pair_regions(self, ka: int, kb: int):
+        """Decompose pair ``(ka, kb)``'s map into its three disjoint
+        regions without materializing it.
+
+        Returns ``(base, (ry0, ry1, cx0, cx1), row_band, col_band)``:
+        ``base`` is the difference map the interior region reads
+        through the base shift; ``row_band`` / ``col_band`` are
+        ``(lo, hi, values)`` for the recomputed border bands (``None``
+        where no band exists — or where the band was elided because it
+        lies inside a declared halo margin, which is counted in
+        ``border_pixels_shared``).  Column bands take precedence over
+        row bands at the corners, exactly like :meth:`pair_map`'s
+        overwrite order.
+        """
+        ay, ax = self.offsets[ka]
+        by, bx = self.offsets[kb]
+        base = self.difference_map((by - ay, bx - ax))
+        h, w = self._shape
+        top_m, bottom_m = self._halo_margins
+        ry0, ry1 = max(0, -ay), h - max(0, ay)
+        cx0, cx1 = max(0, -ax), w - max(0, ax)
+        row_band = None
+        if ay > 0:
+            lo, hi = max(0, ry1), h
+        elif ay < 0:
+            lo, hi = 0, min(ry0, h)
+        else:
+            lo = hi = 0
+        if hi > lo:
+            if ay > 0 and lo >= h - bottom_m:
+                self._border_shared += (hi - lo) * w
+            elif ay < 0 and hi <= top_m:
+                self._border_shared += (hi - lo) * w
+            else:
+                row_band = (lo, hi, self._sid_band(ka, kb, 0, lo, hi))
+        col_band = None
+        if ax > 0:
+            lo, hi = max(0, cx1), w
+        elif ax < 0:
+            lo, hi = 0, min(cx0, w)
+        else:
+            lo = hi = 0
+        if hi > lo:
+            col_band = (lo, hi, self._sid_band(ka, kb, 1, lo, hi))
+        return base, (ry0, ry1, cx0, cx1), row_band, col_band
 
     def _direct_pair(self, ka: int, kb: int) -> np.ndarray:
         """One pair evaluated exactly as the all-pairs loop would
@@ -361,16 +479,135 @@ class PairReuseEngine:
         Accumulation runs in a (K, H, W) scratch so every add hits a
         contiguous slab; per-element float addition is layout-blind, so
         the transposed result is still bit-identical.
+
+        On the fused path (``optimize="fuse"``) no per-pair map is
+        materialized at all: each pair's three regions — interior
+        (a strided slice of the cached difference map), row band, col
+        band — are added straight into the scratch.  Every element
+        still receives exactly one addition of exactly the same value
+        per pair, in the same pair order, so the result is
+        byte-identical to the materializing path.
         """
         h, w = self._shape
         k_count = len(self.offsets)
         scratch = np.zeros((k_count, h, w), dtype=np.float64)
-        for ka in range(k_count):
-            for kb in range(ka + 1, k_count):
-                sid_map = self.pair_map(ka, kb)
-                np.add(scratch[ka], sid_map, out=scratch[ka])
-                np.add(scratch[kb], sid_map, out=scratch[kb])
+        if self.optimize == "fuse":
+            self._accumulate_fast(scratch)
+        else:
+            for ka in range(k_count):
+                for kb in range(ka + 1, k_count):
+                    sid_map = self.pair_map(ka, kb)
+                    np.add(scratch[ka], sid_map, out=scratch[ka])
+                    np.add(scratch[kb], sid_map, out=scratch[kb])
         return np.ascontiguousarray(scratch.transpose(1, 2, 0))
+
+    def _accumulate_fast(self, scratch: np.ndarray) -> None:
+        """Region-wise pair accumulation — the fused fast path."""
+        h, w = self._shape
+        k_count = len(self.offsets)
+        for ka in range(k_count):
+            a = self.offsets[ka]
+            for kb in range(ka + 1, k_count):
+                b = self.offsets[kb]
+                self._pair_maps += 1
+                if not self._zero_reusable and (a == (0, 0)
+                                                or b == (0, 0)):
+                    sid_map = self._direct_pair(ka, kb)
+                    np.add(scratch[ka], sid_map, out=scratch[ka])
+                    np.add(scratch[kb], sid_map, out=scratch[kb])
+                    continue
+                if a == (0, 0):
+                    base = self.difference_map(b)
+                    np.add(scratch[ka], base, out=scratch[ka])
+                    np.add(scratch[kb], base, out=scratch[kb])
+                    continue
+                base, (ry0, ry1, cx0, cx1), row_band, col_band = \
+                    self._pair_regions(ka, kb)
+                ay, ax = a
+                interior = None
+                if ry0 < ry1 and cx0 < cx1:
+                    interior = base[ry0 + ay:ry1 + ay, cx0 + ax:cx1 + ax]
+                for k in (ka, kb):
+                    tgt = scratch[k]
+                    if interior is not None:
+                        region = tgt[ry0:ry1, cx0:cx1]
+                        np.add(region, interior, out=region)
+                    if row_band is not None and cx0 < cx1:
+                        lo, hi, values = row_band
+                        region = tgt[lo:hi, cx0:cx1]
+                        np.add(region, values[:, cx0:cx1], out=region)
+                    if col_band is not None:
+                        lo, hi, values = col_band
+                        region = tgt[:, lo:hi]
+                        np.add(region, values, out=region)
+
+    def gather_mei_fast(self, erosion_index: np.ndarray,
+                        dilation_index: np.ndarray
+                        ) -> tuple[np.ndarray, int]:
+        """Fused equivalent of :func:`gather_mei`: one stable argsort
+        over the packed pair codes, then per-segment pointwise reads of
+        the pair map's three regions — no per-code boolean mask scans
+        and no materialized pair maps.
+
+        Byte-identical to ``gather_mei(ero, dil, self.pair_map, K)``:
+        every pixel receives exactly the value :meth:`pair_map` holds
+        at that position (column bands take precedence at the corners,
+        matching the overwrite order).
+        """
+        k_count = len(self.offsets)
+        h, w = self._shape
+        lo_idx = np.minimum(erosion_index, dilation_index)
+        hi_idx = np.maximum(erosion_index, dilation_index)
+        mei = np.zeros(lo_idx.shape, dtype=np.float64)
+        codes = np.where(lo_idx != hi_idx, lo_idx * k_count + hi_idx, -1)
+        flat_codes = codes.ravel()
+        order = np.argsort(flat_codes, kind="stable")
+        sorted_codes = flat_codes[order]
+        uniq, starts = np.unique(sorted_codes, return_index=True)
+        bounds = np.append(starts, len(sorted_codes))
+        mei_flat = mei.ravel()
+        gathered = 0
+        for i, code in enumerate(uniq):
+            if code < 0:
+                continue
+            seg = order[bounds[i]:bounds[i + 1]]
+            ys, xs = np.divmod(seg, w)
+            ka, kb = divmod(int(code), k_count)
+            self._pair_maps += 1
+            gathered += 1
+            a = self.offsets[ka]
+            b = self.offsets[kb]
+            if not self._zero_reusable and (a == (0, 0) or b == (0, 0)):
+                mei_flat[seg] = self._direct_pair(ka, kb)[ys, xs]
+                continue
+            if a == (0, 0):
+                mei_flat[seg] = self.difference_map(b)[ys, xs]
+                continue
+            ay, ax = a
+            base = self.difference_map((b[0] - ay, b[1] - ax))
+            col_out = (xs + ax < 0) | (xs + ax >= w)
+            row_out = (ys + ay < 0) | (ys + ay >= h)
+            values = np.empty(len(seg), dtype=np.float64)
+            inside = ~(col_out | row_out)
+            if inside.any():
+                values[inside] = base[ys[inside] + ay, xs[inside] + ax]
+            row_only = row_out & ~col_out
+            if row_only.any():
+                if ay > 0:
+                    blo, bhi = max(0, h - ay), h
+                else:
+                    blo, bhi = 0, min(-ay, h)
+                band = self._sid_band(ka, kb, 0, blo, bhi)
+                values[row_only] = band[ys[row_only] - blo, xs[row_only]]
+            if col_out.any():
+                if ax > 0:
+                    blo, bhi = max(0, w - ax), w
+                else:
+                    blo, bhi = 0, min(-ax, w)
+                band = self._sid_band(ka, kb, 1, blo, bhi)
+                values[col_out] = band[ys[col_out], xs[col_out] - blo]
+            mei_flat[seg] = values
+        return mei, gathered
 
     def count_mei_pairs(self, gathered: int) -> None:
         """Record how many pairs the lazy MEI gather materialized."""
@@ -384,7 +621,8 @@ class PairReuseEngine:
                               border_pixels=self._border_pixels,
                               total_pixels=h * w,
                               mei_pairs_gathered=self._mei_pairs,
-                              direct_pairs=self._direct_pairs)
+                              direct_pairs=self._direct_pairs,
+                              border_pixels_shared=self._border_shared)
 
 
 def gather_mei(erosion_index: np.ndarray, dilation_index: np.ndarray,

@@ -52,6 +52,40 @@ def clamped_shift(arr: np.ndarray, dy: int, dx: int) -> np.ndarray:
     return arr[np.ix_(rows, cols)]
 
 
+def shifted_copy(arr: np.ndarray, dy: int, dx: int) -> np.ndarray:
+    """:func:`clamped_shift` built from strided copies instead of a
+    fancy-indexing gather.
+
+    Produces the exact same values (copies of the same float64s, fresh
+    C-contiguous output) — the interior is one basic-slice copy, the
+    clamped edge bands are broadcast row/column replications — but runs
+    several times faster on cube-sized arrays because nothing touches
+    the fancy-indexing machinery.  Degenerate extents (images narrower
+    than the shift, where no interior exists) fall back to the gather.
+    """
+    if dy == 0 and dx == 0:
+        return arr
+    h, w = arr.shape[:2]
+    ry0, ry1 = max(0, -dy), h - max(0, dy)
+    cx0, cx1 = max(0, -dx), w - max(0, dx)
+    if ry0 >= ry1 or cx0 >= cx1:
+        return clamped_shift(arr, dy, dx)
+    out = np.empty(arr.shape, dtype=arr.dtype)
+    out[ry0:ry1, cx0:cx1] = arr[ry0 + dy:ry1 + dy, cx0 + dx:cx1 + dx]
+    # Rows that clamp: replicate the edge row across the middle columns.
+    if dy > 0:
+        out[ry1:h, cx0:cx1] = arr[h - 1:h, cx0 + dx:cx1 + dx]
+    elif dy < 0:
+        out[0:ry0, cx0:cx1] = arr[0:1, cx0 + dx:cx1 + dx]
+    # Columns that clamp: the adjacent already-filled column holds
+    # exactly arr[clamp(y + dy), edge] for every row — broadcast it.
+    if dx > 0:
+        out[:, cx1:w] = out[:, cx1 - 1:cx1]
+    elif dx < 0:
+        out[:, 0:cx0] = out[:, cx0:cx0 + 1]
+    return out
+
+
 def edge_rows(extent: int, offset: int) -> np.ndarray:
     """Row indices where ``row + offset`` falls outside ``[0, extent)``.
 

@@ -69,10 +69,20 @@ class LaunchTiming:
 
 
 class CostModel:
-    """Evaluates kernel and transfer costs for one :class:`GpuSpec`."""
+    """Evaluates kernel and transfer costs for one :class:`GpuSpec`.
 
-    def __init__(self, spec: GpuSpec):
+    ``cache_kernel_costs`` memoizes :meth:`kernel_cost` per shader
+    object — the cost is a pure function of the (immutable) shader, so
+    the modeled numbers are unchanged; only the per-launch IR walk is
+    skipped.  The fused device path enables it; the ``optimize="none"``
+    oracle keeps the historical walk-every-launch behaviour.
+    """
+
+    def __init__(self, spec: GpuSpec, *, cache_kernel_costs: bool = False):
         self.spec = spec
+        self._cache_kernel_costs = cache_kernel_costs
+        # id -> (shader, cost); the shader ref keeps the id stable.
+        self._kernel_costs: dict[int, tuple[FragmentShader, KernelCost]] = {}
 
     # ------------------------------------------------------------- kernels
     @staticmethod
@@ -102,10 +112,19 @@ class CostModel:
                           static_fetches=stats.static_fetches,
                           dynamic_fetches=stats.dynamic_fetches)
 
-    def launch_time(self, shader: FragmentShader, width: int,
-                    height: int) -> tuple[KernelCost, LaunchTiming]:
-        """Modeled wall time of one launch over ``width x height``."""
-        cost = self.kernel_cost(shader)
+    def _cost_of(self, shader: FragmentShader) -> KernelCost:
+        """:meth:`kernel_cost`, through the per-shader cache if enabled."""
+        if not self._cache_kernel_costs:
+            return self.kernel_cost(shader)
+        entry = self._kernel_costs.get(id(shader))
+        if entry is None or entry[0] is not shader:
+            entry = (shader, self.kernel_cost(shader))
+            self._kernel_costs[id(shader)] = entry
+        return entry[1]
+
+    def _timing(self, cost: KernelCost, width: int,
+                height: int) -> LaunchTiming:
+        """Roofline timing of one pass: max(compute, memory) + overhead."""
         fragments = width * height
         spec = self.spec
         compute_s = (fragments * cost.cycles_per_fragment
@@ -118,8 +137,38 @@ class CostModel:
         bytes_per_fragment = miss_bytes_per_fragment + TEXEL_BYTES
         memory_s = fragments * bytes_per_fragment / spec.mem_bandwidth
         total = max(compute_s, memory_s) + spec.launch_overhead_s
-        return cost, LaunchTiming(compute_s=compute_s, memory_s=memory_s,
-                                  total_s=total)
+        return LaunchTiming(compute_s=compute_s, memory_s=memory_s,
+                            total_s=total)
+
+    def launch_time(self, shader: FragmentShader, width: int,
+                    height: int) -> tuple[KernelCost, LaunchTiming]:
+        """Modeled wall time of one launch over ``width x height``."""
+        cost = self._cost_of(shader)
+        return cost, self._timing(cost, width, height)
+
+    def fused_launch_time(self, shaders, width: int,
+                          height: int) -> tuple[KernelCost, LaunchTiming]:
+        """Modeled wall time of one *fused* launch.
+
+        The constituent parts' compute cycles and fetch counts sum —
+        every instruction of the original chain still executes — but
+        the pass pays a single render-target write and a single launch
+        overhead instead of one per member: exactly the savings pass
+        fusion buys on hardware (intermediates stay in registers or
+        launch-local storage, never in board memory).
+        """
+        cycles = 0.0
+        static_fetches = 0
+        dynamic_fetches = 0
+        for shader in shaders:
+            part = self._cost_of(shader)
+            cycles += part.cycles_per_fragment
+            static_fetches += part.static_fetches
+            dynamic_fetches += part.dynamic_fetches
+        cost = KernelCost(cycles_per_fragment=cycles,
+                          static_fetches=static_fetches,
+                          dynamic_fetches=dynamic_fetches)
+        return cost, self._timing(cost, width, height)
 
     # ----------------------------------------------------------- transfers
     def transfer_time(self, nbytes: int) -> float:

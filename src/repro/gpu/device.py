@@ -19,10 +19,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.pairreuse import check_optimize
 from repro.errors import ShaderError
 from repro.gpu.cost import CostModel
 from repro.gpu.counters import GpuCounters, KernelLaunchRecord, TransferRecord
-from repro.gpu.interpreter import execute
+from repro.gpu.interpreter import execute, execute_fused_lazy, execute_lazy
 from repro.gpu.memory import VramAllocator
 from repro.gpu.shader import FragmentShader
 from repro.gpu.spec import GEFORCE_7800GTX, GpuSpec
@@ -37,6 +38,14 @@ class VirtualGPU:
     spec:
         The board to simulate; defaults to the paper's flagship
         (GeForce 7800 GTX).
+    optimize:
+        ``"fuse"`` (default) runs launches through the interpreter's
+        fused fast path — strided fixed-offset fetches, the per-launch
+        scratch temporary elided (results broadcast straight into the
+        target texture), kernel costs cached per shader.  ``"none"``
+        keeps the historical per-launch behaviour as the bit-identity
+        oracle.  Texel values, launch records and modeled times are
+        identical either way.
 
     Notes
     -----
@@ -46,10 +55,14 @@ class VirtualGPU:
     given spec would take for the recorded work.
     """
 
-    def __init__(self, spec: GpuSpec = GEFORCE_7800GTX):
+    def __init__(self, spec: GpuSpec = GEFORCE_7800GTX, *,
+                 optimize: str = "fuse"):
+        check_optimize(optimize)
         self.spec = spec
+        self.optimize = optimize
         self.vram = VramAllocator(spec.vram_bytes)
-        self.cost_model = CostModel(spec)
+        self.cost_model = CostModel(spec,
+                                    cache_kernel_costs=optimize == "fuse")
         self.counters = GpuCounters()
 
     # ------------------------------------------------------------ textures
@@ -100,6 +113,37 @@ class VirtualGPU:
         on this device).  The result overwrites ``target.data`` and the
         launch is appended to the counters.
         """
+        self._check_bindings(shader.name, target, textures)
+        arrays = {name: tex.data for name, tex in textures.items()}
+        if self.optimize == "fuse":
+            # The raw evaluation broadcasts straight into the target —
+            # the interpreter's full-extent scratch copy never exists.
+            result = execute_lazy(shader, target.height, target.width,
+                                  arrays, uniforms, fast_fetch=True)
+            target.data[...] = result
+            self.counters.record_fusion(temporaries_elided=1)
+        else:
+            result = execute(shader, target.height, target.width, arrays,
+                             uniforms)
+            target.data[...] = result
+
+        cost, timing = self.cost_model.launch_time(
+            shader, target.width, target.height)
+        self.counters.record_launch(KernelLaunchRecord(
+            kernel=shader.name,
+            width=target.width,
+            height=target.height,
+            cycles_per_fragment=cost.cycles_per_fragment,
+            static_fetches=cost.static_fetches,
+            dynamic_fetches=cost.dynamic_fetches,
+            modeled_time_s=timing.total_s,
+            compute_time_s=timing.compute_s,
+            memory_time_s=timing.memory_s))
+        return target
+
+    def _check_bindings(self, kernel_name: str, target: Texture2D,
+                        textures: dict[str, Texture2D]) -> None:
+        """Residency and hazard checks shared by all launch forms."""
         for name, tex in textures.items():
             if not isinstance(tex, Texture2D):
                 raise ShaderError(
@@ -113,19 +157,44 @@ class VirtualGPU:
             raise ShaderError("render target is not device-resident")
         if any(t is target for t in textures.values()):
             raise ShaderError(
-                f"launch of {shader.name!r} binds its own render target as "
+                f"launch of {kernel_name!r} binds its own render target as "
                 f"an input — read-write hazards are undefined on real "
                 f"hardware; use ping-pong targets")
 
-        arrays = {name: tex.data for name, tex in textures.items()}
-        result = execute(shader, target.height, target.width, arrays,
-                         uniforms)
-        target.data[...] = result
+    def launch_fused(self, kernel, target: Texture2D,
+                     textures: dict[str, Texture2D],
+                     uniforms: dict[str, np.ndarray] | None = None
+                     ) -> Texture2D:
+        """Run a :class:`~repro.stream.kernel.FusedKernel` as ONE pass.
 
-        cost, timing = self.cost_model.launch_time(
-            shader, target.width, target.height)
+        The composite's parts are evaluated under a single shared
+        context and structural memo — intermediate streams of the
+        original chain never become textures, never touch VRAM and
+        never pay a render-target write.  One launch record is
+        appended, whose cycle and fetch counts sum the members' (the
+        work still happens) while timing charges a single target write
+        and launch overhead.  Valid in both ``optimize`` modes — the
+        graph was fused by the stream compiler, not the device; the
+        device mode only selects the interpreter's fetch fast path.
+        """
+        self._check_bindings(kernel.name, target, textures)
+        arrays = {name: tex.data for name, tex in textures.items()}
+        result = execute_fused_lazy(
+            kernel.part_shaders, kernel.part_names, target.height,
+            target.width, arrays, uniforms,
+            fast_fetch=self.optimize == "fuse")
+        target.data[...] = result
+        # fused_count - 1 intermediate textures never materialized, plus
+        # the interpreter scratch when the fused fetch path is on.
+        self.counters.record_fusion(
+            passes_fused=kernel.fused_count - 1,
+            temporaries_elided=kernel.fused_count - 1
+            + (1 if self.optimize == "fuse" else 0))
+
+        cost, timing = self.cost_model.fused_launch_time(
+            kernel.part_shaders, target.width, target.height)
         self.counters.record_launch(KernelLaunchRecord(
-            kernel=shader.name,
+            kernel=kernel.name,
             width=target.width,
             height=target.height,
             cycles_per_fragment=cost.cycles_per_fragment,

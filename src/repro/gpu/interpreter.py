@@ -9,17 +9,22 @@ realistic scenes on one CPU core.
 Clamp-to-edge addressing is implemented with clipped index arrays; the
 row/column index vectors are cached per (extent, offset) so repeated
 fixed-offset fetches (the overwhelmingly common case in the AMC kernels)
-cost one fancy-indexing gather each.
+cost one fancy-indexing gather each — or, on the fused fast path
+(``optimize="fuse"``), a strided interior copy with broadcast edge
+bands that yields byte-identical texels several times faster.
 
-Shared subtrees are evaluated once per launch via an ``id()``-keyed memo,
-mirroring the register allocation a shader compiler performs.
+Shared subtrees are evaluated once per launch via a *structurally*
+keyed memo (IR nodes are immutable and hashable), mirroring the
+register allocation a shader compiler performs.  Keying on structure
+rather than object identity means equal-but-distinct subtrees — the
+kind mechanical graph builders emit — also evaluate once.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.shifts import clamped_indices
+from repro.core.shifts import clamped_indices, shifted_copy
 from repro.errors import ShaderError
 from repro.gpu import shaderir as ir
 from repro.gpu.shader import FragmentShader
@@ -27,15 +32,20 @@ from repro.gpu.shader import FragmentShader
 _F32 = np.float32
 
 
-def _fetch_static(texture: np.ndarray, dx: int, dy: int) -> np.ndarray:
+def _fetch_static(texture: np.ndarray, dx: int, dy: int,
+                  fast: bool = False) -> np.ndarray:
     """Clamp-to-edge fetch at constant offset; zero offset is a no-copy
     view.
 
     The clipped index vectors come from the shared, cached
     :func:`repro.core.shifts.clamped_indices` helper — the same
-    addressing every CPU implementation uses."""
+    addressing every CPU implementation uses.  ``fast`` routes through
+    :func:`repro.core.shifts.shifted_copy` instead: byte-identical
+    texels from strided copies rather than a fancy-indexing gather."""
     if dx == 0 and dy == 0:
         return texture
+    if fast:
+        return shifted_copy(texture, dy, dx)
     h, w = texture.shape[:2]
     rows = clamped_indices(h, dy)
     cols = clamped_indices(w, dx)
@@ -43,15 +53,21 @@ def _fetch_static(texture: np.ndarray, dx: int, dy: int) -> np.ndarray:
 
 
 class ShaderContext:
-    """Bindings for one launch: textures, uniforms and the target size."""
+    """Bindings for one launch: textures, uniforms and the target size.
+
+    ``fast_fetch`` selects the strided fixed-offset fetch (the device's
+    ``optimize="fuse"`` mode); texel values are identical either way.
+    """
 
     def __init__(self, height: int, width: int,
                  textures: dict[str, np.ndarray],
-                 uniforms: dict[str, np.ndarray]):
+                 uniforms: dict[str, np.ndarray],
+                 fast_fetch: bool = False):
         self.height = height
         self.width = width
         self.textures = textures
         self.uniforms = uniforms
+        self.fast_fetch = fast_fetch
         self._fragcoord: np.ndarray | None = None
 
     def fragcoord(self) -> np.ndarray:
@@ -65,17 +81,20 @@ class ShaderContext:
 
 
 def _eval(node: ir.Expr, ctx: ShaderContext,
-          memo: dict[int, np.ndarray]) -> np.ndarray:
-    cached = memo.get(id(node))
+          memo: dict[ir.Expr, np.ndarray]) -> np.ndarray:
+    # Structural key: IR nodes are frozen dataclasses, so equal subtrees
+    # — even distinct objects built twice by a mechanical graph builder —
+    # share one evaluation per launch.
+    cached = memo.get(node)
     if cached is not None:
         return cached
     out = _eval_uncached(node, ctx, memo)
-    memo[id(node)] = out
+    memo[node] = out
     return out
 
 
 def _eval_uncached(node: ir.Expr, ctx: ShaderContext,
-                   memo: dict[int, np.ndarray]) -> np.ndarray:
+                   memo: dict[ir.Expr, np.ndarray]) -> np.ndarray:
     if isinstance(node, ir.Const):
         return np.array(node.values, dtype=_F32)  # broadcasts over (H, W, 4)
     if isinstance(node, ir.Uniform):
@@ -83,7 +102,8 @@ def _eval_uncached(node: ir.Expr, ctx: ShaderContext,
     if isinstance(node, ir.FragCoord):
         return ctx.fragcoord()
     if isinstance(node, ir.TexFetch):
-        return _fetch_static(ctx.textures[node.sampler], node.dx, node.dy)
+        return _fetch_static(ctx.textures[node.sampler], node.dx, node.dy,
+                             fast=ctx.fast_fetch)
     if isinstance(node, ir.TexFetchDyn):
         coord = _eval(node.coord, ctx, memo)
         tex = ctx.textures[node.sampler]
@@ -189,24 +209,57 @@ def execute(shader: FragmentShader, height: int, width: int,
         If a binding is missing or a texture has the wrong shape for
         offset addressing.
     """
-    missing = [s for s in shader.samplers if s not in textures]
+    result = execute_lazy(shader, height, width, textures, uniforms)
+    out = np.empty((height, width, 4), dtype=_F32)
+    out[...] = result  # broadcasts constants / uniforms to full extent
+    return out
+
+
+def execute_lazy(shader: FragmentShader, height: int, width: int,
+                 textures: dict[str, np.ndarray],
+                 uniforms: dict[str, np.ndarray] | None = None,
+                 *, fast_fetch: bool = False) -> np.ndarray:
+    """Like :func:`execute` but returns the raw evaluation result.
+
+    The values are the same float32 texels; the array may be smaller
+    than the full target (a constant or uniform result broadcasts) and
+    may *alias an input texture* (a zero-offset copy kernel).  Callers
+    own the final materialization — :meth:`VirtualGPU.launch
+    <repro.gpu.device.VirtualGPU.launch>` broadcasts the result into
+    the target texture directly, eliding the interpreter's scratch
+    temporary on the device's ``optimize="fuse"`` path.
+    """
+    tex_arrays = _coerce_textures(shader.name, shader.samplers, textures)
+    uni_arrays = _coerce_uniforms(shader.name, shader.uniforms, uniforms)
+    ctx = ShaderContext(height, width, tex_arrays, uni_arrays,
+                        fast_fetch=fast_fetch)
+    memo: dict[ir.Expr, np.ndarray] = {}
+    return _eval(shader.body, ctx, memo)
+
+
+def _coerce_textures(kernel: str, samplers, textures) -> dict[str, np.ndarray]:
+    """Check and float32-coerce the texture bindings of one launch."""
+    missing = [s for s in samplers if s not in textures]
     if missing:
         raise ShaderError(
-            f"launch of {shader.name!r} missing texture bindings {missing}")
-    missing_u = [u for u in shader.uniforms
-                 if uniforms is None or u not in uniforms]
-    if missing_u:
-        raise ShaderError(
-            f"launch of {shader.name!r} missing uniforms {missing_u}")
-
+            f"launch of {kernel!r} missing texture bindings {missing}")
     tex_arrays: dict[str, np.ndarray] = {}
-    for name in shader.samplers:
+    for name in samplers:
         arr = np.asarray(textures[name], dtype=_F32)
         if arr.ndim != 3 or arr.shape[2] != 4:
             raise ShaderError(
                 f"texture {name!r} must be (H, W, 4), got {arr.shape}")
         tex_arrays[name] = arr
+    return tex_arrays
 
+
+def _coerce_uniforms(kernel: str, declared, uniforms) -> dict[str, np.ndarray]:
+    """Check and 4-vector-coerce the uniform bindings of one launch."""
+    missing = [u for u in declared
+               if uniforms is None or u not in uniforms]
+    if missing:
+        raise ShaderError(
+            f"launch of {kernel!r} missing uniforms {missing}")
     uni_arrays: dict[str, np.ndarray] = {}
     if uniforms:
         for name, value in uniforms.items():
@@ -218,10 +271,56 @@ def execute(shader: FragmentShader, height: int, width: int,
                     f"uniform {name!r} must have 1 or 4 components, "
                     f"got {v.size}")
             uni_arrays[name] = v
+    return uni_arrays
 
-    ctx = ShaderContext(height, width, tex_arrays, uni_arrays)
-    memo: dict[int, np.ndarray] = {}
-    result = _eval(shader.body, ctx, memo)
+
+def execute_fused_lazy(part_shaders, part_names, height: int, width: int,
+                       textures: dict[str, np.ndarray],
+                       uniforms: dict[str, np.ndarray] | None = None,
+                       *, fast_fetch: bool = False) -> np.ndarray:
+    """Evaluate a fused kernel's parts under one shared context.
+
+    ``part_shaders`` / ``part_names`` come from a
+    :class:`~repro.stream.kernel.FusedKernel`: each part is evaluated
+    in order, non-final parts materialized to full extent and
+    registered as in-launch textures under their stream name (so later
+    parts fetch them at fixed offsets with clamp-to-edge semantics
+    identical to a real intermediate texture), and the final part's raw
+    result returned as in :func:`execute_lazy`.
+
+    The single :class:`ShaderContext` and structurally-keyed memo are
+    shared across *all* parts — a fetch or uniform-only subexpression
+    appearing in several members evaluates once per fused launch
+    instead of once per original pass (the hoisting the fusion compiler
+    promises).
+    """
+    label = part_names[-1] if part_names else "fused"
+    external = [s for shader in part_shaders for s in shader.samplers
+                if s not in part_names]
+    declared = [u for shader in part_shaders for u in shader.uniforms]
+    tex_arrays = _coerce_textures(label, dict.fromkeys(external), textures)
+    uni_arrays = _coerce_uniforms(label, dict.fromkeys(declared), uniforms)
+
+    ctx = ShaderContext(height, width, tex_arrays, uni_arrays,
+                        fast_fetch=fast_fetch)
+    memo: dict[ir.Expr, np.ndarray] = {}
+    for shader, name in zip(part_shaders[:-1], part_names[:-1]):
+        part = np.empty((height, width, 4), dtype=_F32)
+        part[...] = _eval(shader.body, ctx, memo)
+        ctx.textures[name] = part
+    return _eval(part_shaders[-1].body, ctx, memo)
+
+
+def execute_fused(part_shaders, part_names, height: int, width: int,
+                  textures: dict[str, np.ndarray],
+                  uniforms: dict[str, np.ndarray] | None = None) -> np.ndarray:
+    """Like :func:`execute_fused_lazy`, materialized to (H, W, 4).
+
+    The host-side (CPU executor) entry point; the device broadcasts the
+    lazy result straight into its render target instead.
+    """
+    result = execute_fused_lazy(part_shaders, part_names, height, width,
+                                textures, uniforms)
     out = np.empty((height, width, 4), dtype=_F32)
-    out[...] = result  # broadcasts constants / uniforms to full extent
+    out[...] = result
     return out

@@ -29,18 +29,21 @@ builds *other* hyperspectral pipelines with — see
 
 from repro.stream.chunked import graph_halo, plan_stream_chunks, run_chunked
 from repro.stream.executor import CpuExecutor, GpuExecutor
-from repro.stream.graph import StageGraph, Step
-from repro.stream.kernel import StreamKernel
-from repro.stream.optimize import optimize
+from repro.stream.graph import FusedStep, StageGraph, Step
+from repro.stream.kernel import FusedKernel, StreamKernel
+from repro.stream.optimize import fuse_elementwise, optimize
 from repro.stream.stream import Stream
 
 __all__ = [
     "CpuExecutor",
+    "FusedKernel",
+    "FusedStep",
     "GpuExecutor",
     "StageGraph",
     "Step",
     "Stream",
     "StreamKernel",
+    "fuse_elementwise",
     "graph_halo",
     "optimize",
     "plan_stream_chunks",

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.errors import StreamError
 from repro.hsi.chunking import ChunkPlan, plan_chunks_by_lines
-from repro.stream.graph import StageGraph
+from repro.stream.graph import FusedStep, StageGraph
 from repro.stream.stream import Stream
 
 
@@ -30,7 +30,11 @@ def graph_halo(graph: StageGraph) -> int:
     """Upper bound on the input halo the graph's output pixels need.
 
     Sum over steps of each kernel's maximum static fetch offset — exact
-    for a linear chain, conservative (never too small) for DAGs.
+    for a linear chain, conservative (never too small) for DAGs.  A
+    :class:`~repro.stream.graph.FusedStep` contributes its composite
+    reach (offsets compose through materialized parts, inlined bodies
+    carry theirs directly), which equals the unfused chain's — fusing a
+    graph never changes its halo.
 
     Raises
     ------
@@ -39,6 +43,14 @@ def graph_halo(graph: StageGraph) -> int:
     """
     halo = 0
     for step in graph.steps:
+        if isinstance(step, FusedStep):
+            if step.kernel.dynamic_fetches:
+                raise StreamError(
+                    f"fused kernel {step.kernel.name!r} uses dependent "
+                    f"texture fetches; its reach is data-dependent and "
+                    f"cannot be chunked safely")
+            halo += step.kernel.max_static_reach()
+            continue
         stats = step.kernel.shader.stats
         if stats.dynamic_fetches:
             raise StreamError(

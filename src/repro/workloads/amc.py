@@ -77,7 +77,8 @@ class AMCWorkload(Workload):
         ctx = {
             "bip": bip,
             "config": config,
-            "backend": get_backend(config.backend),
+            "backend": get_backend(config.backend).configured(
+                optimize=config.optimize),
             "ground_truth": ground_truth,
             "class_names": class_names,
         }

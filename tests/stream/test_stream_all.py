@@ -202,13 +202,15 @@ class TestExecutors:
         calls = {"n": 0}
         real_execute = device_mod.execute
 
-        def flaky(shader, height, width, textures, uniforms=None):
+        def flaky(shader, height, width, textures, uniforms=None,
+                  **kwargs):
             calls["n"] += 1
             if calls["n"] == 2:
                 raise RuntimeError("injected kernel fault")
             return real_execute(shader, height, width, textures, uniforms)
 
         monkeypatch.setattr(device_mod, "execute", flaky)
+        monkeypatch.setattr(device_mod, "execute_lazy", flaky)
         x = Stream.from_scalar("x", rng.uniform(size=(4, 4)))
         with pytest.raises(RuntimeError, match="injected"):
             GpuExecutor(device).run(pipeline, {"x": x})

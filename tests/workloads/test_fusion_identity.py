@@ -1,0 +1,170 @@
+"""Fused-vs-unfused bit-identity across every registered workload.
+
+The ``optimize`` execution knob selects the fused fast paths
+(``"fuse"``, the default) or the historical implementation
+(``"none"``, the oracle).  The contract is *byte* identity: every
+result array must hash the same under sha256 whichever path ran —
+including under chunk-parallel execution with injected faults, where a
+retried chunk shares border-correction pixels with its neighbour via
+the halo-margin handoff and must not double-apply them.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.core import AMCConfig, run_amc
+from repro.faults import FaultInjector, FaultSpec
+from repro.hsi import SceneParams, generate_scene
+from repro.profiling import Profiler
+from repro.workloads import get_workload
+
+
+def _sha256(*arrays) -> str:
+    digest = hashlib.sha256()
+    for array in arrays:
+        digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return generate_scene(SceneParams(lines=36, samples=28, band_count=24,
+                                      seed=20060815, min_field=5))
+
+
+@pytest.fixture(scope="module")
+def cube(scene):
+    return scene.cube.as_bip()
+
+
+@pytest.fixture(scope="module")
+def target(scene, cube):
+    labels, counts = np.unique(scene.ground_truth, return_counts=True)
+    rarest = min(((int(lab), int(cnt)) for lab, cnt in zip(labels, counts)
+                  if lab != 0), key=lambda pair: pair[1])[0]
+    return tuple(float(v) for v in
+                 cube[scene.ground_truth == rarest].mean(axis=0))
+
+
+@pytest.fixture()
+def _clean_faults():
+    faults.uninstall()
+    faults.set_attempt(0)
+    yield
+    faults.uninstall()
+    faults.set_attempt(0)
+
+
+class TestAmcIdentity:
+    @pytest.mark.parametrize("backend", ("reference", "gpu"))
+    @pytest.mark.parametrize("radius", (1, 2, 3))
+    def test_fused_matches_oracle(self, cube, backend, radius):
+        fused = run_amc(cube, AMCConfig(n_classes=3, backend=backend,
+                                        se_radius=radius))
+        oracle = run_amc(cube, AMCConfig(n_classes=3, backend=backend,
+                                         se_radius=radius,
+                                         optimize="none"))
+        assert _sha256(fused.labels, fused.mei, fused.abundances) == \
+            _sha256(oracle.labels, oracle.mei, oracle.abundances)
+        np.testing.assert_array_equal(fused.erosion_index,
+                                      oracle.erosion_index)
+        np.testing.assert_array_equal(fused.dilation_index,
+                                      oracle.dilation_index)
+
+    def test_fnnls_unmixing_matches_oracle(self, cube):
+        fused = run_amc(cube, AMCConfig(n_classes=3, unmixing="fnnls"))
+        oracle = run_amc(cube, AMCConfig(n_classes=3, unmixing="fnnls",
+                                         optimize="none"))
+        assert _sha256(fused.abundances) == _sha256(oracle.abundances)
+        assert _sha256(fused.labels) == _sha256(oracle.labels)
+
+    def test_parallel_fused_matches_serial_oracle(self, cube):
+        """Chunked execution with halo-margin border sharing stays
+        bit-identical to the serial historical path."""
+        oracle = run_amc(cube, AMCConfig(n_classes=3, optimize="none"))
+        profiler = Profiler()
+        fused = run_amc(cube, AMCConfig(n_classes=3, n_workers=2),
+                        profiler=profiler)
+        assert _sha256(fused.labels, fused.mei) == \
+            _sha256(oracle.labels, oracle.mei)
+        # the margin handoff actually fired: elided border rows counted
+        (morph,) = [r for r in profiler.stage_records
+                    if r.name == "morphology"]
+        assert morph.counters.get("border_pixels_shared", 0.0) > 0.0
+
+    def test_gpu_counters_report_fusion(self, cube):
+        profiler = Profiler()
+        result = run_amc(cube, AMCConfig(n_classes=3, backend="gpu"),
+                         profiler=profiler)
+        summary = result.gpu_output.counters
+        assert "passes_fused" in summary
+        assert "temporaries_elided" in summary
+        # the hand-tuned AMC kernels elide one scratch per launch
+        assert summary["temporaries_elided"] > 0.0
+        # the same numbers reach the --profile morphology stage record
+        (morph,) = [r for r in profiler.stage_records
+                    if r.name == "morphology"]
+        assert morph.counters["temporaries_elided"] == \
+            summary["temporaries_elided"]
+        assert morph.counters["passes_fused"] == summary["passes_fused"]
+
+
+class TestChaosRetryIdentity:
+    def test_retried_chunk_does_not_double_apply_border_map(
+            self, cube, _clean_faults):
+        """A fault-injected chunk retry recomputes its halo margins from
+        scratch; the shared border pixels must be applied exactly once."""
+        serial = run_amc(cube, AMCConfig(n_classes=3, optimize="none"))
+
+        faults.install(FaultInjector(
+            [FaultSpec(kind="transient", index=0, attempt=0)]))
+        profiler = Profiler()
+        chaos = run_amc(cube,
+                        AMCConfig(n_classes=3, n_workers=2, max_retries=1),
+                        profiler=profiler)
+        assert _sha256(chaos.labels, chaos.mei, chaos.abundances) == \
+            _sha256(serial.labels, serial.mei, serial.abundances)
+        retried = [r for r in profiler.chunk_records if r.index == 0]
+        assert retried and retried[0].retries >= 1
+
+    def test_retry_identity_holds_for_oracle_mode_too(
+            self, cube, _clean_faults):
+        """Same chaos run with optimize="none" everywhere: the knob
+        never changes results, only code paths."""
+        serial = run_amc(cube, AMCConfig(n_classes=3))
+        faults.install(FaultInjector(
+            [FaultSpec(kind="transient", index=1, attempt=0)]))
+        chaos = run_amc(cube,
+                        AMCConfig(n_classes=3, n_workers=2, max_retries=1,
+                                  optimize="none"))
+        assert _sha256(chaos.labels, chaos.mei) == \
+            _sha256(serial.labels, serial.mei)
+
+
+class TestDetectionReductionIdentity:
+    """The knob is accepted (and validated) by every workload config;
+    for the plain-NumPy detection/reduction kernels it is a documented
+    no-op — results stay byte-identical."""
+
+    @pytest.mark.parametrize("name", ("sam", "cem", "rx"))
+    def test_detection_fused_matches_oracle(self, name, cube, target):
+        wl = get_workload(name)
+        params = {"target": target} if wl.requires_target else {}
+        fused = wl.run(cube, params)
+        oracle = wl.run(cube, dict(params, optimize="none"))
+        np.testing.assert_array_equal(fused.scores, oracle.scores)
+
+    def test_pca_fused_matches_oracle(self, cube):
+        fused = get_workload("pca").run(cube, {"n_components": 4})
+        oracle = get_workload("pca").run(
+            cube, {"n_components": 4, "optimize": "none"})
+        np.testing.assert_array_equal(fused.transformed,
+                                      oracle.transformed)
+        np.testing.assert_array_equal(fused.components, oracle.components)
+
+    def test_bad_optimize_rejected(self, cube):
+        with pytest.raises(Exception, match="optimize"):
+            run_amc(cube, AMCConfig(n_classes=3, optimize="never"))
